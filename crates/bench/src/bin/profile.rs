@@ -1,0 +1,111 @@
+//! `profile` — run one kernel configuration and print the simulator's
+//! nvprof-style report (counters, time breakdown, advice).
+//!
+//! ```text
+//! profile fused-sparse  [--rows m] [--cols n] [--density d]
+//! profile fused-dense   [--rows m] [--cols n]
+//! profile csrmv-t       [--rows m] [--cols n] [--density d]   # baseline scatter
+//! profile fused-ell     [--rows m] [--cols n] [--density d]
+//! ```
+
+use fusedml_blas::csrmv_t_scatter;
+use fusedml_blas::ellmv::GpuEll;
+use fusedml_blas::level1::fill;
+use fusedml_blas::{GpuCsr, GpuDense};
+use fusedml_core::ell_fused::{fused_pattern_ell, plan_ell};
+use fusedml_core::executor::FusedExecutor;
+use fusedml_core::PatternSpec;
+use fusedml_gpu_sim::{profile_report, DeviceSpec, Gpu, LaunchStats};
+use fusedml_matrix::gen::{dense_random, random_vector, uniform_sparse};
+use fusedml_matrix::EllMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernel = None;
+    let mut rows = 50_000usize;
+    let mut cols = 512usize;
+    let mut density = 0.01f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rows" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => rows = v,
+                None => usage(),
+            },
+            "--cols" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cols = v,
+                None => usage(),
+            },
+            "--density" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => density = v,
+                None => usage(),
+            },
+            k @ ("fused-sparse" | "fused-dense" | "csrmv-t" | "fused-ell") => {
+                kernel = Some(k.to_string())
+            }
+            _ => {
+                usage();
+            }
+        }
+    }
+    let Some(kernel) = kernel else {
+        usage();
+    };
+
+    let gpu = Gpu::new(DeviceSpec::gtx_titan());
+    let stats: LaunchStats = match kernel.as_str() {
+        "fused-sparse" => {
+            let x = uniform_sparse(rows, cols, density, 1);
+            let xd = GpuCsr::upload(&gpu, "X", &x);
+            let y = gpu.upload_f64("y", &random_vector(cols, 2));
+            let w = gpu.alloc_f64("w", cols);
+            let mut ex = FusedExecutor::new(&gpu);
+            println!("plan: {:?}\n", ex.sparse_plan(&xd));
+            ex.pattern_sparse(PatternSpec::xtxy(), &xd, None, &y, None, &w);
+            ex.launches.pop().expect("launched")
+        }
+        "fused-dense" => {
+            let x = dense_random(rows, cols, 1);
+            let xd = GpuDense::upload(&gpu, "X", &x);
+            let y = gpu.upload_f64("y", &random_vector(cols, 2));
+            let w = gpu.alloc_f64("w", cols);
+            let mut ex = FusedExecutor::new(&gpu);
+            println!("plan: {:?}\n", ex.dense_plan(&xd));
+            ex.pattern_dense(PatternSpec::xtxy(), &xd, None, &y, None, &w);
+            ex.launches.pop().expect("launched")
+        }
+        "csrmv-t" => {
+            let x = uniform_sparse(rows, cols, density, 1);
+            let xd = GpuCsr::upload(&gpu, "X", &x);
+            let p = gpu.upload_f64("p", &random_vector(rows, 2));
+            let w = gpu.alloc_f64("w", cols);
+            fill(&gpu, &w, 0.0);
+            csrmv_t_scatter(&gpu, &xd, &p, &w)
+        }
+        "fused-ell" => {
+            let x = uniform_sparse(rows, cols, density, 1);
+            let ell = EllMatrix::from_csr(&x);
+            println!(
+                "ELL width {} ({}% padding)\n",
+                ell.width(),
+                (ell.padding_ratio() * 100.0) as u32
+            );
+            let xd = GpuEll::upload(&gpu, "X", &ell);
+            let y = gpu.upload_f64("y", &random_vector(cols, 2));
+            let w = gpu.alloc_f64("w", cols);
+            fill(&gpu, &w, 0.0);
+            let plan = plan_ell(&gpu, rows, cols);
+            fused_pattern_ell(&gpu, &plan, PatternSpec::xtxy(), &xd, None, &y, None, &w)
+        }
+        _ => usage(),
+    };
+    print!("{}", profile_report(&stats));
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile <fused-sparse|fused-dense|csrmv-t|fused-ell> \
+         [--rows m] [--cols n] [--density d]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,106 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment at the default scale (0.25)
+//! repro fig3 table5         # a subset
+//! repro fig2 --scale 0.05   # quick run
+//! repro all --json results  # also dump JSON rows per experiment
+//! ```
+
+use fusedml_bench::experiments::{self, Ctx};
+use fusedml_bench::Table;
+use fusedml_gpu_sim::DeviceSpec;
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "table4", "table5", "table6",
+];
+
+/// Extension experiments beyond the paper (run by name, not by `all`).
+const EXTENSIONS: &[&str] = &["ell"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.25f64;
+    let mut json_dir: Option<String> = None;
+    let mut device = DeviceSpec::gtx_titan();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number in (0, 1]"));
+            }
+            "--device" => {
+                device = match it.next().as_deref() {
+                    Some("titan") => DeviceSpec::gtx_titan(),
+                    Some("k20") => DeviceSpec::tesla_k20(),
+                    other => die(&format!(
+                        "--device must be 'titan' or 'k20', got {other:?}"
+                    )),
+                };
+            }
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| die("--json needs a directory")));
+            }
+            "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) || EXTENSIONS.contains(&other) => {
+                wanted.push(other.to_string())
+            }
+            other => die(&format!(
+                "unknown experiment '{other}'; available: {}, extensions: {}, or 'all'",
+                ALL.join(", "),
+                EXTENSIONS.join(", ")
+            )),
+        }
+    }
+    if wanted.is_empty() {
+        die(&format!("usage: repro <experiment...|all> [--scale f] [--json dir] [--device titan|k20]\navailable: {}", ALL.join(", ")));
+    }
+    wanted.dedup();
+
+    let ctx = Ctx::with_device(scale, device);
+    println!(
+        "device: {} | workload scale: {scale} (1.0 = paper sizes)\n",
+        ctx.gpu.spec().name
+    );
+
+    for name in &wanted {
+        let t0 = Instant::now();
+        let table = run_one(&ctx, name);
+        table.print();
+        println!("  ({} regenerated in {:.1?})\n", name, t0.elapsed());
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, serde_json::to_string_pretty(&table.to_json()).unwrap())
+                .expect("write json");
+            println!("  wrote {path}\n");
+        }
+    }
+}
+
+fn run_one(ctx: &Ctx, name: &str) -> Table {
+    match name {
+        "table1" => experiments::table1::run(ctx),
+        "table2" => experiments::table2::run(ctx),
+        "fig2" => experiments::fig2::run(ctx),
+        "fig3" => experiments::fig3::run(ctx),
+        "fig4" => experiments::fig4::run(ctx),
+        "fig5" => experiments::fig5::run(ctx),
+        "fig6" => experiments::fig6::run(ctx),
+        "table4" => experiments::table4::run(ctx),
+        "table5" => experiments::table5::run(ctx),
+        "table6" => experiments::table6::run(ctx),
+        "ell" => experiments::ext_ell::run(ctx),
+        other => die(&format!("unknown experiment {other}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,11 @@
+//! # fusedml-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation, each regenerating the artifact on the simulated device at a
+//! configurable workload scale, plus the `repro` CLI and Criterion benches.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::Ctx;
+pub use table::Table;

@@ -1,0 +1,152 @@
+//! Result-table plumbing shared by every experiment: aligned text output
+//! for the terminal plus JSON serialization for EXPERIMENTS.md records.
+
+use serde::Serialize;
+
+/// One regenerated table or figure, as rows of formatted cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Paper artifact id, e.g. "fig2" or "table4".
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling factors, caveats, paper reference values).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("table serializes")
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn fmt_ms(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Format a large count compactly.
+pub fn fmt_count(x: u64) -> String {
+    if x >= 10_000_000 {
+        format!("{:.1}M", x as f64 / 1e6)
+    } else if x >= 10_000 {
+        format!("{:.1}K", x as f64 / 1e3)
+    } else {
+        x.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", "demo", &["a", "speedup"]);
+        t.row(vec!["1".into(), "10.00x".into()]);
+        t.row(vec!["200".into(), "3.50x".into()]);
+        t.note("scaled");
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("10.00x"));
+        assert!(r.contains("note: scaled"));
+        // Column alignment: both rows same width.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(123.4), "123");
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_ms(0.01234), "0.0123");
+        assert_eq!(fmt_x(2.5), "2.50x");
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(52_000), "52.0K");
+        assert_eq!(fmt_count(12_000_000), "12.0M");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("fig9", "x", &["h"]);
+        t.row(vec!["v".into()]);
+        let j = t.to_json();
+        assert_eq!(j["id"], "fig9");
+        assert_eq!(j["rows"][0][0], "v");
+    }
+}

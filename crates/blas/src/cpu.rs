@@ -1,0 +1,248 @@
+//! Analytical CPU engine standing in for BIDMat-CPU (Intel MKL with 8
+//! hyper-threads) in the comparative figures, plus a *measured*
+//! single-threaded executor used by Table 2's compute-time breakdown.
+//!
+//! The analytical model charges each operator its memory traffic and FLOPs
+//! against the roofline of [`CpuSpec`]; the measured executor actually runs
+//! the reference implementations under a wall clock.
+
+use fusedml_gpu_sim::CpuSpec;
+use fusedml_matrix::reference;
+use fusedml_matrix::{CsrMatrix, DenseMatrix};
+use std::time::Instant;
+
+/// Analytical CPU timing for the sparse operators of the pattern.
+#[derive(Debug, Clone)]
+pub struct CpuEngine {
+    pub spec: CpuSpec,
+    /// Accumulated simulated milliseconds.
+    pub total_ms: f64,
+}
+
+impl CpuEngine {
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuEngine { spec, total_ms: 0.0 }
+    }
+
+    pub fn mkl_8threads() -> Self {
+        Self::new(CpuSpec::core_i7_8threads())
+    }
+
+    pub fn reset(&mut self) {
+        self.total_ms = 0.0;
+    }
+
+    fn charge(&mut self, bytes: u64, flops: u64, irregular: bool) -> f64 {
+        let t = self.spec.op_time_ms(bytes, flops, irregular);
+        self.total_ms += t;
+        t
+    }
+
+    /// `p = X * y`, sparse: stream values + indices; the gathered `y` is
+    /// LLC-resident for the column counts in play, so only the streaming
+    /// traffic hits DRAM.
+    pub fn csrmv_ms(&mut self, nnz: usize, rows: usize) -> f64 {
+        let bytes = (nnz * (8 + 4) + (rows + 1) * 4 + rows * 8) as u64;
+        self.charge(bytes, 2 * nnz as u64, true)
+    }
+
+    /// `w = X^T * p`, sparse: stream the matrix, scatter into `w`
+    /// (cache-resident accumulator).
+    pub fn csrmv_t_ms(&mut self, nnz: usize, rows: usize, cols: usize) -> f64 {
+        let bytes = (nnz * (8 + 4) + (rows + 1) * 4 + rows * 8 + cols * 8) as u64;
+        self.charge(bytes, 2 * nnz as u64, true)
+    }
+
+    /// `p = X * y`, dense: stream the matrix once.
+    pub fn gemv_ms(&mut self, rows: usize, cols: usize) -> f64 {
+        let bytes = (rows * cols * 8 + cols * 8 + rows * 8) as u64;
+        self.charge(bytes, 2 * (rows * cols) as u64, false)
+    }
+
+    /// `w = X^T * p`, dense: stream the matrix once (MKL blocks it well).
+    pub fn gemv_t_ms(&mut self, rows: usize, cols: usize) -> f64 {
+        let bytes = (rows * cols * 8 + rows * 8 + cols * 16) as u64;
+        self.charge(bytes, 2 * (rows * cols) as u64, false)
+    }
+
+    /// Element-wise multiply of length-n vectors.
+    pub fn ewmul_ms(&mut self, n: usize) -> f64 {
+        self.charge((3 * n * 8) as u64, n as u64, false)
+    }
+
+    /// `y += a x`.
+    pub fn axpy_ms(&mut self, n: usize) -> f64 {
+        self.charge((3 * n * 8) as u64, 2 * n as u64, false)
+    }
+
+    /// `x *= a`.
+    pub fn scal_ms(&mut self, n: usize) -> f64 {
+        self.charge((2 * n * 8) as u64, n as u64, false)
+    }
+
+    /// Dot product.
+    pub fn dot_ms(&mut self, n: usize) -> f64 {
+        self.charge((2 * n * 8) as u64, 2 * n as u64, false)
+    }
+
+    /// The full sparse pattern, operator by operator.
+    pub fn pattern_sparse_ms(
+        &mut self,
+        x_rows: usize,
+        x_cols: usize,
+        nnz: usize,
+        with_v: bool,
+        with_z: bool,
+        alpha_scaling: bool,
+    ) -> f64 {
+        let mut t = self.csrmv_ms(nnz, x_rows);
+        if with_v {
+            t += self.ewmul_ms(x_rows);
+        }
+        t += self.csrmv_t_ms(nnz, x_rows, x_cols);
+        if alpha_scaling {
+            t += self.scal_ms(x_cols);
+        }
+        if with_z {
+            t += self.axpy_ms(x_cols);
+        }
+        t
+    }
+
+    /// The full dense pattern, operator by operator.
+    pub fn pattern_dense_ms(
+        &mut self,
+        x_rows: usize,
+        x_cols: usize,
+        with_v: bool,
+        with_z: bool,
+        alpha_scaling: bool,
+    ) -> f64 {
+        let mut t = self.gemv_ms(x_rows, x_cols);
+        if with_v {
+            t += self.ewmul_ms(x_rows);
+        }
+        t += self.gemv_t_ms(x_rows, x_cols);
+        if alpha_scaling {
+            t += self.scal_ms(x_cols);
+        }
+        if with_z {
+            t += self.axpy_ms(x_cols);
+        }
+        t
+    }
+}
+
+/// Wall-clock measured single-threaded execution of the pattern's
+/// components — what the paper's Table 2 profiles on SystemML's CPU
+/// backend. Returns `(pattern_ms, blas1_ms)` for one LR-CG-style iteration.
+pub fn measure_lrcg_iteration_sparse(x: &CsrMatrix, repeats: usize) -> (f64, f64) {
+    let n = x.cols();
+    // Work buffers live outside the timed regions: BLAS-1 kernels do not
+    // allocate.
+    let mut w = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut pdir = vec![0.1; n];
+    let mut pattern_ms = 0.0;
+    let mut blas1_ms = 0.0;
+    for _ in 0..repeats.max(1) {
+        // Pattern part of one Listing-1 iteration: q = X^T (X p).
+        let t0 = Instant::now();
+        let p = reference::csr_mv(x, &pdir);
+        let q = reference::csr_tmv(x, &p);
+        pattern_ms += t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&q);
+
+        // BLAS-1 part: dot, 3 axpy, nrm2, scal over n-vectors (lines
+        // 12-18 of Listing 1).
+        let t1 = Instant::now();
+        let pq = reference::dot(&pdir, &q);
+        let alpha = 1.0 / (pq.abs() + 1.0);
+        reference::axpy(alpha, &pdir, &mut w);
+        reference::axpy(alpha, &q, &mut r);
+        let nr2 = reference::norm2_sq(&r);
+        let beta = nr2 / (nr2 + 1.0);
+        reference::scal(beta, &mut pdir);
+        reference::axpy(-1.0, &r, &mut pdir);
+        blas1_ms += t1.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box((&w, &pdir));
+    }
+    (pattern_ms, blas1_ms)
+}
+
+/// Dense counterpart of [`measure_lrcg_iteration_sparse`].
+pub fn measure_lrcg_iteration_dense(x: &DenseMatrix, repeats: usize) -> (f64, f64) {
+    let n = x.cols();
+    let mut w = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut pdir = vec![0.1; n];
+    let mut pattern_ms = 0.0;
+    let mut blas1_ms = 0.0;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let p = reference::dense_mv(x, &pdir);
+        let q = reference::dense_tmv(x, &p);
+        pattern_ms += t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&q);
+
+        let t1 = Instant::now();
+        let pq = reference::dot(&pdir, &q);
+        let alpha = 1.0 / (pq.abs() + 1.0);
+        reference::axpy(alpha, &pdir, &mut w);
+        reference::axpy(alpha, &q, &mut r);
+        let nr2 = reference::norm2_sq(&r);
+        let beta = nr2 / (nr2 + 1.0);
+        reference::scal(beta, &mut pdir);
+        reference::axpy(-1.0, &r, &mut pdir);
+        blas1_ms += t1.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box((&w, &pdir));
+    }
+    (pattern_ms, blas1_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_matrix::gen::uniform_sparse;
+
+    #[test]
+    fn analytical_engine_accumulates() {
+        let mut e = CpuEngine::mkl_8threads();
+        let t1 = e.csrmv_ms(1_000_000, 100_000);
+        let t2 = e.csrmv_t_ms(1_000_000, 100_000, 1000);
+        assert!(t1 > 0.0 && t2 > t1 * 0.5);
+        assert!((e.total_ms - (t1 + t2)).abs() < 1e-12);
+        e.reset();
+        assert_eq!(e.total_ms, 0.0);
+    }
+
+    #[test]
+    fn sparse_pattern_costs_more_with_options() {
+        let mut a = CpuEngine::mkl_8threads();
+        let bare = a.pattern_sparse_ms(10_000, 500, 50_000, false, false, false);
+        let mut b = CpuEngine::mkl_8threads();
+        let full = b.pattern_sparse_ms(10_000, 500, 50_000, true, true, true);
+        assert!(full > bare);
+    }
+
+    #[test]
+    fn dense_pattern_bandwidth_dominated() {
+        let mut e = CpuEngine::mkl_8threads();
+        // 1M x 28 doubles = 224 MB per scan; two scans at 25.6 GB/s ≈ 17.5ms.
+        let t = e.pattern_dense_ms(1_000_000, 28, false, false, false);
+        assert!(t > 10.0 && t < 40.0, "unexpected dense pattern time {t}");
+    }
+
+    #[test]
+    fn measured_breakdown_pattern_dominates() {
+        // Table 2's claim: the pattern accounts for the overwhelming share
+        // of single-threaded compute time.
+        let x = uniform_sparse(4000, 400, 0.05, 3);
+        let (pattern, blas1) = measure_lrcg_iteration_sparse(&x, 3);
+        assert!(pattern > 0.0 && blas1 >= 0.0);
+        assert!(
+            pattern / (pattern + blas1) > 0.5,
+            "pattern {pattern} vs blas1 {blas1}"
+        );
+    }
+}

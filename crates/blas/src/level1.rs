@@ -1,0 +1,222 @@
+//! BLAS Level-1 device kernels: the vector arithmetic Listing 1's conjugate
+//! gradient stitches between matrix-vector products (`axpy`, `scal`, `dot`,
+//! `nrm2`, element-wise multiply), plus `fill`/`copy` utilities.
+//!
+//! Each function is a standalone kernel launch — exactly the baseline
+//! regime the paper measures against, where every operator pays launch
+//! overhead and round-trips its operands through global memory.
+
+use crate::csrmv::capped_grid;
+use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+
+const BS: usize = 256;
+
+fn elementwise<F>(gpu: &Gpu, name: &str, n: usize, body: F) -> LaunchStats
+where
+    F: Fn(&mut fusedml_gpu_sim::WarpCtx, usize /* base */) + Sync,
+{
+    let grid = capped_grid(gpu, n, BS);
+    let cfg = LaunchConfig::new(grid, BS).with_regs(16);
+    gpu.launch(name, cfg, |blk| {
+        let grid_threads = blk.grid_dim() * blk.block_dim();
+        blk.each_warp(|w| {
+            let mut base = w.gtid(0);
+            while base < n {
+                body(w, base);
+                base += grid_threads;
+            }
+        });
+    })
+}
+
+/// `buf[i] = value` for all i.
+pub fn fill(gpu: &Gpu, buf: &GpuBuffer, value: f64) -> LaunchStats {
+    let n = buf.len();
+    elementwise(gpu, "fill", n, |w, base| {
+        w.store_f64(buf, |lane| (base + lane < n).then_some((base + lane, value)));
+    })
+}
+
+/// `dst = src`.
+pub fn copy(gpu: &Gpu, src: &GpuBuffer, dst: &GpuBuffer) -> LaunchStats {
+    assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    elementwise(gpu, "copy", n, |w, base| {
+        let v = w.load_f64(src, |lane| (base + lane < n).then_some(base + lane));
+        w.store_f64(dst, |lane| (base + lane < n).then_some((base + lane, v[lane])));
+    })
+}
+
+/// `y += a * x` in place.
+pub fn axpy(gpu: &Gpu, a: f64, x: &GpuBuffer, y: &GpuBuffer) -> LaunchStats {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    elementwise(gpu, "axpy", n, |w, base| {
+        let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
+        let ys = w.load_f64(y, |lane| (base + lane < n).then_some(base + lane));
+        w.flops(2 * (n - base).min(WARP_LANES) as u64);
+        w.store_f64(y, |lane| {
+            (base + lane < n).then(|| (base + lane, ys[lane] + a * xs[lane]))
+        });
+    })
+}
+
+/// `x *= a` in place.
+pub fn scal(gpu: &Gpu, a: f64, x: &GpuBuffer) -> LaunchStats {
+    let n = x.len();
+    elementwise(gpu, "scal", n, |w, base| {
+        let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
+        w.flops((n - base).min(WARP_LANES) as u64);
+        w.store_f64(x, |lane| (base + lane < n).then(|| (base + lane, a * xs[lane])));
+    })
+}
+
+/// `out = x .* y` element-wise (the `v ⊙ (...)` step when evaluated as a
+/// standalone operator).
+pub fn ewmul(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> LaunchStats {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), out.len());
+    let n = x.len();
+    elementwise(gpu, "ewmul", n, |w, base| {
+        let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
+        let ys = w.load_f64(y, |lane| (base + lane < n).then_some(base + lane));
+        w.flops((n - base).min(WARP_LANES) as u64);
+        w.store_f64(out, |lane| {
+            (base + lane < n).then(|| (base + lane, xs[lane] * ys[lane]))
+        });
+    })
+}
+
+/// Dot product `x . y`, reduced hierarchically (shuffle within warps,
+/// shared memory within the block, one global atomic per block) into
+/// `out[0]`. Returns the scalar alongside the launch stats.
+pub fn dot(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> (f64, LaunchStats) {
+    assert_eq!(x.len(), y.len());
+    assert!(!out.is_empty());
+    out.host_write_f64(0, 0.0);
+    let n = x.len();
+    let grid = capped_grid(gpu, n, BS);
+    let cfg = LaunchConfig::new(grid, BS).with_regs(20).with_shared_bytes(8);
+    let stats = gpu.launch("dot", cfg, |blk| {
+        let block_acc = blk.shared_f64(1);
+        let grid_threads = blk.grid_dim() * blk.block_dim();
+        blk.each_warp(|w| {
+            let mut sum = [0.0f64; WARP_LANES];
+            let mut base = w.gtid(0);
+            while base < n {
+                let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
+                let ys = w.load_f64(y, |lane| (base + lane < n).then_some(base + lane));
+                for lane in 0..WARP_LANES {
+                    if base + lane < n {
+                        sum[lane] += xs[lane] * ys[lane];
+                    }
+                }
+                w.flops(2 * (n - base).min(WARP_LANES) as u64);
+                base += grid_threads;
+            }
+            w.shuffle_reduce_sum(&mut sum, 32);
+            w.shared_atomic_add(block_acc, |lane| (lane == 0).then_some((0, sum[0])));
+        });
+        blk.sync();
+        blk.each_warp(|w| {
+            if w.warp_id() == 0 {
+                let v = w.shared_load(block_acc, |lane| (lane == 0).then_some(0));
+                w.atomic_add_f64(out, |lane| (lane == 0).then_some((0, v[0])));
+            }
+        });
+    });
+    (out.host_read_f64(0), stats)
+}
+
+/// Squared 2-norm `sum(x .* x)` — `nrm2`'s square, what Listing 1 uses.
+pub fn nrm2_sq(gpu: &Gpu, x: &GpuBuffer, out: &GpuBuffer) -> (f64, LaunchStats) {
+    dot(gpu, x, x, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_gpu_sim::DeviceSpec;
+    use fusedml_matrix::gen::random_vector;
+    use fusedml_matrix::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let g = gpu();
+        let a = g.alloc_f64("a", 1000);
+        fill(&g, &a, 3.5);
+        assert!(a.to_vec_f64().iter().all(|&v| v == 3.5));
+        let b = g.alloc_f64("b", 1000);
+        copy(&g, &a, &b);
+        assert_eq!(b.to_vec_f64(), a.to_vec_f64());
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let g = gpu();
+        let xh = random_vector(777, 1);
+        let yh = random_vector(777, 2);
+        let x = g.upload_f64("x", &xh);
+        let y = g.upload_f64("y", &yh);
+        axpy(&g, -1.5, &x, &y);
+        let mut expect = yh.clone();
+        reference::axpy(-1.5, &xh, &mut expect);
+        assert!(reference::max_abs_diff(&y.to_vec_f64(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn scal_and_ewmul() {
+        let g = gpu();
+        let xh = random_vector(100, 3);
+        let x = g.upload_f64("x", &xh);
+        scal(&g, 2.0, &x);
+        let got = x.to_vec_f64();
+        assert!(got.iter().zip(&xh).all(|(a, b)| (a - 2.0 * b).abs() < 1e-15));
+
+        let yh = random_vector(100, 4);
+        let y = g.upload_f64("y", &yh);
+        let out = g.alloc_f64("out", 100);
+        ewmul(&g, &x, &y, &out);
+        let expect: Vec<f64> = got.iter().zip(&yh).map(|(a, b)| a * b).collect();
+        assert!(reference::max_abs_diff(&out.to_vec_f64(), &expect) < 1e-15);
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let g = gpu();
+        let xh = random_vector(4097, 5);
+        let yh = random_vector(4097, 6);
+        let x = g.upload_f64("x", &xh);
+        let y = g.upload_f64("y", &yh);
+        let out = g.alloc_f64("dot", 1);
+        let (d, stats) = dot(&g, &x, &y, &out);
+        assert!((d - reference::dot(&xh, &yh)).abs() < 1e-9);
+        // One atomic per block, not per element.
+        assert!(stats.counters.global_atomics <= stats.config.grid_blocks as u64);
+    }
+
+    #[test]
+    fn nrm2_sq_positive() {
+        let g = gpu();
+        let xh = random_vector(513, 7);
+        let x = g.upload_f64("x", &xh);
+        let out = g.alloc_f64("n", 1);
+        let (n2, _) = nrm2_sq(&g, &x, &out);
+        assert!((n2 - reference::norm2_sq(&xh)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_is_repeatable() {
+        let g = gpu();
+        let xh = random_vector(2048, 8);
+        let x = g.upload_f64("x", &xh);
+        let out = g.alloc_f64("d", 1);
+        let (a, _) = dot(&g, &x, &x, &out);
+        let (b, _) = dot(&g, &x, &x, &out);
+        assert_eq!(a, b, "sequential simulation must be bitwise repeatable");
+    }
+}

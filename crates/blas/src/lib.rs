@@ -1,0 +1,34 @@
+//! # fusedml-blas
+//!
+//! Baseline operator-level kernels on the simulated GPU — the stand-ins for
+//! NVIDIA cuBLAS / cuSPARSE and BIDMat that the paper's fused kernels are
+//! measured against, plus the analytical CPU engine standing in for
+//! BIDMat-CPU (Intel MKL).
+//!
+//! Everything here follows the *un-fused* discipline the paper criticizes:
+//! one kernel launch per primitive operator, intermediates materialized in
+//! global memory, and the transposed products either scattering through
+//! global atomics or paying for an explicit `csr2csc`.
+
+// Lane-indexed loops over parallel arrays are the natural idiom for
+// warp-level kernel code; iterator zips would obscure the SIMT shape.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cpu;
+pub mod csrmv;
+pub mod csrmv_t;
+pub mod dev;
+pub mod ellmv;
+pub mod engine;
+pub mod gemv;
+pub mod level1;
+pub mod transpose;
+
+pub use cpu::CpuEngine;
+pub use csrmv::{csrmv, vector_size_for_mean_nnz, SpmvStyle};
+pub use csrmv_t::{csrmv_t_atomic, csrmv_t_pretransposed, csrmv_t_scatter};
+pub use dev::{GpuCsr, GpuDense};
+pub use ellmv::{ellmv, hybmv, GpuEll, GpuHyb};
+pub use engine::{BaselineEngine, Flavor};
+pub use gemv::{gemv, gemv_t, gemv_t_direct};
+pub use transpose::{csr2csc_device, total_sim_ms};

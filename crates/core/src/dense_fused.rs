@@ -1,0 +1,359 @@
+//! The dense fused kernel — Algorithm 3 of the paper.
+//!
+//! Each row is processed by a *vector* of `VS` threads; each thread owns
+//! `TL` elements of the row (`TL` = thread load). The elements of `y` are
+//! read once into registers (`l_y`), each row's elements are read once into
+//! registers (`l_X`), the dot product reduces through shuffles (plus an
+//! inter-warp shared-memory step when the vector spans the whole block),
+//! and the `X[r,:]^T * p[r]` contribution accumulates in registers (`l_w`)
+//! — no memory traffic at all for the second use of `X`. Only when a vector
+//! has exhausted its rows does it flush `l_w` to global `w` with atomics.
+//!
+//! `TL` is a **const generic**: the Rust analog of the paper's CUDA code
+//! generator, which emits a kernel with `TL`-way unrolled loops and named
+//! registers (Listing 2). Monomorphization gives exactly that — fixed-size
+//! arrays that live in "registers" with no indexed local memory. The
+//! dispatch table lives in [`crate::codegen`].
+
+use crate::pattern::PatternSpec;
+use crate::sparse_fused::beta_z_init;
+use crate::tuner::DensePlan;
+use fusedml_blas::GpuDense;
+use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+
+/// Launch the dense fused kernel with compile-time thread load `TL`.
+/// Use [`crate::codegen::launch_dense_fused`] for runtime dispatch.
+///
+/// `w` must be zeroed by the caller.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_fused_kernel<const TL: usize>(
+    gpu: &Gpu,
+    plan: &DensePlan,
+    spec: PatternSpec,
+    x: &GpuDense,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    z: Option<&GpuBuffer>,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    assert_eq!(TL, plan.tl, "dispatched TL does not match the plan");
+    assert_eq!(spec.with_v, v.is_some(), "v presence mismatch");
+    assert_eq!(spec.with_z, z.is_some(), "z presence mismatch");
+    assert_eq!(y.len(), x.cols, "y length mismatch");
+    assert_eq!(w.len(), x.cols, "w length mismatch");
+    let (m, n) = (x.rows, x.cols);
+    let (vs, bs, c) = (plan.vs, plan.bs, plan.c);
+    assert!(
+        vs * TL >= n,
+        "vector ({vs} threads x {TL}) cannot cover a {n}-column row"
+    );
+    let nv = plan.vectors_per_block();
+    let total_vectors = plan.total_vectors();
+    let alpha = spec.alpha;
+    let beta = spec.beta;
+
+    // Shared memory: inter-warp reduction scratch (one slot per warp plus
+    // the broadcast slot), only needed when the vector spans warps.
+    let nwarps = bs / WARP_LANES;
+    let shared_bytes = if vs > WARP_LANES { (nwarps + 1) * 8 } else { 0 };
+    // TL independent loads in flight per thread: the unrolling's ILP,
+    // which is what lets the kernel run well at register-limited occupancy.
+    let cfg = LaunchConfig::new(plan.grid, bs)
+        .with_regs(plan.regs)
+        .with_shared_bytes(shared_bytes)
+        .with_ilp(TL as f64);
+
+    gpu.launch("fused_dense", cfg, |blk| {
+        let block_id = blk.block_id();
+        let bs = blk.block_dim();
+
+        if let Some(z) = z {
+            beta_z_init(blk, w, z, beta, n);
+            blk.sync();
+        }
+
+        // Per-thread register files (l_y, l_w), living across phases.
+        let mut ly = vec![[0.0f64; TL]; bs];
+        let mut lw = vec![[0.0f64; TL]; bs];
+
+        // Column slot of thread `tid`'s i-th element.
+        let col_of = |tid: usize, i: usize| {
+            let lid = tid % vs;
+            let col = lid + i * vs;
+            (col < n).then_some(col)
+        };
+
+        // ---- lines 4-5: load y into registers, once ----
+        blk.each_warp(|wc| {
+            let tid0 = wc.tid(0);
+            for i in 0..TL {
+                let ys = wc.load_f64_tex(y, |lane| col_of(tid0 + lane, i));
+                for lane in 0..wc.active_lanes() {
+                    ly[tid0 + lane][i] = ys[lane];
+                }
+            }
+        });
+
+        if vs <= WARP_LANES {
+            // ---- intra-warp vectors: the whole row pipeline per warp ----
+            blk.each_warp(|wc| {
+                let tid0 = wc.tid(0);
+                for ci in 0..c {
+                    let row_of = move |lane: usize| {
+                        let vid = (tid0 + lane) / vs;
+                        let row = block_id * nv + vid + ci * total_vectors;
+                        (row < m).then_some(row)
+                    };
+                    if (0..WARP_LANES).all(|l| row_of(l).is_none()) {
+                        break;
+                    }
+                    // lines 11-13: read the row, dot with l_y.
+                    let mut lx = [[0.0f64; TL]; WARP_LANES];
+                    let mut sum = [0.0f64; WARP_LANES];
+                    let mut active = 0u64;
+                    for i in 0..TL {
+                        let xs = wc.load_f64(&x.data, |lane| {
+                            row_of(lane)
+                                .and_then(|r| col_of(tid0 + lane, i).map(|col| r * n + col))
+                        });
+                        for lane in 0..WARP_LANES {
+                            if row_of(lane).is_some() {
+                                lx[lane][i] = xs[lane];
+                                sum[lane] += xs[lane] * ly[tid0 + lane][i];
+                                active += 1;
+                            }
+                        }
+                    }
+                    wc.flops(2 * active);
+                    // lines 14-15: single-step intra-vector reduction.
+                    wc.shuffle_reduce_sum(&mut sum, vs);
+                    // line 20's v[row] scaling (done by one thread, broadcast
+                    // free through the shuffle result).
+                    let p_r = if let Some(v) = v {
+                        let vr = wc.load_f64_tex(v, &row_of);
+                        let mut p = [0.0f64; WARP_LANES];
+                        for lane in 0..WARP_LANES {
+                            p[lane] = sum[lane] * vr[lane];
+                        }
+                        p
+                    } else {
+                        sum
+                    };
+                    // lines 23-24: accumulate into l_w registers.
+                    let mut acc = 0u64;
+                    for lane in 0..WARP_LANES {
+                        if row_of(lane).is_some() {
+                            let tid = tid0 + lane;
+                            for i in 0..TL {
+                                if col_of(tid, i).is_some() {
+                                    lw[tid][i] += lx[lane][i] * p_r[lane];
+                                    acc += 1;
+                                }
+                            }
+                        }
+                    }
+                    wc.flops(2 * acc);
+                }
+            });
+        } else {
+            // ---- block-wide vector (VS == BS): inter-warp reduction ----
+            let red = blk.shared_f64(nwarps + 1);
+            let mut lx_file = vec![[0.0f64; TL]; bs];
+            for ci in 0..c {
+                let row = block_id + ci * total_vectors;
+                if row >= m {
+                    break;
+                }
+                // Pass A: per-warp partial dot products.
+                blk.each_warp(|wc| {
+                    let tid0 = wc.tid(0);
+                    let mut sum = [0.0f64; WARP_LANES];
+                    let mut active = 0u64;
+                    for i in 0..TL {
+                        let xs = wc.load_f64(&x.data, |lane| {
+                            col_of(tid0 + lane, i).map(|col| row * n + col)
+                        });
+                        for lane in 0..wc.active_lanes() {
+                            let tid = tid0 + lane;
+                            if col_of(tid, i).is_some() {
+                                lx_file[tid][i] = xs[lane];
+                                sum[lane] += xs[lane] * ly[tid][i];
+                                active += 1;
+                            }
+                        }
+                    }
+                    wc.flops(2 * active);
+                    wc.shuffle_reduce_sum(&mut sum, 32);
+                    let wid = wc.warp_id();
+                    wc.shared_store(red, |lane| (lane == 0).then_some((wid, sum[0])));
+                });
+                blk.sync(); // line 19
+                // Inter-warp reduction + v[row] scaling by warp 0 (line 20).
+                blk.each_warp(|wc| {
+                    if wc.warp_id() == 0 {
+                        let mut sums =
+                            wc.shared_load(red, |lane| (lane < nwarps).then_some(lane));
+                        let width = nwarps.next_power_of_two().min(32);
+                        wc.shuffle_reduce_sum(&mut sums, width);
+                        let p_r = if let Some(v) = v {
+                            let vr = wc.load_f64_tex(v, |lane| (lane == 0).then_some(row));
+                            sums[0] * vr[0]
+                        } else {
+                            sums[0]
+                        };
+                        wc.shared_store(red, |lane| (lane == 0).then_some((nwarps, p_r)));
+                    }
+                });
+                blk.sync(); // line 22
+                // Pass B: broadcast p_r, accumulate l_w.
+                blk.each_warp(|wc| {
+                    let tid0 = wc.tid(0);
+                    let p = wc.shared_load(red, |lane| (lane == 0).then_some(nwarps));
+                    let mut acc = 0u64;
+                    for lane in 0..wc.active_lanes() {
+                        let tid = tid0 + lane;
+                        for i in 0..TL {
+                            if col_of(tid, i).is_some() {
+                                lw[tid][i] += lx_file[tid][i] * p[0];
+                                acc += 1;
+                            }
+                        }
+                    }
+                    wc.flops(2 * acc);
+                });
+            }
+        }
+
+        // ---- lines 26-27: flush l_w to global w with atomics ----
+        blk.each_warp(|wc| {
+            let tid0 = wc.tid(0);
+            for i in 0..TL {
+                wc.atomic_add_f64(w, |lane| {
+                    let tid = tid0 + lane;
+                    col_of(tid, i).map(|col| (col, alpha * lw[tid][i]))
+                });
+            }
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{plan_dense, DensePlan};
+    use fusedml_gpu_sim::DeviceSpec;
+    use fusedml_matrix::gen::{dense_random, random_vector};
+    use fusedml_matrix::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+    }
+
+    fn run_with_plan(plan: &DensePlan, m: usize, n: usize, seed: u64) -> f64 {
+        let g = gpu();
+        let x = dense_random(m, n, seed);
+        let y = random_vector(n, seed + 1);
+        let v = random_vector(m, seed + 2);
+        let z = random_vector(n, seed + 3);
+        let xd = GpuDense::upload(&g, "x", &x);
+        let yd = g.upload_f64("y", &y);
+        let vd = g.upload_f64("v", &v);
+        let zd = g.upload_f64("z", &z);
+        let wd = g.alloc_f64("w", n);
+        let spec = PatternSpec::full(1.5, -2.0);
+        crate::codegen::launch_dense_fused(
+            &g, plan, spec, &xd, Some(&vd), &yd, Some(&zd), &wd,
+        );
+        let expect = reference::pattern_dense(1.5, &x, Some(&v), &y, -2.0, Some(&z));
+        reference::rel_l2_error(&wd.to_vec_f64(), &expect)
+    }
+
+    #[test]
+    fn higgs_shape_small_n() {
+        // n = 28 triggers the BS=1024/TL=1 special case.
+        let g = gpu();
+        let plan = plan_dense(g.spec(), 5000, 28);
+        assert_eq!(plan.tl, 1);
+        assert!(run_with_plan(&plan, 5000, 28, 71) < 1e-12);
+    }
+
+    #[test]
+    fn mid_width_intra_warp_vectors() {
+        let g = gpu();
+        let plan = plan_dense(g.spec(), 2000, 200);
+        assert!(plan.vs * plan.tl >= 200);
+        assert!(run_with_plan(&plan, 2000, 200, 72) < 1e-12);
+    }
+
+    #[test]
+    fn wide_rows_block_vector_path() {
+        let g = gpu();
+        // Force the VS == BS path with a hand-built plan.
+        let mut plan = plan_dense(g.spec(), 500, 1024);
+        if plan.vs <= 32 {
+            plan.vs = plan.bs;
+            plan.tl = 1024usize.div_ceil(plan.bs);
+            plan.regs = crate::tuner::dense_kernel_regs(plan.tl);
+            let total_vectors = plan.grid; // one vector per block
+            plan.c = 500usize.div_ceil(total_vectors).max(1);
+        }
+        assert!(plan.vs > 32);
+        assert!(run_with_plan(&plan, 500, 1024, 73) < 1e-12);
+    }
+
+    #[test]
+    fn xtxy_without_options() {
+        let g = gpu();
+        let m = 1500;
+        let n = 96;
+        let x = dense_random(m, n, 74);
+        let y = random_vector(n, 75);
+        let plan = plan_dense(g.spec(), m, n);
+        let xd = GpuDense::upload(&g, "x", &x);
+        let yd = g.upload_f64("y", &y);
+        let wd = g.alloc_f64("w", n);
+        crate::codegen::launch_dense_fused(
+            &g,
+            &plan,
+            PatternSpec::xtxy(),
+            &xd,
+            None,
+            &yd,
+            None,
+            &wd,
+        );
+        let expect = reference::pattern_dense(1.0, &x, None, &y, 0.0, None);
+        assert!(reference::rel_l2_error(&wd.to_vec_f64(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn x_is_read_once_from_dram() {
+        let g = gpu();
+        let m = 4000;
+        let n = 256; // 8 MB matrix, far beyond the per-SM L2 slice
+        let x = dense_random(m, n, 76);
+        let y = random_vector(n, 77);
+        let plan = plan_dense(g.spec(), m, n);
+        let xd = GpuDense::upload(&g, "x", &x);
+        let yd = g.upload_f64("y", &y);
+        let wd = g.alloc_f64("w", n);
+        g.flush_caches();
+        let stats = crate::codegen::launch_dense_fused(
+            &g,
+            &plan,
+            PatternSpec::xtxy(),
+            &xd,
+            None,
+            &yd,
+            None,
+            &wd,
+        );
+        let one_scan = (m * n * 8) as u64;
+        assert!(
+            stats.counters.dram_read_bytes < one_scan + one_scan / 4,
+            "dram {} vs one scan {}",
+            stats.counters.dram_read_bytes,
+            one_scan
+        );
+    }
+}

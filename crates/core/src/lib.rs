@@ -1,0 +1,38 @@
+//! # fusedml-core
+//!
+//! The paper's primary contribution: **fused kernels** for the generic ML
+//! computation pattern
+//!
+//! ```text
+//! w = alpha * X^T x (v ⊙ (X x y)) + beta * z        (Equation 1)
+//! ```
+//!
+//! with
+//! * [`sparse_fused`] — Algorithms 1 & 2 (CSR input, hierarchical
+//!   register → shared-memory → global-memory aggregation),
+//! * [`sparse_large`] — the large-`n` variant aggregating directly in
+//!   global memory (the KDD-2010 regime),
+//! * [`dense_fused`] + [`codegen`] — Algorithm 3 with const-generic thread
+//!   load, the Rust analog of the paper's unrolling code generator,
+//! * [`tuner`] — the §3.3 analytical launch-parameter model (Equations 4-6
+//!   plus the occupancy calculator), and
+//! * [`executor`] — a one-call API that plans, dispatches and accounts.
+
+// Lane-indexed loops over parallel arrays are the natural idiom for
+// warp-level kernel code; iterator zips would obscure the SIMT shape.
+#![allow(clippy::needless_range_loop)]
+
+pub mod codegen;
+pub mod dense_fused;
+pub mod ell_fused;
+pub mod executor;
+pub mod pattern;
+pub mod sparse_fused;
+pub mod sparse_large;
+pub mod tuner;
+
+pub use codegen::{generate_cuda_source, launch_dense_fused};
+pub use ell_fused::{fused_pattern_ell, plan_ell, EllPlan};
+pub use executor::FusedExecutor;
+pub use pattern::{PatternInstance, PatternSpec};
+pub use tuner::{plan_dense, plan_sparse, plan_sparse_with_vs, DensePlan, SparsePlan};

@@ -1,0 +1,141 @@
+//! The generic computation pattern of Equation 1 and its instantiations
+//! (Table 1):
+//!
+//! ```text
+//! w = alpha * X^T x (v ⊙ (X x y)) + beta * z
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar/optional-operand description of one pattern evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternSpec {
+    pub alpha: f64,
+    /// Element-wise weight vector `v` present?
+    pub with_v: bool,
+    pub beta: f64,
+    /// Additive vector `beta * z` present?
+    pub with_z: bool,
+}
+
+impl PatternSpec {
+    /// `w = alpha * X^T (v ⊙ (X y)) + beta * z` — the complete pattern.
+    pub fn full(alpha: f64, beta: f64) -> Self {
+        PatternSpec {
+            alpha,
+            with_v: true,
+            beta,
+            with_z: true,
+        }
+    }
+
+    /// `w = X^T (X y)`.
+    pub fn xtxy() -> Self {
+        PatternSpec {
+            alpha: 1.0,
+            with_v: false,
+            beta: 0.0,
+            with_z: false,
+        }
+    }
+
+    /// `w = X^T (v ⊙ (X y))`.
+    pub fn xtvxy() -> Self {
+        PatternSpec {
+            alpha: 1.0,
+            with_v: true,
+            beta: 0.0,
+            with_z: false,
+        }
+    }
+
+    /// `w = X^T (X y) + beta * z`.
+    pub fn xtxy_plus_bz(beta: f64) -> Self {
+        PatternSpec {
+            alpha: 1.0,
+            with_v: false,
+            beta,
+            with_z: true,
+        }
+    }
+
+    /// Which of Table 1's named instantiations this spec is (ignoring the
+    /// value of `alpha`, which is a free scalar in all of them).
+    pub fn instance(&self) -> PatternInstance {
+        match (self.with_v, self.with_z) {
+            (false, false) => PatternInstance::XtXy,
+            (true, false) => PatternInstance::XtVXy,
+            (false, true) => PatternInstance::XtXyPlusBz,
+            (true, true) => PatternInstance::Full,
+        }
+    }
+}
+
+/// The named instantiations of Table 1. `XtY` (`alpha * X^T y`) is listed
+/// separately because it short-circuits the inner product: `y` already has
+/// row dimension and no `X x y` stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternInstance {
+    /// `alpha * X^T y`
+    XtY,
+    /// `X^T (X y)`
+    XtXy,
+    /// `X^T (v ⊙ (X y))`
+    XtVXy,
+    /// `X^T (X y) + beta z`
+    XtXyPlusBz,
+    /// `alpha * X^T (v ⊙ (X y)) + beta z`
+    Full,
+}
+
+impl PatternInstance {
+    /// Human-readable form as printed in Table 1.
+    pub fn formula(&self) -> &'static str {
+        match self {
+            PatternInstance::XtY => "a * X^T x y",
+            PatternInstance::XtXy => "X^T x (X x y)",
+            PatternInstance::XtVXy => "X^T x (v . (X x y))",
+            PatternInstance::XtXyPlusBz => "X^T x (X x y) + b * z",
+            PatternInstance::Full => "X^T x (v . (X x y)) + b * z",
+        }
+    }
+
+    pub fn all() -> [PatternInstance; 5] {
+        [
+            PatternInstance::XtY,
+            PatternInstance::XtXy,
+            PatternInstance::XtVXy,
+            PatternInstance::XtXyPlusBz,
+            PatternInstance::Full,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_classification() {
+        assert_eq!(PatternSpec::xtxy().instance(), PatternInstance::XtXy);
+        assert_eq!(PatternSpec::xtvxy().instance(), PatternInstance::XtVXy);
+        assert_eq!(
+            PatternSpec::xtxy_plus_bz(2.0).instance(),
+            PatternInstance::XtXyPlusBz
+        );
+        assert_eq!(
+            PatternSpec::full(1.0, 1.0).instance(),
+            PatternInstance::Full
+        );
+    }
+
+    #[test]
+    fn formulas_are_distinct() {
+        let all = PatternInstance::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.formula(), b.formula());
+            }
+        }
+    }
+}

@@ -1,0 +1,1003 @@
+//! The SIMT execution engine.
+//!
+//! Kernels are ordinary Rust functions written at *block scope*: uniform
+//! control flow (loops over the coarsening factor, phases between barriers)
+//! is plain Rust; per-lane work runs inside warp-granular operations issued
+//! through [`WarpCtx`]. This matches how the paper's kernels are structured —
+//! every `synchronize()` site in Algorithms 1–3 is block-uniform — and makes
+//! memory coalescing exact: each warp instruction supplies per-lane
+//! addresses, from which 32-byte sector counts and cache behaviour follow.
+//!
+//! Blocks are assigned round-robin to simulated SMs; host worker threads own
+//! disjoint sets of SMs, so per-SM cache state evolves deterministically
+//! regardless of host scheduling. Global `atomicAdd` remains correct under
+//! host parallelism because device buffers are atomic cells.
+
+use crate::cache::CacheModel;
+use crate::counters::Counters;
+use crate::device::DeviceSpec;
+use crate::memory::{Elem, GpuBuffer};
+use crate::occupancy::{occupancy, Occupancy};
+use crate::shared::bank_conflict_replays;
+use crate::timing::{kernel_time, TimeBreakdown};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of lanes in a warp. Fixed at 32 like every NVIDIA architecture.
+pub const WARP_LANES: usize = 32;
+
+/// Launch geometry and static footprint of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub block_threads: usize,
+    /// Registers per thread (drives occupancy; the paper reads these off
+    /// the NVIDIA profiler — our kernels declare the same numbers).
+    pub regs_per_thread: u32,
+    /// Static shared memory per block in bytes.
+    pub shared_bytes: usize,
+    /// Independent memory operations in flight per thread — the
+    /// instruction-level parallelism the paper's TL-way unrolling creates.
+    /// Together with occupancy this determines how much memory latency the
+    /// kernel can hide (Volkov: high ILP compensates low occupancy).
+    pub ilp: f64,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_blocks: usize, block_threads: usize) -> Self {
+        LaunchConfig {
+            grid_blocks,
+            block_threads,
+            regs_per_thread: 32,
+            shared_bytes: 0,
+            ilp: 1.0,
+        }
+    }
+
+    pub fn with_ilp(mut self, ilp: f64) -> Self {
+        assert!(ilp >= 1.0);
+        self.ilp = ilp;
+        self
+    }
+
+    pub fn with_regs(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    pub fn with_shared_bytes(mut self, bytes: usize) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Total threads in the grid.
+    pub fn grid_threads(&self) -> usize {
+        self.grid_blocks * self.block_threads
+    }
+}
+
+/// Outcome of one simulated kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    pub name: String,
+    pub config: LaunchConfig,
+    pub occupancy: Occupancy,
+    pub counters: Counters,
+    pub time: TimeBreakdown,
+}
+
+impl LaunchStats {
+    /// Simulated execution time in milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.time.total_ms
+    }
+}
+
+/// Per-SM microarchitectural state that persists across launches
+/// (an L2 slice and the read-only/texture cache).
+struct SmState {
+    l2: CacheModel,
+    tex: CacheModel,
+    /// Running atomic count on this SM (drives deterministic histogram
+    /// sampling independent of host-thread partitioning).
+    atomic_phase: u64,
+}
+
+/// The simulated GPU: owns device memory allocation and per-SM state.
+pub struct Gpu {
+    spec: DeviceSpec,
+    next_addr: AtomicU64,
+    allocated_bytes: AtomicU64,
+    sms: Mutex<Vec<SmState>>,
+    host_threads: usize,
+}
+
+impl Gpu {
+    pub fn new(spec: DeviceSpec) -> Self {
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(spec.num_sms);
+        Self::with_host_threads(spec, host_threads)
+    }
+
+    /// Create a GPU whose blocks are simulated by exactly `host_threads`
+    /// worker threads (1 = fully sequential, maximally reproducible).
+    pub fn with_host_threads(spec: DeviceSpec, host_threads: usize) -> Self {
+        // Each SM gets a full-capacity private view of the L2: the real
+        // L2 is a shared, address-interleaved cache, so capacity available
+        // to shared hot structures (the y/v/w vectors) is the full 1.5MB,
+        // not 1/num_sms of it. Private streams (a vector's CSR rows) have
+        // reuse distances far below either size, and the multi-megabyte
+        // matrices the experiments stream exceed both. Keeping the state
+        // per-SM preserves deterministic simulation under host-thread
+        // parallelism (see the module docs).
+        let sms = (0..spec.num_sms)
+            .map(|_| SmState {
+                l2: CacheModel::new(spec.l2_bytes, spec.cache_line_bytes, spec.l2_ways),
+                tex: CacheModel::new(spec.tex_cache_per_sm, spec.cache_line_bytes, 4),
+                atomic_phase: 0,
+            })
+            .collect();
+        Gpu {
+            spec,
+            // Non-zero base so address 0 is never valid.
+            next_addr: AtomicU64::new(0x1000),
+            allocated_bytes: AtomicU64::new(0),
+            sms: Mutex::new(sms),
+            host_threads: host_threads.max(1),
+        }
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    fn alloc(&self, name: &str, elem: Elem, len: usize) -> GpuBuffer {
+        let bytes = len as u64 * elem.bytes();
+        // Pad allocations to cache-line multiples like cudaMalloc does.
+        let padded = bytes.div_ceil(self.spec.cache_line_bytes as u64)
+            * self.spec.cache_line_bytes as u64;
+        let base = self.next_addr.fetch_add(padded.max(128), Ordering::Relaxed);
+        self.allocated_bytes.fetch_add(bytes, Ordering::Relaxed);
+        GpuBuffer::new(name, base, elem, len)
+    }
+
+    /// Allocate an uninitialized (zeroed) f64 buffer on the device.
+    pub fn alloc_f64(&self, name: &str, len: usize) -> GpuBuffer {
+        self.alloc(name, Elem::F64, len)
+    }
+
+    /// Allocate an uninitialized (zeroed) u32 buffer on the device.
+    pub fn alloc_u32(&self, name: &str, len: usize) -> GpuBuffer {
+        self.alloc(name, Elem::U32, len)
+    }
+
+    /// Allocate and fill from a host slice (simulated H2D copy).
+    pub fn upload_f64(&self, name: &str, data: &[f64]) -> GpuBuffer {
+        let b = self.alloc_f64(name, data.len());
+        b.copy_from_f64(data);
+        b
+    }
+
+    pub fn upload_u32(&self, name: &str, data: &[u32]) -> GpuBuffer {
+        let b = self.alloc_u32(name, data.len());
+        b.copy_from_u32(data);
+        b
+    }
+
+    /// Release accounting for a buffer (the backing store frees when the
+    /// last handle drops; this updates the device-memory book-keeping used
+    /// by the runtime memory manager).
+    pub fn free(&self, buf: &GpuBuffer) {
+        self.allocated_bytes
+            .fetch_sub(buf.size_bytes(), Ordering::Relaxed);
+    }
+
+    /// Drop all cache state (useful for experiment isolation).
+    pub fn flush_caches(&self) {
+        let mut sms = self.sms.lock().unwrap();
+        for sm in sms.iter_mut() {
+            sm.l2.flush();
+            sm.tex.flush();
+        }
+    }
+
+    /// Launch a kernel. The kernel closure runs once per block, in
+    /// round-robin SM order, possibly in parallel across host threads.
+    ///
+    /// # Panics
+    /// Panics if the configuration cannot launch on this device (block too
+    /// large, register or shared-memory footprint over the limits) —
+    /// mirroring a CUDA launch failure.
+    pub fn launch<K>(&self, name: &str, config: LaunchConfig, kernel: K) -> LaunchStats
+    where
+        K: Fn(&mut BlockCtx) + Sync,
+    {
+        assert!(config.grid_blocks > 0, "kernel {name}: empty grid");
+        let occ = occupancy(
+            &self.spec,
+            config.block_threads,
+            config.regs_per_thread,
+            config.shared_bytes,
+        )
+        .unwrap_or_else(|| {
+            panic!(
+                "kernel {name}: launch config {config:?} exceeds device limits of {}",
+                self.spec.name
+            )
+        });
+
+        let mut sms = self.sms.lock().unwrap();
+        let num_sms = sms.len();
+        let workers = self.host_threads.min(num_sms);
+
+        // Partition SMs among workers; each worker simulates its SMs' blocks
+        // in grid order, so per-SM state is deterministic.
+        let mut results: Vec<(Counters, Vec<SmState>)> = Vec::with_capacity(workers);
+        let sm_chunks: Vec<(usize, Vec<SmState>)> = {
+            let mut chunks: Vec<(usize, Vec<SmState>)> = (0..workers).map(|w| (w, Vec::new())).collect();
+            for (i, sm) in sms.drain(..).enumerate() {
+                chunks[i % workers].1.push(sm);
+            }
+            chunks
+        };
+
+        let kernel = &kernel;
+        let spec = &self.spec;
+        let outcome: Vec<(usize, Counters, Vec<SmState>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sm_chunks
+                .into_iter()
+                .map(|(worker, mut my_sms)| {
+                    scope.spawn(move || {
+                        let mut counters = Counters::new();
+                        for (local_idx, sm) in my_sms.iter_mut().enumerate() {
+                            let sm_id = local_idx * workers + worker;
+                            let mut block = sm_id;
+                            while block < config.grid_blocks {
+                                let mut ctx = BlockCtx {
+                                    block_id: block,
+                                    grid_dim: config.grid_blocks,
+                                    block_dim: config.block_threads,
+                                    spec,
+                                    shared: Vec::new(),
+                                    shared_bytes_used: 0,
+                                    counters: &mut counters,
+                                    sm,
+                                };
+                                kernel(&mut ctx);
+                                assert!(
+                                    ctx.shared_bytes_used <= config.shared_bytes,
+                                    "kernel allocated {}B shared but declared {}B",
+                                    ctx.shared_bytes_used,
+                                    config.shared_bytes
+                                );
+                                block += num_sms;
+                            }
+                        }
+                        (worker, counters, my_sms)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // Restore SM state in original order and merge counters
+        // deterministically (worker order).
+        let mut merged = Counters::new();
+        merged.kernel_launches = 1;
+        let mut sorted = outcome;
+        sorted.sort_by_key(|(w, _, _)| *w);
+        let mut per_worker_sms: Vec<Vec<SmState>> = Vec::with_capacity(workers);
+        for (_, counters, worker_sms) in sorted {
+            merged.merge(&counters);
+            per_worker_sms.push(worker_sms);
+        }
+        // Interleave back: SM i lives at per_worker_sms[i % workers][i / workers].
+        let mut iters: Vec<_> = per_worker_sms.into_iter().map(|v| v.into_iter()).collect();
+        for i in 0..num_sms {
+            sms.push(iters[i % workers].next().expect("SM count mismatch"));
+        }
+        results.clear();
+
+        let resident_blocks = (occ.blocks_per_sm * num_sms).max(1);
+        let device_fill = (config.grid_blocks as f64 / resident_blocks as f64).min(1.0);
+        let time = kernel_time(&self.spec, &occ, config.ilp, device_fill, &merged);
+        LaunchStats {
+            name: name.to_string(),
+            config,
+            occupancy: occ,
+            counters: merged,
+            time,
+        }
+    }
+}
+
+/// Handle to a block's shared-memory array, returned by
+/// [`BlockCtx::shared_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shared(usize);
+
+/// Per-block execution context handed to the kernel closure.
+pub struct BlockCtx<'a> {
+    block_id: usize,
+    grid_dim: usize,
+    block_dim: usize,
+    spec: &'a DeviceSpec,
+    shared: Vec<RefCell<Vec<f64>>>,
+    shared_bytes_used: usize,
+    counters: &'a mut Counters,
+    sm: &'a mut SmState,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    pub fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    pub fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+
+    pub fn warps(&self) -> usize {
+        self.block_dim.div_ceil(WARP_LANES)
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        self.spec
+    }
+
+    /// Allocate a zero-initialized shared-memory f64 array. Total shared
+    /// allocations per block must stay within the declared
+    /// [`LaunchConfig::shared_bytes`] (checked at block exit) and the
+    /// device's per-block limit (checked here).
+    pub fn shared_f64(&mut self, len: usize) -> Shared {
+        self.shared_bytes_used += len * 8;
+        assert!(
+            self.shared_bytes_used <= self.spec.shared_mem_per_block,
+            "shared memory request of {}B exceeds the {}B per-block limit",
+            self.shared_bytes_used,
+            self.spec.shared_mem_per_block
+        );
+        self.shared.push(RefCell::new(vec![0.0; len]));
+        Shared(self.shared.len() - 1)
+    }
+
+    /// `__syncthreads()`. Functionally a no-op (warps of a block execute
+    /// sequentially in the simulator), counted for the cost model.
+    pub fn sync(&mut self) {
+        self.counters.barriers += 1;
+    }
+
+    /// Read a shared-memory cell from block scope (host-side convenience
+    /// for result extraction in tests; not event-counted).
+    pub fn shared_peek(&self, sh: Shared, idx: usize) -> f64 {
+        self.shared[sh.0].borrow()[idx]
+    }
+
+    /// Execute `f` once per warp of this block, in warp-id order.
+    pub fn each_warp<F: FnMut(&mut WarpCtx)>(&mut self, mut f: F) {
+        let warps = self.warps();
+        for w in 0..warps {
+            let active = (self.block_dim - w * WARP_LANES).min(WARP_LANES);
+            let mut ctx = WarpCtx {
+                warp_id: w,
+                active_lanes: active,
+                block_id: self.block_id,
+                block_dim: self.block_dim,
+                grid_dim: self.grid_dim,
+                spec: self.spec,
+                shared: &self.shared,
+                counters: self.counters,
+                sm: self.sm,
+            };
+            f(&mut ctx);
+        }
+    }
+}
+
+/// Warp-granular instruction issue: every memory operation supplies
+/// per-lane element indices, from which coalescing (32-byte sectors),
+/// cache behaviour and bank conflicts are computed exactly.
+pub struct WarpCtx<'a> {
+    warp_id: usize,
+    active_lanes: usize,
+    block_id: usize,
+    block_dim: usize,
+    grid_dim: usize,
+    spec: &'a DeviceSpec,
+    shared: &'a [RefCell<Vec<f64>>],
+    counters: &'a mut Counters,
+    sm: &'a mut SmState,
+}
+
+impl<'a> WarpCtx<'a> {
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    /// Lanes active in this warp (32 except a trailing partial warp).
+    pub fn active_lanes(&self) -> usize {
+        self.active_lanes
+    }
+
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    pub fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    pub fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+
+    /// Thread id (within the block) of lane `lane`.
+    pub fn tid(&self, lane: usize) -> usize {
+        self.warp_id * WARP_LANES + lane
+    }
+
+    /// Global thread id of lane `lane`.
+    pub fn gtid(&self, lane: usize) -> usize {
+        self.block_id * self.block_dim + self.tid(lane)
+    }
+
+    /// Record `n` double-precision floating-point operations.
+    pub fn flops(&mut self, n: u64) {
+        self.counters.flops += n;
+    }
+
+    // ---------------- global memory ----------------
+
+    /// Count one warp load instruction over the given element addresses,
+    /// returning unique sectors and driving the cache model.
+    fn account_load(&mut self, addrs: &[Option<u64>; WARP_LANES], tex: bool) {
+        self.counters.gld_instructions += 1;
+        let active = addrs.iter().flatten().count();
+        if active < WARP_LANES {
+            self.counters.divergent_instructions += 1;
+            self.counters.inactive_lanes += (WARP_LANES - active) as u64;
+        }
+        let line_bytes = self.spec.cache_line_bytes as u64;
+        let sector_bytes = self.spec.sector_bytes as u64;
+
+        let mut sectors = [u64::MAX; WARP_LANES];
+        let mut ns = 0;
+        for addr in addrs.iter().flatten() {
+            let s = addr / sector_bytes;
+            if !sectors[..ns].contains(&s) {
+                sectors[ns] = s;
+                ns += 1;
+            }
+        }
+        if tex {
+            self.counters.tex_transactions += ns as u64;
+        } else {
+            self.counters.gld_transactions += ns as u64;
+        }
+
+        // Unique lines for cache probing.
+        let mut lines = [u64::MAX; WARP_LANES];
+        let mut nl = 0;
+        for &s in &sectors[..ns] {
+            let l = s * sector_bytes / line_bytes;
+            if !lines[..nl].contains(&l) {
+                lines[nl] = l;
+                nl += 1;
+            }
+        }
+        for &l in &lines[..nl] {
+            let byte_addr = l * line_bytes;
+            let sectors_in_line = sectors[..ns]
+                .iter()
+                .filter(|&&s| s * sector_bytes / line_bytes == l)
+                .count() as u64;
+            let touched = sectors_in_line * sector_bytes;
+            if tex && self.sm.tex.access(byte_addr) {
+                self.counters.tex_read_bytes += touched;
+            } else if self.sm.l2.access(byte_addr) {
+                if tex {
+                    // Fill the texture cache from L2.
+                    self.sm.tex.access(byte_addr);
+                }
+                self.counters.l2_read_bytes += touched;
+            } else {
+                self.counters.dram_read_bytes += line_bytes;
+            }
+        }
+    }
+
+    fn gather_f64<F>(&mut self, buf: &GpuBuffer, tex: bool, mut idx: F) -> [f64; WARP_LANES]
+    where
+        F: FnMut(usize) -> Option<usize>,
+    {
+        debug_assert_eq!(buf.elem(), Elem::F64, "f64 load from non-f64 buffer");
+        let mut addrs = [None; WARP_LANES];
+        let mut vals = [0.0; WARP_LANES];
+        for lane in 0..self.active_lanes {
+            if let Some(i) = idx(lane) {
+                addrs[lane] = Some(buf.addr_of(i));
+                vals[lane] = f64::from_bits(buf.raw_load(i));
+            }
+        }
+        self.account_load(&addrs, tex);
+        vals
+    }
+
+    /// Warp-wide global load of f64 elements. `idx(lane)` yields the element
+    /// index for each active lane (`None` = lane predicated off).
+    pub fn load_f64<F>(&mut self, buf: &GpuBuffer, idx: F) -> [f64; WARP_LANES]
+    where
+        F: FnMut(usize) -> Option<usize>,
+    {
+        self.gather_f64(buf, false, idx)
+    }
+
+    /// Warp-wide load through the read-only (texture) cache — the paper
+    /// binds the input vector `y` to texture memory (§4.1).
+    pub fn load_f64_tex<F>(&mut self, buf: &GpuBuffer, idx: F) -> [f64; WARP_LANES]
+    where
+        F: FnMut(usize) -> Option<usize>,
+    {
+        self.gather_f64(buf, true, idx)
+    }
+
+    /// Warp-wide global load of u32 elements (CSR index structures).
+    pub fn load_u32<F>(&mut self, buf: &GpuBuffer, mut idx: F) -> [u32; WARP_LANES]
+    where
+        F: FnMut(usize) -> Option<usize>,
+    {
+        debug_assert_eq!(buf.elem(), Elem::U32, "u32 load from non-u32 buffer");
+        let mut addrs = [None; WARP_LANES];
+        let mut vals = [0u32; WARP_LANES];
+        for lane in 0..self.active_lanes {
+            if let Some(i) = idx(lane) {
+                addrs[lane] = Some(buf.addr_of(i));
+                vals[lane] = buf.raw_load(i) as u32;
+            }
+        }
+        self.account_load(&addrs, false);
+        vals
+    }
+
+    /// Warp-wide global store. `src(lane)` yields `(element index, value)`.
+    pub fn store_f64<F>(&mut self, buf: &GpuBuffer, mut src: F)
+    where
+        F: FnMut(usize) -> Option<(usize, f64)>,
+    {
+        debug_assert_eq!(buf.elem(), Elem::F64);
+        self.counters.gst_instructions += 1;
+        let sector_bytes = self.spec.sector_bytes as u64;
+        let mut sectors = [u64::MAX; WARP_LANES];
+        let mut ns = 0;
+        for lane in 0..self.active_lanes {
+            if let Some((i, v)) = src(lane) {
+                buf.raw_store(i, v.to_bits());
+                let s = buf.addr_of(i) / sector_bytes;
+                if !sectors[..ns].contains(&s) {
+                    sectors[ns] = s;
+                    ns += 1;
+                }
+            }
+        }
+        self.counters.gst_transactions += ns as u64;
+        self.counters.dram_write_bytes += ns as u64 * sector_bytes;
+        // Write-allocate into L2.
+        for &s in &sectors[..ns] {
+            self.sm.l2.access(s * sector_bytes);
+        }
+    }
+
+    /// Warp-wide global store of u32 elements (index structures built on
+    /// device, e.g. `csr2csc` outputs).
+    pub fn store_u32<F>(&mut self, buf: &GpuBuffer, mut src: F)
+    where
+        F: FnMut(usize) -> Option<(usize, u32)>,
+    {
+        debug_assert_eq!(buf.elem(), Elem::U32);
+        self.counters.gst_instructions += 1;
+        let sector_bytes = self.spec.sector_bytes as u64;
+        let mut sectors = [u64::MAX; WARP_LANES];
+        let mut ns = 0;
+        for lane in 0..self.active_lanes {
+            if let Some((i, v)) = src(lane) {
+                buf.raw_store(i, v as u64);
+                let s = buf.addr_of(i) / sector_bytes;
+                if !sectors[..ns].contains(&s) {
+                    sectors[ns] = s;
+                    ns += 1;
+                }
+            }
+        }
+        self.counters.gst_transactions += ns as u64;
+        self.counters.dram_write_bytes += ns as u64 * sector_bytes;
+        for &s in &sectors[..ns] {
+            self.sm.l2.access(s * sector_bytes);
+        }
+    }
+
+    /// Warp-wide global `atomicAdd` on u32 returning per-lane old values
+    /// (CUDA's `atomicAdd(unsigned*, v)` fetch-add, used for scatter
+    /// cursors in device transposition).
+    pub fn atomic_fetch_add_u32<F>(&mut self, buf: &GpuBuffer, mut src: F) -> [u32; WARP_LANES]
+    where
+        F: FnMut(usize) -> Option<(usize, u32)>,
+    {
+        debug_assert_eq!(buf.elem(), Elem::U32);
+        let mut old = [0u32; WARP_LANES];
+        let mut addrs = [u64::MAX; WARP_LANES];
+        let mut n = 0;
+        for lane in 0..self.active_lanes {
+            if let Some((i, v)) = src(lane) {
+                old[lane] = buf.raw_atomic_add_u32(i, v);
+                let a = buf.addr_of(i);
+                self.sm.atomic_phase += 1;
+                self.counters.record_global_atomic_int(a, self.sm.atomic_phase);
+                addrs[n] = a;
+                n += 1;
+            }
+        }
+        let mut unique = 0;
+        for i in 0..n {
+            if !addrs[..i].contains(&addrs[i]) {
+                unique += 1;
+            }
+        }
+        self.counters.global_atomic_warp_conflicts += (n - unique) as u64;
+        let line = self.spec.cache_line_bytes as u64;
+        for i in 0..n {
+            if !self.sm.l2.access((addrs[i] / line) * line) {
+                self.counters.dram_read_bytes += self.spec.sector_bytes as u64;
+            }
+        }
+        self.counters.dram_write_bytes += unique as u64 * self.spec.sector_bytes as u64;
+        old
+    }
+
+    /// Warp-wide global `atomicAdd` on f64. Lanes hitting the same address
+    /// within the warp serialize (counted), and the per-address sampled
+    /// histogram feeds the cross-warp serialization estimate.
+    pub fn atomic_add_f64<F>(&mut self, buf: &GpuBuffer, mut src: F)
+    where
+        F: FnMut(usize) -> Option<(usize, f64)>,
+    {
+        debug_assert_eq!(buf.elem(), Elem::F64);
+        let mut addrs = [u64::MAX; WARP_LANES];
+        let mut n = 0;
+        for lane in 0..self.active_lanes {
+            if let Some((i, v)) = src(lane) {
+                buf.raw_atomic_add_f64(i, v);
+                let a = buf.addr_of(i);
+                self.sm.atomic_phase += 1;
+                self.counters.record_global_atomic(a, self.sm.atomic_phase);
+                addrs[n] = a;
+                n += 1;
+            }
+        }
+        // Same-address lanes within the warp replay.
+        let mut unique = 0;
+        for i in 0..n {
+            if !addrs[..i].contains(&addrs[i]) {
+                unique += 1;
+            }
+        }
+        self.counters.global_atomic_warp_conflicts += (n - unique) as u64;
+        // Atomics resolve in L2 at sector granularity: a missing target
+        // costs one sector fetch (read-modify-write), not a full line.
+        let line = self.spec.cache_line_bytes as u64;
+        for i in 0..n {
+            if !self.sm.l2.access((addrs[i] / line) * line) {
+                self.counters.dram_read_bytes += self.spec.sector_bytes as u64;
+            }
+        }
+        self.counters.dram_write_bytes += unique as u64 * self.spec.sector_bytes as u64;
+    }
+
+    // ---------------- shared memory ----------------
+
+    /// Warp-wide shared-memory load with bank-conflict accounting.
+    pub fn shared_load<F>(&mut self, sh: Shared, mut idx: F) -> [f64; WARP_LANES]
+    where
+        F: FnMut(usize) -> Option<usize>,
+    {
+        let arr = self.shared[sh.0].borrow();
+        let mut vals = [0.0; WARP_LANES];
+        let mut words = [None; WARP_LANES];
+        for lane in 0..self.active_lanes {
+            if let Some(i) = idx(lane) {
+                vals[lane] = arr[i];
+                words[lane] = Some(i);
+                self.counters.shared_accesses += 1;
+            }
+        }
+        self.counters.shared_bank_conflicts +=
+            bank_conflict_replays(&words, self.spec.shared_banks);
+        vals
+    }
+
+    /// Warp-wide shared-memory store with bank-conflict accounting.
+    pub fn shared_store<F>(&mut self, sh: Shared, mut src: F)
+    where
+        F: FnMut(usize) -> Option<(usize, f64)>,
+    {
+        let mut arr = self.shared[sh.0].borrow_mut();
+        let mut words = [None; WARP_LANES];
+        for lane in 0..self.active_lanes {
+            if let Some((i, v)) = src(lane) {
+                arr[i] = v;
+                words[lane] = Some(i);
+                self.counters.shared_accesses += 1;
+            }
+        }
+        self.counters.shared_bank_conflicts +=
+            bank_conflict_replays(&words, self.spec.shared_banks);
+    }
+
+    /// Warp-wide shared-memory `atomicAdd` (the paper's inter-vector,
+    /// intra-block aggregation).
+    pub fn shared_atomic_add<F>(&mut self, sh: Shared, mut src: F)
+    where
+        F: FnMut(usize) -> Option<(usize, f64)>,
+    {
+        let mut arr = self.shared[sh.0].borrow_mut();
+        let mut words = [None; WARP_LANES];
+        for lane in 0..self.active_lanes {
+            if let Some((i, v)) = src(lane) {
+                arr[i] += v;
+                words[lane] = Some(i);
+                self.counters.shared_atomics += 1;
+            }
+        }
+        // Same-word atomic lanes serialize like bank conflicts.
+        self.counters.shared_bank_conflicts += {
+            let mut extra = 0u64;
+            let mut seen: Vec<usize> = Vec::new();
+            for w in words.iter().flatten() {
+                if seen.contains(w) {
+                    extra += 1;
+                } else {
+                    seen.push(*w);
+                }
+            }
+            extra + bank_conflict_replays(&words, self.spec.shared_banks)
+        };
+    }
+
+    // ---------------- register-level reductions ----------------
+
+    /// Butterfly (`__shfl_xor`) segmented sum across groups of `width`
+    /// consecutive lanes. After the call, every lane holds the sum of its
+    /// group. `width` must be a power of two between 1 and 32.
+    pub fn shuffle_reduce_sum(&mut self, vals: &mut [f64; WARP_LANES], width: usize) {
+        assert!(
+            width.is_power_of_two() && (1..=WARP_LANES).contains(&width),
+            "shuffle width must be a power of two in [1, 32], got {width}"
+        );
+        let mut offset = width / 2;
+        while offset > 0 {
+            self.counters.shuffle_instructions += 1;
+            self.counters.flops += self.active_lanes as u64;
+            let snapshot = *vals;
+            for lane in 0..WARP_LANES {
+                vals[lane] = snapshot[lane] + snapshot[lane ^ offset];
+            }
+            offset /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+    }
+
+    #[test]
+    fn grid_stride_copy_kernel() {
+        let g = gpu();
+        let n = 1000;
+        let src_host: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let src = g.upload_f64("src", &src_host);
+        let dst = g.alloc_f64("dst", n);
+        let cfg = LaunchConfig::new(4, 128);
+        let stats = g.launch("copy", cfg, |blk| {
+            let grid_threads = blk.grid_dim() * blk.block_dim();
+            blk.each_warp(|w| {
+                let mut base = w.gtid(0);
+                while base < n {
+                    let vals = w.load_f64(&src, |lane| {
+                        let i = base + lane;
+                        (i < n).then_some(i)
+                    });
+                    w.store_f64(&dst, |lane| {
+                        let i = base + lane;
+                        (i < n).then_some((i, vals[lane]))
+                    });
+                    base += grid_threads;
+                }
+            });
+        });
+        assert_eq!(dst.to_vec_f64(), src_host);
+        assert!(stats.counters.gld_transactions > 0);
+        assert_eq!(stats.counters.kernel_launches, 1);
+    }
+
+    #[test]
+    fn coalesced_vs_strided_transactions() {
+        let g = gpu();
+        let n = 32 * 64;
+        let buf = g.upload_f64("x", &vec![1.0; n]);
+        let cfg = LaunchConfig::new(1, 32);
+
+        let coalesced = g.launch("coalesced", cfg, |blk| {
+            blk.each_warp(|w| {
+                w.load_f64(&buf, Some);
+            });
+        });
+        // 32 consecutive f64 = 256B = 8 sectors.
+        assert_eq!(coalesced.counters.gld_transactions, 8);
+
+        g.flush_caches();
+        let strided = g.launch("strided", cfg, |blk| {
+            blk.each_warp(|w| {
+                w.load_f64(&buf, |lane| Some(lane * 64));
+            });
+        });
+        // Each lane in its own sector.
+        assert_eq!(strided.counters.gld_transactions, 32);
+    }
+
+    #[test]
+    fn temporal_locality_hits_l2() {
+        let g = gpu();
+        let n = 1024;
+        let buf = g.upload_f64("x", &vec![1.0; n]);
+        let cfg = LaunchConfig::new(1, 32);
+        let stats = g.launch("reload", cfg, |blk| {
+            blk.each_warp(|w| {
+                w.load_f64(&buf, Some);
+                w.load_f64(&buf, Some); // second load: L2 hit
+            });
+        });
+        assert!(stats.counters.l2_read_bytes >= 256);
+        assert_eq!(stats.counters.dram_read_bytes, 256);
+    }
+
+    #[test]
+    fn atomics_accumulate_across_blocks() {
+        let g = gpu();
+        let out = g.alloc_f64("acc", 1);
+        let cfg = LaunchConfig::new(8, 64);
+        let stats = g.launch("atomic_sum", cfg, |blk| {
+            blk.each_warp(|w| {
+                w.atomic_add_f64(&out, |_lane| Some((0, 1.0)));
+            });
+        });
+        // 8 blocks * 2 warps * 32 lanes = 512 adds of 1.0.
+        assert_eq!(out.host_read_f64(0), 512.0);
+        assert_eq!(stats.counters.global_atomics, 512);
+        // All lanes of each warp hit the same address: 31 conflicts/warp.
+        assert_eq!(stats.counters.global_atomic_warp_conflicts, 16 * 31);
+    }
+
+    #[test]
+    fn shared_memory_reduction() {
+        let g = gpu();
+        let out = g.alloc_f64("out", 1);
+        let cfg = LaunchConfig::new(1, 64).with_shared_bytes(8);
+        g.launch("shared_sum", cfg, |blk| {
+            let acc = blk.shared_f64(1);
+            blk.each_warp(|w| {
+                let mut vals = [0.0; WARP_LANES];
+                for lane in 0..w.active_lanes() {
+                    vals[lane] = 1.0;
+                }
+                w.shuffle_reduce_sum(&mut vals, 32);
+                w.shared_atomic_add(acc, |lane| (lane == 0).then_some((0, vals[0])));
+            });
+            blk.sync();
+            blk.each_warp(|w| {
+                if w.warp_id() == 0 {
+                    let v = w.shared_load(acc, |lane| (lane == 0).then_some(0));
+                    w.store_f64(&out, |lane| (lane == 0).then_some((0, v[0])));
+                }
+            });
+        });
+        assert_eq!(out.host_read_f64(0), 64.0);
+    }
+
+    #[test]
+    fn shuffle_reduce_widths() {
+        let g = gpu();
+        let cfg = LaunchConfig::new(1, 32);
+        for width in [1usize, 2, 4, 8, 16, 32] {
+            g.launch("shfl", cfg, move |blk| {
+                blk.each_warp(|w| {
+                    let mut vals = [1.0; WARP_LANES];
+                    w.shuffle_reduce_sum(&mut vals, width);
+                    for lane in 0..WARP_LANES {
+                        assert_eq!(vals[lane], width as f64, "width {width} lane {lane}");
+                    }
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_results() {
+        let spec = DeviceSpec::gtx_titan();
+        let run = |threads: usize| {
+            let g = Gpu::with_host_threads(spec.clone(), threads);
+            let n = 4096;
+            let x = g.upload_f64("x", &(0..n).map(|i| (i % 7) as f64).collect::<Vec<_>>());
+            let out = g.alloc_f64("out", 16);
+            let cfg = LaunchConfig::new(14, 128);
+            let stats = g.launch("scatter", cfg, |blk| {
+                let grid_threads = blk.grid_dim() * blk.block_dim();
+                blk.each_warp(|w| {
+                    let mut base = w.gtid(0);
+                    while base < n {
+                        let vals = w.load_f64(&x, |lane| (base + lane < n).then_some(base + lane));
+                        w.atomic_add_f64(&out, |lane| {
+                            (base + lane < n).then_some(((base + lane) % 16, vals[lane]))
+                        });
+                        base += grid_threads;
+                    }
+                });
+            });
+            (out.to_vec_f64(), stats.counters.global_atomics)
+        };
+        let (seq, seq_atomics) = run(1);
+        let (par, par_atomics) = run(2);
+        assert_eq!(seq_atomics, par_atomics);
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limits")]
+    fn oversized_block_panics() {
+        let g = gpu();
+        g.launch("bad", LaunchConfig::new(1, 4096), |_blk| {});
+    }
+
+    #[test]
+    fn texture_loads_hit_tex_cache() {
+        let g = gpu();
+        let y = g.upload_f64("y", &vec![2.0; 64]);
+        let cfg = LaunchConfig::new(1, 32);
+        let stats = g.launch("tex", cfg, |blk| {
+            blk.each_warp(|w| {
+                w.load_f64_tex(&y, Some);
+                w.load_f64_tex(&y, Some);
+            });
+        });
+        assert!(stats.counters.tex_read_bytes > 0);
+    }
+
+    #[test]
+    fn free_updates_accounting() {
+        let g = gpu();
+        let before = g.allocated_bytes();
+        let b = g.alloc_f64("tmp", 1024);
+        assert_eq!(g.allocated_bytes() - before, 8192);
+        g.free(&b);
+        assert_eq!(g.allocated_bytes(), before);
+    }
+}

@@ -1,0 +1,230 @@
+//! Simulated global (device) memory.
+//!
+//! Buffers are arrays of `AtomicU64` cells so that thread blocks executing in
+//! parallel on host threads can perform device `atomicAdd` correctly (f64
+//! values are bit-cast into the cells, CAS-updated — the same technique CUDA
+//! uses to implement double-precision atomics on cc < 6.0 hardware).
+//!
+//! Every buffer carries a disjoint base address from a bump allocator so that
+//! the cache and coalescing models can reason about real-looking addresses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Element type stored in a buffer. Integer index arrays (CSR `col_idx`,
+/// `row_off`) are 4-byte elements for traffic accounting even though each
+/// occupies one 8-byte host cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elem {
+    F64,
+    U32,
+}
+
+impl Elem {
+    /// Size in bytes charged to the memory system per element.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Elem::F64 => 8,
+            Elem::U32 => 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BufferInner {
+    name: String,
+    base_addr: u64,
+    elem: Elem,
+    cells: Box<[AtomicU64]>,
+}
+
+/// A handle to a device-memory buffer. Cloning shares the allocation.
+#[derive(Debug, Clone)]
+pub struct GpuBuffer {
+    inner: Arc<BufferInner>,
+}
+
+impl GpuBuffer {
+    pub(crate) fn new(name: &str, base_addr: u64, elem: Elem, len: usize) -> Self {
+        let cells = (0..len).map(|_| AtomicU64::new(0)).collect();
+        GpuBuffer {
+            inner: Arc::new(BufferInner {
+                name: name.to_string(),
+                base_addr,
+                elem,
+                cells,
+            }),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.cells.is_empty()
+    }
+
+    pub fn elem(&self) -> Elem {
+        self.inner.elem
+    }
+
+    /// Device byte footprint of this buffer.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() as u64 * self.inner.elem.bytes()
+    }
+
+    /// Simulated device byte address of element `idx` (for the cache and
+    /// coalescing models).
+    #[inline]
+    pub(crate) fn addr_of(&self, idx: usize) -> u64 {
+        debug_assert!(idx < self.len(), "address out of bounds in {}", self.name());
+        self.inner.base_addr + idx as u64 * self.inner.elem.bytes()
+    }
+
+    // ----- raw cell access (used by the execution engine and host API) -----
+
+    #[inline]
+    pub(crate) fn raw_load(&self, idx: usize) -> u64 {
+        self.inner.cells[idx].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn raw_store(&self, idx: usize, bits: u64) {
+        self.inner.cells[idx].store(bits, Ordering::Relaxed);
+    }
+
+    /// Atomic u32 fetch-add; returns the old value.
+    #[inline]
+    pub(crate) fn raw_atomic_add_u32(&self, idx: usize, val: u32) -> u32 {
+        self.inner.cells[idx].fetch_add(val as u64, Ordering::Relaxed) as u32
+    }
+
+    /// Atomic f64 add via CAS on the raw bits; returns the old value.
+    #[inline]
+    pub(crate) fn raw_atomic_add_f64(&self, idx: usize, val: f64) -> f64 {
+        let cell = &self.inner.cells[idx];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = f64::to_bits(f64::from_bits(cur) + val);
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    // ----- host-side (cudaMemcpy-like) access; not event counted -----
+
+    pub fn host_read_f64(&self, idx: usize) -> f64 {
+        debug_assert_eq!(self.inner.elem, Elem::F64);
+        f64::from_bits(self.raw_load(idx))
+    }
+
+    pub fn host_write_f64(&self, idx: usize, v: f64) {
+        debug_assert_eq!(self.inner.elem, Elem::F64);
+        self.raw_store(idx, v.to_bits());
+    }
+
+    pub fn host_read_u32(&self, idx: usize) -> u32 {
+        debug_assert_eq!(self.inner.elem, Elem::U32);
+        self.raw_load(idx) as u32
+    }
+
+    pub fn host_write_u32(&self, idx: usize, v: u32) {
+        debug_assert_eq!(self.inner.elem, Elem::U32);
+        self.raw_store(idx, v as u64);
+    }
+
+    /// Copy a host slice into the buffer (the simulated `cudaMemcpy` H2D;
+    /// transfer *cost* is modelled separately by `fusedml-runtime`).
+    pub fn copy_from_f64(&self, src: &[f64]) {
+        assert_eq!(src.len(), self.len(), "H2D size mismatch for {}", self.name());
+        for (i, &v) in src.iter().enumerate() {
+            self.raw_store(i, v.to_bits());
+        }
+    }
+
+    pub fn copy_from_u32(&self, src: &[u32]) {
+        assert_eq!(src.len(), self.len(), "H2D size mismatch for {}", self.name());
+        for (i, &v) in src.iter().enumerate() {
+            self.raw_store(i, v as u64);
+        }
+    }
+
+    /// Read the whole buffer back to the host (`cudaMemcpy` D2H).
+    pub fn to_vec_f64(&self) -> Vec<f64> {
+        debug_assert_eq!(self.inner.elem, Elem::F64);
+        (0..self.len()).map(|i| self.host_read_f64(i)).collect()
+    }
+
+    pub fn to_vec_u32(&self) -> Vec<u32> {
+        debug_assert_eq!(self.inner.elem, Elem::U32);
+        (0..self.len()).map(|i| self.host_read_u32(i)).collect()
+    }
+
+    /// Zero every element (the simulated `cudaMemset`).
+    pub fn zero(&self) {
+        for i in 0..self.len() {
+            self.raw_store(i, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let b = GpuBuffer::new("x", 0x1000, Elem::F64, 4);
+        b.copy_from_f64(&[1.0, -2.5, 3.25, 0.0]);
+        assert_eq!(b.to_vec_f64(), vec![1.0, -2.5, 3.25, 0.0]);
+        assert_eq!(b.size_bytes(), 32);
+    }
+
+    #[test]
+    fn roundtrip_u32() {
+        let b = GpuBuffer::new("idx", 0x2000, Elem::U32, 3);
+        b.copy_from_u32(&[7, 0, u32::MAX]);
+        assert_eq!(b.to_vec_u32(), vec![7, 0, u32::MAX]);
+        assert_eq!(b.size_bytes(), 12);
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let b = GpuBuffer::new("w", 0, Elem::F64, 1);
+        let old = b.raw_atomic_add_f64(0, 1.5);
+        assert_eq!(old, 0.0);
+        b.raw_atomic_add_f64(0, 2.5);
+        assert_eq!(b.host_read_f64(0), 4.0);
+    }
+
+    #[test]
+    fn atomic_add_is_thread_safe() {
+        let b = GpuBuffer::new("w", 0, Elem::F64, 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        b.raw_atomic_add_f64(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.host_read_f64(0), 4000.0);
+    }
+
+    #[test]
+    fn addresses_respect_element_size() {
+        let f = GpuBuffer::new("f", 0x100, Elem::F64, 8);
+        let u = GpuBuffer::new("u", 0x200, Elem::U32, 8);
+        assert_eq!(f.addr_of(2) - f.addr_of(0), 16);
+        assert_eq!(u.addr_of(2) - u.addr_of(0), 8);
+    }
+}

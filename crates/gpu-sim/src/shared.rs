@@ -1,0 +1,64 @@
+//! Shared-memory bank-conflict accounting.
+//!
+//! Kepler SMs expose 32 banks; in 8-byte mode consecutive 64-bit words map
+//! to consecutive banks. A warp instruction whose lanes touch `k` *distinct*
+//! words in the same bank replays `k - 1` times. Multiple lanes reading the
+//! *same* word broadcast without conflict.
+
+/// Number of extra replays for one warp-wide shared-memory access touching
+/// the given 8-byte word indices (`None` = inactive lane).
+pub fn bank_conflict_replays(word_indices: &[Option<usize>], banks: usize) -> u64 {
+    debug_assert!(banks > 0 && banks <= 64);
+    // distinct words per bank
+    let mut per_bank_words: Vec<Vec<usize>> = vec![Vec::new(); banks];
+    for idx in word_indices.iter().flatten() {
+        let bank = idx % banks;
+        if !per_bank_words[bank].contains(idx) {
+            per_bank_words[bank].push(*idx);
+        }
+    }
+    let max_degree = per_bank_words.iter().map(Vec::len).max().unwrap_or(0);
+    max_degree.saturating_sub(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_free_sequential_access() {
+        let idx: Vec<Option<usize>> = (0..32).map(Some).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 0);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let idx: Vec<Option<usize>> = (0..32).map(|_| Some(7)).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 0);
+    }
+
+    #[test]
+    fn stride_two_gives_two_way_conflict() {
+        let idx: Vec<Option<usize>> = (0..32).map(|l| Some(l * 2)).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 1);
+    }
+
+    #[test]
+    fn stride_32_fully_serializes() {
+        let idx: Vec<Option<usize>> = (0..32).map(|l| Some(l * 32)).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 31);
+    }
+
+    #[test]
+    fn inactive_lanes_ignored() {
+        let idx: Vec<Option<usize>> =
+            (0..32).map(|l| if l < 4 { Some(l * 32) } else { None }).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 3);
+    }
+
+    #[test]
+    fn empty_warp_no_conflicts() {
+        let idx = [None; 32];
+        assert_eq!(bank_conflict_replays(&idx, 32), 0);
+    }
+}

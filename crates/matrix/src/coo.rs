@@ -1,0 +1,93 @@
+//! Coordinate-format triplets, the natural output of the synthetic data
+//! generators before compression to CSR.
+
+use serde::{Deserialize, Serialize};
+
+/// A bag of `(row, col, value)` triplets. Duplicates are allowed and are
+/// summed on conversion to CSR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Coo {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        let mut c = Self::new(rows, cols);
+        c.triplets.reserve(cap);
+        c
+    }
+
+    /// Add one entry.
+    ///
+    /// # Panics
+    /// If the coordinate is out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "coordinate out of bounds");
+        self.triplets.push((r as u32, c as u32, v));
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    pub fn triplets(&self) -> &[(u32, u32, f64)] {
+        &self.triplets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    #[test]
+    fn coo_to_csr_sums_duplicates() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, -1.0);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.row_entries(0).collect::<Vec<_>>(), vec![(1, 3.5)]);
+        assert_eq!(csr.row_entries(1).collect::<Vec<_>>(), vec![(0, -1.0)]);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut coo = Coo::new(4, 3);
+        coo.push(3, 2, 9.0);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.row_nnz(0), 0);
+        assert_eq!(csr.row_nnz(3), 1);
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_checks_bounds() {
+        Coo::new(1, 1).push(1, 0, 1.0);
+    }
+}

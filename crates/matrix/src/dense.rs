@@ -1,0 +1,152 @@
+//! Row-major dense matrix, the layout cuBLAS-style kernels and the paper's
+//! dense fused kernel (§3.2) operate on.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of f64.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense shape/buffer mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Pad with zero *columns* so `cols` becomes a multiple of `multiple`,
+    /// the preprocessing step of §3.2 for the dense fused kernel ("when
+    /// n % VS != 0, we pad both matrix X and vector y"). Returns the number
+    /// of padding columns added.
+    pub fn pad_cols_to_multiple(&mut self, multiple: usize) -> usize {
+        assert!(multiple > 0);
+        let rem = self.cols % multiple;
+        if rem == 0 {
+            return 0;
+        }
+        let pad = multiple - rem;
+        let new_cols = self.cols + pad;
+        let mut data = vec![0.0; self.rows * new_cols];
+        for r in 0..self.rows {
+            data[r * new_cols..r * new_cols + self.cols]
+                .copy_from_slice(self.row(r));
+        }
+        self.data = data;
+        self.cols = new_cols;
+        pad
+    }
+
+    /// Device/host byte footprint.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn pad_cols() {
+        let mut m = DenseMatrix::from_fn(2, 5, |_, _| 1.0);
+        let pad = m.pad_cols_to_multiple(4);
+        assert_eq!(pad, 3);
+        assert_eq!(m.cols(), 8);
+        assert_eq!(m.get(1, 4), 1.0);
+        assert_eq!(m.get(1, 5), 0.0);
+        // Already a multiple: no-op.
+        assert_eq!(m.pad_cols_to_multiple(4), 0);
+        assert_eq!(m.cols(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_checks_shape() {
+        DenseMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

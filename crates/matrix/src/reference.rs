@@ -1,0 +1,214 @@
+//! Single-threaded CPU reference implementations — the ground truth every
+//! simulated kernel is verified against, and the measurement subject of the
+//! paper's Table 2 (single-threaded CPU time breakdown).
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// `X * y` for CSR.
+pub fn csr_mv(x: &CsrMatrix, y: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), x.cols(), "dimension mismatch in X*y");
+    (0..x.rows())
+        .map(|r| x.row_entries(r).map(|(c, v)| v * y[c as usize]).sum())
+        .collect()
+}
+
+/// `X^T * p` for CSR (row-wise scatter).
+pub fn csr_tmv(x: &CsrMatrix, p: &[f64]) -> Vec<f64> {
+    assert_eq!(p.len(), x.rows(), "dimension mismatch in X^T*p");
+    let mut w = vec![0.0; x.cols()];
+    for (r, &pr) in p.iter().enumerate() {
+        if pr != 0.0 {
+            for (c, v) in x.row_entries(r) {
+                w[c as usize] += v * pr;
+            }
+        }
+    }
+    w
+}
+
+/// `X * y` for dense row-major.
+pub fn dense_mv(x: &DenseMatrix, y: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), x.cols(), "dimension mismatch in X*y");
+    (0..x.rows())
+        .map(|r| x.row(r).iter().zip(y).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+/// `X^T * p` for dense row-major.
+pub fn dense_tmv(x: &DenseMatrix, p: &[f64]) -> Vec<f64> {
+    assert_eq!(p.len(), x.rows(), "dimension mismatch in X^T*p");
+    let mut w = vec![0.0; x.cols()];
+    for (r, &pr) in p.iter().enumerate() {
+        for (c, wv) in w.iter_mut().enumerate() {
+            *wv += x.get(r, c) * pr;
+        }
+    }
+    w
+}
+
+/// The full generic pattern of Equation 1:
+/// `w = alpha * X^T * (v .* (X * y)) + beta * z`, sparse input.
+///
+/// `v` and `z` are optional — `None` reproduces the simpler instantiations
+/// of Table 1.
+pub fn pattern_csr(
+    alpha: f64,
+    x: &CsrMatrix,
+    v: Option<&[f64]>,
+    y: &[f64],
+    beta: f64,
+    z: Option<&[f64]>,
+) -> Vec<f64> {
+    let mut p = csr_mv(x, y);
+    if let Some(v) = v {
+        assert_eq!(v.len(), x.rows());
+        for (pi, vi) in p.iter_mut().zip(v) {
+            *pi *= vi;
+        }
+    }
+    let mut w = csr_tmv(x, &p);
+    for wi in w.iter_mut() {
+        *wi *= alpha;
+    }
+    if let Some(z) = z {
+        assert_eq!(z.len(), x.cols());
+        for (wi, zi) in w.iter_mut().zip(z) {
+            *wi += beta * zi;
+        }
+    }
+    w
+}
+
+/// The full generic pattern of Equation 1, dense input.
+pub fn pattern_dense(
+    alpha: f64,
+    x: &DenseMatrix,
+    v: Option<&[f64]>,
+    y: &[f64],
+    beta: f64,
+    z: Option<&[f64]>,
+) -> Vec<f64> {
+    let mut p = dense_mv(x, y);
+    if let Some(v) = v {
+        assert_eq!(v.len(), x.rows());
+        for (pi, vi) in p.iter_mut().zip(v) {
+            *pi *= vi;
+        }
+    }
+    let mut w = dense_tmv(x, &p);
+    for wi in w.iter_mut() {
+        *wi *= alpha;
+    }
+    if let Some(z) = z {
+        assert_eq!(z.len(), x.cols());
+        for (wi, zi) in w.iter_mut().zip(z) {
+            *wi += beta * zi;
+        }
+    }
+    w
+}
+
+// ---- BLAS-1 reference ops (Listing 1's vector arithmetic) ----
+
+/// `y += a * x`.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Squared 2-norm (`sum(r * r)` in Listing 1).
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// `x *= a`.
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Maximum absolute difference between two vectors (test helper).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error `||a - b|| / max(||b||, eps)` (test helper for
+/// comparing against atomics-reordered GPU results).
+pub fn rel_l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let diff: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    let norm: f64 = b.iter().map(|x| x * x).sum();
+    (diff / norm.max(1e-300)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{dense_random, random_vector, uniform_sparse};
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        let xs = uniform_sparse(40, 30, 0.2, 9);
+        let xd = xs.to_dense();
+        let y = random_vector(30, 1);
+        let v = random_vector(40, 2);
+        let z = random_vector(30, 3);
+        let ws = pattern_csr(2.0, &xs, Some(&v), &y, -0.5, Some(&z));
+        let wd = pattern_dense(2.0, &xd, Some(&v), &y, -0.5, Some(&z));
+        assert!(max_abs_diff(&ws, &wd) < 1e-12);
+    }
+
+    #[test]
+    fn pattern_reduces_to_simple_instantiations() {
+        let x = uniform_sparse(20, 10, 0.3, 4);
+        let y = random_vector(10, 5);
+        // alpha X^T (X y) with no v/z equals composing the two mat-vecs.
+        let w = pattern_csr(1.0, &x, None, &y, 0.0, None);
+        let expect = csr_tmv(&x, &csr_mv(&x, &y));
+        assert!(max_abs_diff(&w, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn tmv_matches_explicit_transpose() {
+        let x = uniform_sparse(25, 18, 0.15, 6);
+        let p = random_vector(25, 7);
+        let via_scatter = csr_tmv(&x, &p);
+        let via_transpose = csr_mv(&x.transpose(), &p);
+        assert!(max_abs_diff(&via_scatter, &via_transpose) < 1e-12);
+    }
+
+    #[test]
+    fn blas1_ops() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 10.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        let mut x = vec![2.0, -4.0];
+        scal(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn dense_tmv_matches_transpose_mv() {
+        let x = dense_random(12, 7, 3);
+        let p = random_vector(12, 4);
+        let a = dense_tmv(&x, &p);
+        let b = dense_mv(&x.transpose(), &p);
+        assert!(max_abs_diff(&a, &b) < 1e-12);
+    }
+}

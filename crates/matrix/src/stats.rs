@@ -1,0 +1,100 @@
+//! Matrix statistics feeding the paper's launch-parameter model (§3.3):
+//! the analytical tuner needs the mean non-zeros per row and the row-length
+//! distribution to choose `VS` and reason about load balance.
+
+use crate::csr::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sparse matrix's row-length distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseStats {
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    pub mean_nnz_per_row: f64,
+    pub max_nnz_per_row: usize,
+    pub min_nnz_per_row: usize,
+    /// Population standard deviation of row lengths (load-imbalance proxy).
+    pub stddev_nnz_per_row: f64,
+    /// nnz / (rows * cols).
+    pub density: f64,
+}
+
+impl SparseStats {
+    pub fn compute(x: &CsrMatrix) -> Self {
+        let rows = x.rows();
+        let lens: Vec<usize> = (0..rows).map(|r| x.row_nnz(r)).collect();
+        let nnz = x.nnz();
+        let mean = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let var = if rows == 0 {
+            0.0
+        } else {
+            lens.iter()
+                .map(|&l| (l as f64 - mean).powi(2))
+                .sum::<f64>()
+                / rows as f64
+        };
+        SparseStats {
+            rows,
+            cols: x.cols(),
+            nnz,
+            mean_nnz_per_row: mean,
+            max_nnz_per_row: lens.iter().copied().max().unwrap_or(0),
+            min_nnz_per_row: lens.iter().copied().min().unwrap_or(0),
+            stddev_nnz_per_row: var.sqrt(),
+            density: x.density(),
+        }
+    }
+
+    /// Coefficient of variation of row lengths; > 1 indicates heavy skew
+    /// (the KDD-like regime).
+    pub fn row_length_cv(&self) -> f64 {
+        if self.mean_nnz_per_row == 0.0 {
+            0.0
+        } else {
+            self.stddev_nnz_per_row / self.mean_nnz_per_row
+        }
+    }
+}
+
+/// Histogram of row lengths in power-of-two buckets (diagnostics for the
+/// KDD-like generator and the tuner's `VS` choice).
+pub fn row_length_histogram(x: &CsrMatrix) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<(usize, usize)> = Vec::new();
+    for r in 0..x.rows() {
+        let len = x.row_nnz(r);
+        let bucket = if len == 0 { 0 } else { len.next_power_of_two() };
+        match buckets.iter_mut().find(|(b, _)| *b == bucket) {
+            Some((_, count)) => *count += 1,
+            None => buckets.push((bucket, 1)),
+        }
+    }
+    buckets.sort_unstable();
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform_sparse;
+
+    #[test]
+    fn uniform_matrix_stats() {
+        let x = uniform_sparse(100, 50, 0.1, 3);
+        let s = SparseStats::compute(&x);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.nnz, 500);
+        assert_eq!(s.mean_nnz_per_row, 5.0);
+        assert_eq!(s.max_nnz_per_row, 5);
+        assert_eq!(s.min_nnz_per_row, 5);
+        assert_eq!(s.stddev_nnz_per_row, 0.0);
+        assert_eq!(s.row_length_cv(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let x = uniform_sparse(10, 64, 0.1, 3); // ~6 nnz/row -> bucket 8
+        let h = row_length_histogram(&x);
+        assert_eq!(h, vec![(8, 10)]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # fusedml-ml
+//!
+//! The ML algorithms the paper's Table 1 surveys — linear regression
+//! conjugate gradient (Listing 1), trust-region logistic regression,
+//! primal L2-SVM, GLM via IRLS, and HITS — written once against a
+//! [`Backend`](ops::Backend) trait and runnable on the fused-kernel,
+//! operator-baseline and CPU engines with identical numerics and full
+//! time/launch/pattern instrumentation.
+
+pub mod glm;
+pub mod hits;
+pub mod logreg;
+pub mod lr_cg;
+pub mod ops;
+pub mod svm;
+
+pub use glm::{glm, Family, GlmOptions, GlmResult};
+pub use hits::{hits, HitsOptions, HitsResult};
+pub use logreg::{logreg, logreg_tron, LogRegOptions, LogRegResult, TronOptions, TronResult};
+pub use lr_cg::{lr_cg, LrCgOptions, LrCgResult};
+pub use ops::{Backend, BackendStats, BaselineBackend, CpuBackend, DeviceMatrix, FusedBackend};
+pub use svm::{svm_primal, SvmOptions, SvmResult};

@@ -1,0 +1,215 @@
+//! Linear regression via conjugate gradient — Listing 1 of the paper,
+//! line for line.
+//!
+//! Per iteration the dominant work is `q = X^T (X p) + eps * p`, the
+//! `X^T(Xy) + beta*z` instantiation of the generic pattern; the remainder
+//! is BLAS-1 (`axpy`, `dot`, `nrm2`), matching the Table 2 breakdown.
+
+use crate::ops::Backend;
+use fusedml_core::PatternSpec;
+
+/// Convergence/iteration report of one LR-CG run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrCgResult {
+    /// Learned weight vector (length n).
+    pub weights: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final squared residual norm.
+    pub final_nr2: f64,
+    /// Initial squared residual norm.
+    pub initial_nr2: f64,
+}
+
+/// Options mirroring Listing 1's constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrCgOptions {
+    /// Ridge term `eps` (Listing 1 line 2: 0.001).
+    pub eps: f64,
+    /// Relative tolerance (line 2: 1e-6; target is `nr2 * tol^2`).
+    pub tolerance: f64,
+    /// Iteration cap (line 8: 100).
+    pub max_iterations: usize,
+}
+
+impl Default for LrCgOptions {
+    fn default() -> Self {
+        LrCgOptions {
+            eps: 0.001,
+            tolerance: 1e-6,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// Solve `argmin_w ||X w - y||^2 + eps ||w||^2` by conjugate gradient on
+/// the normal equations, exactly as Listing 1 stitches it from kernels.
+/// `labels` is the target vector of length m.
+///
+/// ```
+/// use fusedml_ml::{lr_cg, CpuBackend, LrCgOptions};
+/// use fusedml_matrix::gen::{random_vector, uniform_sparse};
+/// use fusedml_matrix::reference;
+///
+/// let x = uniform_sparse(200, 30, 0.2, 1);
+/// let w_true = random_vector(30, 2);
+/// let labels = reference::csr_mv(&x, &w_true);
+/// let mut backend = CpuBackend::new_sparse(x);
+/// let result = lr_cg(&mut backend, &labels, LrCgOptions { eps: 0.0, ..Default::default() });
+/// assert!(reference::rel_l2_error(&result.weights, &w_true) < 1e-4);
+/// ```
+pub fn lr_cg<B: Backend>(backend: &mut B, labels: &[f64], opts: LrCgOptions) -> LrCgResult {
+    let m = backend.rows();
+    let n = backend.cols();
+    assert_eq!(labels.len(), m, "label vector must have row dimension");
+
+    let y = backend.from_host("labels", labels);
+
+    // r = -(t(V) %*% y)
+    let mut r = backend.zeros("r", n);
+    backend.tmv(-1.0, &y, &mut r);
+
+    // p = -r
+    let mut p = backend.zeros("p", n);
+    backend.copy(&r, &mut p);
+    backend.scal(-1.0, &mut p);
+
+    // nr2 = sum(r * r)
+    let mut nr2 = backend.nrm2_sq(&r);
+    let initial_nr2 = nr2;
+    let nr2_target = nr2 * opts.tolerance * opts.tolerance;
+
+    let mut w = backend.zeros("w", n);
+    let mut q = backend.zeros("q", n);
+
+    let mut i = 0;
+    while i < opts.max_iterations && nr2 > nr2_target {
+        // q = (t(V) %*% (V %*% p)) + eps * p  -- THE pattern.
+        backend.pattern(
+            PatternSpec::xtxy_plus_bz(opts.eps),
+            None,
+            &p,
+            Some(&p),
+            &mut q,
+        );
+
+        // alpha = nr2 / (t(p) %*% q)
+        let pq = backend.dot(&p, &q);
+        if pq <= 0.0 {
+            break; // numerically exhausted search direction
+        }
+        let alpha = nr2 / pq;
+
+        // w = w + alpha * p
+        backend.axpy(alpha, &p, &mut w);
+        // r = r + alpha * q
+        backend.axpy(alpha, &q, &mut r);
+        let old_nr2 = nr2;
+        nr2 = backend.nrm2_sq(&r);
+        let beta = nr2 / old_nr2;
+        // p = -r + beta * p
+        backend.scal(beta, &mut p);
+        backend.axpy(-1.0, &r, &mut p);
+        i += 1;
+    }
+
+    LrCgResult {
+        weights: backend.to_host(&w),
+        iterations: i,
+        final_nr2: nr2,
+        initial_nr2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BaselineBackend, CpuBackend, FusedBackend};
+    use fusedml_gpu_sim::{DeviceSpec, Gpu};
+    use fusedml_matrix::gen::{random_vector, uniform_sparse};
+    use fusedml_matrix::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+    }
+
+    /// Labels generated from known weights: CG must recover them.
+    fn synthetic_problem(m: usize, n: usize, seed: u64) -> (fusedml_matrix::CsrMatrix, Vec<f64>, Vec<f64>) {
+        let x = uniform_sparse(m, n, 0.2, seed);
+        let w_true = random_vector(n, seed + 1);
+        let labels = reference::csr_mv(&x, &w_true);
+        (x, w_true, labels)
+    }
+
+    #[test]
+    fn recovers_true_weights_on_cpu() {
+        let (x, w_true, labels) = synthetic_problem(300, 40, 101);
+        let mut cpu = CpuBackend::new_sparse(x);
+        let res = lr_cg(&mut cpu, &labels, LrCgOptions { eps: 0.0, ..Default::default() });
+        assert!(res.iterations > 0);
+        assert!(
+            reference::rel_l2_error(&res.weights, &w_true) < 1e-4,
+            "iter {} err {}",
+            res.iterations,
+            reference::rel_l2_error(&res.weights, &w_true)
+        );
+    }
+
+    #[test]
+    fn fused_and_baseline_agree_with_cpu() {
+        let g = gpu();
+        let (x, _, labels) = synthetic_problem(200, 30, 102);
+        let opts = LrCgOptions { max_iterations: 20, ..Default::default() };
+
+        let mut cpu = CpuBackend::new_sparse(x.clone());
+        let r_cpu = lr_cg(&mut cpu, &labels, opts);
+
+        let mut fused = FusedBackend::new_sparse(&g, &x);
+        let r_fused = lr_cg(&mut fused, &labels, opts);
+
+        let mut base = BaselineBackend::new_sparse(&g, &x);
+        let r_base = lr_cg(&mut base, &labels, opts);
+
+        assert_eq!(r_cpu.iterations, r_fused.iterations);
+        assert_eq!(r_cpu.iterations, r_base.iterations);
+        assert!(reference::rel_l2_error(&r_fused.weights, &r_cpu.weights) < 1e-8);
+        assert!(reference::rel_l2_error(&r_base.weights, &r_cpu.weights) < 1e-8);
+    }
+
+    #[test]
+    fn residual_decreases() {
+        let (x, _, labels) = synthetic_problem(250, 50, 103);
+        let mut cpu = CpuBackend::new_sparse(x);
+        let res = lr_cg(&mut cpu, &labels, LrCgOptions::default());
+        assert!(res.final_nr2 < res.initial_nr2 * 1e-6);
+    }
+
+    #[test]
+    fn pattern_instrumentation_matches_iterations() {
+        let g = gpu();
+        let (x, _, labels) = synthetic_problem(120, 25, 104);
+        let mut fused = FusedBackend::new_sparse(&g, &x);
+        let opts = LrCgOptions { max_iterations: 7, tolerance: 0.0, ..Default::default() };
+        let res = lr_cg(&mut fused, &labels, opts);
+        assert_eq!(res.iterations, 7);
+        let stats = fused.stats();
+        // One X^T y at init, one XtXy+bz per iteration.
+        assert_eq!(stats.pattern_counts["a * X^T x y"], 1);
+        assert_eq!(stats.pattern_counts["X^T x (X x y) + b * z"], 7);
+    }
+
+    #[test]
+    fn dense_backend_works_too() {
+        let g = gpu();
+        let x = fusedml_matrix::gen::dense_random(150, 28, 105);
+        let w_true = random_vector(28, 106);
+        let labels = reference::dense_mv(&x, &w_true);
+        let mut fused = FusedBackend::new_dense(&g, &x);
+        let res = lr_cg(
+            &mut fused,
+            &labels,
+            LrCgOptions { eps: 0.0, ..Default::default() },
+        );
+        assert!(reference::rel_l2_error(&res.weights, &w_true) < 1e-4);
+    }
+}

@@ -1,0 +1,881 @@
+//! Execution backends for the ML algorithms.
+//!
+//! Every algorithm in this crate (Listing 1's LR-CG, logistic regression,
+//! SVM, GLM, HITS) is written once against the [`Backend`] trait and can
+//! run on:
+//! * [`FusedBackend`] — pattern evaluations go through the paper's fused
+//!   kernels; BLAS-1 stays operator-level (exactly the `ours-end2end`
+//!   configuration of §4.4);
+//! * [`BaselineBackend`] — everything operator-level through the
+//!   cuBLAS/cuSPARSE-style engine (`cu-end2end`);
+//! * [`CpuBackend`] — single-address-space reference implementation with an
+//!   analytical MKL-style clock (the CPU rows of Tables 5/6).
+//!
+//! Backends instrument which Table-1 pattern instantiations execute, which
+//! is how the Table 1 experiment regenerates the paper's matrix.
+
+use fusedml_blas::{
+    csrmv, level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle,
+};
+use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec};
+use fusedml_gpu_sim::{Gpu, GpuBuffer};
+use fusedml_matrix::{reference, CsrMatrix, DenseMatrix};
+use std::collections::BTreeMap;
+
+/// Cumulative execution statistics of a backend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackendStats {
+    /// Simulated (or modelled) milliseconds of device/CPU compute.
+    pub sim_ms: f64,
+    /// Kernel launches (0 for the CPU backend).
+    pub launches: usize,
+    /// How many times each Table-1 instantiation was evaluated.
+    pub pattern_counts: BTreeMap<&'static str, usize>,
+}
+
+impl BackendStats {
+    fn record_instance(&mut self, inst: PatternInstance) {
+        *self.pattern_counts.entry(inst.formula()).or_insert(0) += 1;
+    }
+}
+
+/// A device- (or host-) resident matrix plus the vector arithmetic needed
+/// by the iterative algorithms.
+#[allow(clippy::wrong_self_convention)] // from_host is an upload, not a conversion
+pub trait Backend {
+    /// Backend-native vector handle.
+    type Vector;
+
+    fn rows(&self) -> usize;
+    fn cols(&self) -> usize;
+
+    fn from_host(&mut self, name: &str, data: &[f64]) -> Self::Vector;
+    fn zeros(&mut self, name: &str, len: usize) -> Self::Vector;
+    fn to_host(&self, v: &Self::Vector) -> Vec<f64>;
+
+    /// `w = alpha * X^T (v ⊙ (X y)) + beta * z` — Equation 1.
+    fn pattern(
+        &mut self,
+        spec: PatternSpec,
+        v: Option<&Self::Vector>,
+        y: &Self::Vector,
+        z: Option<&Self::Vector>,
+        w: &mut Self::Vector,
+    );
+
+    /// `out = X * y` (length m).
+    fn mv(&mut self, y: &Self::Vector, out: &mut Self::Vector);
+
+    /// `out = alpha * X^T * u` (length n) — Table 1's `alpha * X^T y`.
+    fn tmv(&mut self, alpha: f64, u: &Self::Vector, out: &mut Self::Vector);
+
+    fn axpy(&mut self, a: f64, x: &Self::Vector, y: &mut Self::Vector);
+    fn scal(&mut self, a: f64, x: &mut Self::Vector);
+    fn copy(&mut self, src: &Self::Vector, dst: &mut Self::Vector);
+    fn ewmul(&mut self, x: &Self::Vector, y: &Self::Vector, out: &mut Self::Vector);
+    fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> f64;
+    fn nrm2_sq(&mut self, x: &Self::Vector) -> f64;
+
+    /// Element-wise map `out[i] = f(x[i], y[i])` — the per-element link /
+    /// loss-derivative computations of LogReg/SVM/GLM (a single fused
+    /// element-wise kernel on device backends).
+    fn map2(
+        &mut self,
+        x: &Self::Vector,
+        y: &Self::Vector,
+        out: &mut Self::Vector,
+        f: &(dyn Fn(f64, f64) -> f64 + Sync),
+    );
+
+    fn stats(&self) -> BackendStats;
+    fn reset_stats(&mut self);
+}
+
+/// The matrix a device backend operates on.
+pub enum DeviceMatrix {
+    Sparse(GpuCsr),
+    Dense(GpuDense),
+}
+
+impl DeviceMatrix {
+    pub fn rows(&self) -> usize {
+        match self {
+            DeviceMatrix::Sparse(x) => x.rows,
+            DeviceMatrix::Dense(x) => x.rows,
+        }
+    }
+
+    pub fn cols(&self) -> usize {
+        match self {
+            DeviceMatrix::Sparse(x) => x.cols,
+            DeviceMatrix::Dense(x) => x.cols,
+        }
+    }
+
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            DeviceMatrix::Sparse(x) => x.size_bytes(),
+            DeviceMatrix::Dense(x) => x.size_bytes(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused backend
+// ---------------------------------------------------------------------
+
+/// Pattern evaluations through the fused kernels; BLAS-1 operator-level.
+pub struct FusedBackend<'g> {
+    gpu: &'g Gpu,
+    matrix: DeviceMatrix,
+    exec: FusedExecutor<'g>,
+    scalar: GpuBuffer,
+    stats: BackendStats,
+}
+
+impl<'g> FusedBackend<'g> {
+    pub fn new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Self {
+        Self::from_matrix(gpu, DeviceMatrix::Sparse(GpuCsr::upload(gpu, "X", x)))
+    }
+
+    pub fn new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Self {
+        Self::from_matrix(gpu, DeviceMatrix::Dense(GpuDense::upload(gpu, "X", x)))
+    }
+
+    pub fn from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Self {
+        FusedBackend {
+            gpu,
+            matrix,
+            exec: FusedExecutor::new(gpu),
+            scalar: gpu.alloc_f64("fused.scalar", 1),
+            stats: BackendStats::default(),
+        }
+    }
+
+    pub fn matrix(&self) -> &DeviceMatrix {
+        &self.matrix
+    }
+
+    fn absorb_exec(&mut self) {
+        self.stats.sim_ms += self.exec.total_sim_ms();
+        self.stats.launches += self.exec.launch_count();
+        self.exec.reset();
+    }
+
+    fn charge(&mut self, s: fusedml_gpu_sim::LaunchStats) {
+        self.stats.sim_ms += s.sim_ms();
+        self.stats.launches += 1;
+    }
+}
+
+impl<'g> Backend for FusedBackend<'g> {
+    type Vector = GpuBuffer;
+
+    fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    fn from_host(&mut self, name: &str, data: &[f64]) -> GpuBuffer {
+        self.gpu.upload_f64(name, data)
+    }
+
+    fn zeros(&mut self, name: &str, len: usize) -> GpuBuffer {
+        self.gpu.alloc_f64(name, len)
+    }
+
+    fn to_host(&self, v: &GpuBuffer) -> Vec<f64> {
+        v.to_vec_f64()
+    }
+
+    fn pattern(
+        &mut self,
+        spec: PatternSpec,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        z: Option<&GpuBuffer>,
+        w: &mut GpuBuffer,
+    ) {
+        match &self.matrix {
+            DeviceMatrix::Sparse(x) => self.exec.pattern_sparse(spec, x, v, y, z, w),
+            DeviceMatrix::Dense(x) => self.exec.pattern_dense(spec, x, v, y, z, w),
+        }
+        self.absorb_exec();
+        self.stats.record_instance(spec.instance());
+    }
+
+    fn mv(&mut self, y: &GpuBuffer, out: &mut GpuBuffer) {
+        let s = match &self.matrix {
+            DeviceMatrix::Sparse(x) => csrmv(
+                self.gpu,
+                x,
+                y,
+                out,
+                SpmvStyle::Vector {
+                    vs: fusedml_blas::vector_size_for_mean_nnz(x.mean_nnz_per_row()),
+                },
+            ),
+            DeviceMatrix::Dense(x) => fusedml_blas::gemv(self.gpu, x, y, out),
+        };
+        self.charge(s);
+    }
+
+    fn tmv(&mut self, alpha: f64, u: &GpuBuffer, out: &mut GpuBuffer) {
+        match &self.matrix {
+            DeviceMatrix::Sparse(x) => {
+                self.exec.xt_y_sparse(alpha, x, u, out);
+                self.absorb_exec();
+            }
+            DeviceMatrix::Dense(x) => {
+                // The paper does not fuse dense X^T y (cuBLAS is already
+                // good there, §4): operator-level.
+                for s in fusedml_blas::gemv_t(self.gpu, x, u, out) {
+                    self.charge(s);
+                }
+                if alpha != 1.0 {
+                    let s = level1::scal(self.gpu, alpha, out);
+                    self.charge(s);
+                }
+            }
+        }
+        self.stats.record_instance(PatternInstance::XtY);
+    }
+
+    fn axpy(&mut self, a: f64, x: &GpuBuffer, y: &mut GpuBuffer) {
+        let s = level1::axpy(self.gpu, a, x, y);
+        self.charge(s);
+    }
+
+    fn scal(&mut self, a: f64, x: &mut GpuBuffer) {
+        let s = level1::scal(self.gpu, a, x);
+        self.charge(s);
+    }
+
+    fn copy(&mut self, src: &GpuBuffer, dst: &mut GpuBuffer) {
+        let s = level1::copy(self.gpu, src, dst);
+        self.charge(s);
+    }
+
+    fn ewmul(&mut self, x: &GpuBuffer, y: &GpuBuffer, out: &mut GpuBuffer) {
+        let s = level1::ewmul(self.gpu, x, y, out);
+        self.charge(s);
+    }
+
+    fn dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> f64 {
+        let (d, s) = level1::dot(self.gpu, x, y, &self.scalar);
+        self.charge(s);
+        d
+    }
+
+    fn nrm2_sq(&mut self, x: &GpuBuffer) -> f64 {
+        let (d, s) = level1::nrm2_sq(self.gpu, x, &self.scalar);
+        self.charge(s);
+        d
+    }
+
+    fn map2(
+        &mut self,
+        x: &GpuBuffer,
+        y: &GpuBuffer,
+        out: &mut GpuBuffer,
+        f: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) {
+        let s = device_map2(self.gpu, x, y, out, f);
+        self.charge(s);
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
+    }
+}
+
+/// Element-wise `out[i] = f(x[i], y[i])` device kernel shared by the GPU
+/// backends (models the single fused element-wise kernel a real system
+/// would generate for link functions).
+fn device_map2(
+    gpu: &Gpu,
+    x: &GpuBuffer,
+    y: &GpuBuffer,
+    out: &GpuBuffer,
+    f: &(dyn Fn(f64, f64) -> f64 + Sync),
+) -> fusedml_gpu_sim::LaunchStats {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), out.len());
+    let n = x.len();
+    let grid = n.div_ceil(256).clamp(1, 1024);
+    gpu.launch(
+        "map2",
+        fusedml_gpu_sim::LaunchConfig::new(grid, 256).with_regs(20),
+        |blk| {
+            let grid_threads = blk.grid_dim() * blk.block_dim();
+            blk.each_warp(|w| {
+                let mut base = w.gtid(0);
+                while base < n {
+                    let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
+                    let ys = w.load_f64(y, |lane| (base + lane < n).then_some(base + lane));
+                    w.flops(4 * (n - base).min(32) as u64);
+                    w.store_f64(out, |lane| {
+                        (base + lane < n).then(|| (base + lane, f(xs[lane], ys[lane])))
+                    });
+                    base += grid_threads;
+                }
+            });
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Baseline backend
+// ---------------------------------------------------------------------
+
+/// How the baseline handles the transposed products inside an iterative
+/// algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransposePolicy {
+    /// Opaque library semantics: the transposed SpMV rebuilds `X^T` on
+    /// every call (what the pattern-level figures measure).
+    PerCall,
+    /// The hand-optimized pipeline: `csr2csc` once, keep both `X` and
+    /// `X^T` on the device (paying the memory), reuse across iterations —
+    /// the amortization strategy Fig. 2's second axis studies.
+    CachedOnce,
+}
+
+/// Everything operator-level through [`BaselineEngine`] (`cu-end2end`).
+pub struct BaselineBackend<'g> {
+    gpu: &'g Gpu,
+    matrix: DeviceMatrix,
+    engine: BaselineEngine<'g>,
+    policy: TransposePolicy,
+    /// Cached `X^T` under [`TransposePolicy::CachedOnce`].
+    xt: Option<GpuCsr>,
+    /// Scratch of length m for pattern intermediates.
+    tmp_p: GpuBuffer,
+    stats: BackendStats,
+}
+
+impl<'g> BaselineBackend<'g> {
+    pub fn new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Self {
+        Self::from_matrix(gpu, DeviceMatrix::Sparse(GpuCsr::upload(gpu, "X", x)))
+    }
+
+    pub fn new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Self {
+        Self::from_matrix(gpu, DeviceMatrix::Dense(GpuDense::upload(gpu, "X", x)))
+    }
+
+    pub fn from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Self {
+        let tmp_p = gpu.alloc_f64("baseline.tmp_p", matrix.rows());
+        BaselineBackend {
+            gpu,
+            matrix,
+            engine: BaselineEngine::new(gpu, Flavor::CuLibs),
+            policy: TransposePolicy::PerCall,
+            xt: None,
+            tmp_p,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Switch the transposed-product strategy (see [`TransposePolicy`]).
+    pub fn with_transpose_policy(mut self, policy: TransposePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn absorb(&mut self) {
+        self.stats.sim_ms += self.engine.total_sim_ms();
+        self.stats.launches += self.engine.launch_count();
+        self.engine.reset();
+    }
+
+    /// `w = X^T * u` for the sparse matrix, honoring the policy.
+    fn sparse_tmv_into(&mut self, u: &GpuBuffer, w: &GpuBuffer) {
+        let DeviceMatrix::Sparse(x) = &self.matrix else {
+            unreachable!("sparse_tmv_into on dense matrix")
+        };
+        let x = x.clone();
+        match self.policy {
+            TransposePolicy::PerCall => {
+                self.engine.csrmv_t(&x, u, w);
+            }
+            TransposePolicy::CachedOnce => {
+                if self.xt.is_none() {
+                    let (xt, launches) =
+                        fusedml_blas::csr2csc_device(self.gpu, &x);
+                    for l in &launches {
+                        self.stats.sim_ms += l.sim_ms();
+                        self.stats.launches += 1;
+                    }
+                    self.xt = Some(xt);
+                }
+                let xt = self.xt.as_ref().expect("cached").clone();
+                let s = fusedml_blas::csrmv_t_pretransposed(self.gpu, &xt, u, w);
+                self.stats.sim_ms += s.sim_ms();
+                self.stats.launches += 1;
+            }
+        }
+    }
+}
+
+impl<'g> Backend for BaselineBackend<'g> {
+    type Vector = GpuBuffer;
+
+    fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    fn from_host(&mut self, name: &str, data: &[f64]) -> GpuBuffer {
+        self.gpu.upload_f64(name, data)
+    }
+
+    fn zeros(&mut self, name: &str, len: usize) -> GpuBuffer {
+        self.gpu.alloc_f64(name, len)
+    }
+
+    fn to_host(&self, v: &GpuBuffer) -> Vec<f64> {
+        v.to_vec_f64()
+    }
+
+    fn pattern(
+        &mut self,
+        spec: PatternSpec,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        z: Option<&GpuBuffer>,
+        w: &mut GpuBuffer,
+    ) {
+        let tmp = self.tmp_p.clone();
+        match &self.matrix {
+            DeviceMatrix::Sparse(x) => {
+                let x = x.clone();
+                self.engine.csrmv(&x, y, &tmp);
+                if let Some(v) = v {
+                    self.engine.ewmul(&tmp, v, &tmp);
+                }
+                self.absorb();
+                self.sparse_tmv_into(&tmp, w);
+                if spec.alpha != 1.0 {
+                    self.engine.scal(spec.alpha, w);
+                }
+                if let Some(z) = z {
+                    self.engine.axpy(spec.beta, z, w);
+                }
+            }
+            DeviceMatrix::Dense(x) => {
+                let x = x.clone();
+                self.engine
+                    .pattern_dense(spec.alpha, &x, v, y, spec.beta, z, w, &tmp);
+            }
+        }
+        self.absorb();
+        self.stats.record_instance(spec.instance());
+    }
+
+    fn mv(&mut self, y: &GpuBuffer, out: &mut GpuBuffer) {
+        match &self.matrix {
+            DeviceMatrix::Sparse(x) => {
+                let x = x.clone();
+                self.engine.csrmv(&x, y, out);
+            }
+            DeviceMatrix::Dense(x) => {
+                let x = x.clone();
+                self.engine.gemv(&x, y, out);
+            }
+        }
+        self.absorb();
+    }
+
+    fn tmv(&mut self, alpha: f64, u: &GpuBuffer, out: &mut GpuBuffer) {
+        match &self.matrix {
+            DeviceMatrix::Sparse(_) => {
+                self.sparse_tmv_into(u, out);
+            }
+            DeviceMatrix::Dense(x) => {
+                let x = x.clone();
+                self.engine.gemv_t(&x, u, out);
+            }
+        }
+        if alpha != 1.0 {
+            self.engine.scal(alpha, out);
+        }
+        self.absorb();
+        self.stats.record_instance(PatternInstance::XtY);
+    }
+
+    fn axpy(&mut self, a: f64, x: &GpuBuffer, y: &mut GpuBuffer) {
+        self.engine.axpy(a, x, y);
+        self.absorb();
+    }
+
+    fn scal(&mut self, a: f64, x: &mut GpuBuffer) {
+        self.engine.scal(a, x);
+        self.absorb();
+    }
+
+    fn copy(&mut self, src: &GpuBuffer, dst: &mut GpuBuffer) {
+        self.engine.copy(src, dst);
+        self.absorb();
+    }
+
+    fn ewmul(&mut self, x: &GpuBuffer, y: &GpuBuffer, out: &mut GpuBuffer) {
+        self.engine.ewmul(x, y, out);
+        self.absorb();
+    }
+
+    fn dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> f64 {
+        let d = self.engine.dot(x, y);
+        self.absorb();
+        d
+    }
+
+    fn nrm2_sq(&mut self, x: &GpuBuffer) -> f64 {
+        let d = self.engine.nrm2_sq(x);
+        self.absorb();
+        d
+    }
+
+    fn map2(
+        &mut self,
+        x: &GpuBuffer,
+        y: &GpuBuffer,
+        out: &mut GpuBuffer,
+        f: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) {
+        let s = device_map2(self.gpu, x, y, out, f);
+        self.stats.sim_ms += s.sim_ms();
+        self.stats.launches += 1;
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPU backend
+// ---------------------------------------------------------------------
+
+/// Host matrix for the CPU backend.
+pub enum HostMatrix {
+    Sparse(CsrMatrix),
+    Dense(DenseMatrix),
+}
+
+/// Reference CPU execution with an analytical MKL-style clock.
+pub struct CpuBackend {
+    matrix: HostMatrix,
+    clock: CpuEngine,
+    stats: BackendStats,
+}
+
+impl CpuBackend {
+    pub fn new_sparse(x: CsrMatrix) -> Self {
+        CpuBackend {
+            matrix: HostMatrix::Sparse(x),
+            clock: CpuEngine::mkl_8threads(),
+            stats: BackendStats::default(),
+        }
+    }
+
+    pub fn new_dense(x: DenseMatrix) -> Self {
+        CpuBackend {
+            matrix: HostMatrix::Dense(x),
+            clock: CpuEngine::mkl_8threads(),
+            stats: BackendStats::default(),
+        }
+    }
+
+    fn absorb(&mut self) {
+        self.stats.sim_ms += self.clock.total_ms;
+        self.clock.reset();
+    }
+}
+
+impl Backend for CpuBackend {
+    type Vector = Vec<f64>;
+
+    fn rows(&self) -> usize {
+        match &self.matrix {
+            HostMatrix::Sparse(x) => x.rows(),
+            HostMatrix::Dense(x) => x.rows(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match &self.matrix {
+            HostMatrix::Sparse(x) => x.cols(),
+            HostMatrix::Dense(x) => x.cols(),
+        }
+    }
+
+    fn from_host(&mut self, _name: &str, data: &[f64]) -> Vec<f64> {
+        data.to_vec()
+    }
+
+    fn zeros(&mut self, _name: &str, len: usize) -> Vec<f64> {
+        vec![0.0; len]
+    }
+
+    fn to_host(&self, v: &Vec<f64>) -> Vec<f64> {
+        v.clone()
+    }
+
+    fn pattern(
+        &mut self,
+        spec: PatternSpec,
+        v: Option<&Vec<f64>>,
+        y: &Vec<f64>,
+        z: Option<&Vec<f64>>,
+        w: &mut Vec<f64>,
+    ) {
+        *w = match &self.matrix {
+            HostMatrix::Sparse(x) => {
+                self.clock.pattern_sparse_ms(
+                    x.rows(),
+                    x.cols(),
+                    x.nnz(),
+                    spec.with_v,
+                    spec.with_z,
+                    spec.alpha != 1.0,
+                );
+                reference::pattern_csr(
+                    spec.alpha,
+                    x,
+                    v.map(|v| v.as_slice()),
+                    y,
+                    spec.beta,
+                    z.map(|z| z.as_slice()),
+                )
+            }
+            HostMatrix::Dense(x) => {
+                self.clock.pattern_dense_ms(
+                    x.rows(),
+                    x.cols(),
+                    spec.with_v,
+                    spec.with_z,
+                    spec.alpha != 1.0,
+                );
+                reference::pattern_dense(
+                    spec.alpha,
+                    x,
+                    v.map(|v| v.as_slice()),
+                    y,
+                    spec.beta,
+                    z.map(|z| z.as_slice()),
+                )
+            }
+        };
+        self.absorb();
+        self.stats.record_instance(spec.instance());
+    }
+
+    fn mv(&mut self, y: &Vec<f64>, out: &mut Vec<f64>) {
+        *out = match &self.matrix {
+            HostMatrix::Sparse(x) => {
+                self.clock.csrmv_ms(x.nnz(), x.rows());
+                reference::csr_mv(x, y)
+            }
+            HostMatrix::Dense(x) => {
+                self.clock.gemv_ms(x.rows(), x.cols());
+                reference::dense_mv(x, y)
+            }
+        };
+        self.absorb();
+    }
+
+    fn tmv(&mut self, alpha: f64, u: &Vec<f64>, out: &mut Vec<f64>) {
+        let mut w = match &self.matrix {
+            HostMatrix::Sparse(x) => {
+                self.clock.csrmv_t_ms(x.nnz(), x.rows(), x.cols());
+                reference::csr_tmv(x, u)
+            }
+            HostMatrix::Dense(x) => {
+                self.clock.gemv_t_ms(x.rows(), x.cols());
+                reference::dense_tmv(x, u)
+            }
+        };
+        if alpha != 1.0 {
+            reference::scal(alpha, &mut w);
+        }
+        *out = w;
+        self.absorb();
+        self.stats.record_instance(PatternInstance::XtY);
+    }
+
+    fn axpy(&mut self, a: f64, x: &Vec<f64>, y: &mut Vec<f64>) {
+        self.clock.axpy_ms(x.len());
+        reference::axpy(a, x, y);
+        self.absorb();
+    }
+
+    fn scal(&mut self, a: f64, x: &mut Vec<f64>) {
+        self.clock.scal_ms(x.len());
+        reference::scal(a, x);
+        self.absorb();
+    }
+
+    fn copy(&mut self, src: &Vec<f64>, dst: &mut Vec<f64>) {
+        self.clock.axpy_ms(src.len());
+        dst.clone_from(src);
+        self.absorb();
+    }
+
+    fn ewmul(&mut self, x: &Vec<f64>, y: &Vec<f64>, out: &mut Vec<f64>) {
+        self.clock.ewmul_ms(x.len());
+        *out = x.iter().zip(y).map(|(a, b)| a * b).collect();
+        self.absorb();
+    }
+
+    fn dot(&mut self, x: &Vec<f64>, y: &Vec<f64>) -> f64 {
+        self.clock.dot_ms(x.len());
+        let d = reference::dot(x, y);
+        self.absorb();
+        d
+    }
+
+    fn nrm2_sq(&mut self, x: &Vec<f64>) -> f64 {
+        self.clock.dot_ms(x.len());
+        let d = reference::norm2_sq(x);
+        self.absorb();
+        d
+    }
+
+    fn map2(
+        &mut self,
+        x: &Vec<f64>,
+        y: &Vec<f64>,
+        out: &mut Vec<f64>,
+        f: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) {
+        self.clock.ewmul_ms(x.len());
+        *out = x.iter().zip(y).map(|(a, b)| f(*a, *b)).collect();
+        self.absorb();
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_gpu_sim::DeviceSpec;
+    use fusedml_matrix::gen::{random_vector, uniform_sparse};
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+    }
+
+    #[test]
+    fn backends_agree_on_pattern() {
+        let g = gpu();
+        let x = uniform_sparse(150, 80, 0.1, 91);
+        let y = random_vector(80, 1);
+        let v = random_vector(150, 2);
+        let spec = PatternSpec::xtvxy();
+
+        let mut fused = FusedBackend::new_sparse(&g, &x);
+        let yd = fused.from_host("y", &y);
+        let vd = fused.from_host("v", &v);
+        let mut wd = fused.zeros("w", 80);
+        fused.pattern(spec, Some(&vd), &yd, None, &mut wd);
+        let w_fused = fused.to_host(&wd);
+
+        let mut base = BaselineBackend::new_sparse(&g, &x);
+        let yd = base.from_host("y", &y);
+        let vd = base.from_host("v", &v);
+        let mut wd = base.zeros("w", 80);
+        base.pattern(spec, Some(&vd), &yd, None, &mut wd);
+        let w_base = base.to_host(&wd);
+
+        let mut cpu = CpuBackend::new_sparse(x);
+        let yv = cpu.from_host("y", &y);
+        let vv = cpu.from_host("v", &v);
+        let mut wv = cpu.zeros("w", 80);
+        cpu.pattern(spec, Some(&vv), &yv, None, &mut wv);
+
+        assert!(reference::rel_l2_error(&w_fused, &wv) < 1e-11);
+        assert!(reference::rel_l2_error(&w_base, &wv) < 1e-11);
+        assert_eq!(fused.stats().pattern_counts[spec.instance().formula()], 1);
+        assert!(fused.stats().sim_ms > 0.0);
+        assert!(cpu.stats().sim_ms > 0.0);
+    }
+
+    #[test]
+    fn blas1_roundtrip_on_all_backends() {
+        let g = gpu();
+        let x = uniform_sparse(20, 10, 0.3, 92);
+
+        fn exercise<B: Backend>(b: &mut B) -> (f64, Vec<f64>) {
+            let xs = b.from_host("x", &[1.0, 2.0, 3.0, 4.0]);
+            let mut ys = b.from_host("y", &[4.0, 3.0, 2.0, 1.0]);
+            b.axpy(2.0, &xs, &mut ys); // [6,7,8,9]
+            b.scal(0.5, &mut ys); // [3,3.5,4,4.5]
+            let d = b.dot(&xs, &ys); // 3+7+12+18=40
+            let mut prod = b.zeros("p", 4);
+            b.ewmul(&xs, &ys, &mut prod);
+            let mut mapped = b.zeros("m", 4);
+            b.map2(&xs, &ys, &mut mapped, &|a, b| a - b);
+            (d, b.to_host(&mapped))
+        }
+
+        let mut fused = FusedBackend::new_sparse(&g, &x);
+        let mut cpu = CpuBackend::new_sparse(x.clone());
+        let mut base = BaselineBackend::new_sparse(&g, &x);
+        let (df, mf) = exercise(&mut fused);
+        let (dc, mc) = exercise(&mut cpu);
+        let (db, mb) = exercise(&mut base);
+        assert_eq!(df, 40.0);
+        assert_eq!(dc, 40.0);
+        assert_eq!(db, 40.0);
+        assert_eq!(mf, mc);
+        assert_eq!(mb, mc);
+    }
+
+    #[test]
+    fn mv_and_tmv_match_reference() {
+        let g = gpu();
+        let x = uniform_sparse(60, 40, 0.15, 93);
+        let y = random_vector(40, 3);
+        let u = random_vector(60, 4);
+
+        let mut fused = FusedBackend::new_sparse(&g, &x);
+        let yd = fused.from_host("y", &y);
+        let ud = fused.from_host("u", &u);
+        let mut p = fused.zeros("p", 60);
+        let mut w = fused.zeros("w", 40);
+        fused.mv(&yd, &mut p);
+        fused.tmv(2.0, &ud, &mut w);
+        assert!(
+            reference::rel_l2_error(&fused.to_host(&p), &reference::csr_mv(&x, &y)) < 1e-12
+        );
+        let mut expect = reference::csr_tmv(&x, &u);
+        reference::scal(2.0, &mut expect);
+        assert!(reference::rel_l2_error(&fused.to_host(&w), &expect) < 1e-12);
+        // tmv counted as the X^T y instantiation.
+        assert_eq!(
+            fused.stats().pattern_counts[PatternInstance::XtY.formula()],
+            1
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Host-vs-device operator placement — the cost model component of the
+//! SystemML integration (§4.4: "a cost model that helps in scheduling
+//! operations between the host and the device").
+//!
+//! For an iterative algorithm the decision is: does the device's
+//! per-iteration compute saving amortize the one-time transfer (plus
+//! conversion) of the operands? The paper's conclusion section flags this
+//! hybrid-execution question as the system's core future work; this module
+//! implements the simple break-even analysis.
+
+use crate::transfer::TransferModel;
+use fusedml_gpu_sim::CpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Where an operation should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    Host,
+    Device,
+}
+
+/// Break-even analysis result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    pub placement: Placement,
+    /// Estimated total host milliseconds for the full loop.
+    pub host_ms: f64,
+    /// Estimated total device milliseconds (compute + transfers).
+    pub device_ms: f64,
+    /// Iterations needed for the device to break even (`None` when the
+    /// device never wins, e.g. per-iteration device time exceeds host).
+    pub break_even_iterations: Option<f64>,
+}
+
+/// The cost model: CPU roofline + transfer model + a device-time estimate
+/// supplied by the caller (from the simulator's own measurements or the
+/// analytical kernel model).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    pub cpu: CpuSpec,
+    pub transfer: TransferModel,
+}
+
+impl CostModel {
+    pub fn new(cpu: CpuSpec, transfer: TransferModel) -> Self {
+        CostModel { cpu, transfer }
+    }
+
+    /// Decide placement for an iterative pattern workload.
+    ///
+    /// * `matrix_bytes` — operand transferred once (plus conversion);
+    /// * `per_iter_device_ms` — device compute per iteration;
+    /// * `per_iter_host_ms` — host compute per iteration;
+    /// * `per_iter_readbacks` — scalars crossing back per iteration;
+    /// * `iterations` — expected loop count.
+    pub fn place_iterative(
+        &self,
+        matrix_bytes: u64,
+        convert: bool,
+        per_iter_device_ms: f64,
+        per_iter_host_ms: f64,
+        per_iter_readbacks: usize,
+        iterations: usize,
+    ) -> PlacementDecision {
+        let transfer_ms = self.transfer.h2d_ms(matrix_bytes, convert);
+        let readback_ms = per_iter_readbacks as f64 * self.transfer.scalar_readback_ms();
+        let device_ms = transfer_ms + iterations as f64 * (per_iter_device_ms + readback_ms);
+        let host_ms = iterations as f64 * per_iter_host_ms;
+
+        let per_iter_saving = per_iter_host_ms - (per_iter_device_ms + readback_ms);
+        let break_even = if per_iter_saving > 0.0 {
+            Some(transfer_ms / per_iter_saving)
+        } else {
+            None
+        };
+
+        PlacementDecision {
+            placement: if device_ms < host_ms {
+                Placement::Device
+            } else {
+                Placement::Host
+            },
+            host_ms,
+            device_ms,
+            break_even_iterations: break_even,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(CpuSpec::core_i7_8threads(), TransferModel::native())
+    }
+
+    #[test]
+    fn many_iterations_amortize_transfer() {
+        let m = model();
+        // 1 GB matrix, device iteration 10x faster than host.
+        let d = m.place_iterative(1_000_000_000, false, 1.0, 10.0, 2, 100);
+        assert_eq!(d.placement, Placement::Device);
+        let be = d.break_even_iterations.unwrap();
+        assert!(be > 1.0 && be < 100.0, "break-even {be}");
+    }
+
+    #[test]
+    fn single_iteration_stays_on_host() {
+        let m = model();
+        let d = m.place_iterative(1_000_000_000, false, 1.0, 10.0, 2, 1);
+        assert_eq!(d.placement, Placement::Host);
+    }
+
+    #[test]
+    fn device_never_wins_when_slower_per_iteration() {
+        let m = model();
+        let d = m.place_iterative(1_000_000, false, 20.0, 10.0, 0, 1000);
+        assert_eq!(d.placement, Placement::Host);
+        assert!(d.break_even_iterations.is_none());
+    }
+
+    #[test]
+    fn conversion_overhead_shifts_break_even() {
+        let native = CostModel::new(CpuSpec::core_i7_8threads(), TransferModel::native());
+        let sysml = CostModel::new(CpuSpec::core_i7_8threads(), TransferModel::systemml());
+        let n = native.place_iterative(2_000_000_000, true, 1.0, 5.0, 2, 50);
+        let s = sysml.place_iterative(2_000_000_000, true, 1.0, 5.0, 2, 50);
+        assert!(
+            s.break_even_iterations.unwrap() > 1.5 * n.break_even_iterations.unwrap()
+        );
+    }
+}

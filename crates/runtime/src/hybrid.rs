@@ -1,0 +1,168 @@
+//! Hybrid CPU/GPU execution — the paper's stated future work ("a cost
+//! model that based on a complete system profile decides on hybrid
+//! executions involving CPUs and GPUs").
+//!
+//! [`HybridExecutor`] probes both sides cheaply — one simulated device
+//! iteration and the analytical CPU roofline — feeds the measurements into
+//! [`CostModel::place_iterative`](crate::costmodel::CostModel), and runs
+//! the full loop wherever the break-even analysis points, including the
+//! one-time transfer in the decision.
+
+use crate::costmodel::{CostModel, Placement, PlacementDecision};
+use crate::session::{run_cpu, run_device, DataSet, EngineKind, SessionConfig};
+use crate::transfer::TransferModel;
+use fusedml_gpu_sim::{CpuSpec, Gpu};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a hybrid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridReport {
+    /// Where the loop ran.
+    pub placement: Placement,
+    /// The break-even analysis that made the call.
+    pub decision: PlacementDecision,
+    /// Milliseconds actually spent (simulated/modelled) on the chosen side.
+    pub executed_ms: f64,
+    /// What the rejected side would have cost (from the decision's
+    /// estimate), for regret analysis.
+    pub rejected_ms: f64,
+}
+
+/// Cost-model-driven CPU/GPU placement for iterative pattern workloads.
+pub struct HybridExecutor<'g> {
+    gpu: &'g Gpu,
+    model: CostModel,
+}
+
+impl<'g> HybridExecutor<'g> {
+    pub fn new(gpu: &'g Gpu) -> Self {
+        HybridExecutor {
+            gpu,
+            model: CostModel::new(CpuSpec::core_i7_8threads(), TransferModel::native()),
+        }
+    }
+
+    pub fn with_model(gpu: &'g Gpu, model: CostModel) -> Self {
+        HybridExecutor { gpu, model }
+    }
+
+    /// Run LR-CG for `iterations` steps wherever the cost model says.
+    ///
+    /// The probe runs two device iterations and two CPU iterations to
+    /// measure marginal per-iteration cost, then the full loop executes on
+    /// the winning side.
+    pub fn run_lr_cg(
+        &self,
+        data: &DataSet,
+        labels: &[f64],
+        iterations: usize,
+    ) -> HybridReport {
+        // Probe marginal per-iteration costs (2 vs 4 iterations isolates
+        // the fixed setup from the loop body).
+        let probe = |iters: usize| {
+            run_device(
+                self.gpu,
+                data,
+                labels,
+                &SessionConfig::native(EngineKind::Fused, iters),
+            )
+        };
+        let d2 = probe(2);
+        let d4 = probe(4);
+        let dev_iters = (d4.iterations - d2.iterations).max(1) as f64;
+        let per_iter_device_ms = (d4.kernel_ms - d2.kernel_ms) / dev_iters;
+
+        let c2 = run_cpu(data, labels, 2);
+        let c4 = run_cpu(data, labels, 4);
+        let per_iter_host_ms = (c4 - c2) / 2.0;
+
+        let decision = self.model.place_iterative(
+            data.matrix_bytes(),
+            data.needs_conversion(),
+            per_iter_device_ms,
+            per_iter_host_ms,
+            2, // scalar readbacks per CG iteration
+            iterations,
+        );
+
+        let (executed_ms, rejected_ms) = match decision.placement {
+            Placement::Device => {
+                let r = run_device(
+                    self.gpu,
+                    data,
+                    labels,
+                    &SessionConfig::native(EngineKind::Fused, iterations),
+                );
+                (r.total_ms, decision.host_ms)
+            }
+            Placement::Host => {
+                let ms = run_cpu(data, labels, iterations);
+                (ms, decision.device_ms)
+            }
+        };
+
+        HybridReport {
+            placement: decision.placement,
+            decision,
+            executed_ms,
+            rejected_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_gpu_sim::DeviceSpec;
+    use fusedml_matrix::gen::{random_vector, uniform_sparse};
+    use fusedml_matrix::reference;
+
+    fn dataset(m: usize, n: usize) -> (DataSet, Vec<f64>) {
+        let x = uniform_sparse(m, n, 0.05, 41);
+        let w = random_vector(n, 42);
+        let labels = reference::csr_mv(&x, &w);
+        (DataSet::Sparse(x), labels)
+    }
+
+    #[test]
+    fn long_loops_on_large_data_go_to_the_device() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
+        let (data, labels) = dataset(8000, 512);
+        let hx = HybridExecutor::new(&g);
+        let r = hx.run_lr_cg(&data, &labels, 60);
+        assert_eq!(r.placement, Placement::Device);
+        assert!(r.executed_ms > 0.0);
+        // The decision's estimate for the chosen side should not be wildly
+        // off from what actually executed.
+        assert!(
+            r.executed_ms < 3.0 * r.decision.device_ms + 1.0,
+            "estimate {} vs executed {}",
+            r.decision.device_ms,
+            r.executed_ms
+        );
+    }
+
+    #[test]
+    fn single_iteration_stays_on_the_host() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
+        // Expensive transfer (dense-sized data), one iteration: CPU wins.
+        let x = fusedml_matrix::gen::dense_random(20_000, 64, 43);
+        let labels = reference::dense_mv(&x, &random_vector(64, 44));
+        let data = DataSet::Dense(x);
+        let hx = HybridExecutor::new(&g);
+        let r = hx.run_lr_cg(&data, &labels, 1);
+        assert_eq!(r.placement, Placement::Host);
+    }
+
+    #[test]
+    fn decision_is_consistent_with_estimates() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
+        let (data, labels) = dataset(4000, 256);
+        let hx = HybridExecutor::new(&g);
+        let r = hx.run_lr_cg(&data, &labels, 30);
+        match r.placement {
+            Placement::Device => assert!(r.decision.device_ms <= r.decision.host_ms),
+            Placement::Host => assert!(r.decision.host_ms <= r.decision.device_ms),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # fusedml-runtime
+//!
+//! A miniature SystemML-like runtime (§4.4): the GPU memory manager
+//! (allocate / LRU-evict / host-device consistency), host↔device transfer
+//! models (raw PCIe and the JVM-integration regime with JNI + format
+//! conversion), a host-vs-device cost model, and end-to-end execution
+//! sessions that reproduce Tables 5 and 6.
+
+pub mod costmodel;
+pub mod hybrid;
+pub mod memman;
+pub mod session;
+pub mod streaming;
+pub mod transfer;
+
+pub use costmodel::{CostModel, Placement, PlacementDecision};
+pub use hybrid::{HybridExecutor, HybridReport};
+pub use streaming::{stream_pattern_sparse, StreamReport};
+pub use memman::{MemError, MemStats, MemoryManager};
+pub use session::{run_cpu, run_device, DataSet, EndToEndReport, EngineKind, SessionConfig};
+pub use transfer::TransferModel;

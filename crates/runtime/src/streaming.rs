@@ -1,0 +1,275 @@
+//! Out-of-core (streaming) execution — the extension §3 sketches: "In
+//! situations where such an amortization is not feasible, the developed
+//! methods can easily be adapted to a streaming design for 'out-of-core'
+//! computation."
+//!
+//! The matrix is split into row chunks; each chunk is transferred over
+//! PCIe and its fused pattern contribution accumulated into `w` on the
+//! device. Because the generic pattern is a sum of independent per-row
+//! contributions (`w = Σ_r alpha * X[r,:]^T (v_r * (X[r,:] y)) (+ beta z
+//! once)`), chunked evaluation is exact. Transfers of chunk `k+1` overlap
+//! the kernel of chunk `k` (double buffering), so the modelled wall time
+//! is `max(transfer, compute)` per chunk plus the pipeline fill.
+
+use crate::transfer::TransferModel;
+use fusedml_blas::GpuCsr;
+use fusedml_core::{FusedExecutor, PatternSpec};
+use fusedml_gpu_sim::{Gpu, GpuBuffer};
+use fusedml_matrix::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Report of a streamed pattern evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    pub chunks: usize,
+    /// Total bytes moved host -> device.
+    pub h2d_bytes: u64,
+    /// Sum of per-chunk transfer times.
+    pub transfer_ms: f64,
+    /// Sum of per-chunk kernel times.
+    pub kernel_ms: f64,
+    /// Modelled wall time with double buffering: transfers overlap the
+    /// previous chunk's kernel.
+    pub overlapped_ms: f64,
+    /// Wall time without overlap (single buffer), for comparison.
+    pub serial_ms: f64,
+}
+
+/// Evaluate `w = alpha * X^T (v ⊙ (X y)) + beta z` for a matrix too large
+/// to keep on the device, streaming `rows_per_chunk` rows at a time.
+/// Returns the result vector (downloaded to host) and the cost report.
+///
+/// `v` (if present) is indexed by global row, so it is sliced alongside
+/// the chunks; `y`, `z` and `w` live on the device for the whole run.
+#[allow(clippy::too_many_arguments)] // the pattern's full operand set
+pub fn stream_pattern_sparse(
+    gpu: &Gpu,
+    spec: PatternSpec,
+    x: &CsrMatrix,
+    v: Option<&[f64]>,
+    y: &[f64],
+    z: Option<&[f64]>,
+    rows_per_chunk: usize,
+    transfer: &TransferModel,
+) -> (Vec<f64>, StreamReport) {
+    assert!(rows_per_chunk > 0, "chunk size must be positive");
+    assert_eq!(y.len(), x.cols(), "y length mismatch");
+    if let Some(v) = v {
+        assert_eq!(v.len(), x.rows(), "v length mismatch");
+    }
+    assert_eq!(spec.with_v, v.is_some());
+    assert_eq!(spec.with_z, z.is_some());
+
+    let n = x.cols();
+    let yd = gpu.upload_f64("stream.y", y);
+    let zd = z.map(|z| gpu.upload_f64("stream.z", z));
+    let wd = gpu.alloc_f64("stream.w", n);
+    let w_chunk = gpu.alloc_f64("stream.w_chunk", n);
+
+    let mut report = StreamReport {
+        chunks: 0,
+        h2d_bytes: 0,
+        transfer_ms: 0.0,
+        kernel_ms: 0.0,
+        overlapped_ms: 0.0,
+        serial_ms: 0.0,
+    };
+    // y (+z) also cross the bus once.
+    let vec_bytes = (y.len() * 8 + z.map_or(0, |z| z.len() * 8)) as u64;
+    report.h2d_bytes += vec_bytes;
+    let lead_in = transfer.h2d_ms(vec_bytes, false);
+    report.transfer_ms += lead_in;
+
+    let mut ex = FusedExecutor::new(gpu);
+    let mut prev_kernel_ms = 0.0f64;
+    let mut overlapped = lead_in;
+
+    let mut row0 = 0usize;
+    while row0 < x.rows() {
+        let rows = rows_per_chunk.min(x.rows() - row0);
+        let chunk = slice_rows(x, row0, rows);
+        let chunk_bytes = chunk.size_bytes() + if v.is_some() { rows as u64 * 8 } else { 0 };
+
+        let xd = GpuCsr::upload(gpu, "stream.chunk", &chunk);
+        let vd = v.map(|v| gpu.upload_f64("stream.v_chunk", &v[row0..row0 + rows]));
+
+        // Each chunk contributes alpha * X_k^T (v_k ⊙ (X_k y)); the beta*z
+        // term is applied once at the end.
+        let chunk_spec = PatternSpec {
+            alpha: spec.alpha,
+            with_v: spec.with_v,
+            beta: 0.0,
+            with_z: false,
+        };
+        ex.reset();
+        ex.pattern_sparse(chunk_spec, &xd, vd.as_ref(), &yd, None, &w_chunk);
+        accumulate(gpu, &mut ex, &w_chunk, &wd);
+        let kernel_ms = ex.total_sim_ms();
+
+        let t_ms = transfer.h2d_ms(chunk_bytes, false);
+        report.chunks += 1;
+        report.h2d_bytes += chunk_bytes;
+        report.transfer_ms += t_ms;
+        report.kernel_ms += kernel_ms;
+        // Double buffering: this chunk's transfer overlaps the previous
+        // chunk's kernel.
+        overlapped += t_ms.max(prev_kernel_ms);
+        prev_kernel_ms = kernel_ms;
+
+        gpu.free(&xd.row_off);
+        gpu.free(&xd.col_idx);
+        gpu.free(&xd.values);
+        row0 += rows;
+    }
+    overlapped += prev_kernel_ms; // drain the pipeline
+
+    // beta * z once, on device.
+    if let (Some(zd), true) = (&zd, spec.with_z) {
+        ex.reset();
+        let s = fusedml_blas::level1::axpy(gpu, spec.beta, zd, &wd);
+        report.kernel_ms += s.sim_ms();
+        overlapped += s.sim_ms();
+    }
+
+    report.overlapped_ms = overlapped;
+    report.serial_ms = report.transfer_ms + report.kernel_ms;
+    (wd.to_vec_f64(), report)
+}
+
+/// Extract rows `[row0, row0 + rows)` as a standalone CSR matrix.
+fn slice_rows(x: &CsrMatrix, row0: usize, rows: usize) -> CsrMatrix {
+    let start = x.row_off()[row0];
+    let end = x.row_off()[row0 + rows];
+    let row_off: Vec<usize> = x.row_off()[row0..=row0 + rows]
+        .iter()
+        .map(|&o| o - start)
+        .collect();
+    CsrMatrix::from_parts(
+        rows,
+        x.cols(),
+        row_off,
+        x.col_idx()[start..end].to_vec(),
+        x.values()[start..end].to_vec(),
+    )
+}
+
+/// `w += w_chunk` on device (one elementwise kernel), charging the cost to
+/// the executor's ledger.
+fn accumulate(gpu: &Gpu, ex: &mut FusedExecutor, src: &GpuBuffer, dst: &GpuBuffer) {
+    let s = fusedml_blas::level1::axpy(gpu, 1.0, src, dst);
+    ex.launches.push(s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_gpu_sim::DeviceSpec;
+    use fusedml_matrix::gen::{random_vector, uniform_sparse};
+    use fusedml_matrix::reference;
+
+    fn gpu() -> Gpu {
+        Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+    }
+
+    #[test]
+    fn streamed_result_matches_reference() {
+        let g = gpu();
+        let x = uniform_sparse(1000, 200, 0.05, 31);
+        let y = random_vector(200, 1);
+        let v = random_vector(1000, 2);
+        let z = random_vector(200, 3);
+        let spec = PatternSpec::full(1.5, -0.5);
+        let (w, report) = stream_pattern_sparse(
+            &g,
+            spec,
+            &x,
+            Some(&v),
+            &y,
+            Some(&z),
+            137, // deliberately not dividing 1000
+            &TransferModel::native(),
+        );
+        let expect = reference::pattern_csr(1.5, &x, Some(&v), &y, -0.5, Some(&z));
+        assert!(reference::rel_l2_error(&w, &expect) < 1e-10);
+        assert_eq!(report.chunks, 8);
+        assert!(report.h2d_bytes > x.size_bytes());
+    }
+
+    #[test]
+    fn single_chunk_equals_whole_matrix() {
+        let g = gpu();
+        let x = uniform_sparse(400, 100, 0.05, 32);
+        let y = random_vector(100, 4);
+        let (w, report) = stream_pattern_sparse(
+            &g,
+            PatternSpec::xtxy(),
+            &x,
+            None,
+            &y,
+            None,
+            10_000,
+            &TransferModel::native(),
+        );
+        assert_eq!(report.chunks, 1);
+        let expect = reference::pattern_csr(1.0, &x, None, &y, 0.0, None);
+        assert!(reference::rel_l2_error(&w, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn overlap_beats_serial_execution() {
+        let g = gpu();
+        let x = uniform_sparse(8000, 256, 0.05, 33);
+        let y = random_vector(256, 5);
+        let (_, report) = stream_pattern_sparse(
+            &g,
+            PatternSpec::xtxy(),
+            &x,
+            None,
+            &y,
+            None,
+            1000,
+            &TransferModel::native(),
+        );
+        assert!(report.chunks == 8);
+        assert!(
+            report.overlapped_ms < report.serial_ms,
+            "overlap {} vs serial {}",
+            report.overlapped_ms,
+            report.serial_ms
+        );
+        // Overlapped time is bounded below by the slower pipeline stage.
+        assert!(report.overlapped_ms >= report.transfer_ms.max(report.kernel_ms) * 0.99);
+    }
+
+    #[test]
+    fn chunk_slicing_preserves_rows() {
+        let x = uniform_sparse(50, 30, 0.2, 34);
+        let s = slice_rows(&x, 10, 15);
+        assert_eq!(s.rows(), 15);
+        assert_eq!(s.cols(), 30);
+        for r in 0..15 {
+            assert_eq!(
+                s.row_entries(r).collect::<Vec<_>>(),
+                x.row_entries(10 + r).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let g = gpu();
+        let x = uniform_sparse(10, 10, 0.2, 35);
+        let y = random_vector(10, 6);
+        stream_pattern_sparse(
+            &g,
+            PatternSpec::xtxy(),
+            &x,
+            None,
+            &y,
+            None,
+            0,
+            &TransferModel::native(),
+        );
+    }
+}

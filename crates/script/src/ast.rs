@@ -1,0 +1,197 @@
+//! AST of the mini-DML dialect, plus the fused-pattern node the optimizer
+//! introduces (§4.4: the integrated system "transparently selects our
+//! fused GPU kernel" for matching subexpressions).
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Number(f64),
+    Str(String),
+    Ident(String),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call; arguments may be named (`matrix(0, rows=n, cols=1)`).
+    Call {
+        name: String,
+        args: Vec<Arg>,
+    },
+    /// Inserted by the optimizer: one fused evaluation of
+    /// `alpha * t(X) %*% (v * (X %*% y)) + beta * z`.
+    FusedPattern(Box<FusedPattern>),
+}
+
+/// The operands of a recognized Equation-1 instance. `alpha`/`beta` are
+/// arbitrary scalar subexpressions; `v`/`z` are optional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedPattern {
+    pub alpha: Option<Expr>,
+    pub x: Expr,
+    pub v: Option<Expr>,
+    pub y: Expr,
+    pub beta: Option<Expr>,
+    pub z: Option<Expr>,
+    /// `true` for the composite forms (`y` has column dimension and the
+    /// kernel computes `X^T (v ⊙ (X y))`); `false` for the plain
+    /// `t(X) %*% y` instantiation (`y` has row dimension).
+    pub inner_mv: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// Present for named arguments.
+    pub name: Option<String>,
+    pub value: Expr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    MatMul,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+            BinOp::MatMul => "%*%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr`
+    Assign { name: String, value: Expr, line: usize },
+    /// `while (cond) { body }`
+    While { cond: Expr, body: Vec<Stmt>, line: usize },
+    /// `if (cond) { then } [else { otherwise }]`
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: usize,
+    },
+    /// Bare expression statement (e.g. `write(w, "w")`).
+    Expr { value: Expr, line: usize },
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub statements: Vec<Stmt>,
+}
+
+impl Expr {
+    /// `t(<inner>)` matcher used by the optimizer.
+    pub fn as_transpose(&self) -> Option<&Expr> {
+        if let Expr::Call { name, args } = self {
+            if name == "t" && args.len() == 1 && args[0].name.is_none() {
+                return Some(&args[0].value);
+            }
+        }
+        None
+    }
+
+    /// Walk every sub-expression (including self), depth-first.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, e) => e.walk(f),
+            Expr::Binary(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.value.walk(f);
+                }
+            }
+            Expr::FusedPattern(p) => {
+                if let Some(a) = &p.alpha {
+                    a.walk(f);
+                }
+                p.x.walk(f);
+                if let Some(v) = &p.v {
+                    v.walk(f);
+                }
+                p.y.walk(f);
+                if let Some(b) = &p.beta {
+                    b.walk(f);
+                }
+                if let Some(z) = &p.z {
+                    z.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_matcher() {
+        let t = Expr::Call {
+            name: "t".into(),
+            args: vec![Arg {
+                name: None,
+                value: Expr::Ident("X".into()),
+            }],
+        };
+        assert_eq!(t.as_transpose(), Some(&Expr::Ident("X".into())));
+        let not_t = Expr::Call {
+            name: "sum".into(),
+            args: vec![Arg {
+                name: None,
+                value: Expr::Ident("X".into()),
+            }],
+        };
+        assert!(not_t.as_transpose().is_none());
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Ident("a".into())),
+            Box::new(Expr::Unary(UnaryOp::Neg, Box::new(Expr::Number(2.0)))),
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+}

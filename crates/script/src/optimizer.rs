@@ -1,0 +1,377 @@
+//! The fusion rewriter: recognizes instances of the generic pattern
+//!
+//! ```text
+//! w = alpha * t(X) %*% (v * (X %*% y)) + beta * z
+//! ```
+//!
+//! (and its Table-1 sub-instantiations, including plain `t(X) %*% y`) in
+//! parsed expression trees and replaces them with a single
+//! [`FusedPattern`] node — the compiler-side half of the paper's §4.4:
+//! "an end-to-end GPU accelerated ML system that transparently selects our
+//! fused GPU kernel".
+//!
+//! Matching is purely structural, so it is conservative: the two
+//! occurrences of `X` must be the *same expression* (`t(V) %*% (V %*% p)`
+//! fuses; `t(A) %*% (B %*% p)` does not). Scalar-versus-vector ambiguities
+//! that types would normally resolve (`eps * p` vs `p * eps`) are deferred
+//! to the interpreter, which inspects runtime values.
+
+use crate::ast::{BinOp, Expr, FusedPattern, Program, Stmt, UnaryOp};
+
+/// Rewrite a whole program.
+pub fn optimize(prog: &Program) -> Program {
+    Program {
+        statements: prog.statements.iter().map(rewrite_stmt).collect(),
+    }
+}
+
+/// Count the fused-pattern nodes in a program (diagnostics / tests).
+pub fn count_fused(prog: &Program) -> usize {
+    let mut count = 0;
+    for s in &prog.statements {
+        for e in stmt_exprs(s) {
+            e.walk(&mut |e| {
+                if matches!(e, Expr::FusedPattern(_)) {
+                    count += 1;
+                }
+            });
+        }
+    }
+    count
+}
+
+fn stmt_exprs(s: &Stmt) -> Vec<&Expr> {
+    match s {
+        Stmt::Assign { value, .. } | Stmt::Expr { value, .. } => vec![value],
+        Stmt::While { cond, body, .. } => {
+            let mut v = vec![cond];
+            v.extend(body.iter().flat_map(stmt_exprs));
+            v
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let mut v = vec![cond];
+            v.extend(then_body.iter().flat_map(stmt_exprs));
+            v.extend(else_body.iter().flat_map(stmt_exprs));
+            v
+        }
+    }
+}
+
+fn rewrite_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Assign { name, value, line } => Stmt::Assign {
+            name: name.clone(),
+            value: rewrite(value),
+            line: *line,
+        },
+        Stmt::Expr { value, line } => Stmt::Expr {
+            value: rewrite(value),
+            line: *line,
+        },
+        Stmt::While { cond, body, line } => Stmt::While {
+            cond: rewrite(cond),
+            body: body.iter().map(rewrite_stmt).collect(),
+            line: *line,
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        } => Stmt::If {
+            cond: rewrite(cond),
+            then_body: then_body.iter().map(rewrite_stmt).collect(),
+            else_body: else_body.iter().map(rewrite_stmt).collect(),
+            line: *line,
+        },
+    }
+}
+
+/// Top-down rewrite: try to match the widest pattern at this node before
+/// descending, so the outer `t(X) %*% (...)` sees the un-rewritten inner
+/// `X %*% y`.
+pub fn rewrite(e: &Expr) -> Expr {
+    if let Some(p) = match_pattern(e) {
+        // Recursively optimize the operand expressions (a `+ z` tail may
+        // itself contain a fusable pattern).
+        return Expr::FusedPattern(Box::new(FusedPattern {
+            alpha: p.alpha.as_ref().map(rewrite),
+            x: p.x.clone(), // matrix operand: left as-is (an identifier in practice)
+            v: p.v.as_ref().map(rewrite),
+            y: rewrite(&p.y),
+            beta: p.beta.as_ref().map(rewrite),
+            z: p.z.as_ref().map(rewrite),
+            inner_mv: p.inner_mv,
+        }));
+    }
+    match e {
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rewrite(a))),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(rewrite(a)), Box::new(rewrite(b)))
+        }
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| crate::ast::Arg {
+                    name: a.name.clone(),
+                    value: rewrite(&a.value),
+                })
+                .collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Does this expression contain a `%*%` (or an already-fused node)?
+fn contains_matmul(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |e| {
+        if matches!(e, Expr::Binary(BinOp::MatMul, _, _) | Expr::FusedPattern(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Try to match the full pattern (with optional additive tail) at `e`.
+fn match_pattern(e: &Expr) -> Option<FusedPattern> {
+    // 1. `core + tail` / `core - tail` / `tail + core`.
+    if let Expr::Binary(op @ (BinOp::Add | BinOp::Sub), l, r) = e {
+        let candidates: &[(&Expr, &Expr, bool)] = match op {
+            // core - tail: beta negated. tail - core is NOT the pattern
+            // (that would negate alpha, which `match_core` cannot express
+            // without wrapping — skip it; the parts still fuse separately).
+            BinOp::Sub => &[(l, r, true)],
+            _ => &[(l, r, false), (r, l, false)],
+        };
+        for (core, tail, negate) in candidates {
+            if let Some(mut p) = match_core(core) {
+                if p.z.is_none() {
+                    let (beta, z) = split_beta_z(tail);
+                    p.beta = Some(if *negate {
+                        Expr::Unary(UnaryOp::Neg, Box::new(beta))
+                    } else {
+                        beta
+                    });
+                    p.z = Some(z);
+                    return Some(p);
+                }
+            }
+        }
+    }
+    // 2. Bare core.
+    match_core(e)
+}
+
+/// `tail` as `(beta, z)`: `beta * z` when it is a product (the interpreter
+/// swaps the roles at runtime if the types turn out reversed), else
+/// `(1, tail)`.
+fn split_beta_z(tail: &Expr) -> (Expr, Expr) {
+    if let Expr::Binary(BinOp::Mul, a, b) = tail {
+        ((**a).clone(), (**b).clone())
+    } else {
+        (Expr::Number(1.0), tail.clone())
+    }
+}
+
+/// Match `[alpha *] [-] t(X) %*% RHS` where RHS is `[v *] (X %*% y)` or a
+/// plain vector (the `t(X) %*% y` instantiation).
+fn match_core(e: &Expr) -> Option<FusedPattern> {
+    let (alpha, body) = peel_scalar_wrappers(e);
+
+    let Expr::Binary(BinOp::MatMul, lhs, rhs) = body else {
+        return None;
+    };
+    let x = lhs.as_transpose()?.clone();
+
+    // Full form: rhs = [v *] (X %*% y) with the same X.
+    if let Some((v, y)) = match_inner(rhs, &x) {
+        return Some(FusedPattern {
+            alpha,
+            x,
+            v,
+            y,
+            beta: None,
+            z: None,
+            inner_mv: true,
+        });
+    }
+
+    // XtY form: rhs is any expression without the inner matmul over X.
+    Some(FusedPattern {
+        alpha,
+        x,
+        v: None,
+        y: (**rhs).clone(),
+        beta: None,
+        z: None,
+        inner_mv: false,
+    })
+}
+
+/// `[v *] (X %*% y)` with a structurally identical `X`.
+fn match_inner(rhs: &Expr, x: &Expr) -> Option<(Option<Expr>, Expr)> {
+    if let Expr::Binary(BinOp::MatMul, a, y) = rhs {
+        if **a == *x {
+            return Some((None, (**y).clone()));
+        }
+    }
+    if let Expr::Binary(BinOp::Mul, a, b) = rhs {
+        // v * (X %*% y) or (X %*% y) * v.
+        for (v, mm) in [(a, b), (b, a)] {
+            if let Expr::Binary(BinOp::MatMul, xx, y) = &**mm {
+                if **xx == *x && !contains_matmul(v) {
+                    return Some((Some((**v).clone()), (**y).clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Strip `-e` and `s * e` wrappers around the transposed matmul,
+/// accumulating the scalar factor. Returns `(alpha, body)`.
+fn peel_scalar_wrappers(e: &Expr) -> (Option<Expr>, &Expr) {
+    match e {
+        Expr::Unary(UnaryOp::Neg, inner) => {
+            let (alpha, body) = peel_scalar_wrappers(inner);
+            let neg = match alpha {
+                None => Expr::Number(-1.0),
+                Some(a) => Expr::Unary(UnaryOp::Neg, Box::new(a)),
+            };
+            (Some(neg), body)
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            // One side must hold the t(X) matmul, the other is the scalar.
+            let a_has = is_tmatmul_head(a);
+            let b_has = is_tmatmul_head(b);
+            match (a_has, b_has) {
+                (false, true) if !contains_matmul(a) => (Some((**a).clone()), &**b),
+                (true, false) if !contains_matmul(b) => (Some((**b).clone()), &**a),
+                _ => (None, e),
+            }
+        }
+        _ => (None, e),
+    }
+}
+
+/// Is this expression (ignoring further wrappers) a `t(..) %*% ..`?
+fn is_tmatmul_head(e: &Expr) -> bool {
+    matches!(e, Expr::Binary(BinOp::MatMul, lhs, _) if lhs.as_transpose().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn first_expr(src: &str) -> Expr {
+        let prog = optimize(&parse(src).unwrap());
+        match prog.statements.into_iter().next().unwrap() {
+            Stmt::Assign { value, .. } | Stmt::Expr { value, .. } => value,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn fused(src: &str) -> FusedPattern {
+        match first_expr(src) {
+            Expr::FusedPattern(p) => *p,
+            other => panic!("expected fusion for `{src}`, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuses_every_table1_instantiation() {
+        // a * X^T y
+        let p = fused("w = 3 * (t(X) %*% y)");
+        assert!(p.alpha.is_some() && p.v.is_none() && p.z.is_none());
+
+        // X^T (X y)
+        let p = fused("w = t(X) %*% (X %*% y)");
+        assert_eq!(p.y, Expr::Ident("y".into()));
+        assert!(p.v.is_none() && p.z.is_none());
+
+        // X^T (v . (X y))
+        let p = fused("w = t(X) %*% (v * (X %*% y))");
+        assert_eq!(p.v, Some(Expr::Ident("v".into())));
+
+        // X^T (X y) + b z
+        let p = fused("w = t(X) %*% (X %*% y) + b * z");
+        assert_eq!(p.z, Some(Expr::Ident("z".into())));
+        assert_eq!(p.beta, Some(Expr::Ident("b".into())));
+
+        // full
+        let p = fused("w = a * (t(X) %*% (v * (X %*% y))) + b * z");
+        assert!(p.alpha.is_some() && p.v.is_some() && p.beta.is_some() && p.z.is_some());
+    }
+
+    #[test]
+    fn fuses_listing1_hot_statement() {
+        let p = fused("q = ((t(V) %*% (V %*% p)) + eps * p)");
+        assert_eq!(p.x, Expr::Ident("V".into()));
+        assert_eq!(p.y, Expr::Ident("p".into()));
+        assert_eq!(p.beta, Some(Expr::Ident("eps".into())));
+        assert_eq!(p.z, Some(Expr::Ident("p".into())));
+    }
+
+    #[test]
+    fn fuses_negated_xty() {
+        // Listing 1 line 3: r = -(t(V) %*% y)
+        let p = fused("r = -(t(V) %*% y)");
+        assert_eq!(p.alpha, Some(Expr::Number(-1.0)));
+        assert!(p.v.is_none());
+    }
+
+    #[test]
+    fn does_not_fuse_mismatched_matrices() {
+        // Different matrices: not Equation 1. The inner matmul remains a
+        // matmul; only the outer t(A)%*%(...) may become an XtY-with-
+        // -vector node, whose `y` still contains the inner product.
+        let e = first_expr("w = t(A) %*% (B %*% y)");
+        match e {
+            Expr::FusedPattern(p) => {
+                assert!(p.v.is_none());
+                assert!(contains_matmul(&p.y), "inner B%*%y must survive");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subtraction_tail_negates_beta() {
+        let p = fused("w = t(X) %*% (X %*% y) - b * z");
+        match p.beta {
+            Some(Expr::Unary(UnaryOp::Neg, inner)) => {
+                assert_eq!(*inner, Expr::Ident("b".into()))
+            }
+            other => panic!("expected negated beta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_arithmetic_untouched() {
+        let e = first_expr("x = a + b * c");
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+        assert_eq!(count_fused(&optimize(&parse("x = a + b * c").unwrap())), 0);
+    }
+
+    #[test]
+    fn listing1_gets_exactly_three_fusions() {
+        // r = -(t(V)%*%y); q = t(V)%*%(V%*%p) + eps*p; alpha's t(p)%*%q
+        // (a dot product, resolved at runtime).
+        let prog = optimize(&parse(include_str!("listing1.dml")).unwrap());
+        assert_eq!(count_fused(&prog), 3);
+    }
+
+    #[test]
+    fn tail_on_the_left_also_fuses() {
+        let p = fused("w = b * z + t(X) %*% (X %*% y)");
+        assert_eq!(p.z, Some(Expr::Ident("z".into())));
+    }
+}

@@ -1,0 +1,376 @@
+//! Recursive-descent parser for the mini-DML dialect.
+//!
+//! Precedence (loosest to tightest), mirroring R/DML:
+//! `|` < `&` < comparisons < `+ -` < `* / %*%` < unary `- !` < `^` < call.
+
+use crate::ast::{Arg, BinOp, Expr, Program, Stmt, UnaryOp};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a whole script.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let statements = p.statements_until(TokenKind::Eof)?;
+    Ok(Program { statements })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        let t = self.next();
+        if t.kind == kind {
+            Ok(t)
+        } else {
+            Err(ParseError {
+                line: t.line,
+                message: format!("expected {kind}, found {}", t.kind),
+            })
+        }
+    }
+
+    fn statements_until(&mut self, end: TokenKind) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if self.peek().kind == end {
+                self.next();
+                return Ok(out);
+            }
+            if self.peek().kind == TokenKind::Eof {
+                let t = self.peek();
+                return Err(ParseError {
+                    line: t.line,
+                    message: format!("expected {end} before end of input"),
+                });
+            }
+            out.push(self.statement()?);
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.peek().line;
+        match self.peek().kind.clone() {
+            TokenKind::While => {
+                self.next();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::LBrace)?;
+                let body = self.statements_until(TokenKind::RBrace)?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            TokenKind::If => {
+                self.next();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::LBrace)?;
+                let then_body = self.statements_until(TokenKind::RBrace)?;
+                let else_body = if self.eat(&TokenKind::Else) {
+                    self.expect(TokenKind::LBrace)?;
+                    self.statements_until(TokenKind::RBrace)?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
+            }
+            TokenKind::Ident(name)
+                // Assignment (ident '=') or expression statement.
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Assign) => {
+                    self.next(); // ident
+                    self.next(); // '='
+                    let value = self.expr()?;
+                    Ok(Stmt::Assign { name, value, line })
+                }
+            _ => {
+                let value = self.expr()?;
+                Ok(Stmt::Expr { value, line })
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::MatMul => BinOp::MatMul,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                self.next();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(e)))
+            }
+            TokenKind::Not => {
+                self.next();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(e)))
+            }
+            _ => self.pow_expr(),
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = self.postfix_expr()?;
+        if self.eat(&TokenKind::Caret) {
+            // Right-associative.
+            let exp = self.unary_expr()?;
+            Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let t = self.next();
+        match t.kind {
+            TokenKind::Number(v) => Ok(Expr::Number(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Ident(name) => {
+                if self.peek().kind == TokenKind::LParen {
+                    self.next();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.call_arg()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError {
+                line: t.line,
+                message: format!("expected an expression, found {other}"),
+            }),
+        }
+    }
+
+    fn call_arg(&mut self) -> Result<Arg, ParseError> {
+        // Named argument: ident '=' expr (but not '==').
+        if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Assign) {
+                self.next();
+                self.next();
+                let value = self.expr()?;
+                return Ok(Arg {
+                    name: Some(name),
+                    value,
+                });
+            }
+        }
+        Ok(Arg {
+            name: None,
+            value: self.expr()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr_of(src: &str) -> Expr {
+        let prog = parse(src).unwrap();
+        match prog.statements.into_iter().next().unwrap() {
+            Stmt::Assign { value, .. } | Stmt::Expr { value, .. } => value,
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr_of("x = a + b * c");
+        let Expr::Binary(BinOp::Add, _, rhs) = e else {
+            panic!("expected +, got {e:?}")
+        };
+        assert!(matches!(*rhs, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn matmul_binds_like_mul() {
+        let e = expr_of("q = t(V) %*% y + z");
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn pow_is_right_associative_and_tight() {
+        let e = expr_of("x = tolerance ^ 2");
+        assert!(matches!(e, Expr::Binary(BinOp::Pow, _, _)));
+        let e = expr_of("x = -a ^ 2"); // -(a^2) in R
+        let Expr::Unary(UnaryOp::Neg, inner) = e else {
+            panic!("expected unary neg")
+        };
+        assert!(matches!(*inner, Expr::Binary(BinOp::Pow, _, _)));
+    }
+
+    #[test]
+    fn named_arguments() {
+        let e = expr_of("w = matrix(0, rows=ncol(V), cols=1)");
+        let Expr::Call { name, args } = e else { panic!() };
+        assert_eq!(name, "matrix");
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[1].name.as_deref(), Some("rows"));
+        assert!(matches!(args[1].value, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn while_and_if_blocks() {
+        let prog = parse(
+            "i = 0\n\
+             while (i < 10 & nr2 > t) {\n\
+               i = i + 1;\n\
+               if (i == 5) { j = 1 } else { j = 2 }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(prog.statements.len(), 2);
+        let Stmt::While { body, .. } = &prog.statements[1] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 2);
+        assert!(matches!(body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_full_listing1() {
+        let src = include_str!("listing1.dml");
+        let prog = parse(src).unwrap();
+        assert!(prog.statements.len() > 10);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("a = 1\nb = *").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unclosed_block_is_an_error() {
+        assert!(parse("while (a < b) { x = 1").is_err());
+    }
+}

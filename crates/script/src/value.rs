@@ -1,0 +1,117 @@
+//! Runtime values of the mini-DML interpreter.
+
+use fusedml_matrix::{CsrMatrix, DenseMatrix};
+use std::fmt;
+use std::rc::Rc;
+
+/// A matrix value with a stable identity used to cache its device copy.
+#[derive(Debug)]
+pub struct MatrixVal {
+    pub id: u64,
+    pub data: HostMatrix,
+}
+
+#[derive(Debug)]
+pub enum HostMatrix {
+    Sparse(CsrMatrix),
+    Dense(DenseMatrix),
+}
+
+impl HostMatrix {
+    pub fn rows(&self) -> usize {
+        match self {
+            HostMatrix::Sparse(x) => x.rows(),
+            HostMatrix::Dense(x) => x.rows(),
+        }
+    }
+
+    pub fn cols(&self) -> usize {
+        match self {
+            HostMatrix::Sparse(x) => x.cols(),
+            HostMatrix::Dense(x) => x.cols(),
+        }
+    }
+}
+
+/// A runtime value. Vectors are column vectors (DML's n x 1 matrices).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Scalar(f64),
+    Vector(Rc<Vec<f64>>),
+    Matrix(Rc<MatrixVal>),
+    /// Lazy transpose marker produced by `t(..)` (only ever consumed by
+    /// `%*%` in the supported dialect).
+    Transposed(Box<Value>),
+    Str(Rc<String>),
+}
+
+impl Value {
+    pub fn vector(v: Vec<f64>) -> Self {
+        Value::Vector(Rc::new(v))
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Scalar(_) => "scalar",
+            Value::Vector(_) => "vector",
+            Value::Matrix(_) => "matrix",
+            Value::Transposed(_) => "transposed",
+            Value::Str(_) => "string",
+        }
+    }
+
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Value::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            Value::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `while`/`if` conditions (scalars only).
+    pub fn truthy(&self) -> Option<bool> {
+        self.as_scalar().map(|v| v != 0.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(v) => write!(f, "{v}"),
+            Value::Vector(v) => write!(f, "vector[{}]", v.len()),
+            Value::Matrix(m) => write!(f, "matrix[{}x{}]", m.data.rows(), m.data.cols()),
+            Value::Transposed(v) => write!(f, "t({v})"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_and_accessors() {
+        assert_eq!(Value::Scalar(0.0).truthy(), Some(false));
+        assert_eq!(Value::Scalar(2.0).truthy(), Some(true));
+        assert_eq!(Value::vector(vec![1.0]).truthy(), None);
+        assert_eq!(Value::Scalar(3.5).as_scalar(), Some(3.5));
+        assert_eq!(Value::vector(vec![1.0, 2.0]).as_vector(), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = Value::Matrix(Rc::new(MatrixVal {
+            id: 1,
+            data: HostMatrix::Dense(DenseMatrix::zeros(2, 3)),
+        }));
+        assert_eq!(m.to_string(), "matrix[2x3]");
+        assert_eq!(Value::vector(vec![0.0; 5]).to_string(), "vector[5]");
+    }
+}

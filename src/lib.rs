@@ -1,0 +1,28 @@
+//! # fusedml
+//!
+//! A reproduction of *"On Optimizing Machine Learning Workloads via Kernel
+//! Fusion"* (PPoPP 2015) as a Rust workspace: fused GPU kernels for the
+//! generic pattern `w = alpha * X^T (v ⊙ (X y)) + beta * z`, executed on a
+//! functional + performance-modelling GPU simulator.
+//!
+//! This facade crate re-exports the workspace libraries and hosts the
+//! runnable examples (`cargo run --example quickstart`) and the
+//! cross-crate integration tests. See `DESIGN.md` for the system map and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use fusedml_blas as blas;
+pub use fusedml_core as core;
+pub use fusedml_gpu_sim as gpu_sim;
+pub use fusedml_matrix as matrix;
+pub use fusedml_ml as ml;
+pub use fusedml_runtime as runtime;
+pub use fusedml_script as script;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use fusedml_blas::{BaselineEngine, Flavor, GpuCsr, GpuDense};
+    pub use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec};
+    pub use fusedml_gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+    pub use fusedml_matrix::{CsrMatrix, DenseMatrix};
+    pub use fusedml_ml::{Backend, BaselineBackend, CpuBackend, FusedBackend};
+}

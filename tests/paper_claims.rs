@@ -1,0 +1,221 @@
+//! The paper's headline claims, asserted at reduced scale. These are the
+//! *shape* guarantees the reproduction commits to: who wins, by roughly
+//! what class of factor, and where behaviour switches.
+
+use fusedml::prelude::*;
+use fusedml_matrix::gen::{powerlaw_sparse, random_vector, uniform_sparse};
+use fusedml_matrix::reference;
+
+fn gpu() -> Gpu {
+    Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+}
+
+/// Abstract: "speedups ranging from 2x to 67x for different instances of
+/// the generic pattern compared to launching multiple operator-level
+/// kernels".
+#[test]
+fn abstract_speedup_range() {
+    let g = gpu();
+    let (m, n) = (20_000, 512);
+    let x = uniform_sparse(m, n, 0.01, 1);
+    let xd = GpuCsr::upload(&g, "x", &x);
+    let yd = g.upload_f64("y", &random_vector(n, 2));
+    let vd = g.upload_f64("v", &random_vector(m, 3));
+    let zd = g.upload_f64("z", &random_vector(n, 4));
+    let wd = g.alloc_f64("w", n);
+    let pd = g.alloc_f64("p", m);
+
+    for spec in [
+        PatternSpec::xtxy(),
+        PatternSpec::xtvxy(),
+        PatternSpec::xtxy_plus_bz(0.5),
+        PatternSpec::full(1.5, -0.5),
+    ] {
+        g.flush_caches();
+        let mut fused = FusedExecutor::new(&g);
+        fused.pattern_sparse(
+            spec,
+            &xd,
+            spec.with_v.then_some(&vd),
+            &yd,
+            spec.with_z.then_some(&zd),
+            &wd,
+        );
+        g.flush_caches();
+        let mut base = BaselineEngine::new(&g, Flavor::CuLibs);
+        base.pattern_sparse(
+            spec.alpha,
+            &xd,
+            spec.with_v.then_some(&vd),
+            &yd,
+            spec.beta,
+            spec.with_z.then_some(&zd),
+            &wd,
+            &pd,
+        );
+        let speedup = base.total_sim_ms() / fused.total_sim_ms();
+        assert!(
+            (2.0..=120.0).contains(&speedup),
+            "{:?}: speedup {speedup} outside the paper's class",
+            spec.instance()
+        );
+    }
+}
+
+/// §3: the fused kernel's entire point — X is loaded from DRAM once, not
+/// twice, because the second scan hits cache.
+#[test]
+fn temporal_locality_halves_matrix_traffic() {
+    let g = gpu();
+    let (m, n) = (30_000, 512);
+    let x = uniform_sparse(m, n, 0.01, 5);
+    let one_scan = (x.nnz() * 12) as u64;
+    let xd = GpuCsr::upload(&g, "x", &x);
+    let yd = g.upload_f64("y", &random_vector(n, 6));
+    let wd = g.alloc_f64("w", n);
+    let pd = g.alloc_f64("p", m);
+
+    g.flush_caches();
+    let mut fused = FusedExecutor::new(&g);
+    fused.pattern_sparse(PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+    let fused_dram: u64 = fused
+        .launches
+        .iter()
+        .map(|l| l.counters.dram_read_bytes)
+        .sum();
+
+    g.flush_caches();
+    let mut base = BaselineEngine::new(&g, Flavor::BidmatGpu);
+    base.pattern_sparse(1.0, &xd, None, &yd, 0.0, None, &wd, &pd);
+    let base_dram: u64 = base
+        .launches
+        .iter()
+        .map(|l| l.counters.dram_read_bytes)
+        .sum();
+
+    assert!(
+        fused_dram < one_scan + one_scan / 2,
+        "fused reads {} vs one scan {}",
+        fused_dram,
+        one_scan
+    );
+    assert!(
+        base_dram > fused_dram + one_scan / 3,
+        "baseline {} should re-read X vs fused {}",
+        base_dram,
+        fused_dram
+    );
+}
+
+/// §3.1: the hierarchical aggregation bound — global atomics are per
+/// block-column, never per non-zero, in the shared-memory variant.
+#[test]
+fn hierarchical_aggregation_bounds_global_atomics() {
+    let g = gpu();
+    let (m, n) = (20_000, 256);
+    let x = uniform_sparse(m, n, 0.05, 7); // ~256k nnz
+    let xd = GpuCsr::upload(&g, "x", &x);
+    let yd = g.upload_f64("y", &random_vector(n, 8));
+    let wd = g.alloc_f64("w", n);
+    let mut ex = FusedExecutor::new(&g);
+    ex.pattern_sparse(PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+    let k = ex.launches.last().unwrap();
+    let plan = ex.sparse_plan(&xd);
+    assert!(plan.use_shared_w);
+    assert_eq!(
+        k.counters.global_atomics,
+        (plan.grid * n) as u64,
+        "global atomics must equal grid x columns"
+    );
+    assert!(k.counters.global_atomics < x.nnz() as u64 / 10);
+}
+
+/// §3.1 extension: very wide matrices switch to global aggregation and
+/// still win because ultra-sparse columns rarely collide.
+#[test]
+fn wide_matrices_use_global_variant_and_win() {
+    let g = gpu();
+    let x = powerlaw_sparse(8_000, 50_000, 10.0, 0.8, 9);
+    let xd = GpuCsr::upload(&g, "x", &x);
+    let yd = g.upload_f64("y", &random_vector(50_000, 10));
+    let wd = g.alloc_f64("w", 50_000);
+    let pd = g.alloc_f64("p", 8_000);
+
+    g.flush_caches();
+    let mut fused = FusedExecutor::new(&g);
+    assert!(!fused.sparse_plan(&xd).use_shared_w);
+    fused.pattern_sparse(PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+
+    g.flush_caches();
+    let mut base = BaselineEngine::new(&g, Flavor::CuLibs);
+    base.pattern_sparse(1.0, &xd, None, &yd, 0.0, None, &wd, &pd);
+    assert!(fused.total_sim_ms() < base.total_sim_ms());
+
+    // Contention stays negligible: the hottest w element sees well under
+    // 1% of all atomics.
+    let c = &fused.launches.last().unwrap().counters;
+    assert!(c.hottest_atomic_address_count() < c.global_atomics / 50);
+}
+
+/// §4.2: dense gains are much smaller than sparse gains, "most of the
+/// gain we achieve comes from loading X only once".
+#[test]
+fn dense_gains_smaller_than_sparse_gains() {
+    let g = gpu();
+    let (m, n) = (10_000, 512);
+
+    let xs = uniform_sparse(m, n, 0.01, 11);
+    let xsd = GpuCsr::upload(&g, "xs", &xs);
+    let yd = g.upload_f64("y", &random_vector(n, 12));
+    let wd = g.alloc_f64("w", n);
+    let pd = g.alloc_f64("p", m);
+    g.flush_caches();
+    let mut f1 = FusedExecutor::new(&g);
+    f1.pattern_sparse(PatternSpec::xtxy(), &xsd, None, &yd, None, &wd);
+    g.flush_caches();
+    let mut b1 = BaselineEngine::new(&g, Flavor::CuLibs);
+    b1.pattern_sparse(1.0, &xsd, None, &yd, 0.0, None, &wd, &pd);
+    let sparse_speedup = b1.total_sim_ms() / f1.total_sim_ms();
+
+    let xdense = fusedml_matrix::gen::dense_random(m, n, 13);
+    let xdd = GpuDense::upload(&g, "xd", &xdense);
+    g.flush_caches();
+    let mut f2 = FusedExecutor::new(&g);
+    f2.pattern_dense(PatternSpec::xtxy(), &xdd, None, &yd, None, &wd);
+    g.flush_caches();
+    let mut b2 = BaselineEngine::new(&g, Flavor::CuLibs);
+    b2.pattern_dense(1.0, &xdd, None, &yd, 0.0, None, &wd, &pd);
+    let dense_speedup = b2.total_sim_ms() / f2.total_sim_ms();
+
+    assert!(
+        sparse_speedup > 2.0 * dense_speedup,
+        "sparse {sparse_speedup}x should dwarf dense {dense_speedup}x"
+    );
+    assert!(dense_speedup > 1.3, "dense speedup {dense_speedup}");
+}
+
+/// Both fused results remain numerically equal to the baseline results —
+/// speed never trades correctness.
+#[test]
+fn all_engines_agree_numerically_at_scale() {
+    let g = gpu();
+    let (m, n) = (5000, 300);
+    let x = uniform_sparse(m, n, 0.02, 15);
+    let y = random_vector(n, 16);
+    let expect = reference::pattern_csr(1.0, &x, None, &y, 0.0, None);
+    let xd = GpuCsr::upload(&g, "x", &x);
+    let yd = g.upload_f64("y", &y);
+    let pd = g.alloc_f64("p", m);
+
+    let wd = g.alloc_f64("w", n);
+    let mut fused = FusedExecutor::new(&g);
+    fused.pattern_sparse(PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+    assert!(reference::rel_l2_error(&wd.to_vec_f64(), &expect) < 1e-10);
+
+    for flavor in [Flavor::CuLibs, Flavor::BidmatGpu] {
+        let wb = g.alloc_f64("wb", n);
+        let mut e = BaselineEngine::new(&g, flavor);
+        e.pattern_sparse(1.0, &xd, None, &yd, 0.0, None, &wb, &pd);
+        assert!(reference::rel_l2_error(&wb.to_vec_f64(), &expect) < 1e-10);
+    }
+}
