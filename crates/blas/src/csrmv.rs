@@ -9,7 +9,7 @@
 //!   libraries use; its per-lane row marching produces uncoalesced loads.
 
 use crate::dev::GpuCsr;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 /// SpMV kernel flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,14 +42,14 @@ pub(crate) fn capped_grid(gpu: &Gpu, work_items: usize, per_block: usize) -> usi
     work_items.div_ceil(per_block.max(1)).clamp(1, cap)
 }
 
-/// `p = X * y` on the device. `p.len() == X.rows`.
-pub fn csrmv(
+/// `p = X * y` on the device (see [`csrmv`]), reporting device faults.
+pub fn try_csrmv(
     gpu: &Gpu,
     x: &GpuCsr,
     y: &GpuBuffer,
     p: &GpuBuffer,
     style: SpmvStyle,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(y.len(), x.cols, "y length mismatch");
     assert_eq!(p.len(), x.rows, "p length mismatch");
     match style {
@@ -58,7 +58,24 @@ pub fn csrmv(
     }
 }
 
-fn csrmv_vector(gpu: &Gpu, x: &GpuCsr, y: &GpuBuffer, p: &GpuBuffer, vs: usize) -> LaunchStats {
+/// `p = X * y` on the device. `p.len() == X.rows`.
+pub fn csrmv(
+    gpu: &Gpu,
+    x: &GpuCsr,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+    style: SpmvStyle,
+) -> LaunchStats {
+    try_csrmv(gpu, x, y, p, style).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn csrmv_vector(
+    gpu: &Gpu,
+    x: &GpuCsr,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+    vs: usize,
+) -> Result<LaunchStats, DeviceError> {
     assert!(
         vs.is_power_of_two() && (1..=WARP_LANES).contains(&vs),
         "vector size must be a power of two in [1, 32], got {vs}"
@@ -68,7 +85,7 @@ fn csrmv_vector(gpu: &Gpu, x: &GpuCsr, y: &GpuBuffer, p: &GpuBuffer, vs: usize) 
     let grid = capped_grid(gpu, m * vs, bs);
     let cfg = LaunchConfig::new(grid, bs).with_regs(28);
 
-    gpu.launch("csrmv_vector", cfg, |blk| {
+    gpu.try_launch("csrmv_vector", cfg, |blk| {
         let grid_vectors = blk.grid_dim() * blk.block_dim() / vs;
         blk.each_warp(|w| {
             let base_vid = w.gtid(0) / vs;
@@ -121,13 +138,18 @@ fn csrmv_vector(gpu: &Gpu, x: &GpuCsr, y: &GpuBuffer, p: &GpuBuffer, vs: usize) 
     })
 }
 
-fn csrmv_scalar(gpu: &Gpu, x: &GpuCsr, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats {
+fn csrmv_scalar(
+    gpu: &Gpu,
+    x: &GpuCsr,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     let m = x.rows;
     let bs = 256;
     let grid = capped_grid(gpu, m, bs);
     let cfg = LaunchConfig::new(grid, bs).with_regs(20);
 
-    gpu.launch("csrmv_scalar", cfg, |blk| {
+    gpu.try_launch("csrmv_scalar", cfg, |blk| {
         let grid_threads = blk.grid_dim() * blk.block_dim();
         blk.each_warp(|w| {
             let mut row0 = w.gtid(0);

@@ -8,15 +8,25 @@
 //! (b) explicitly transposes with `csr2csc` first (see [`crate::transpose`])
 //! and runs a regular SpMV, paying the transposition and double storage.
 
-use crate::csrmv::{capped_grid, csrmv, SpmvStyle};
+use crate::csrmv::{capped_grid, try_csrmv, SpmvStyle};
 use crate::dev::GpuCsr;
-use crate::level1::fill;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use crate::level1::try_fill;
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 /// `w += X^T * p` by row-wise atomic scatter (cuSPARSE
 /// `csrmv(OP_TRANSPOSE)`-style). `w` must be zeroed first — use
 /// [`csrmv_t_atomic`] for the zero-and-scatter composition.
 pub fn csrmv_t_scatter(gpu: &Gpu, x: &GpuCsr, p: &GpuBuffer, w: &GpuBuffer) -> LaunchStats {
+    try_csrmv_t_scatter(gpu, x, p, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// See [`csrmv_t_scatter`]; reports device faults instead of panicking.
+pub fn try_csrmv_t_scatter(
+    gpu: &Gpu,
+    x: &GpuCsr,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(p.len(), x.rows, "p length mismatch");
     assert_eq!(w.len(), x.cols, "w length mismatch");
     let m = x.rows;
@@ -25,7 +35,7 @@ pub fn csrmv_t_scatter(gpu: &Gpu, x: &GpuCsr, p: &GpuBuffer, w: &GpuBuffer) -> L
     let grid = capped_grid(gpu, m * vs, bs);
     let cfg = LaunchConfig::new(grid, bs).with_regs(26);
 
-    gpu.launch("csrmv_t_scatter", cfg, |blk| {
+    gpu.try_launch("csrmv_t_scatter", cfg, |blk| {
         let grid_vectors = blk.grid_dim() * blk.block_dim() / vs;
         blk.each_warp(|w_ctx| {
             let base_vid = w_ctx.gtid(0) / vs;
@@ -77,9 +87,19 @@ pub fn csrmv_t_atomic(
     p: &GpuBuffer,
     w: &GpuBuffer,
 ) -> Vec<LaunchStats> {
-    let zero = fill(gpu, w, 0.0);
-    let scatter = csrmv_t_scatter(gpu, x, p, w);
-    vec![zero, scatter]
+    try_csrmv_t_atomic(gpu, x, p, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// See [`csrmv_t_atomic`]; reports device faults instead of panicking.
+pub fn try_csrmv_t_atomic(
+    gpu: &Gpu,
+    x: &GpuCsr,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> Result<Vec<LaunchStats>, DeviceError> {
+    let zero = try_fill(gpu, w, 0.0)?;
+    let scatter = try_csrmv_t_scatter(gpu, x, p, w)?;
+    Ok(vec![zero, scatter])
 }
 
 /// `w = X^T * p` via a pre-transposed matrix: a plain CSR-vector SpMV over
@@ -91,8 +111,18 @@ pub fn csrmv_t_pretransposed(
     p: &GpuBuffer,
     w: &GpuBuffer,
 ) -> LaunchStats {
+    try_csrmv_t_pretransposed(gpu, xt, p, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// See [`csrmv_t_pretransposed`]; reports device faults instead of panicking.
+pub fn try_csrmv_t_pretransposed(
+    gpu: &Gpu,
+    xt: &GpuCsr,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     let vs = crate::csrmv::vector_size_for_mean_nnz(xt.mean_nnz_per_row());
-    csrmv(gpu, xt, p, w, SpmvStyle::Vector { vs: vs.max(1) })
+    try_csrmv(gpu, xt, p, w, SpmvStyle::Vector { vs: vs.max(1) })
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! (`values`, `col_idx`, `row_off`) and row-major dense storage, mirroring
 //! what cuSPARSE/cuBLAS operate on.
 
-use fusedml_gpu_sim::{Gpu, GpuBuffer};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer};
 use fusedml_matrix::{CsrMatrix, DenseMatrix};
 
 /// CSR matrix uploaded to the simulated device.
@@ -23,23 +23,28 @@ pub struct GpuCsr {
 
 impl GpuCsr {
     /// Upload a host CSR matrix (simulated `cudaMemcpy` H2D; transfer cost
-    /// is the runtime crate's concern).
-    pub fn upload(gpu: &Gpu, name: &str, x: &CsrMatrix) -> Self {
+    /// is the runtime crate's concern), reporting allocation/transfer faults.
+    pub fn try_upload(gpu: &Gpu, name: &str, x: &CsrMatrix) -> Result<Self, DeviceError> {
         assert!(
             x.nnz() <= u32::MAX as usize,
             "device CSR uses u32 offsets; nnz {} too large",
             x.nnz()
         );
         let row_off: Vec<u32> = x.row_off().iter().map(|&o| o as u32).collect();
-        GpuCsr {
+        Ok(GpuCsr {
             rows: x.rows(),
             cols: x.cols(),
             nnz: x.nnz(),
-            row_off: gpu.upload_u32(&format!("{name}.row_off"), &row_off),
-            col_idx: gpu.upload_u32(&format!("{name}.col_idx"), x.col_idx()),
-            values: gpu.upload_f64(&format!("{name}.values"), x.values()),
+            row_off: gpu.try_upload_u32(&format!("{name}.row_off"), &row_off)?,
+            col_idx: gpu.try_upload_u32(&format!("{name}.col_idx"), x.col_idx())?,
+            values: gpu.try_upload_f64(&format!("{name}.values"), x.values())?,
             unsorted: false,
-        }
+        })
+    }
+
+    /// Infallible [`GpuCsr::try_upload`]; panics on device faults.
+    pub fn upload(gpu: &Gpu, name: &str, x: &CsrMatrix) -> Self {
+        GpuCsr::try_upload(gpu, name, x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Total device bytes held by this matrix.
@@ -66,12 +71,18 @@ pub struct GpuDense {
 }
 
 impl GpuDense {
-    pub fn upload(gpu: &Gpu, name: &str, x: &DenseMatrix) -> Self {
-        GpuDense {
+    /// Upload a host dense matrix, reporting allocation/transfer faults.
+    pub fn try_upload(gpu: &Gpu, name: &str, x: &DenseMatrix) -> Result<Self, DeviceError> {
+        Ok(GpuDense {
             rows: x.rows(),
             cols: x.cols(),
-            data: gpu.upload_f64(name, x.data()),
-        }
+            data: gpu.try_upload_f64(name, x.data())?,
+        })
+    }
+
+    /// Infallible [`GpuDense::try_upload`]; panics on device faults.
+    pub fn upload(gpu: &Gpu, name: &str, x: &DenseMatrix) -> Self {
+        GpuDense::try_upload(gpu, name, x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn size_bytes(&self) -> u64 {

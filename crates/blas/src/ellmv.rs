@@ -6,7 +6,7 @@
 //! a load. HYB adds a COO tail processed with row atomics.
 
 use crate::csrmv::capped_grid;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 use fusedml_matrix::ell::ELL_PAD;
 use fusedml_matrix::{EllMatrix, HybMatrix};
 
@@ -22,14 +22,20 @@ pub struct GpuEll {
 }
 
 impl GpuEll {
-    pub fn upload(gpu: &Gpu, name: &str, x: &EllMatrix) -> Self {
-        GpuEll {
+    /// Upload a host ELL matrix, reporting allocation/transfer faults.
+    pub fn try_upload(gpu: &Gpu, name: &str, x: &EllMatrix) -> Result<Self, DeviceError> {
+        Ok(GpuEll {
             rows: x.rows(),
             cols: x.cols(),
             width: x.width(),
-            col_idx: gpu.upload_u32(&format!("{name}.col_idx"), x.col_idx()),
-            values: gpu.upload_f64(&format!("{name}.values"), x.values()),
-        }
+            col_idx: gpu.try_upload_u32(&format!("{name}.col_idx"), x.col_idx())?,
+            values: gpu.try_upload_f64(&format!("{name}.values"), x.values())?,
+        })
+    }
+
+    /// Infallible [`GpuEll::try_upload`]; panics on device faults.
+    pub fn upload(gpu: &Gpu, name: &str, x: &EllMatrix) -> Self {
+        GpuEll::try_upload(gpu, name, x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn size_bytes(&self) -> u64 {
@@ -48,22 +54,33 @@ pub struct GpuHyb {
 }
 
 impl GpuHyb {
-    pub fn upload(gpu: &Gpu, name: &str, x: &HybMatrix) -> Self {
+    /// Upload a host HYB matrix, reporting allocation/transfer faults.
+    pub fn try_upload(gpu: &Gpu, name: &str, x: &HybMatrix) -> Result<Self, DeviceError> {
         let rows: Vec<u32> = x.coo().iter().map(|t| t.0).collect();
         let cols: Vec<u32> = x.coo().iter().map(|t| t.1).collect();
         let vals: Vec<f64> = x.coo().iter().map(|t| t.2).collect();
-        GpuHyb {
-            ell: GpuEll::upload(gpu, name, x.ell()),
-            coo_rows: gpu.upload_u32(&format!("{name}.coo_rows"), &rows),
-            coo_cols: gpu.upload_u32(&format!("{name}.coo_cols"), &cols),
-            coo_vals: gpu.upload_f64(&format!("{name}.coo_vals"), &vals),
+        Ok(GpuHyb {
+            ell: GpuEll::try_upload(gpu, name, x.ell())?,
+            coo_rows: gpu.try_upload_u32(&format!("{name}.coo_rows"), &rows)?,
+            coo_cols: gpu.try_upload_u32(&format!("{name}.coo_cols"), &cols)?,
+            coo_vals: gpu.try_upload_f64(&format!("{name}.coo_vals"), &vals)?,
             coo_nnz: x.coo().len(),
-        }
+        })
+    }
+
+    /// Infallible [`GpuHyb::try_upload`]; panics on device faults.
+    pub fn upload(gpu: &Gpu, name: &str, x: &HybMatrix) -> Self {
+        GpuHyb::try_upload(gpu, name, x).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-/// `p = X * y` over ELL: one thread per row, slot loop, coalesced.
-pub fn ellmv(gpu: &Gpu, x: &GpuEll, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats {
+/// `p = X * y` over ELL (see [`ellmv`]), reporting device faults.
+pub fn try_ellmv(
+    gpu: &Gpu,
+    x: &GpuEll,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(y.len(), x.cols, "y length mismatch");
     assert_eq!(p.len(), x.rows, "p length mismatch");
     let (m, width) = (x.rows, x.width);
@@ -71,7 +88,7 @@ pub fn ellmv(gpu: &Gpu, x: &GpuEll, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats
     let grid = capped_grid(gpu, m, bs);
     let cfg = LaunchConfig::new(grid, bs).with_regs(20).with_ilp(2.0);
 
-    gpu.launch("ellmv", cfg, |blk| {
+    gpu.try_launch("ellmv", cfg, |blk| {
         let grid_threads = blk.grid_dim() * blk.block_dim();
         blk.each_warp(|w| {
             let mut row0 = w.gtid(0);
@@ -106,13 +123,23 @@ pub fn ellmv(gpu: &Gpu, x: &GpuEll, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats
     })
 }
 
+/// `p = X * y` over ELL: one thread per row, slot loop, coalesced.
+pub fn ellmv(gpu: &Gpu, x: &GpuEll, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats {
+    try_ellmv(gpu, x, y, p).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// COO tail: `p[row] += v * y[col]` with row atomics.
-fn coo_tail(gpu: &Gpu, x: &GpuHyb, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats {
+fn coo_tail(
+    gpu: &Gpu,
+    x: &GpuHyb,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     let nnz = x.coo_nnz;
     let bs = 256;
     let grid = capped_grid(gpu, nnz.max(1), bs);
     let cfg = LaunchConfig::new(grid, bs).with_regs(18);
-    gpu.launch("hyb_coo_tail", cfg, |blk| {
+    gpu.try_launch("hyb_coo_tail", cfg, |blk| {
         let grid_threads = blk.grid_dim() * blk.block_dim();
         blk.each_warp(|w| {
             let mut base = w.gtid(0);
@@ -131,13 +158,23 @@ fn coo_tail(gpu: &Gpu, x: &GpuHyb, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats 
     })
 }
 
+/// `p = X * y` over HYB (see [`hybmv`]), reporting device faults.
+pub fn try_hybmv(
+    gpu: &Gpu,
+    x: &GpuHyb,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+) -> Result<Vec<LaunchStats>, DeviceError> {
+    let mut launches = vec![try_ellmv(gpu, &x.ell, y, p)?];
+    if x.coo_nnz > 0 {
+        launches.push(coo_tail(gpu, x, y, p)?);
+    }
+    Ok(launches)
+}
+
 /// `p = X * y` over HYB (ELL pass, then the COO tail).
 pub fn hybmv(gpu: &Gpu, x: &GpuHyb, y: &GpuBuffer, p: &GpuBuffer) -> Vec<LaunchStats> {
-    let mut launches = vec![ellmv(gpu, &x.ell, y, p)];
-    if x.coo_nnz > 0 {
-        launches.push(coo_tail(gpu, x, y, p));
-    }
-    launches
+    try_hybmv(gpu, x, y, p).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -5,12 +5,10 @@
 //! cuBLAS/cuSPARSE (or BIDMat-GPU) composition would: one kernel launch per
 //! operator, intermediates materialized in global memory.
 
-use crate::csrmv::{csrmv, vector_size_for_mean_nnz, SpmvStyle};
-use crate::csrmv_t::csrmv_t_atomic;
+use crate::csrmv::{vector_size_for_mean_nnz, SpmvStyle};
 use crate::dev::{GpuCsr, GpuDense};
-use crate::gemv::{gemv, gemv_t, gemv_t_direct};
 use crate::level1;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchStats};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchStats};
 
 /// Which library's composition style the engine mimics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,13 +32,20 @@ pub struct BaselineEngine<'g> {
 }
 
 impl<'g> BaselineEngine<'g> {
-    pub fn new(gpu: &'g Gpu, flavor: Flavor) -> Self {
-        BaselineEngine {
+    /// Construct the engine, reporting a device fault if the scratch
+    /// scalar cannot be allocated.
+    pub fn try_new(gpu: &'g Gpu, flavor: Flavor) -> Result<Self, DeviceError> {
+        Ok(BaselineEngine {
             gpu,
             flavor,
             launches: Vec::new(),
-            scalar: gpu.alloc_f64("engine.scalar", 1),
-        }
+            scalar: gpu.try_alloc_f64("engine.scalar", 1)?,
+        })
+    }
+
+    /// Infallible [`BaselineEngine::try_new`]; panics on device faults.
+    pub fn new(gpu: &'g Gpu, flavor: Flavor) -> Self {
+        BaselineEngine::try_new(gpu, flavor).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn gpu(&self) -> &'g Gpu {
@@ -76,10 +81,21 @@ impl<'g> BaselineEngine<'g> {
 
     // ---------------- recorded operator launches ----------------
 
+    /// `p = X * y` (sparse), reporting device faults.
+    pub fn try_csrmv(
+        &mut self,
+        x: &GpuCsr,
+        y: &GpuBuffer,
+        p: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let s = crate::csrmv::try_csrmv(self.gpu, x, y, p, self.spmv_style(x))?;
+        self.launches.push(s);
+        Ok(())
+    }
+
     /// `p = X * y` (sparse).
     pub fn csrmv(&mut self, x: &GpuCsr, y: &GpuBuffer, p: &GpuBuffer) {
-        let s = csrmv(self.gpu, x, y, p, self.spmv_style(x));
-        self.launches.push(s);
+        self.try_csrmv(x, y, p).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `w = X^T * p` (sparse) — the library's slow path.
@@ -90,68 +106,140 @@ impl<'g> BaselineEngine<'g> {
     ///   transpose is rebuilt on every call, as an opaque library kernel
     ///   must.
     /// * `BidmatGpu`: row-wise atomic scatter.
-    pub fn csrmv_t(&mut self, x: &GpuCsr, p: &GpuBuffer, w: &GpuBuffer) {
+    pub fn try_csrmv_t(
+        &mut self,
+        x: &GpuCsr,
+        p: &GpuBuffer,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
         match self.flavor {
             Flavor::CuLibs => {
-                let (xt, launches) = crate::transpose::csr2csc_device(self.gpu, x);
+                let (xt, launches) = crate::transpose::try_csr2csc_device(self.gpu, x)?;
                 self.launches.extend(launches);
-                let s = crate::csrmv_t::csrmv_t_pretransposed(self.gpu, &xt, p, w);
-                self.launches.push(s);
+                let s = crate::csrmv_t::try_csrmv_t_pretransposed(self.gpu, &xt, p, w);
                 self.gpu.free(&xt.row_off);
                 self.gpu.free(&xt.col_idx);
                 self.gpu.free(&xt.values);
+                self.launches.push(s?);
             }
             Flavor::BidmatGpu => {
-                self.launches.extend(csrmv_t_atomic(self.gpu, x, p, w));
+                self.launches
+                    .extend(crate::csrmv_t::try_csrmv_t_atomic(self.gpu, x, p, w)?);
             }
         }
+        Ok(())
+    }
+
+    /// Infallible [`BaselineEngine::try_csrmv_t`]; panics on device faults.
+    pub fn csrmv_t(&mut self, x: &GpuCsr, p: &GpuBuffer, w: &GpuBuffer) {
+        self.try_csrmv_t(x, p, w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// `p = X * y` (dense), reporting device faults.
+    pub fn try_gemv(
+        &mut self,
+        x: &GpuDense,
+        y: &GpuBuffer,
+        p: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let s = crate::gemv::try_gemv(self.gpu, x, y, p)?;
+        self.launches.push(s);
+        Ok(())
     }
 
     /// `p = X * y` (dense).
     pub fn gemv(&mut self, x: &GpuDense, y: &GpuBuffer, p: &GpuBuffer) {
-        let s = gemv(self.gpu, x, y, p);
-        self.launches.push(s);
+        self.try_gemv(x, y, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// `w = X^T * p` (dense), reporting device faults.
+    pub fn try_gemv_t(
+        &mut self,
+        x: &GpuDense,
+        p: &GpuBuffer,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let ls = match self.flavor {
+            Flavor::CuLibs => crate::gemv::try_gemv_t(self.gpu, x, p, w)?,
+            Flavor::BidmatGpu => crate::gemv::try_gemv_t_direct(self.gpu, x, p, w)?,
+        };
+        self.launches.extend(ls);
+        Ok(())
     }
 
     /// `w = X^T * p` (dense).
     pub fn gemv_t(&mut self, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) {
-        let ls = match self.flavor {
-            Flavor::CuLibs => gemv_t(self.gpu, x, p, w),
-            Flavor::BidmatGpu => gemv_t_direct(self.gpu, x, p, w),
-        };
-        self.launches.extend(ls);
+        self.try_gemv_t(x, p, w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_fill(&mut self, buf: &GpuBuffer, v: f64) -> Result<(), DeviceError> {
+        self.launches.push(level1::try_fill(self.gpu, buf, v)?);
+        Ok(())
     }
 
     pub fn fill(&mut self, buf: &GpuBuffer, v: f64) {
-        self.launches.push(level1::fill(self.gpu, buf, v));
+        self.try_fill(buf, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_copy(&mut self, src: &GpuBuffer, dst: &GpuBuffer) -> Result<(), DeviceError> {
+        self.launches.push(level1::try_copy(self.gpu, src, dst)?);
+        Ok(())
     }
 
     pub fn copy(&mut self, src: &GpuBuffer, dst: &GpuBuffer) {
-        self.launches.push(level1::copy(self.gpu, src, dst));
+        self.try_copy(src, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_axpy(&mut self, a: f64, x: &GpuBuffer, y: &GpuBuffer) -> Result<(), DeviceError> {
+        self.launches.push(level1::try_axpy(self.gpu, a, x, y)?);
+        Ok(())
     }
 
     pub fn axpy(&mut self, a: f64, x: &GpuBuffer, y: &GpuBuffer) {
-        self.launches.push(level1::axpy(self.gpu, a, x, y));
+        self.try_axpy(a, x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_scal(&mut self, a: f64, x: &GpuBuffer) -> Result<(), DeviceError> {
+        self.launches.push(level1::try_scal(self.gpu, a, x)?);
+        Ok(())
     }
 
     pub fn scal(&mut self, a: f64, x: &GpuBuffer) {
-        self.launches.push(level1::scal(self.gpu, a, x));
+        self.try_scal(a, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_ewmul(
+        &mut self,
+        x: &GpuBuffer,
+        y: &GpuBuffer,
+        out: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        self.launches.push(level1::try_ewmul(self.gpu, x, y, out)?);
+        Ok(())
     }
 
     pub fn ewmul(&mut self, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) {
-        self.launches.push(level1::ewmul(self.gpu, x, y, out));
+        self.try_ewmul(x, y, out).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> Result<f64, DeviceError> {
+        let (v, s) = level1::try_dot(self.gpu, x, y, &self.scalar)?;
+        self.launches.push(s);
+        Ok(v)
     }
 
     pub fn dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> f64 {
-        let (v, s) = level1::dot(self.gpu, x, y, &self.scalar);
+        self.try_dot(x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_nrm2_sq(&mut self, x: &GpuBuffer) -> Result<f64, DeviceError> {
+        let (v, s) = level1::try_nrm2_sq(self.gpu, x, &self.scalar)?;
         self.launches.push(s);
-        v
+        Ok(v)
     }
 
     pub fn nrm2_sq(&mut self, x: &GpuBuffer) -> f64 {
-        let (v, s) = level1::nrm2_sq(self.gpu, x, &self.scalar);
-        self.launches.push(s);
-        v
+        self.try_nrm2_sq(x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     // ---------------- pattern composition ----------------
@@ -161,6 +249,33 @@ impl<'g> BaselineEngine<'g> {
     ///
     /// `tmp_p` is scratch of length `X.rows` (reused across iterations the
     /// way Listing 1's intermediates are).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_pattern_sparse(
+        &mut self,
+        alpha: f64,
+        x: &GpuCsr,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        beta: f64,
+        z: Option<&GpuBuffer>,
+        w: &GpuBuffer,
+        tmp_p: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        self.try_csrmv(x, y, tmp_p)?;
+        if let Some(v) = v {
+            self.try_ewmul(tmp_p, v, tmp_p)?;
+        }
+        self.try_csrmv_t(x, tmp_p, w)?;
+        if alpha != 1.0 {
+            self.try_scal(alpha, w)?;
+        }
+        if let Some(z) = z {
+            self.try_axpy(beta, z, w)?;
+        }
+        Ok(())
+    }
+
+    /// Infallible [`BaselineEngine::try_pattern_sparse`].
     #[allow(clippy::too_many_arguments)]
     pub fn pattern_sparse(
         &mut self,
@@ -173,20 +288,38 @@ impl<'g> BaselineEngine<'g> {
         w: &GpuBuffer,
         tmp_p: &GpuBuffer,
     ) {
-        self.csrmv(x, y, tmp_p);
-        if let Some(v) = v {
-            self.ewmul(tmp_p, v, tmp_p);
-        }
-        self.csrmv_t(x, tmp_p, w);
-        if alpha != 1.0 {
-            self.scal(alpha, w);
-        }
-        if let Some(z) = z {
-            self.axpy(beta, z, w);
-        }
+        self.try_pattern_sparse(alpha, x, v, y, beta, z, w, tmp_p)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Dense counterpart of [`BaselineEngine::pattern_sparse`].
+    /// Dense counterpart of [`BaselineEngine::try_pattern_sparse`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_pattern_dense(
+        &mut self,
+        alpha: f64,
+        x: &GpuDense,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        beta: f64,
+        z: Option<&GpuBuffer>,
+        w: &GpuBuffer,
+        tmp_p: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        self.try_gemv(x, y, tmp_p)?;
+        if let Some(v) = v {
+            self.try_ewmul(tmp_p, v, tmp_p)?;
+        }
+        self.try_gemv_t(x, tmp_p, w)?;
+        if alpha != 1.0 {
+            self.try_scal(alpha, w)?;
+        }
+        if let Some(z) = z {
+            self.try_axpy(beta, z, w)?;
+        }
+        Ok(())
+    }
+
+    /// Infallible [`BaselineEngine::try_pattern_dense`].
     #[allow(clippy::too_many_arguments)]
     pub fn pattern_dense(
         &mut self,
@@ -199,17 +332,8 @@ impl<'g> BaselineEngine<'g> {
         w: &GpuBuffer,
         tmp_p: &GpuBuffer,
     ) {
-        self.gemv(x, y, tmp_p);
-        if let Some(v) = v {
-            self.ewmul(tmp_p, v, tmp_p);
-        }
-        self.gemv_t(x, tmp_p, w);
-        if alpha != 1.0 {
-            self.scal(alpha, w);
-        }
-        if let Some(z) = z {
-            self.axpy(beta, z, w);
-        }
+        self.try_pattern_dense(alpha, x, v, y, beta, z, w, tmp_p)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

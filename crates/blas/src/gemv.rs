@@ -8,12 +8,22 @@
 
 use crate::csrmv::capped_grid;
 use crate::dev::GpuDense;
-use crate::level1::fill;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use crate::level1::try_fill;
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 /// `p = X * y` for row-major dense `X`: each warp scans one row in
 /// 32-element coalesced chunks and reduces with shuffles.
 pub fn gemv(gpu: &Gpu, x: &GpuDense, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStats {
+    try_gemv(gpu, x, y, p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// See [`gemv`]; reports device faults instead of panicking.
+pub fn try_gemv(
+    gpu: &Gpu,
+    x: &GpuDense,
+    y: &GpuBuffer,
+    p: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(y.len(), x.cols, "y length mismatch");
     assert_eq!(p.len(), x.rows, "p length mismatch");
     let (m, n) = (x.rows, x.cols);
@@ -21,7 +31,7 @@ pub fn gemv(gpu: &Gpu, x: &GpuDense, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStat
     let grid = capped_grid(gpu, m, bs / WARP_LANES);
     let cfg = LaunchConfig::new(grid, bs).with_regs(24);
 
-    gpu.launch("gemv", cfg, |blk| {
+    gpu.try_launch("gemv", cfg, |blk| {
         let grid_warps = blk.grid_dim() * (blk.block_dim() / WARP_LANES);
         blk.each_warp(|w| {
             let warp_gid = w.block_id() * (w.block_dim() / WARP_LANES) + w.warp_id();
@@ -59,7 +69,12 @@ pub fn gemv(gpu: &Gpu, x: &GpuDense, y: &GpuBuffer, p: &GpuBuffer) -> LaunchStat
 /// shared memory with coalesced loads, then each column is reduced by
 /// reading the tile *column-wise* — a stride-32 access pattern that
 /// serializes on the 32 banks. Composed as zero + accumulate by [`gemv_t`].
-fn gemv_t_accumulate(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> LaunchStats {
+fn gemv_t_accumulate(
+    gpu: &Gpu,
+    x: &GpuDense,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     let (m, n) = (x.rows, x.cols);
     let tiles = n.div_ceil(WARP_LANES);
     // Enough row-parallel blocks per tile to occupy the device.
@@ -74,7 +89,7 @@ fn gemv_t_accumulate(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> L
         .with_regs(30)
         .with_shared_bytes(shared_bytes);
 
-    gpu.launch("gemv_t", cfg, |blk| {
+    gpu.try_launch("gemv_t", cfg, |blk| {
         let tile_id = blk.block_id() % tiles;
         let row_block = blk.block_id() / tiles;
         let col0 = tile_id * WARP_LANES;
@@ -149,11 +164,21 @@ fn gemv_t_accumulate(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> L
 
 /// `w = X^T * p` (zero then accumulate). Returns both launches.
 pub fn gemv_t(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> Vec<LaunchStats> {
+    try_gemv_t(gpu, x, p, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// See [`gemv_t`]; reports device faults instead of panicking.
+pub fn try_gemv_t(
+    gpu: &Gpu,
+    x: &GpuDense,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> Result<Vec<LaunchStats>, DeviceError> {
     assert_eq!(p.len(), x.rows, "p length mismatch");
     assert_eq!(w.len(), x.cols, "w length mismatch");
-    let zero = fill(gpu, w, 0.0);
-    let acc = gemv_t_accumulate(gpu, x, p, w);
-    vec![zero, acc]
+    let zero = try_fill(gpu, w, 0.0)?;
+    let acc = gemv_t_accumulate(gpu, x, p, w)?;
+    Ok(vec![zero, acc])
 }
 
 /// `w = X^T * p` without the shared-memory tile: each warp accumulates its
@@ -161,9 +186,19 @@ pub fn gemv_t(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> Vec<Laun
 /// end (BIDMat-style). Fewer on-chip operations than [`gemv_t`] but more
 /// global atomics. Returns both launches (zero + accumulate).
 pub fn gemv_t_direct(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> Vec<LaunchStats> {
+    try_gemv_t_direct(gpu, x, p, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// See [`gemv_t_direct`]; reports device faults instead of panicking.
+pub fn try_gemv_t_direct(
+    gpu: &Gpu,
+    x: &GpuDense,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> Result<Vec<LaunchStats>, DeviceError> {
     assert_eq!(p.len(), x.rows, "p length mismatch");
     assert_eq!(w.len(), x.cols, "w length mismatch");
-    let zero = fill(gpu, w, 0.0);
+    let zero = try_fill(gpu, w, 0.0)?;
     let (m, n) = (x.rows, x.cols);
     let tiles = n.div_ceil(WARP_LANES);
     let row_blocks = (gpu.spec().num_sms * 8 / tiles.max(1)).clamp(1, 64);
@@ -171,7 +206,7 @@ pub fn gemv_t_direct(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> V
     let bs = 256;
     let cfg = LaunchConfig::new(grid, bs).with_regs(40);
 
-    let acc = gpu.launch("gemv_t_direct", cfg, |blk| {
+    let acc = gpu.try_launch("gemv_t_direct", cfg, |blk| {
         let tile = blk.block_id() % tiles;
         let row_block = blk.block_id() / tiles;
         let col0 = tile * WARP_LANES;
@@ -195,8 +230,8 @@ pub fn gemv_t_direct(gpu: &Gpu, x: &GpuDense, p: &GpuBuffer, w: &GpuBuffer) -> V
                 (col0 + lane < n).then(|| (col0 + lane, local[lane]))
             });
         });
-    });
-    vec![zero, acc]
+    })?;
+    Ok(vec![zero, acc])
 }
 
 #[cfg(test)]

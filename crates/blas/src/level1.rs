@@ -7,17 +7,17 @@
 //! overhead and round-trips its operands through global memory.
 
 use crate::csrmv::capped_grid;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 const BS: usize = 256;
 
-fn elementwise<F>(gpu: &Gpu, name: &str, n: usize, body: F) -> LaunchStats
+fn elementwise<F>(gpu: &Gpu, name: &str, n: usize, body: F) -> Result<LaunchStats, DeviceError>
 where
     F: Fn(&mut fusedml_gpu_sim::WarpCtx, usize /* base */) + Sync,
 {
     let grid = capped_grid(gpu, n, BS);
     let cfg = LaunchConfig::new(grid, BS).with_regs(16);
-    gpu.launch(name, cfg, |blk| {
+    gpu.try_launch(name, cfg, |blk| {
         let grid_threads = blk.grid_dim() * blk.block_dim();
         blk.each_warp(|w| {
             let mut base = w.gtid(0);
@@ -29,16 +29,21 @@ where
     })
 }
 
-/// `buf[i] = value` for all i.
-pub fn fill(gpu: &Gpu, buf: &GpuBuffer, value: f64) -> LaunchStats {
+/// `buf[i] = value` for all i, reporting device faults.
+pub fn try_fill(gpu: &Gpu, buf: &GpuBuffer, value: f64) -> Result<LaunchStats, DeviceError> {
     let n = buf.len();
     elementwise(gpu, "fill", n, |w, base| {
         w.store_f64(buf, |lane| (base + lane < n).then_some((base + lane, value)));
     })
 }
 
-/// `dst = src`.
-pub fn copy(gpu: &Gpu, src: &GpuBuffer, dst: &GpuBuffer) -> LaunchStats {
+/// `buf[i] = value` for all i.
+pub fn fill(gpu: &Gpu, buf: &GpuBuffer, value: f64) -> LaunchStats {
+    try_fill(gpu, buf, value).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `dst = src`, reporting device faults.
+pub fn try_copy(gpu: &Gpu, src: &GpuBuffer, dst: &GpuBuffer) -> Result<LaunchStats, DeviceError> {
     assert_eq!(src.len(), dst.len());
     let n = src.len();
     elementwise(gpu, "copy", n, |w, base| {
@@ -47,8 +52,18 @@ pub fn copy(gpu: &Gpu, src: &GpuBuffer, dst: &GpuBuffer) -> LaunchStats {
     })
 }
 
-/// `y += a * x` in place.
-pub fn axpy(gpu: &Gpu, a: f64, x: &GpuBuffer, y: &GpuBuffer) -> LaunchStats {
+/// `dst = src`.
+pub fn copy(gpu: &Gpu, src: &GpuBuffer, dst: &GpuBuffer) -> LaunchStats {
+    try_copy(gpu, src, dst).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `y += a * x` in place, reporting device faults.
+pub fn try_axpy(
+    gpu: &Gpu,
+    a: f64,
+    x: &GpuBuffer,
+    y: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(x.len(), y.len());
     let n = x.len();
     elementwise(gpu, "axpy", n, |w, base| {
@@ -61,8 +76,13 @@ pub fn axpy(gpu: &Gpu, a: f64, x: &GpuBuffer, y: &GpuBuffer) -> LaunchStats {
     })
 }
 
-/// `x *= a` in place.
-pub fn scal(gpu: &Gpu, a: f64, x: &GpuBuffer) -> LaunchStats {
+/// `y += a * x` in place.
+pub fn axpy(gpu: &Gpu, a: f64, x: &GpuBuffer, y: &GpuBuffer) -> LaunchStats {
+    try_axpy(gpu, a, x, y).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `x *= a` in place, reporting device faults.
+pub fn try_scal(gpu: &Gpu, a: f64, x: &GpuBuffer) -> Result<LaunchStats, DeviceError> {
     let n = x.len();
     elementwise(gpu, "scal", n, |w, base| {
         let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
@@ -71,9 +91,18 @@ pub fn scal(gpu: &Gpu, a: f64, x: &GpuBuffer) -> LaunchStats {
     })
 }
 
-/// `out = x .* y` element-wise (the `v ⊙ (...)` step when evaluated as a
-/// standalone operator).
-pub fn ewmul(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> LaunchStats {
+/// `x *= a` in place.
+pub fn scal(gpu: &Gpu, a: f64, x: &GpuBuffer) -> LaunchStats {
+    try_scal(gpu, a, x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `out = x .* y` element-wise, reporting device faults.
+pub fn try_ewmul(
+    gpu: &Gpu,
+    x: &GpuBuffer,
+    y: &GpuBuffer,
+    out: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(x.len(), y.len());
     assert_eq!(x.len(), out.len());
     let n = x.len();
@@ -87,17 +116,26 @@ pub fn ewmul(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> Launch
     })
 }
 
-/// Dot product `x . y`, reduced hierarchically (shuffle within warps,
-/// shared memory within the block, one global atomic per block) into
-/// `out[0]`. Returns the scalar alongside the launch stats.
-pub fn dot(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> (f64, LaunchStats) {
+/// `out = x .* y` element-wise (the `v ⊙ (...)` step when evaluated as a
+/// standalone operator).
+pub fn ewmul(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> LaunchStats {
+    try_ewmul(gpu, x, y, out).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Dot product `x . y` (see [`dot`]), reporting device faults.
+pub fn try_dot(
+    gpu: &Gpu,
+    x: &GpuBuffer,
+    y: &GpuBuffer,
+    out: &GpuBuffer,
+) -> Result<(f64, LaunchStats), DeviceError> {
     assert_eq!(x.len(), y.len());
     assert!(!out.is_empty());
     out.host_write_f64(0, 0.0);
     let n = x.len();
     let grid = capped_grid(gpu, n, BS);
     let cfg = LaunchConfig::new(grid, BS).with_regs(20).with_shared_bytes(8);
-    let stats = gpu.launch("dot", cfg, |blk| {
+    let stats = gpu.try_launch("dot", cfg, |blk| {
         let block_acc = blk.shared_f64(1);
         let grid_threads = blk.grid_dim() * blk.block_dim();
         blk.each_warp(|w| {
@@ -124,8 +162,24 @@ pub fn dot(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> (f64, La
                 w.atomic_add_f64(out, |lane| (lane == 0).then_some((0, v[0])));
             }
         });
-    });
-    (out.host_read_f64(0), stats)
+    })?;
+    Ok((out.host_read_f64(0), stats))
+}
+
+/// Dot product `x . y`, reduced hierarchically (shuffle within warps,
+/// shared memory within the block, one global atomic per block) into
+/// `out[0]`. Returns the scalar alongside the launch stats.
+pub fn dot(gpu: &Gpu, x: &GpuBuffer, y: &GpuBuffer, out: &GpuBuffer) -> (f64, LaunchStats) {
+    try_dot(gpu, x, y, out).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Squared 2-norm (see [`nrm2_sq`]), reporting device faults.
+pub fn try_nrm2_sq(
+    gpu: &Gpu,
+    x: &GpuBuffer,
+    out: &GpuBuffer,
+) -> Result<(f64, LaunchStats), DeviceError> {
+    try_dot(gpu, x, x, out)
 }
 
 /// Squared 2-norm `sum(x .* x)` — `nrm2`'s square, what Listing 1 uses.

@@ -25,10 +25,13 @@ pub mod level1;
 pub mod transpose;
 
 pub use cpu::CpuEngine;
-pub use csrmv::{csrmv, vector_size_for_mean_nnz, SpmvStyle};
-pub use csrmv_t::{csrmv_t_atomic, csrmv_t_pretransposed, csrmv_t_scatter};
+pub use csrmv::{csrmv, try_csrmv, vector_size_for_mean_nnz, SpmvStyle};
+pub use csrmv_t::{
+    csrmv_t_atomic, csrmv_t_pretransposed, csrmv_t_scatter, try_csrmv_t_atomic,
+    try_csrmv_t_pretransposed, try_csrmv_t_scatter,
+};
 pub use dev::{GpuCsr, GpuDense};
-pub use ellmv::{ellmv, hybmv, GpuEll, GpuHyb};
+pub use ellmv::{ellmv, hybmv, try_ellmv, try_hybmv, GpuEll, GpuHyb};
 pub use engine::{BaselineEngine, Flavor};
-pub use gemv::{gemv, gemv_t, gemv_t_direct};
-pub use transpose::{csr2csc_device, total_sim_ms};
+pub use gemv::{gemv, gemv_t, gemv_t_direct, try_gemv, try_gemv_t, try_gemv_t_direct};
+pub use transpose::{csr2csc_device, total_sim_ms, try_csr2csc_device};

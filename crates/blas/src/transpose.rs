@@ -10,15 +10,15 @@
 
 use crate::csrmv::capped_grid;
 use crate::dev::GpuCsr;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 const BS: usize = 256;
 
 /// Zero-fill a u32 buffer on device.
-fn fill_u32(gpu: &Gpu, buf: &GpuBuffer, value: u32) -> LaunchStats {
+fn fill_u32(gpu: &Gpu, buf: &GpuBuffer, value: u32) -> Result<LaunchStats, DeviceError> {
     let n = buf.len();
     let grid = capped_grid(gpu, n, BS);
-    gpu.launch("fill_u32", LaunchConfig::new(grid, BS).with_regs(12), |blk| {
+    gpu.try_launch("fill_u32", LaunchConfig::new(grid, BS).with_regs(12), |blk| {
         let grid_threads = blk.grid_dim() * blk.block_dim();
         blk.each_warp(|w| {
             let mut base = w.gtid(0);
@@ -38,7 +38,7 @@ fn exclusive_scan_u32(
     src: &GpuBuffer,
     dst: &GpuBuffer,
     scratch: (&GpuBuffer, &GpuBuffer),
-) -> Vec<LaunchStats> {
+) -> Result<Vec<LaunchStats>, DeviceError> {
     let n = src.len();
     assert_eq!(dst.len(), n + 1);
     let (mut a, mut b) = scratch;
@@ -47,7 +47,7 @@ fn exclusive_scan_u32(
 
     // Copy src into ping buffer.
     let grid = capped_grid(gpu, n, BS);
-    launches.push(gpu.launch(
+    launches.push(gpu.try_launch(
         "scan_init",
         LaunchConfig::new(grid, BS).with_regs(12),
         |blk| {
@@ -61,12 +61,12 @@ fn exclusive_scan_u32(
                 }
             });
         },
-    ));
+    )?);
 
     let mut offset = 1usize;
     while offset < n {
         let (input, output) = (a, b);
-        launches.push(gpu.launch(
+        launches.push(gpu.try_launch(
             "scan_step",
             LaunchConfig::new(grid, BS).with_regs(16),
             |blk| {
@@ -91,14 +91,14 @@ fn exclusive_scan_u32(
                     }
                 });
             },
-        ));
+        )?);
         std::mem::swap(&mut a, &mut b);
         offset *= 2;
     }
 
     // Shift into the exclusive result: dst[0] = 0, dst[i+1] = inclusive[i].
     let inclusive = a;
-    launches.push(gpu.launch(
+    launches.push(gpu.try_launch(
         "scan_shift",
         LaunchConfig::new(grid, BS).with_regs(12),
         |blk| {
@@ -118,26 +118,29 @@ fn exclusive_scan_u32(
                 }
             });
         },
-    ));
-    launches
+    )?);
+    Ok(launches)
 }
 
 /// Full device-side `csr2csc`: returns the transposed matrix (as a CSR of
 /// `X^T`, with unsorted row order inside each column) together with every
 /// launch performed — the total simulated time is the "transpose cost"
 /// that Fig. 2's amortization study divides by the per-product saving.
-pub fn csr2csc_device(gpu: &Gpu, x: &GpuCsr) -> (GpuCsr, Vec<LaunchStats>) {
+pub fn try_csr2csc_device(
+    gpu: &Gpu,
+    x: &GpuCsr,
+) -> Result<(GpuCsr, Vec<LaunchStats>), DeviceError> {
     let n = x.cols;
     let m = x.rows;
     let nnz = x.nnz;
     let mut launches = Vec::new();
 
-    let counts = gpu.alloc_u32("csc.counts", n.max(1));
-    launches.push(fill_u32(gpu, &counts, 0));
+    let counts = gpu.try_alloc_u32("csc.counts", n.max(1))?;
+    launches.push(fill_u32(gpu, &counts, 0)?);
 
     // Phase 1: histogram of column occupancy.
     let grid = capped_grid(gpu, m, BS);
-    launches.push(gpu.launch(
+    launches.push(gpu.try_launch(
         "csr2csc_histogram",
         LaunchConfig::new(grid, BS).with_regs(18),
         |blk| {
@@ -176,22 +179,22 @@ pub fn csr2csc_device(gpu: &Gpu, x: &GpuCsr) -> (GpuCsr, Vec<LaunchStats>) {
                 }
             });
         },
-    ));
+    )?);
 
     // Phase 2: exclusive scan into the new row offsets (cols + 1).
-    let col_off = gpu.alloc_u32("csc.col_off", n + 1);
-    let ping = gpu.alloc_u32("csc.scan_ping", n.max(1));
-    let pong = gpu.alloc_u32("csc.scan_pong", n.max(1));
-    launches.extend(exclusive_scan_u32(gpu, &counts, &col_off, (&ping, &pong)));
+    let col_off = gpu.try_alloc_u32("csc.col_off", n + 1)?;
+    let ping = gpu.try_alloc_u32("csc.scan_ping", n.max(1))?;
+    let pong = gpu.try_alloc_u32("csc.scan_pong", n.max(1))?;
+    launches.extend(exclusive_scan_u32(gpu, &counts, &col_off, (&ping, &pong))?);
     gpu.free(&ping);
     gpu.free(&pong);
     gpu.free(&counts);
 
     // Phase 3: scatter via fetch-add cursors seeded from col_off.
-    let cursor = gpu.alloc_u32("csc.cursor", n.max(1));
+    let cursor = gpu.try_alloc_u32("csc.cursor", n.max(1))?;
     {
         let grid = capped_grid(gpu, n, BS);
-        launches.push(gpu.launch(
+        launches.push(gpu.try_launch(
             "csr2csc_seed_cursor",
             LaunchConfig::new(grid, BS).with_regs(12),
             |blk| {
@@ -208,13 +211,13 @@ pub fn csr2csc_device(gpu: &Gpu, x: &GpuCsr) -> (GpuCsr, Vec<LaunchStats>) {
                     }
                 });
             },
-        ));
+        )?);
     }
 
-    let row_idx_out = gpu.alloc_u32("csc.row_idx", nnz);
-    let values_out = gpu.alloc_f64("csc.values", nnz);
+    let row_idx_out = gpu.try_alloc_u32("csc.row_idx", nnz)?;
+    let values_out = gpu.try_alloc_f64("csc.values", nnz)?;
     let grid = capped_grid(gpu, m, BS);
-    launches.push(gpu.launch(
+    launches.push(gpu.try_launch(
         "csr2csc_scatter",
         LaunchConfig::new(grid, BS).with_regs(24),
         |blk| {
@@ -261,7 +264,7 @@ pub fn csr2csc_device(gpu: &Gpu, x: &GpuCsr) -> (GpuCsr, Vec<LaunchStats>) {
                 }
             });
         },
-    ));
+    )?);
     gpu.free(&cursor);
 
     let xt = GpuCsr {
@@ -273,7 +276,12 @@ pub fn csr2csc_device(gpu: &Gpu, x: &GpuCsr) -> (GpuCsr, Vec<LaunchStats>) {
         values: values_out,
         unsorted: true,
     };
-    (xt, launches)
+    Ok((xt, launches))
+}
+
+/// Infallible [`try_csr2csc_device`]; panics on device faults.
+pub fn csr2csc_device(gpu: &Gpu, x: &GpuCsr) -> (GpuCsr, Vec<LaunchStats>) {
+    try_csr2csc_device(gpu, x).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Total simulated milliseconds across a sequence of launches.

@@ -9,11 +9,11 @@
 //! from a [`DensePlan`] to the 40 specialized instantiations, plus a
 //! faithful CUDA-source generator for inspection (mirroring Listing 2).
 
-use crate::dense_fused::dense_fused_kernel;
+use crate::dense_fused::try_dense_fused_kernel;
 use crate::pattern::PatternSpec;
 use crate::tuner::{DensePlan, MAX_TL};
 use fusedml_blas::GpuDense;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchStats};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchStats};
 use std::fmt::Write as _;
 
 /// Launch the dense fused kernel, dispatching on the plan's thread load to
@@ -22,6 +22,34 @@ use std::fmt::Write as _;
 /// # Panics
 /// If `plan.tl` is outside `[1, 40]` — the range beyond which the paper's
 /// kernel would spill registers.
+#[allow(clippy::too_many_arguments)]
+pub fn try_launch_dense_fused(
+    gpu: &Gpu,
+    plan: &DensePlan,
+    spec: PatternSpec,
+    x: &GpuDense,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    z: Option<&GpuBuffer>,
+    w: &GpuBuffer,
+) -> Result<LaunchStats, DeviceError> {
+    macro_rules! dispatch {
+        ($($tl:literal),+) => {
+            match plan.tl {
+                $( $tl => try_dense_fused_kernel::<$tl>(gpu, plan, spec, x, v, y, z, w), )+
+                other => panic!(
+                    "thread load {other} out of range [1, {MAX_TL}] — register spill"
+                ),
+            }
+        };
+    }
+    dispatch!(
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+        24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40
+    )
+}
+
+/// Infallible [`try_launch_dense_fused`]; panics on device faults.
 #[allow(clippy::too_many_arguments)]
 pub fn launch_dense_fused(
     gpu: &Gpu,
@@ -33,20 +61,7 @@ pub fn launch_dense_fused(
     z: Option<&GpuBuffer>,
     w: &GpuBuffer,
 ) -> LaunchStats {
-    macro_rules! dispatch {
-        ($($tl:literal),+) => {
-            match plan.tl {
-                $( $tl => dense_fused_kernel::<$tl>(gpu, plan, spec, x, v, y, z, w), )+
-                other => panic!(
-                    "thread load {other} out of range [1, {MAX_TL}] — register spill"
-                ),
-            }
-        };
-    }
-    dispatch!(
-        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
-        24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40
-    )
+    try_launch_dense_fused(gpu, plan, spec, x, v, y, z, w).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Generate the CUDA C source the paper's code generator would emit for a

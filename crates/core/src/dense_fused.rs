@@ -19,14 +19,14 @@ use crate::pattern::PatternSpec;
 use crate::sparse_fused::beta_z_init;
 use crate::tuner::DensePlan;
 use fusedml_blas::GpuDense;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 /// Launch the dense fused kernel with compile-time thread load `TL`.
 /// Use [`crate::codegen::launch_dense_fused`] for runtime dispatch.
 ///
 /// `w` must be zeroed by the caller.
 #[allow(clippy::too_many_arguments)]
-pub fn dense_fused_kernel<const TL: usize>(
+pub fn try_dense_fused_kernel<const TL: usize>(
     gpu: &Gpu,
     plan: &DensePlan,
     spec: PatternSpec,
@@ -35,7 +35,7 @@ pub fn dense_fused_kernel<const TL: usize>(
     y: &GpuBuffer,
     z: Option<&GpuBuffer>,
     w: &GpuBuffer,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(TL, plan.tl, "dispatched TL does not match the plan");
     assert_eq!(spec.with_v, v.is_some(), "v presence mismatch");
     assert_eq!(spec.with_z, z.is_some(), "z presence mismatch");
@@ -63,7 +63,7 @@ pub fn dense_fused_kernel<const TL: usize>(
         .with_shared_bytes(shared_bytes)
         .with_ilp(TL as f64);
 
-    gpu.launch("fused_dense", cfg, |blk| {
+    gpu.try_launch("fused_dense", cfg, |blk| {
         let block_id = blk.block_id();
         let bs = blk.block_dim();
 
@@ -235,6 +235,21 @@ pub fn dense_fused_kernel<const TL: usize>(
             }
         });
     })
+}
+
+/// Infallible [`try_dense_fused_kernel`]; panics on device faults.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_fused_kernel<const TL: usize>(
+    gpu: &Gpu,
+    plan: &DensePlan,
+    spec: PatternSpec,
+    x: &GpuDense,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    z: Option<&GpuBuffer>,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    try_dense_fused_kernel::<TL>(gpu, plan, spec, x, v, y, z, w).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

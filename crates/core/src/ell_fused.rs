@@ -10,7 +10,7 @@
 
 use crate::pattern::PatternSpec;
 use fusedml_blas::ellmv::GpuEll;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 use fusedml_matrix::ell::ELL_PAD;
 
 /// Launch plan for the ELL fused kernel (one thread per row; `C` rows per
@@ -50,7 +50,7 @@ pub fn plan_ell(gpu: &Gpu, m: usize, n: usize) -> EllPlan {
             }
         }
     }
-    let (bs, occ) = best.expect("some block size fits");
+    let (bs, occ) = best.unwrap_or_else(|| panic!("some block size fits"));
     let grid = (occ.blocks_per_sm * spec.num_sms)
         .max(1)
         .min(m.div_ceil(bs).max(1));
@@ -65,7 +65,7 @@ pub fn plan_ell(gpu: &Gpu, m: usize, n: usize) -> EllPlan {
 /// `w = alpha * X^T (v ⊙ (X y)) + beta z` over ELL, fused.
 /// `w` must be zeroed by the caller.
 #[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel signature
-pub fn fused_pattern_ell(
+pub fn try_fused_pattern_ell(
     gpu: &Gpu,
     plan: &EllPlan,
     spec: PatternSpec,
@@ -74,7 +74,7 @@ pub fn fused_pattern_ell(
     y: &GpuBuffer,
     z: Option<&GpuBuffer>,
     w: &GpuBuffer,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert_eq!(spec.with_v, v.is_some(), "v presence mismatch");
     assert_eq!(spec.with_z, z.is_some(), "z presence mismatch");
     assert_eq!(y.len(), x.cols, "y length mismatch");
@@ -87,7 +87,7 @@ pub fn fused_pattern_ell(
         .with_shared_bytes(plan.shared_bytes)
         .with_ilp(2.0);
 
-    gpu.launch("fused_ell", cfg, |blk| {
+    gpu.try_launch("fused_ell", cfg, |blk| {
         let bs = blk.block_dim();
         let grid_threads = blk.grid_dim() * bs;
         let sd = use_shared.then(|| blk.shared_f64(n));
@@ -174,6 +174,21 @@ pub fn fused_pattern_ell(
             crate::sparse_fused::flush_shared(blk, sd, w, alpha, n);
         }
     })
+}
+
+/// Infallible [`try_fused_pattern_ell`]; panics on device faults.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_pattern_ell(
+    gpu: &Gpu,
+    plan: &EllPlan,
+    spec: PatternSpec,
+    x: &GpuEll,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    z: Option<&GpuBuffer>,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    try_fused_pattern_ell(gpu, plan, spec, x, v, y, z, w).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

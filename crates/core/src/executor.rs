@@ -3,14 +3,14 @@
 //! shared-memory or global-memory aggregation variant by the column count,
 //! and dispatches to the monomorphized dense kernel ("code generation").
 
-use crate::codegen::launch_dense_fused;
+use crate::codegen::try_launch_dense_fused;
 use crate::pattern::PatternSpec;
-use crate::sparse_fused::{fused_pattern_shared, fused_xt_p_shared};
-use crate::sparse_large::{fused_pattern_global, fused_xt_p_global};
+use crate::sparse_fused::{try_fused_pattern_shared, try_fused_xt_p_shared};
+use crate::sparse_large::{try_fused_pattern_global, try_fused_xt_p_global};
 use crate::tuner::{plan_dense, plan_sparse, DensePlan, SparsePlan};
-use fusedml_blas::level1::fill;
+use fusedml_blas::level1::try_fill;
 use fusedml_blas::{GpuCsr, GpuDense};
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchStats};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchStats};
 
 /// Fused-kernel execution engine; the counterpart of
 /// [`fusedml_blas::BaselineEngine`] with identical accounting so
@@ -76,6 +76,20 @@ impl<'g> FusedExecutor<'g> {
 
     /// `w = alpha * X^T (v ⊙ (X y)) + beta * z`, sparse, fully fused
     /// (zero-fill + one fused kernel).
+    pub fn try_pattern_sparse(
+        &mut self,
+        spec: PatternSpec,
+        x: &GpuCsr,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        z: Option<&GpuBuffer>,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let plan = self.sparse_plan(x);
+        self.try_pattern_sparse_with_plan(&plan, spec, x, v, y, z, w)
+    }
+
+    /// Infallible [`FusedExecutor::try_pattern_sparse`].
     pub fn pattern_sparse(
         &mut self,
         spec: PatternSpec,
@@ -85,12 +99,34 @@ impl<'g> FusedExecutor<'g> {
         z: Option<&GpuBuffer>,
         w: &GpuBuffer,
     ) {
-        let plan = self.sparse_plan(x);
-        self.pattern_sparse_with_plan(&plan, spec, x, v, y, z, w);
+        self.try_pattern_sparse(spec, x, v, y, z, w)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`FusedExecutor::pattern_sparse`] with an explicit plan (the
     /// Fig. 6 sweep drives this directly).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_pattern_sparse_with_plan(
+        &mut self,
+        plan: &SparsePlan,
+        spec: PatternSpec,
+        x: &GpuCsr,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        z: Option<&GpuBuffer>,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        self.launches.push(try_fill(self.gpu, w, 0.0)?);
+        let stats = if plan.use_shared_w {
+            try_fused_pattern_shared(self.gpu, plan, spec, x, v, y, z, w)?
+        } else {
+            try_fused_pattern_global(self.gpu, plan, spec, x, v, y, z, w)?
+        };
+        self.launches.push(stats);
+        Ok(())
+    }
+
+    /// Infallible [`FusedExecutor::try_pattern_sparse_with_plan`].
     #[allow(clippy::too_many_arguments)]
     pub fn pattern_sparse_with_plan(
         &mut self,
@@ -102,30 +138,52 @@ impl<'g> FusedExecutor<'g> {
         z: Option<&GpuBuffer>,
         w: &GpuBuffer,
     ) {
-        self.launches.push(fill(self.gpu, w, 0.0));
-        let stats = if plan.use_shared_w {
-            fused_pattern_shared(self.gpu, plan, spec, x, v, y, z, w)
-        } else {
-            fused_pattern_global(self.gpu, plan, spec, x, v, y, z, w)
-        };
-        self.launches.push(stats);
+        self.try_pattern_sparse_with_plan(plan, spec, x, v, y, z, w)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `w = alpha * X^T y` (Table 1's first instantiation; `y` has row
     /// dimension), fused.
-    pub fn xt_y_sparse(&mut self, alpha: f64, x: &GpuCsr, y: &GpuBuffer, w: &GpuBuffer) {
+    pub fn try_xt_y_sparse(
+        &mut self,
+        alpha: f64,
+        x: &GpuCsr,
+        y: &GpuBuffer,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
         let plan = self.sparse_plan(x);
-        self.launches.push(fill(self.gpu, w, 0.0));
+        self.launches.push(try_fill(self.gpu, w, 0.0)?);
         let stats = if plan.use_shared_w {
-            fused_xt_p_shared(self.gpu, &plan, alpha, x, y, w)
+            try_fused_xt_p_shared(self.gpu, &plan, alpha, x, y, w)?
         } else {
-            fused_xt_p_global(self.gpu, &plan, alpha, x, y, w)
+            try_fused_xt_p_global(self.gpu, &plan, alpha, x, y, w)?
         };
         self.launches.push(stats);
+        Ok(())
+    }
+
+    /// Infallible [`FusedExecutor::try_xt_y_sparse`].
+    pub fn xt_y_sparse(&mut self, alpha: f64, x: &GpuCsr, y: &GpuBuffer, w: &GpuBuffer) {
+        self.try_xt_y_sparse(alpha, x, y, w)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `w = alpha * X^T (v ⊙ (X y)) + beta * z`, dense, fused through the
     /// monomorphized (generated) kernel.
+    pub fn try_pattern_dense(
+        &mut self,
+        spec: PatternSpec,
+        x: &GpuDense,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        z: Option<&GpuBuffer>,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let plan = self.dense_plan(x);
+        self.try_pattern_dense_with_plan(&plan, spec, x, v, y, z, w)
+    }
+
+    /// Infallible [`FusedExecutor::try_pattern_dense`].
     pub fn pattern_dense(
         &mut self,
         spec: PatternSpec,
@@ -135,11 +193,29 @@ impl<'g> FusedExecutor<'g> {
         z: Option<&GpuBuffer>,
         w: &GpuBuffer,
     ) {
-        let plan = self.dense_plan(x);
-        self.pattern_dense_with_plan(&plan, spec, x, v, y, z, w);
+        self.try_pattern_dense(spec, x, v, y, z, w)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Dense pattern with an explicit plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_pattern_dense_with_plan(
+        &mut self,
+        plan: &DensePlan,
+        spec: PatternSpec,
+        x: &GpuDense,
+        v: Option<&GpuBuffer>,
+        y: &GpuBuffer,
+        z: Option<&GpuBuffer>,
+        w: &GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        self.launches.push(try_fill(self.gpu, w, 0.0)?);
+        self.launches
+            .push(try_launch_dense_fused(self.gpu, plan, spec, x, v, y, z, w)?);
+        Ok(())
+    }
+
+    /// Infallible [`FusedExecutor::try_pattern_dense_with_plan`].
     #[allow(clippy::too_many_arguments)]
     pub fn pattern_dense_with_plan(
         &mut self,
@@ -151,9 +227,8 @@ impl<'g> FusedExecutor<'g> {
         z: Option<&GpuBuffer>,
         w: &GpuBuffer,
     ) {
-        self.launches.push(fill(self.gpu, w, 0.0));
-        self.launches
-            .push(launch_dense_fused(self.gpu, plan, spec, x, v, y, z, w));
+        self.try_pattern_dense_with_plan(plan, spec, x, v, y, z, w)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -21,6 +21,10 @@
 // Lane-indexed loops over parallel arrays are the natural idiom for
 // warp-level kernel code; iterator zips would obscure the SIMT shape.
 #![allow(clippy::needless_range_loop)]
+// Hot-path code must report faults through typed errors (or panic with an
+// explicit message via the infallible wrappers), never through bare
+// unwrap/expect. Tests and benches are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codegen;
 pub mod dense_fused;

@@ -14,7 +14,7 @@
 use crate::pattern::PatternSpec;
 use crate::tuner::SparsePlan;
 use fusedml_blas::GpuCsr;
-use fusedml_gpu_sim::{BlockCtx, Gpu, GpuBuffer, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES};
+use fusedml_gpu_sim::{BlockCtx, DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES};
 
 /// Zero the shared accumulator (Algorithm 1 line 6), block-stride.
 pub(crate) fn zero_shared(blk: &mut BlockCtx, sd: Shared, n: usize) {
@@ -179,7 +179,7 @@ pub(crate) fn fused_row_step<S>(
 ///
 /// `w` must be zeroed by the caller (the executor charges a `fill`).
 #[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel signature
-pub fn fused_pattern_shared(
+pub fn try_fused_pattern_shared(
     gpu: &Gpu,
     plan: &SparsePlan,
     spec: PatternSpec,
@@ -188,7 +188,7 @@ pub fn fused_pattern_shared(
     y: &GpuBuffer,
     z: Option<&GpuBuffer>,
     w: &GpuBuffer,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert!(plan.use_shared_w, "plan is for the global-memory variant");
     assert_eq!(spec.with_v, v.is_some(), "v presence mismatch");
     assert_eq!(spec.with_z, z.is_some(), "z presence mismatch");
@@ -204,7 +204,7 @@ pub fn fused_pattern_shared(
     let alpha = spec.alpha;
     let beta = spec.beta;
 
-    gpu.launch("fused_sparse_shared", cfg, |blk| {
+    gpu.try_launch("fused_sparse_shared", cfg, |blk| {
         let sd = blk.shared_f64(n);
         zero_shared(blk, sd, n);
         if let Some(z) = z {
@@ -235,17 +235,32 @@ pub fn fused_pattern_shared(
     })
 }
 
+/// Infallible [`try_fused_pattern_shared`]; panics on device faults.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_pattern_shared(
+    gpu: &Gpu,
+    plan: &SparsePlan,
+    spec: PatternSpec,
+    x: &GpuCsr,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    z: Option<&GpuBuffer>,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    try_fused_pattern_shared(gpu, plan, spec, x, v, y, z, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Algorithm 1: `w += alpha * X^T * p` with shared-memory aggregation.
 /// `p` has row dimension (`m`); this is the `alpha * X^T y` instantiation
 /// of Table 1 that Fig. 2 measures. `w` must be zeroed by the caller.
-pub fn fused_xt_p_shared(
+pub fn try_fused_xt_p_shared(
     gpu: &Gpu,
     plan: &SparsePlan,
     alpha: f64,
     x: &GpuCsr,
     p: &GpuBuffer,
     w: &GpuBuffer,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert!(plan.use_shared_w, "plan is for the global-memory variant");
     assert_eq!(p.len(), x.rows, "p length mismatch");
     assert_eq!(w.len(), x.cols, "w length mismatch");
@@ -257,7 +272,7 @@ pub fn fused_xt_p_shared(
         .with_regs(32)
         .with_shared_bytes(plan.shared_bytes);
 
-    gpu.launch("fused_xt_p_shared", cfg, |blk| {
+    gpu.try_launch("fused_xt_p_shared", cfg, |blk| {
         let sd = blk.shared_f64(n);
         zero_shared(blk, sd, n);
         blk.sync();
@@ -304,6 +319,19 @@ pub fn fused_xt_p_shared(
         blk.sync();
         flush_shared(blk, sd, w, alpha, n);
     })
+}
+
+/// Infallible [`try_fused_xt_p_shared`]; panics on device faults.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_xt_p_shared(
+    gpu: &Gpu,
+    plan: &SparsePlan,
+    alpha: f64,
+    x: &GpuCsr,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    try_fused_xt_p_shared(gpu, plan, alpha, x, p, w).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -10,12 +10,12 @@ use crate::pattern::PatternSpec;
 use crate::sparse_fused::{beta_z_init, fused_row_step, row_for_lane};
 use crate::tuner::SparsePlan;
 use fusedml_blas::GpuCsr;
-use fusedml_gpu_sim::{Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WARP_LANES};
 
 /// Algorithm 2 with global-memory aggregation. Requires
 /// `!plan.use_shared_w`. `w` must be zeroed by the caller.
 #[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel signature
-pub fn fused_pattern_global(
+pub fn try_fused_pattern_global(
     gpu: &Gpu,
     plan: &SparsePlan,
     spec: PatternSpec,
@@ -24,7 +24,7 @@ pub fn fused_pattern_global(
     y: &GpuBuffer,
     z: Option<&GpuBuffer>,
     w: &GpuBuffer,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert!(
         !plan.use_shared_w,
         "plan is for the shared-memory variant; use fused_pattern_shared"
@@ -43,7 +43,7 @@ pub fn fused_pattern_global(
     let alpha = spec.alpha;
     let beta = spec.beta;
 
-    gpu.launch("fused_sparse_global", cfg, |blk| {
+    gpu.try_launch("fused_sparse_global", cfg, |blk| {
         if let Some(z) = z {
             beta_z_init(blk, w, z, beta, n);
         }
@@ -69,17 +69,32 @@ pub fn fused_pattern_global(
     })
 }
 
+/// Infallible [`try_fused_pattern_global`]; panics on device faults.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_pattern_global(
+    gpu: &Gpu,
+    plan: &SparsePlan,
+    spec: PatternSpec,
+    x: &GpuCsr,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    z: Option<&GpuBuffer>,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    try_fused_pattern_global(gpu, plan, spec, x, v, y, z, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Algorithm 1 with global-memory aggregation: `w += alpha * X^T p` for
 /// matrices whose column count exceeds the shared-memory limit.
 /// `w` must be zeroed by the caller.
-pub fn fused_xt_p_global(
+pub fn try_fused_xt_p_global(
     gpu: &Gpu,
     plan: &SparsePlan,
     alpha: f64,
     x: &GpuCsr,
     p: &GpuBuffer,
     w: &GpuBuffer,
-) -> LaunchStats {
+) -> Result<LaunchStats, DeviceError> {
     assert!(!plan.use_shared_w, "plan is for the shared-memory variant");
     assert_eq!(p.len(), x.rows, "p length mismatch");
     assert_eq!(w.len(), x.cols, "w length mismatch");
@@ -91,7 +106,7 @@ pub fn fused_xt_p_global(
         .with_regs(32)
         .with_shared_bytes(plan.shared_bytes);
 
-    gpu.launch("fused_xt_p_global", cfg, |blk| {
+    gpu.try_launch("fused_xt_p_global", cfg, |blk| {
         let block_id = blk.block_id();
         blk.each_warp(|wc| {
             let tid0 = wc.tid(0);
@@ -131,6 +146,19 @@ pub fn fused_xt_p_global(
             }
         });
     })
+}
+
+/// Infallible [`try_fused_xt_p_global`]; panics on device faults.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_xt_p_global(
+    gpu: &Gpu,
+    plan: &SparsePlan,
+    alpha: f64,
+    x: &GpuCsr,
+    p: &GpuBuffer,
+    w: &GpuBuffer,
+) -> LaunchStats {
+    try_fused_xt_p_global(gpu, plan, alpha, x, p, w).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

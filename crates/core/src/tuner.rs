@@ -224,7 +224,8 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
         let tl = 1;
         let vs = spec.warp_size;
         let regs = dense_kernel_regs(tl);
-        let occ = occupancy(spec, bs, regs, 0).expect("titan-class device fits BS=1024");
+        let occ =
+            occupancy(spec, bs, regs, 0).unwrap_or_else(|| panic!("titan-class device fits BS=1024"));
         let grid = (occ.blocks_per_sm * spec.num_sms).max(1);
         let total_vectors = grid * bs / vs;
         return DensePlan {
@@ -273,7 +274,8 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
             best = Some((tl, vs, eff, occ));
         }
     }
-    let (tl, vs, _, occ) = best.expect("some TL in [1,40] always covers n <= 40*128");
+    let (tl, vs, _, occ) =
+        best.unwrap_or_else(|| panic!("some TL in [1,40] always covers n <= 40*128"));
 
     let grid = (occ.blocks_per_sm * spec.num_sms).max(1);
     let total_vectors = grid * bs / vs;

@@ -1,0 +1,147 @@
+//! Typed device errors.
+//!
+//! Every failure the simulated device can produce — launch-configuration
+//! rejection, injected transient faults, watchdog timeouts, allocation
+//! failure, transfer timeouts — is a [`DeviceError`] variant. The runtime's
+//! recovery policy keys off [`DeviceError::is_transient`]: transient faults
+//! are worth retrying on the same engine, permanent ones trigger engine
+//! degradation (fused → baseline → CPU).
+
+/// A failure reported by the simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The launch configuration cannot run on this device (empty grid,
+    /// block too large, register/shared-memory footprint over the limits).
+    InvalidLaunch { kernel: String, detail: String },
+    /// An injected transient kernel fault (models an ECC event or a
+    /// preempted/killed kernel). `fault_index` is the deterministic draw
+    /// index that produced the fault, for reproducible diagnostics.
+    TransientFault { kernel: String, fault_index: u64 },
+    /// The kernel exceeded the simulated watchdog limit.
+    WatchdogTimeout {
+        kernel: String,
+        sim_ms: f64,
+        limit_ms: f64,
+    },
+    /// Device memory allocation failed (capacity exhausted, or injected).
+    AllocFailed {
+        name: String,
+        requested_bytes: u64,
+        allocated_bytes: u64,
+        capacity_bytes: u64,
+        injected: bool,
+    },
+    /// An injected host/device transfer timeout.
+    TransferTimeout {
+        buffer: String,
+        bytes: u64,
+        fault_index: u64,
+    },
+}
+
+impl DeviceError {
+    /// Whether retrying the same operation (at session granularity) can
+    /// succeed: injected transient faults and transfer timeouts clear on
+    /// retry; launch rejection, watchdog overruns and capacity exhaustion
+    /// repeat deterministically and call for degradation instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::TransientFault { .. } | DeviceError::TransferTimeout { .. }
+        ) || matches!(
+            self,
+            DeviceError::AllocFailed { injected: true, .. }
+        )
+    }
+
+    /// Short stable identifier for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeviceError::InvalidLaunch { .. } => "invalid-launch",
+            DeviceError::TransientFault { .. } => "transient-fault",
+            DeviceError::WatchdogTimeout { .. } => "watchdog-timeout",
+            DeviceError::AllocFailed { .. } => "alloc-failed",
+            DeviceError::TransferTimeout { .. } => "transfer-timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidLaunch { kernel, detail } => {
+                write!(f, "kernel {kernel}: {detail}")
+            }
+            DeviceError::TransientFault { kernel, fault_index } => {
+                write!(f, "kernel {kernel}: injected transient fault (draw #{fault_index})")
+            }
+            DeviceError::WatchdogTimeout { kernel, sim_ms, limit_ms } => {
+                write!(
+                    f,
+                    "kernel {kernel}: watchdog timeout after {sim_ms:.3}ms (limit {limit_ms:.3}ms)"
+                )
+            }
+            DeviceError::AllocFailed {
+                name,
+                requested_bytes,
+                allocated_bytes,
+                capacity_bytes,
+                injected,
+            } => {
+                let cause = if *injected { "injected fault" } else { "capacity" };
+                write!(
+                    f,
+                    "alloc {name}: {requested_bytes}B failed ({cause}; \
+                     {allocated_bytes}B of {capacity_bytes}B in use)"
+                )
+            }
+            DeviceError::TransferTimeout { buffer, bytes, fault_index } => {
+                write!(
+                    f,
+                    "transfer {buffer}: timeout moving {bytes}B (injected draw #{fault_index})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        let t = DeviceError::TransientFault { kernel: "k".into(), fault_index: 3 };
+        assert!(t.is_transient());
+        let w = DeviceError::WatchdogTimeout { kernel: "k".into(), sim_ms: 9.0, limit_ms: 1.0 };
+        assert!(!w.is_transient());
+        let cap = DeviceError::AllocFailed {
+            name: "x".into(),
+            requested_bytes: 10,
+            allocated_bytes: 0,
+            capacity_bytes: 5,
+            injected: false,
+        };
+        assert!(!cap.is_transient());
+        let inj = DeviceError::AllocFailed {
+            name: "x".into(),
+            requested_bytes: 10,
+            allocated_bytes: 0,
+            capacity_bytes: 5,
+            injected: true,
+        };
+        assert!(inj.is_transient());
+    }
+
+    #[test]
+    fn display_mentions_device_limits_detail() {
+        let e = DeviceError::InvalidLaunch {
+            kernel: "spmv".into(),
+            detail: "launch config exceeds device limits of Test".into(),
+        };
+        assert!(e.to_string().contains("exceeds device limits"));
+        assert_eq!(e.kind(), "invalid-launch");
+    }
+}

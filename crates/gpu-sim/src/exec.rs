@@ -16,6 +16,8 @@
 use crate::cache::CacheModel;
 use crate::counters::Counters;
 use crate::device::DeviceSpec;
+use crate::error::DeviceError;
+use crate::fault::{FaultInjector, FaultProfile};
 use crate::memory::{Elem, GpuBuffer};
 use crate::occupancy::{occupancy, Occupancy};
 use crate::shared::bank_conflict_replays;
@@ -113,6 +115,7 @@ pub struct Gpu {
     allocated_bytes: AtomicU64,
     sms: Mutex<Vec<SmState>>,
     host_threads: usize,
+    faults: FaultInjector,
 }
 
 impl Gpu {
@@ -149,7 +152,20 @@ impl Gpu {
             allocated_bytes: AtomicU64::new(0),
             sms: Mutex::new(sms),
             host_threads: host_threads.max(1),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Attach a fault-injection profile (builder style; the default device
+    /// injects nothing).
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.faults = FaultInjector::new(profile);
+        self
+    }
+
+    /// The device's fault injector (disabled unless a profile was attached).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     pub fn spec(&self) -> &DeviceSpec {
@@ -161,37 +177,92 @@ impl Gpu {
         self.allocated_bytes.load(Ordering::Relaxed)
     }
 
-    fn alloc(&self, name: &str, elem: Elem, len: usize) -> GpuBuffer {
+    fn alloc(&self, name: &str, elem: Elem, len: usize) -> Result<GpuBuffer, DeviceError> {
         let bytes = len as u64 * elem.bytes();
+        let in_use = self.allocated_bytes.load(Ordering::Relaxed);
+        let capacity = self.spec.global_mem_bytes as u64;
+        if self.faults.draw_alloc_fault().is_some() {
+            return Err(DeviceError::AllocFailed {
+                name: name.to_string(),
+                requested_bytes: bytes,
+                allocated_bytes: in_use,
+                capacity_bytes: capacity,
+                injected: true,
+            });
+        }
+        if in_use + bytes > capacity {
+            return Err(DeviceError::AllocFailed {
+                name: name.to_string(),
+                requested_bytes: bytes,
+                allocated_bytes: in_use,
+                capacity_bytes: capacity,
+                injected: false,
+            });
+        }
         // Pad allocations to cache-line multiples like cudaMalloc does.
         let padded = bytes.div_ceil(self.spec.cache_line_bytes as u64)
             * self.spec.cache_line_bytes as u64;
         let base = self.next_addr.fetch_add(padded.max(128), Ordering::Relaxed);
         self.allocated_bytes.fetch_add(bytes, Ordering::Relaxed);
-        GpuBuffer::new(name, base, elem, len)
+        Ok(GpuBuffer::new(name, base, elem, len))
     }
 
-    /// Allocate an uninitialized (zeroed) f64 buffer on the device.
-    pub fn alloc_f64(&self, name: &str, len: usize) -> GpuBuffer {
+    /// Allocate an uninitialized (zeroed) f64 buffer, reporting injected or
+    /// capacity allocation failures instead of panicking.
+    pub fn try_alloc_f64(&self, name: &str, len: usize) -> Result<GpuBuffer, DeviceError> {
         self.alloc(name, Elem::F64, len)
     }
 
-    /// Allocate an uninitialized (zeroed) u32 buffer on the device.
-    pub fn alloc_u32(&self, name: &str, len: usize) -> GpuBuffer {
+    /// Allocate an uninitialized (zeroed) u32 buffer, reporting injected or
+    /// capacity allocation failures instead of panicking.
+    pub fn try_alloc_u32(&self, name: &str, len: usize) -> Result<GpuBuffer, DeviceError> {
         self.alloc(name, Elem::U32, len)
     }
 
-    /// Allocate and fill from a host slice (simulated H2D copy).
-    pub fn upload_f64(&self, name: &str, data: &[f64]) -> GpuBuffer {
-        let b = self.alloc_f64(name, data.len());
+    /// Allocate and fill from a host slice (simulated H2D copy), reporting
+    /// failures instead of panicking.
+    pub fn try_upload_f64(&self, name: &str, data: &[f64]) -> Result<GpuBuffer, DeviceError> {
+        let b = self.try_alloc_f64(name, data.len())?;
         b.copy_from_f64(data);
-        b
+        Ok(b)
     }
 
-    pub fn upload_u32(&self, name: &str, data: &[u32]) -> GpuBuffer {
-        let b = self.alloc_u32(name, data.len());
+    /// See [`Gpu::try_upload_f64`].
+    pub fn try_upload_u32(&self, name: &str, data: &[u32]) -> Result<GpuBuffer, DeviceError> {
+        let b = self.try_alloc_u32(name, data.len())?;
         b.copy_from_u32(data);
-        b
+        Ok(b)
+    }
+
+    /// Allocate an uninitialized (zeroed) f64 buffer on the device.
+    ///
+    /// # Panics
+    /// Panics on allocation failure; use [`Gpu::try_alloc_f64`] on paths
+    /// that must survive injected faults or capacity exhaustion.
+    pub fn alloc_f64(&self, name: &str, len: usize) -> GpuBuffer {
+        self.try_alloc_f64(name, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Allocate an uninitialized (zeroed) u32 buffer on the device.
+    ///
+    /// # Panics
+    /// Panics on allocation failure; see [`Gpu::try_alloc_u32`].
+    pub fn alloc_u32(&self, name: &str, len: usize) -> GpuBuffer {
+        self.try_alloc_u32(name, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Allocate and fill from a host slice (simulated H2D copy).
+    ///
+    /// # Panics
+    /// Panics on allocation failure; see [`Gpu::try_upload_f64`].
+    pub fn upload_f64(&self, name: &str, data: &[f64]) -> GpuBuffer {
+        self.try_upload_f64(name, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// # Panics
+    /// Panics on allocation failure; see [`Gpu::try_upload_u32`].
+    pub fn upload_u32(&self, name: &str, data: &[u32]) -> GpuBuffer {
+        self.try_upload_u32(name, data).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Release accounting for a buffer (the backing store frees when the
@@ -204,7 +275,7 @@ impl Gpu {
 
     /// Drop all cache state (useful for experiment isolation).
     pub fn flush_caches(&self) {
-        let mut sms = self.sms.lock().unwrap();
+        let mut sms = self.sms.lock().unwrap_or_else(|e| e.into_inner());
         for sm in sms.iter_mut() {
             sm.l2.flush();
             sm.tex.flush();
@@ -217,26 +288,64 @@ impl Gpu {
     /// # Panics
     /// Panics if the configuration cannot launch on this device (block too
     /// large, register or shared-memory footprint over the limits) —
-    /// mirroring a CUDA launch failure.
+    /// mirroring a CUDA launch failure — or if fault injection fires. Use
+    /// [`Gpu::try_launch`] on paths that must survive faults.
     pub fn launch<K>(&self, name: &str, config: LaunchConfig, kernel: K) -> LaunchStats
     where
         K: Fn(&mut BlockCtx) + Sync,
     {
-        assert!(config.grid_blocks > 0, "kernel {name}: empty grid");
+        self.try_launch(name, config, kernel)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Launch a kernel, reporting launch-configuration rejection, injected
+    /// transient faults, and watchdog timeouts as [`DeviceError`]s.
+    ///
+    /// Injected transient faults are decided *before* the kernel closure
+    /// runs: a faulted launch leaves device memory untouched (the real
+    /// analogue is an ECC error or killed kernel whose outputs are
+    /// discarded), so callers may retry or rebuild without fear of partial
+    /// `atomicAdd` side effects. A watchdog timeout, by contrast, is
+    /// detected on the modelled execution time after simulation; its buffer
+    /// contents are as-if-completed and callers must treat them as
+    /// undefined, exactly like a kernel killed mid-flight.
+    pub fn try_launch<K>(
+        &self,
+        name: &str,
+        config: LaunchConfig,
+        kernel: K,
+    ) -> Result<LaunchStats, DeviceError>
+    where
+        K: Fn(&mut BlockCtx) + Sync,
+    {
+        if config.grid_blocks == 0 {
+            return Err(DeviceError::InvalidLaunch {
+                kernel: name.to_string(),
+                detail: "empty grid".to_string(),
+            });
+        }
         let occ = occupancy(
             &self.spec,
             config.block_threads,
             config.regs_per_thread,
             config.shared_bytes,
         )
-        .unwrap_or_else(|| {
-            panic!(
-                "kernel {name}: launch config {config:?} exceeds device limits of {}",
+        .ok_or_else(|| DeviceError::InvalidLaunch {
+            kernel: name.to_string(),
+            detail: format!(
+                "launch config {config:?} exceeds device limits of {}",
                 self.spec.name
-            )
-        });
+            ),
+        })?;
 
-        let mut sms = self.sms.lock().unwrap();
+        if let Some(fault_index) = self.faults.draw_kernel_fault() {
+            return Err(DeviceError::TransientFault {
+                kernel: name.to_string(),
+                fault_index,
+            });
+        }
+
+        let mut sms = self.sms.lock().unwrap_or_else(|e| e.into_inner());
         let num_sms = sms.len();
         let workers = self.host_threads.min(num_sms);
 
@@ -311,13 +420,23 @@ impl Gpu {
         let resident_blocks = (occ.blocks_per_sm * num_sms).max(1);
         let device_fill = (config.grid_blocks as f64 / resident_blocks as f64).min(1.0);
         let time = kernel_time(&self.spec, &occ, config.ilp, device_fill, &merged);
-        LaunchStats {
+        if let Some(limit_ms) = self.faults.watchdog_limit_ms() {
+            if time.total_ms > limit_ms {
+                self.faults.note_watchdog_timeout();
+                return Err(DeviceError::WatchdogTimeout {
+                    kernel: name.to_string(),
+                    sim_ms: time.total_ms,
+                    limit_ms,
+                });
+            }
+        }
+        Ok(LaunchStats {
             name: name.to_string(),
             config,
             occupancy: occ,
             counters: merged,
             time,
-        }
+        })
     }
 }
 
@@ -975,6 +1094,83 @@ mod tests {
     fn oversized_block_panics() {
         let g = gpu();
         g.launch("bad", LaunchConfig::new(1, 4096), |_blk| {});
+    }
+
+    #[test]
+    fn injected_transient_fault_leaves_memory_untouched() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(3).with_kernel_fault_rate(1.0));
+        let out = g.upload_f64("out", &[7.0]);
+        let err = g
+            .try_launch("always_faults", LaunchConfig::new(1, 32), |blk| {
+                blk.each_warp(|w| {
+                    w.store_f64(&out, |lane| (lane == 0).then_some((0, 99.0)));
+                });
+            })
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::TransientFault { .. }));
+        assert!(err.is_transient());
+        // The kernel closure never ran: the buffer still holds its old value.
+        assert_eq!(out.host_read_f64(0), 7.0);
+        assert_eq!(g.faults().counts().kernel_faults, 1);
+    }
+
+    #[test]
+    fn watchdog_limit_rejects_long_kernels() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(0).with_watchdog_limit_ms(1e-12));
+        let x = g.upload_f64("x", &vec![1.0; 4096]);
+        let err = g
+            .try_launch("long", LaunchConfig::new(4, 128), |blk| {
+                blk.each_warp(|w| {
+                    w.load_f64(&x, Some);
+                });
+            })
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::WatchdogTimeout { .. }));
+        assert_eq!(g.faults().counts().watchdog_timeouts, 1);
+    }
+
+    #[test]
+    fn injected_alloc_fault_surfaces_as_error() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(5).with_alloc_fault_rate(1.0));
+        let err = g.try_alloc_f64("x", 128).unwrap_err();
+        assert!(matches!(err, DeviceError::AllocFailed { injected: true, .. }));
+        assert!(err.is_transient());
+        // Accounting unchanged by the failed allocation.
+        assert_eq!(g.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_a_permanent_alloc_error() {
+        let g = gpu();
+        let cap = g.spec().global_mem_bytes;
+        let err = g.try_alloc_f64("huge", cap).unwrap_err(); // 8x capacity in bytes
+        assert!(matches!(err, DeviceError::AllocFailed { injected: false, .. }));
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn disabled_faults_do_not_change_launch_results() {
+        let run = |faulty: bool| {
+            let mut g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
+            if faulty {
+                // Profile attached but all rates zero: must be a no-op.
+                g = g.with_fault_profile(FaultProfile::seeded(11));
+            }
+            let x = g.upload_f64("x", &vec![2.0; 1024]);
+            let s = g.launch("scan", LaunchConfig::new(2, 64), |blk| {
+                blk.each_warp(|w| {
+                    w.load_f64(&x, Some);
+                });
+            });
+            (s.counters.gld_transactions, s.sim_ms())
+        };
+        let (t0, ms0) = run(false);
+        let (t1, ms1) = run(true);
+        assert_eq!(t0, t1);
+        assert!((ms0 - ms1).abs() < 1e-12);
     }
 
     #[test]

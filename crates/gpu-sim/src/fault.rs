@@ -1,0 +1,294 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The injector is a counter-based PRNG (SplitMix64 finalizer over
+//! `seed ⊕ class-salt ⊕ draw-index`): every fault class keeps its own draw
+//! counter, so the decision for the *n*-th kernel launch (or allocation, or
+//! transfer) depends only on the profile seed and *n* — never on wall-clock
+//! time, host scheduling, or interleaving with other fault classes. Two runs
+//! with the same profile and the same operation sequence inject byte-identical
+//! fault patterns, which is what makes fault-recovery tests reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What to inject and how often. `Default` disables everything, so an
+/// injector is free when unused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Seed for all fault draws.
+    pub seed: u64,
+    /// Probability that a kernel launch fails with a transient fault
+    /// (decided *before* the kernel runs — a faulted launch has no side
+    /// effects on device memory).
+    pub kernel_fault_rate: f64,
+    /// Probability that a device allocation fails.
+    pub alloc_fault_rate: f64,
+    /// Probability that a host/device transfer times out.
+    pub transfer_timeout_rate: f64,
+    /// Simulated-kernel watchdog: launches whose modelled time exceeds this
+    /// limit fail with [`crate::DeviceError::WatchdogTimeout`].
+    pub watchdog_limit_ms: Option<f64>,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            kernel_fault_rate: 0.0,
+            alloc_fault_rate: 0.0,
+            transfer_timeout_rate: 0.0,
+            watchdog_limit_ms: None,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// No injection at all (the default).
+    pub fn disabled() -> Self {
+        FaultProfile::default()
+    }
+
+    /// Start a profile with the given seed and everything disabled.
+    pub fn seeded(seed: u64) -> Self {
+        FaultProfile { seed, ..FaultProfile::default() }
+    }
+
+    pub fn with_kernel_fault_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.kernel_fault_rate = rate;
+        self
+    }
+
+    pub fn with_alloc_fault_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.alloc_fault_rate = rate;
+        self
+    }
+
+    pub fn with_transfer_timeout_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.transfer_timeout_rate = rate;
+        self
+    }
+
+    pub fn with_watchdog_limit_ms(mut self, limit_ms: f64) -> Self {
+        assert!(limit_ms > 0.0, "watchdog limit must be positive");
+        self.watchdog_limit_ms = Some(limit_ms);
+        self
+    }
+
+    /// True when any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.kernel_fault_rate > 0.0
+            || self.alloc_fault_rate > 0.0
+            || self.transfer_timeout_rate > 0.0
+            || self.watchdog_limit_ms.is_some()
+    }
+}
+
+/// Running totals of injected faults, for session reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    pub kernel_faults: u64,
+    pub alloc_faults: u64,
+    pub transfer_timeouts: u64,
+    pub watchdog_timeouts: u64,
+}
+
+const KERNEL_SALT: u64 = 0x6b65726e656c5f66; // "kernel_f"
+const ALLOC_SALT: u64 = 0x616c6c6f635f666c; // "alloc_fl"
+const TRANSFER_SALT: u64 = 0x7472616e73666572; // "transfer"
+
+/// SplitMix64 finalizer: a high-quality bijective mix of the input.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Map a draw to the unit interval with 53 bits of precision.
+fn unit(seed: u64, salt: u64, index: u64) -> f64 {
+    (mix64(seed ^ salt ^ mix64(index)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic fault source shared by the device and the runtime.
+///
+/// Draw counters are atomics so the injector can sit behind `&Gpu`, but the
+/// *decision* for draw `n` is a pure function of `(seed, class, n)` — see the
+/// module docs.
+#[derive(Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    kernel_draws: AtomicU64,
+    alloc_draws: AtomicU64,
+    transfer_draws: AtomicU64,
+    kernel_faults: AtomicU64,
+    alloc_faults: AtomicU64,
+    transfer_timeouts: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new(profile: FaultProfile) -> Self {
+        FaultInjector {
+            profile,
+            kernel_draws: AtomicU64::new(0),
+            alloc_draws: AtomicU64::new(0),
+            transfer_draws: AtomicU64::new(0),
+            kernel_faults: AtomicU64::new(0),
+            alloc_faults: AtomicU64::new(0),
+            transfer_timeouts: AtomicU64::new(0),
+            watchdog_timeouts: AtomicU64::new(0),
+        }
+    }
+
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultProfile::disabled())
+    }
+
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Decide whether the next kernel launch faults. Returns the draw index
+    /// when it does.
+    pub fn draw_kernel_fault(&self) -> Option<u64> {
+        if self.profile.kernel_fault_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.kernel_draws.fetch_add(1, Ordering::Relaxed);
+        if unit(self.profile.seed, KERNEL_SALT, idx) < self.profile.kernel_fault_rate {
+            self.kernel_faults.fetch_add(1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Decide whether the next device allocation faults.
+    pub fn draw_alloc_fault(&self) -> Option<u64> {
+        if self.profile.alloc_fault_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.alloc_draws.fetch_add(1, Ordering::Relaxed);
+        if unit(self.profile.seed, ALLOC_SALT, idx) < self.profile.alloc_fault_rate {
+            self.alloc_faults.fetch_add(1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Decide whether the next host/device transfer times out.
+    pub fn draw_transfer_timeout(&self) -> Option<u64> {
+        if self.profile.transfer_timeout_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.transfer_draws.fetch_add(1, Ordering::Relaxed);
+        if unit(self.profile.seed, TRANSFER_SALT, idx) < self.profile.transfer_timeout_rate {
+            self.transfer_timeouts.fetch_add(1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Watchdog limit, if configured.
+    pub fn watchdog_limit_ms(&self) -> Option<f64> {
+        self.profile.watchdog_limit_ms
+    }
+
+    /// Record a watchdog trip (the device decides; the injector only counts).
+    pub fn note_watchdog_timeout(&self) {
+        self.watchdog_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Totals injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            kernel_faults: self.kernel_faults.load(Ordering::Relaxed),
+            alloc_faults: self.alloc_faults.load(Ordering::Relaxed),
+            transfer_timeouts: self.transfer_timeouts.load(Ordering::Relaxed),
+            watchdog_timeouts: self.watchdog_timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profile_never_draws() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert_eq!(inj.draw_kernel_fault(), None);
+            assert_eq!(inj.draw_alloc_fault(), None);
+            assert_eq!(inj.draw_transfer_timeout(), None);
+        }
+        assert_eq!(inj.counts(), FaultCounts::default());
+        // Disabled classes consume no draw indices at all.
+        assert_eq!(inj.kernel_draws.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        let mk = || FaultInjector::new(FaultProfile::seeded(42).with_kernel_fault_rate(0.2));
+        let a: Vec<Option<u64>> = {
+            let i = mk();
+            (0..200).map(|_| i.draw_kernel_fault()).collect()
+        };
+        let b: Vec<Option<u64>> = {
+            let i = mk();
+            (0..200).map(|_| i.draw_kernel_fault()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().any(|d| d.is_some()), "rate 0.2 over 200 draws must fire");
+        assert!(a.iter().any(|d| d.is_none()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::new(FaultProfile::seeded(1).with_kernel_fault_rate(0.5));
+        let b = FaultInjector::new(FaultProfile::seeded(2).with_kernel_fault_rate(0.5));
+        let va: Vec<bool> = (0..64).map(|_| a.draw_kernel_fault().is_some()).collect();
+        let vb: Vec<bool> = (0..64).map(|_| b.draw_kernel_fault().is_some()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn classes_are_independent_streams() {
+        // Interleaving alloc draws between kernel draws must not shift the
+        // kernel stream.
+        let p = FaultProfile::seeded(7)
+            .with_kernel_fault_rate(0.3)
+            .with_alloc_fault_rate(0.3);
+        let pure = FaultInjector::new(p.clone());
+        let kernel_only: Vec<bool> =
+            (0..50).map(|_| pure.draw_kernel_fault().is_some()).collect();
+        let mixed = FaultInjector::new(p);
+        let interleaved: Vec<bool> = (0..50)
+            .map(|_| {
+                mixed.draw_alloc_fault();
+                mixed.draw_kernel_fault().is_some()
+            })
+            .collect();
+        assert_eq!(kernel_only, interleaved);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_profile() {
+        let inj = FaultInjector::new(FaultProfile::seeded(9).with_alloc_fault_rate(0.25));
+        let n = 4000;
+        let hits = (0..n).filter(|_| inj.draw_alloc_fault().is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+        assert_eq!(inj.counts().alloc_faults, hits as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn rejects_bad_rate() {
+        FaultProfile::seeded(0).with_kernel_fault_rate(1.5);
+    }
+}

@@ -46,7 +46,9 @@
 pub mod cache;
 pub mod counters;
 pub mod device;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
@@ -55,7 +57,9 @@ pub mod timing;
 
 pub use counters::Counters;
 pub use device::DeviceSpec;
+pub use error::DeviceError;
 pub use exec::{BlockCtx, Gpu, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES};
+pub use fault::{FaultCounts, FaultInjector, FaultProfile};
 pub use memory::{Elem, GpuBuffer};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use profile::profile_report;

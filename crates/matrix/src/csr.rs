@@ -4,6 +4,7 @@
 use crate::coo::Coo;
 use crate::csc::CscMatrix;
 use crate::dense::DenseMatrix;
+use crate::error::FormatError;
 use serde::{Deserialize, Serialize};
 
 /// CSR sparse matrix of f64 with u32 column indices.
@@ -33,7 +34,8 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// On malformed inputs: wrong offset length, non-monotone offsets,
-    /// column index out of range, or unsorted columns within a row.
+    /// column index out of range, or unsorted columns within a row. Use
+    /// [`CsrMatrix::try_from_parts`] to get the violation as a value.
     pub fn from_parts(
         rows: usize,
         cols: usize,
@@ -41,33 +43,85 @@ impl CsrMatrix {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_off.len(), rows + 1, "row_off must have rows+1 entries");
-        assert_eq!(row_off[0], 0, "row_off must start at 0");
-        assert_eq!(
-            *row_off.last().unwrap(),
-            col_idx.len(),
-            "row_off must end at nnz"
-        );
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        Self::try_from_parts(rows, cols, row_off, col_idx, values)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from raw parts, reporting the first violated CSR invariant
+    /// instead of panicking — for untrusted inputs (file loaders,
+    /// foreign-format converters).
+    ///
+    /// ```
+    /// use fusedml_matrix::{CsrMatrix, FormatError};
+    ///
+    /// let err = CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    /// assert_eq!(err, Err(FormatError::ColumnOutOfRange { row: 0, col: 5, cols: 2 }));
+    /// ```
+    pub fn try_from_parts(
+        rows: usize,
+        cols: usize,
+        row_off: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        if row_off.len() != rows + 1 {
+            return Err(FormatError::OffsetLength {
+                rows,
+                len: row_off.len(),
+            });
+        }
+        if row_off[0] != 0 {
+            return Err(FormatError::OffsetStart { first: row_off[0] });
+        }
+        if row_off[rows] != col_idx.len() {
+            return Err(FormatError::OffsetEnd {
+                last: row_off[rows],
+                nnz: col_idx.len(),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(FormatError::LengthMismatch {
+                col_idx: col_idx.len(),
+                values: values.len(),
+            });
+        }
         for r in 0..rows {
-            assert!(row_off[r] <= row_off[r + 1], "row_off must be monotone");
+            if row_off[r] > row_off[r + 1] {
+                return Err(FormatError::NonMonotoneOffsets {
+                    row: r,
+                    prev: row_off[r],
+                    next: row_off[r + 1],
+                });
+            }
         }
         for r in 0..rows {
             let cols_of_row = &col_idx[row_off[r]..row_off[r + 1]];
             for w in cols_of_row.windows(2) {
-                assert!(w[0] < w[1], "columns within a row must be strictly increasing");
+                if w[0] >= w[1] {
+                    return Err(FormatError::UnsortedColumns {
+                        row: r,
+                        prev: w[0],
+                        next: w[1],
+                    });
+                }
             }
             if let Some(&last) = cols_of_row.last() {
-                assert!((last as usize) < cols, "column index {last} out of range");
+                if last as usize >= cols {
+                    return Err(FormatError::ColumnOutOfRange {
+                        row: r,
+                        col: last,
+                        cols,
+                    });
+                }
             }
         }
-        CsrMatrix {
+        Ok(CsrMatrix {
             rows,
             cols,
             row_off,
             col_idx,
             values,
-        }
+        })
     }
 
     /// An empty matrix with no stored entries.
@@ -316,5 +370,58 @@ mod tests {
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.transpose().rows(), 7);
         assert_eq!(m.mean_nnz_per_row(), 0.0);
+    }
+
+    #[test]
+    fn try_from_parts_accepts_valid_input() {
+        let m = CsrMatrix::try_from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn try_from_parts_reports_each_violation() {
+        use crate::error::FormatError as E;
+        // Wrong offset length.
+        assert_eq!(
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(E::OffsetLength { rows: 2, len: 2 })
+        );
+        // First offset nonzero.
+        assert_eq!(
+            CsrMatrix::try_from_parts(1, 2, vec![1, 1], vec![], vec![]),
+            Err(E::OffsetStart { first: 1 })
+        );
+        // Last offset disagrees with nnz.
+        assert_eq!(
+            CsrMatrix::try_from_parts(1, 2, vec![0, 2], vec![0], vec![1.0]),
+            Err(E::OffsetEnd { last: 2, nnz: 1 })
+        );
+        // col_idx / values mismatch.
+        assert_eq!(
+            CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]),
+            Err(E::LengthMismatch { col_idx: 1, values: 2 })
+        );
+        // Decreasing offsets, located at the offending row.
+        assert_eq!(
+            CsrMatrix::try_from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]),
+            Err(E::NonMonotoneOffsets { row: 1, prev: 2, next: 1 })
+        );
+        // Duplicate column (not strictly increasing).
+        assert_eq!(
+            CsrMatrix::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]),
+            Err(E::UnsortedColumns { row: 0, prev: 1, next: 1 })
+        );
+        // Column index out of range, located at the offending row.
+        assert_eq!(
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![0, 7], vec![1.0, 2.0]),
+            Err(E::ColumnOutOfRange { row: 1, col: 7, cols: 2 })
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! extension experiment `repro ell` measures.
 
 use crate::csr::CsrMatrix;
+use crate::error::FormatError;
 use serde::{Deserialize, Serialize};
 
 /// Column sentinel marking a padding slot.
@@ -39,19 +40,30 @@ impl EllMatrix {
     /// Convert from CSR with an explicit width; `None` if any row exceeds
     /// it (use [`crate::hyb::HybMatrix`] to spill instead).
     pub fn from_csr_with_width(x: &CsrMatrix, width: usize) -> Option<Self> {
+        Self::try_from_csr_with_width(x, width).ok()
+    }
+
+    /// Convert from CSR with an explicit width, reporting *which* row
+    /// overflowed when the width is too small — for callers picking a
+    /// width from external configuration rather than from the matrix.
+    pub fn try_from_csr_with_width(x: &CsrMatrix, width: usize) -> Result<Self, FormatError> {
         let rows = x.rows();
         let mut col_idx = vec![ELL_PAD; width * rows];
         let mut values = vec![0.0; width * rows];
         for r in 0..rows {
             if x.row_nnz(r) > width {
-                return None;
+                return Err(FormatError::RowTooWide {
+                    row: r,
+                    row_nnz: x.row_nnz(r),
+                    width,
+                });
             }
             for (slot, (c, v)) in x.row_entries(r).enumerate() {
                 col_idx[slot * rows + r] = c;
                 values[slot * rows + r] = v;
             }
         }
-        Some(EllMatrix {
+        Ok(EllMatrix {
             rows,
             cols: x.cols(),
             width,
@@ -183,6 +195,22 @@ mod tests {
         let max = (0..100).map(|r| x.row_nnz(r)).max().unwrap();
         assert!(EllMatrix::from_csr_with_width(&x, max).is_some());
         assert!(EllMatrix::from_csr_with_width(&x, max - 1).is_none());
+    }
+
+    #[test]
+    fn bounded_width_error_names_the_overflowing_row() {
+        let x = CsrMatrix::from_parts(2, 3, vec![0, 1, 4], vec![0, 0, 1, 2], vec![1.0; 4]);
+        let err = EllMatrix::try_from_csr_with_width(&x, 2).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::FormatError::RowTooWide {
+                row: 1,
+                row_nnz: 3,
+                width: 2
+            }
+        );
+        assert!(err.to_string().contains("row 1"));
+        assert!(EllMatrix::try_from_csr_with_width(&x, 3).is_ok());
     }
 
     #[test]

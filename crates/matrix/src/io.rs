@@ -115,6 +115,16 @@ pub fn read_sparse_mtx<R: Read>(reader: R) -> Result<CsrMatrix, MtxError> {
             reason: "size line must be 'rows cols nnz'".into(),
         });
     };
+    if rows > u32::MAX as usize || cols > u32::MAX as usize {
+        return Err(MtxError::Inconsistent(format!(
+            "{rows} x {cols} exceeds the u32 index space"
+        )));
+    }
+    if symmetry == Symmetry::Symmetric && rows != cols {
+        return Err(MtxError::Inconsistent(format!(
+            "symmetric matrix must be square, got {rows} x {cols}"
+        )));
+    }
 
     let mut coo = Coo::with_capacity(rows, cols, nnz);
     let mut seen = 0usize;
@@ -210,8 +220,13 @@ pub fn read_dense_mtx<R: Read>(reader: R) -> Result<DenseMatrix, MtxError> {
                     reason: "array size line must be 'rows cols'".into(),
                 });
             };
+            let Some(total) = rows.checked_mul(cols) else {
+                return Err(MtxError::Inconsistent(format!(
+                    "{rows} x {cols} overflows the addressable size"
+                )));
+            };
             dims = Some((rows, cols));
-            values.reserve(rows * cols);
+            values.reserve(total);
             continue;
         }
         for t in trimmed.split_whitespace() {
@@ -321,6 +336,23 @@ mod tests {
             read_sparse_mtx(badval.as_bytes()),
             Err(MtxError::BadEntry { .. })
         ));
+        // A symmetric header on non-square dimensions used to panic when
+        // mirroring an off-diagonal entry out of bounds.
+        let rect_sym = "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 3 1.0\n";
+        assert!(matches!(
+            read_sparse_mtx(rect_sym.as_bytes()),
+            Err(MtxError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn bad_entry_reports_the_line_number() {
+        let badval = "%%MatrixMarket matrix coordinate real general\n% c\n2 2 2\n1 1 2.0\n2 2 abc\n";
+        let Err(MtxError::BadEntry { line, reason }) = read_sparse_mtx(badval.as_bytes()) else {
+            panic!("expected BadEntry");
+        };
+        assert_eq!(line, 5);
+        assert!(reason.contains("abc"));
     }
 
     #[test]

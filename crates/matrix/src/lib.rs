@@ -11,6 +11,7 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod ell;
+pub mod error;
 pub mod gen;
 pub mod hyb;
 pub mod io;
@@ -22,5 +23,6 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use ell::EllMatrix;
+pub use error::FormatError;
 pub use hyb::HybMatrix;
 pub use stats::SparseStats;

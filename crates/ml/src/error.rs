@@ -1,0 +1,121 @@
+//! Typed solver errors: device faults surfaced through the backend plus
+//! numeric breakdowns (NaN/Inf residuals, exhausted search directions)
+//! detected by the solver guards themselves.
+//!
+//! The split matters for recovery policy: a [`DeviceError`] classified as
+//! transient is worth retrying on the same backend, while a
+//! [`SolverError::NumericalBreakdown`] will recur deterministically and
+//! should abort (or degrade to a more conservative evaluation path).
+
+use fusedml_gpu_sim::DeviceError;
+use std::fmt;
+
+/// Error from a fallible solver (`try_lr_cg`, `try_glm`, `try_logreg`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A device fault propagated out of a backend operation.
+    Device(DeviceError),
+    /// The iteration produced non-finite values that bounded restarts
+    /// could not repair.
+    NumericalBreakdown {
+        /// Which solver broke down (`"lr_cg"`, `"glm"`, `"logreg"`).
+        solver: &'static str,
+        /// Outer iteration at which the breakdown was detected.
+        iteration: usize,
+        /// Human-readable description of the offending quantity.
+        detail: String,
+    },
+}
+
+impl SolverError {
+    /// Breakdown helper used by the solver guards.
+    pub(crate) fn breakdown(
+        solver: &'static str,
+        iteration: usize,
+        detail: impl Into<String>,
+    ) -> Self {
+        SolverError::NumericalBreakdown {
+            solver,
+            iteration,
+            detail: detail.into(),
+        }
+    }
+
+    /// True when retrying the same computation may succeed (delegates to
+    /// [`DeviceError::is_transient`]; numeric breakdowns are deterministic).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SolverError::Device(e) => e.is_transient(),
+            SolverError::NumericalBreakdown { .. } => false,
+        }
+    }
+
+    /// Stable machine-readable class tag (mirrors [`DeviceError::kind`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolverError::Device(e) => e.kind(),
+            SolverError::NumericalBreakdown { .. } => "numerical-breakdown",
+        }
+    }
+
+    /// The underlying device fault, when there is one.
+    pub fn device_error(&self) -> Option<&DeviceError> {
+        match self {
+            SolverError::Device(e) => Some(e),
+            SolverError::NumericalBreakdown { .. } => None,
+        }
+    }
+}
+
+impl From<DeviceError> for SolverError {
+    fn from(e: DeviceError) -> Self {
+        SolverError::Device(e)
+    }
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Device(e) => write!(f, "{e}"),
+            SolverError::NumericalBreakdown {
+                solver,
+                iteration,
+                detail,
+            } => write!(
+                f,
+                "solver {solver} broke down at iteration {iteration}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Device(e) => Some(e),
+            SolverError::NumericalBreakdown { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_delegates_to_device_error() {
+        let dev = DeviceError::TransientFault {
+            kernel: "csrmv".into(),
+            fault_index: 3,
+        };
+        assert!(SolverError::from(dev.clone()).is_transient());
+        assert_eq!(SolverError::from(dev).kind(), "transient-fault");
+        let brk = SolverError::breakdown("lr_cg", 4, "nr2 is NaN");
+        assert!(!brk.is_transient());
+        assert_eq!(brk.kind(), "numerical-breakdown");
+        assert_eq!(
+            brk.to_string(),
+            "solver lr_cg broke down at iteration 4: nr2 is NaN"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! `X^T (W ⊙ (X s)) + lambda s` — the `X^T (v ⊙ (X y))` instantiation the
 //! paper's Table 1 attributes to GLM.
 
+use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
 
@@ -78,76 +79,104 @@ impl Default for GlmOptions {
 /// Fit a GLM: `targets` are counts (Poisson) or probabilities/labels in
 /// `[0, 1]` (Binomial).
 pub fn glm<B: Backend>(backend: &mut B, targets: &[f64], opts: GlmOptions) -> GlmResult {
+    try_glm(backend, targets, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`glm`]: device faults propagate as [`SolverError::Device`];
+/// a non-finite gradient norm or CG curvature aborts with
+/// [`SolverError::NumericalBreakdown`]. The `max_outer`/`max_inner_cg`
+/// caps bound the work done before either outcome.
+pub fn try_glm<B: Backend>(
+    backend: &mut B,
+    targets: &[f64],
+    opts: GlmOptions,
+) -> Result<GlmResult, SolverError> {
+    const SOLVER: &str = "glm";
+
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(targets.len(), m);
 
-    let t = backend.from_host("targets", targets);
-    let mut w = backend.zeros("w", n);
-    let mut eta = backend.zeros("eta", m);
-    let mut mu = backend.zeros("mu", m);
-    let mut wgt = backend.zeros("wgt", m);
-    let mut resid = backend.zeros("resid", m);
-    let mut grad = backend.zeros("grad", n);
+    let t = backend.try_from_host("targets", targets)?;
+    let mut w = backend.try_zeros("w", n)?;
+    let mut eta = backend.try_zeros("eta", m)?;
+    let mut mu = backend.try_zeros("mu", m)?;
+    let mut wgt = backend.try_zeros("wgt", m)?;
+    let mut resid = backend.try_zeros("resid", m)?;
+    let mut grad = backend.try_zeros("grad", n)?;
     let mut outer = 0;
     let mut cg_total = 0;
     let mut gn2 = f64::INFINITY;
     let family = opts.family;
 
     while outer < opts.max_outer {
-        backend.mv(&w, &mut eta);
-        backend.map2(&eta, &t, &mut mu, &|e, _| family.mean_and_weight(e).0);
-        backend.map2(&eta, &t, &mut wgt, &|e, _| family.mean_and_weight(e).1);
+        backend.try_mv(&w, &mut eta)?;
+        backend.try_map2(&eta, &t, &mut mu, &|e, _| family.mean_and_weight(e).0)?;
+        backend.try_map2(&eta, &t, &mut wgt, &|e, _| family.mean_and_weight(e).1)?;
         // Score residual: (t - mu) for canonical links; (t - mu)/mu for
         // Gamma with the log link.
         match family {
             Family::Gamma => {
-                backend.map2(&t, &mu, &mut resid, &|ti, mi| (ti - mi) / mi.max(1e-12))
+                backend.try_map2(&t, &mu, &mut resid, &|ti, mi| (ti - mi) / mi.max(1e-12))?
             }
-            _ => backend.map2(&t, &mu, &mut resid, &|ti, mi| ti - mi),
+            _ => backend.try_map2(&t, &mu, &mut resid, &|ti, mi| ti - mi)?,
         }
 
         // grad = X^T resid - lambda w (ascent direction of log-likelihood).
-        backend.tmv(1.0, &resid, &mut grad);
-        backend.axpy(-opts.lambda, &w, &mut grad);
-        gn2 = backend.nrm2_sq(&grad);
+        backend.try_tmv(1.0, &resid, &mut grad)?;
+        backend.try_axpy(-opts.lambda, &w, &mut grad)?;
+        gn2 = backend.try_nrm2_sq(&grad)?;
+        if !gn2.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("gradient norm^2 is {gn2}"),
+            ));
+        }
         if gn2 <= opts.grad_tol {
             break;
         }
 
         // CG solve (X^T W X + lambda I) d = grad.
-        let mut d = backend.zeros("cg.d", n);
-        let mut r = backend.zeros("cg.r", n);
-        backend.copy(&grad, &mut r);
-        let mut p = backend.zeros("cg.p", n);
-        backend.copy(&r, &mut p);
-        let mut rs = backend.nrm2_sq(&r);
+        let mut d = backend.try_zeros("cg.d", n)?;
+        let mut r = backend.try_zeros("cg.r", n)?;
+        backend.try_copy(&grad, &mut r)?;
+        let mut p = backend.try_zeros("cg.p", n)?;
+        backend.try_copy(&r, &mut p)?;
+        let mut rs = backend.try_nrm2_sq(&r)?;
         let rs0 = rs;
-        let mut hp = backend.zeros("cg.hp", n);
+        let mut hp = backend.try_zeros("cg.hp", n)?;
         for _ in 0..opts.max_inner_cg {
             if rs <= 1e-8 * rs0 {
                 break;
             }
             // hp = X^T (W ⊙ (X p)) + lambda p — Table 1's GLM pattern.
-            backend.pattern(
+            backend.try_pattern(
                 PatternSpec::full(1.0, opts.lambda),
                 Some(&wgt),
                 &p,
                 Some(&p),
                 &mut hp,
-            );
-            let php = backend.dot(&p, &hp);
+            )?;
+            let php = backend.try_dot(&p, &hp)?;
+            if !php.is_finite() {
+                return Err(SolverError::breakdown(
+                    SOLVER,
+                    outer,
+                    format!("CG curvature p.Hp is {php}"),
+                ));
+            }
             if php <= 0.0 {
                 break;
             }
             let alpha = rs / php;
-            backend.axpy(alpha, &p, &mut d);
-            backend.axpy(-alpha, &hp, &mut r);
-            let rs_new = backend.nrm2_sq(&r);
+            backend.try_axpy(alpha, &p, &mut d)?;
+            backend.try_axpy(-alpha, &hp, &mut r)?;
+            let rs_new = backend.try_nrm2_sq(&r)?;
             let beta = rs_new / rs;
             rs = rs_new;
-            backend.scal(beta, &mut p);
-            backend.axpy(1.0, &r, &mut p);
+            backend.try_scal(beta, &mut p)?;
+            backend.try_axpy(1.0, &r, &mut p)?;
             cg_total += 1;
         }
 
@@ -156,23 +185,23 @@ pub fn glm<B: Backend>(backend: &mut B, targets: &[f64], opts: GlmOptions) -> Gl
         let mut step = 1.0;
         let mut accepted = false;
         for _ in 0..8 {
-            let mut w_try = backend.zeros("w.try", n);
-            backend.copy(&w, &mut w_try);
-            backend.axpy(step, &d, &mut w_try);
-            backend.mv(&w_try, &mut eta);
-            backend.map2(&eta, &t, &mut mu, &|e, _| family.mean_and_weight(e).0);
+            let mut w_try = backend.try_zeros("w.try", n)?;
+            backend.try_copy(&w, &mut w_try)?;
+            backend.try_axpy(step, &d, &mut w_try)?;
+            backend.try_mv(&w_try, &mut eta)?;
+            backend.try_map2(&eta, &t, &mut mu, &|e, _| family.mean_and_weight(e).0)?;
             match family {
                 Family::Gamma => {
-                    backend.map2(&t, &mu, &mut resid, &|ti, mi| (ti - mi) / mi.max(1e-12))
+                    backend.try_map2(&t, &mu, &mut resid, &|ti, mi| (ti - mi) / mi.max(1e-12))?
                 }
-                _ => backend.map2(&t, &mu, &mut resid, &|ti, mi| ti - mi),
+                _ => backend.try_map2(&t, &mu, &mut resid, &|ti, mi| ti - mi)?,
             }
-            let mut g_try = backend.zeros("g.try", n);
-            backend.tmv(1.0, &resid, &mut g_try);
-            backend.axpy(-opts.lambda, &w_try, &mut g_try);
-            let gn2_try = backend.nrm2_sq(&g_try);
+            let mut g_try = backend.try_zeros("g.try", n)?;
+            backend.try_tmv(1.0, &resid, &mut g_try)?;
+            backend.try_axpy(-opts.lambda, &w_try, &mut g_try)?;
+            let gn2_try = backend.try_nrm2_sq(&g_try)?;
             if gn2_try < gn2 {
-                backend.copy(&w_try, &mut w);
+                backend.try_copy(&w_try, &mut w)?;
                 accepted = true;
                 break;
             }
@@ -184,12 +213,12 @@ pub fn glm<B: Backend>(backend: &mut B, targets: &[f64], opts: GlmOptions) -> Gl
         }
     }
 
-    GlmResult {
+    Ok(GlmResult {
         weights: backend.to_host(&w),
         iterations: outer,
         cg_iterations: cg_total,
         grad_norm_sq: gn2,
-    }
+    })
 }
 
 #[cfg(test)]

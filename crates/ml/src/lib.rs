@@ -7,6 +7,7 @@
 //! operator-baseline and CPU engines with identical numerics and full
 //! time/launch/pattern instrumentation.
 
+pub mod error;
 pub mod glm;
 pub mod hits;
 pub mod logreg;
@@ -14,9 +15,12 @@ pub mod lr_cg;
 pub mod ops;
 pub mod svm;
 
-pub use glm::{glm, Family, GlmOptions, GlmResult};
+pub use error::SolverError;
+pub use glm::{glm, try_glm, Family, GlmOptions, GlmResult};
 pub use hits::{hits, HitsOptions, HitsResult};
-pub use logreg::{logreg, logreg_tron, LogRegOptions, LogRegResult, TronOptions, TronResult};
-pub use lr_cg::{lr_cg, LrCgOptions, LrCgResult};
+pub use logreg::{
+    logreg, logreg_tron, try_logreg, LogRegOptions, LogRegResult, TronOptions, TronResult,
+};
+pub use lr_cg::{lr_cg, try_lr_cg, LrCgOptions, LrCgResult};
 pub use ops::{Backend, BackendStats, BaselineBackend, CpuBackend, DeviceMatrix, FusedBackend};
 pub use svm::{svm_primal, SvmOptions, SvmResult};

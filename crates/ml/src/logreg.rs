@@ -7,6 +7,7 @@
 //! `X^T (v ⊙ (X y)) + beta z`, which is why Table 1 marks LogReg in the
 //! `v`-carrying rows.
 
+use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
 
@@ -53,80 +54,116 @@ fn sigmoid(t: f64) -> f64 {
 
 /// Train binomial logistic regression with labels in `{-1, +1}`.
 pub fn logreg<B: Backend>(backend: &mut B, labels: &[f64], opts: LogRegOptions) -> LogRegResult {
+    try_logreg(backend, labels, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`logreg`]: device faults propagate as
+/// [`SolverError::Device`]; a non-finite objective, gradient norm, or CG
+/// curvature aborts with [`SolverError::NumericalBreakdown`]. The
+/// `max_outer`/`max_inner_cg` caps bound the work done before either
+/// outcome.
+pub fn try_logreg<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: LogRegOptions,
+) -> Result<LogRegResult, SolverError> {
+    const SOLVER: &str = "logreg";
+
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(labels.len(), m);
     assert!(labels.iter().all(|&l| l == 1.0 || l == -1.0));
 
-    let y = backend.from_host("labels", labels);
-    let mut w = backend.zeros("w", n);
-    let mut margins = backend.zeros("margins", m);
-    let mut sig = backend.zeros("sig", m);
-    let mut d = backend.zeros("d", m);
-    let mut grad = backend.zeros("grad", n);
+    let y = backend.try_from_host("labels", labels)?;
+    let mut w = backend.try_zeros("w", n)?;
+    let mut margins = backend.try_zeros("margins", m)?;
+    let mut sig = backend.try_zeros("sig", m)?;
+    let mut d = backend.try_zeros("d", m)?;
+    let mut grad = backend.try_zeros("grad", n)?;
     let mut cg_total = 0usize;
     let mut outer = 0usize;
     let mut objective = f64::INFINITY;
 
     while outer < opts.max_outer {
         // margins = X w ; sig_i = sigma(y_i * margin_i)
-        backend.mv(&w, &mut margins);
-        backend.map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t));
+        backend.try_mv(&w, &mut margins)?;
+        backend.try_map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t))?;
 
         // objective = sum log(1 + exp(-y t)) + lambda/2 ||w||^2
         // (downloaded once per outer iteration for the stopping report;
         // a real system would reduce on device — cost equivalent to a dot.)
         let sig_host = backend.to_host(&sig);
         let obj_loss: f64 = sig_host.iter().map(|&s| -(s.max(1e-300)).ln()).sum();
-        let wn2 = backend.nrm2_sq(&w);
+        let wn2 = backend.try_nrm2_sq(&w)?;
         objective = obj_loss + 0.5 * opts.lambda * wn2;
+        if !objective.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("objective is {objective}"),
+            ));
+        }
 
         // grad = X^T ((sig - 1) .* y) + lambda w
-        backend.map2(&sig, &y, &mut d, &|s, yi| (s - 1.0) * yi);
-        backend.tmv(1.0, &d, &mut grad);
-        backend.axpy(opts.lambda, &w, &mut grad);
-        let gn2 = backend.nrm2_sq(&grad);
+        backend.try_map2(&sig, &y, &mut d, &|s, yi| (s - 1.0) * yi)?;
+        backend.try_tmv(1.0, &d, &mut grad)?;
+        backend.try_axpy(opts.lambda, &w, &mut grad)?;
+        let gn2 = backend.try_nrm2_sq(&grad)?;
+        if !gn2.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("gradient norm^2 is {gn2}"),
+            ));
+        }
         if gn2 <= opts.grad_tol {
             break;
         }
 
         // D = sig (1 - sig): the CG weight vector v.
-        backend.map2(&sig, &sig, &mut d, &|s, _| s * (1.0 - s));
+        backend.try_map2(&sig, &sig, &mut d, &|s, _| s * (1.0 - s))?;
 
         // Inner CG on  H s = -grad,  H s = X^T (D ⊙ (X s)) + lambda s.
-        let mut s = backend.zeros("cg.s", n);
-        let mut r = backend.zeros("cg.r", n);
-        backend.copy(&grad, &mut r);
-        backend.scal(-1.0, &mut r); // r = -grad (residual of s = 0)
-        let mut p = backend.zeros("cg.p", n);
-        backend.copy(&r, &mut p);
-        let mut rs = backend.nrm2_sq(&r);
+        let mut s = backend.try_zeros("cg.s", n)?;
+        let mut r = backend.try_zeros("cg.r", n)?;
+        backend.try_copy(&grad, &mut r)?;
+        backend.try_scal(-1.0, &mut r)?; // r = -grad (residual of s = 0)
+        let mut p = backend.try_zeros("cg.p", n)?;
+        backend.try_copy(&r, &mut p)?;
+        let mut rs = backend.try_nrm2_sq(&r)?;
         let rs0 = rs;
-        let mut hp = backend.zeros("cg.hp", n);
+        let mut hp = backend.try_zeros("cg.hp", n)?;
         for _ in 0..opts.max_inner_cg {
             if rs <= 1e-4 * rs0 {
                 break;
             }
             // hp = X^T (D ⊙ (X p)) + lambda p -- the FULL pattern.
-            backend.pattern(
+            backend.try_pattern(
                 PatternSpec::full(1.0, opts.lambda),
                 Some(&d),
                 &p,
                 Some(&p),
                 &mut hp,
-            );
-            let php = backend.dot(&p, &hp);
+            )?;
+            let php = backend.try_dot(&p, &hp)?;
+            if !php.is_finite() {
+                return Err(SolverError::breakdown(
+                    SOLVER,
+                    outer,
+                    format!("CG curvature p.Hp is {php}"),
+                ));
+            }
             if php <= 0.0 {
                 break;
             }
             let alpha = rs / php;
-            backend.axpy(alpha, &p, &mut s);
-            backend.axpy(-alpha, &hp, &mut r);
-            let rs_new = backend.nrm2_sq(&r);
+            backend.try_axpy(alpha, &p, &mut s)?;
+            backend.try_axpy(-alpha, &hp, &mut r)?;
+            let rs_new = backend.try_nrm2_sq(&r)?;
             let beta = rs_new / rs;
             rs = rs_new;
-            backend.scal(beta, &mut p);
-            backend.axpy(1.0, &r, &mut p);
+            backend.try_scal(beta, &mut p)?;
+            backend.try_axpy(1.0, &r, &mut p)?;
             cg_total += 1;
         }
 
@@ -134,20 +171,20 @@ pub fn logreg<B: Backend>(backend: &mut B, labels: &[f64], opts: LogRegOptions) 
         let mut step = 1.0;
         let mut accepted = false;
         for _ in 0..8 {
-            let mut w_try = backend.zeros("w.try", n);
-            backend.copy(&w, &mut w_try);
-            backend.axpy(step, &s, &mut w_try);
-            backend.mv(&w_try, &mut margins);
-            backend.map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t));
+            let mut w_try = backend.try_zeros("w.try", n)?;
+            backend.try_copy(&w, &mut w_try)?;
+            backend.try_axpy(step, &s, &mut w_try)?;
+            backend.try_mv(&w_try, &mut margins)?;
+            backend.try_map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t))?;
             let loss: f64 = backend
                 .to_host(&sig)
                 .iter()
                 .map(|&s| -(s.max(1e-300)).ln())
                 .sum();
-            let wn2 = backend.nrm2_sq(&w_try);
+            let wn2 = backend.try_nrm2_sq(&w_try)?;
             let obj_try = loss + 0.5 * opts.lambda * wn2;
             if obj_try < objective {
-                backend.copy(&w_try, &mut w);
+                backend.try_copy(&w_try, &mut w)?;
                 objective = obj_try;
                 accepted = true;
                 break;
@@ -160,12 +197,12 @@ pub fn logreg<B: Backend>(backend: &mut B, labels: &[f64], opts: LogRegOptions) 
         }
     }
 
-    LogRegResult {
+    Ok(LogRegResult {
         weights: backend.to_host(&w),
         iterations: outer,
         cg_iterations: cg_total,
         objective,
-    }
+    })
 }
 
 #[cfg(test)]

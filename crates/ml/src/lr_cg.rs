@@ -5,6 +5,7 @@
 //! `X^T(Xy) + beta*z` instantiation of the generic pattern; the remainder
 //! is BLAS-1 (`axpy`, `dot`, `nrm2`), matching the Table 2 breakdown.
 
+use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
 
@@ -19,6 +20,9 @@ pub struct LrCgResult {
     pub final_nr2: f64,
     /// Initial squared residual norm.
     pub initial_nr2: f64,
+    /// CG restarts taken after a non-finite residual or curvature was
+    /// detected (0 on clean runs).
+    pub restarts: usize,
 }
 
 /// Options mirroring Listing 1's constants.
@@ -59,66 +63,130 @@ impl Default for LrCgOptions {
 /// assert!(reference::rel_l2_error(&result.weights, &w_true) < 1e-4);
 /// ```
 pub fn lr_cg<B: Backend>(backend: &mut B, labels: &[f64], opts: LrCgOptions) -> LrCgResult {
+    try_lr_cg(backend, labels, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`lr_cg`]: device faults propagate as
+/// [`SolverError::Device`]; non-finite residuals or curvature trigger a
+/// bounded CG restart (recompute `r` from `w`) before giving up with
+/// [`SolverError::NumericalBreakdown`].
+pub fn try_lr_cg<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: LrCgOptions,
+) -> Result<LrCgResult, SolverError> {
+    const SOLVER: &str = "lr_cg";
+    const MAX_RESTARTS: usize = 2;
+
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(labels.len(), m, "label vector must have row dimension");
 
-    let y = backend.from_host("labels", labels);
+    let y = backend.try_from_host("labels", labels)?;
 
     // r = -(t(V) %*% y)
-    let mut r = backend.zeros("r", n);
-    backend.tmv(-1.0, &y, &mut r);
+    let mut r = backend.try_zeros("r", n)?;
+    backend.try_tmv(-1.0, &y, &mut r)?;
 
     // p = -r
-    let mut p = backend.zeros("p", n);
-    backend.copy(&r, &mut p);
-    backend.scal(-1.0, &mut p);
+    let mut p = backend.try_zeros("p", n)?;
+    backend.try_copy(&r, &mut p)?;
+    backend.try_scal(-1.0, &mut p)?;
 
     // nr2 = sum(r * r)
-    let mut nr2 = backend.nrm2_sq(&r);
+    let mut nr2 = backend.try_nrm2_sq(&r)?;
+    if !nr2.is_finite() {
+        return Err(SolverError::breakdown(
+            SOLVER,
+            0,
+            format!("initial residual norm^2 is {nr2}"),
+        ));
+    }
     let initial_nr2 = nr2;
     let nr2_target = nr2 * opts.tolerance * opts.tolerance;
 
-    let mut w = backend.zeros("w", n);
-    let mut q = backend.zeros("q", n);
+    let mut w = backend.try_zeros("w", n)?;
+    let mut q = backend.try_zeros("q", n)?;
 
     let mut i = 0;
+    let mut restarts = 0;
+
+    // Rebuild the CG state from the current iterate: r = X^T(Xw) + eps w
+    // - X^T y, p = -r. Used after a non-finite value is detected; bails
+    // out when the iterate itself is already contaminated.
+    macro_rules! restart_or_bail {
+        ($detail:expr) => {{
+            restarts += 1;
+            if restarts > MAX_RESTARTS {
+                return Err(SolverError::breakdown(SOLVER, i, $detail));
+            }
+            backend.try_pattern(
+                PatternSpec::xtxy_plus_bz(opts.eps),
+                None,
+                &w,
+                Some(&w),
+                &mut q,
+            )?;
+            backend.try_tmv(-1.0, &y, &mut r)?;
+            backend.try_axpy(1.0, &q, &mut r)?;
+            backend.try_copy(&r, &mut p)?;
+            backend.try_scal(-1.0, &mut p)?;
+            nr2 = backend.try_nrm2_sq(&r)?;
+            if !nr2.is_finite() {
+                // The iterate is contaminated; a restart cannot recover.
+                return Err(SolverError::breakdown(
+                    SOLVER,
+                    i,
+                    format!("residual norm^2 is {nr2} after restart"),
+                ));
+            }
+            continue;
+        }};
+    }
+
     while i < opts.max_iterations && nr2 > nr2_target {
         // q = (t(V) %*% (V %*% p)) + eps * p  -- THE pattern.
-        backend.pattern(
+        backend.try_pattern(
             PatternSpec::xtxy_plus_bz(opts.eps),
             None,
             &p,
             Some(&p),
             &mut q,
-        );
+        )?;
 
         // alpha = nr2 / (t(p) %*% q)
-        let pq = backend.dot(&p, &q);
+        let pq = backend.try_dot(&p, &q)?;
+        if !pq.is_finite() {
+            restart_or_bail!(format!("curvature p.q is {pq}"));
+        }
         if pq <= 0.0 {
             break; // numerically exhausted search direction
         }
         let alpha = nr2 / pq;
 
         // w = w + alpha * p
-        backend.axpy(alpha, &p, &mut w);
+        backend.try_axpy(alpha, &p, &mut w)?;
         // r = r + alpha * q
-        backend.axpy(alpha, &q, &mut r);
+        backend.try_axpy(alpha, &q, &mut r)?;
         let old_nr2 = nr2;
-        nr2 = backend.nrm2_sq(&r);
+        nr2 = backend.try_nrm2_sq(&r)?;
+        if !nr2.is_finite() {
+            restart_or_bail!(format!("residual norm^2 is {nr2}"));
+        }
         let beta = nr2 / old_nr2;
         // p = -r + beta * p
-        backend.scal(beta, &mut p);
-        backend.axpy(-1.0, &r, &mut p);
+        backend.try_scal(beta, &mut p)?;
+        backend.try_axpy(-1.0, &r, &mut p)?;
         i += 1;
     }
 
-    LrCgResult {
+    Ok(LrCgResult {
         weights: backend.to_host(&w),
         iterations: i,
         final_nr2: nr2,
         initial_nr2,
-    }
+        restarts,
+    })
 }
 
 #[cfg(test)]

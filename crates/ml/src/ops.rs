@@ -15,10 +15,10 @@
 //! is how the Table 1 experiment regenerates the paper's matrix.
 
 use fusedml_blas::{
-    csrmv, level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle,
+    level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle,
 };
 use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec};
-use fusedml_gpu_sim::{Gpu, GpuBuffer};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer};
 use fusedml_matrix::{reference, CsrMatrix, DenseMatrix};
 use std::collections::BTreeMap;
 
@@ -41,6 +41,13 @@ impl BackendStats {
 
 /// A device- (or host-) resident matrix plus the vector arithmetic needed
 /// by the iterative algorithms.
+///
+/// Every operation exists in two forms: a required fallible `try_*` method
+/// that surfaces [`DeviceError`]s (injected faults, capacity exhaustion,
+/// watchdog trips) to the caller, and a provided infallible method of the
+/// historical name that panics on faults. Solvers that participate in the
+/// runtime's recovery ladder call the `try_*` form; quick scripts and tests
+/// keep the infallible form. The CPU backend never fails.
 #[allow(clippy::wrong_self_convention)] // from_host is an upload, not a conversion
 pub trait Backend {
     /// Backend-native vector handle.
@@ -49,11 +56,74 @@ pub trait Backend {
     fn rows(&self) -> usize;
     fn cols(&self) -> usize;
 
-    fn from_host(&mut self, name: &str, data: &[f64]) -> Self::Vector;
-    fn zeros(&mut self, name: &str, len: usize) -> Self::Vector;
+    fn try_from_host(&mut self, name: &str, data: &[f64]) -> Result<Self::Vector, DeviceError>;
+    fn try_zeros(&mut self, name: &str, len: usize) -> Result<Self::Vector, DeviceError>;
     fn to_host(&self, v: &Self::Vector) -> Vec<f64>;
 
     /// `w = alpha * X^T (v ⊙ (X y)) + beta * z` — Equation 1.
+    fn try_pattern(
+        &mut self,
+        spec: PatternSpec,
+        v: Option<&Self::Vector>,
+        y: &Self::Vector,
+        z: Option<&Self::Vector>,
+        w: &mut Self::Vector,
+    ) -> Result<(), DeviceError>;
+
+    /// `out = X * y` (length m).
+    fn try_mv(&mut self, y: &Self::Vector, out: &mut Self::Vector) -> Result<(), DeviceError>;
+
+    /// `out = alpha * X^T * u` (length n) — Table 1's `alpha * X^T y`.
+    fn try_tmv(
+        &mut self,
+        alpha: f64,
+        u: &Self::Vector,
+        out: &mut Self::Vector,
+    ) -> Result<(), DeviceError>;
+
+    fn try_axpy(
+        &mut self,
+        a: f64,
+        x: &Self::Vector,
+        y: &mut Self::Vector,
+    ) -> Result<(), DeviceError>;
+    fn try_scal(&mut self, a: f64, x: &mut Self::Vector) -> Result<(), DeviceError>;
+    fn try_copy(&mut self, src: &Self::Vector, dst: &mut Self::Vector)
+        -> Result<(), DeviceError>;
+    fn try_ewmul(
+        &mut self,
+        x: &Self::Vector,
+        y: &Self::Vector,
+        out: &mut Self::Vector,
+    ) -> Result<(), DeviceError>;
+    fn try_dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> Result<f64, DeviceError>;
+    fn try_nrm2_sq(&mut self, x: &Self::Vector) -> Result<f64, DeviceError>;
+
+    /// Element-wise map `out[i] = f(x[i], y[i])` — the per-element link /
+    /// loss-derivative computations of LogReg/SVM/GLM (a single fused
+    /// element-wise kernel on device backends).
+    fn try_map2(
+        &mut self,
+        x: &Self::Vector,
+        y: &Self::Vector,
+        out: &mut Self::Vector,
+        f: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> Result<(), DeviceError>;
+
+    fn stats(&self) -> BackendStats;
+    fn reset_stats(&mut self);
+
+    // ------ provided infallible forms (panic on device faults) ------
+
+    fn from_host(&mut self, name: &str, data: &[f64]) -> Self::Vector {
+        self.try_from_host(name, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn zeros(&mut self, name: &str, len: usize) -> Self::Vector {
+        self.try_zeros(name, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`Backend::try_pattern`].
     fn pattern(
         &mut self,
         spec: PatternSpec,
@@ -61,34 +131,53 @@ pub trait Backend {
         y: &Self::Vector,
         z: Option<&Self::Vector>,
         w: &mut Self::Vector,
-    );
+    ) {
+        self.try_pattern(spec, v, y, z, w)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
-    /// `out = X * y` (length m).
-    fn mv(&mut self, y: &Self::Vector, out: &mut Self::Vector);
+    fn mv(&mut self, y: &Self::Vector, out: &mut Self::Vector) {
+        self.try_mv(y, out).unwrap_or_else(|e| panic!("{e}"))
+    }
 
-    /// `out = alpha * X^T * u` (length n) — Table 1's `alpha * X^T y`.
-    fn tmv(&mut self, alpha: f64, u: &Self::Vector, out: &mut Self::Vector);
+    fn tmv(&mut self, alpha: f64, u: &Self::Vector, out: &mut Self::Vector) {
+        self.try_tmv(alpha, u, out).unwrap_or_else(|e| panic!("{e}"))
+    }
 
-    fn axpy(&mut self, a: f64, x: &Self::Vector, y: &mut Self::Vector);
-    fn scal(&mut self, a: f64, x: &mut Self::Vector);
-    fn copy(&mut self, src: &Self::Vector, dst: &mut Self::Vector);
-    fn ewmul(&mut self, x: &Self::Vector, y: &Self::Vector, out: &mut Self::Vector);
-    fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> f64;
-    fn nrm2_sq(&mut self, x: &Self::Vector) -> f64;
+    fn axpy(&mut self, a: f64, x: &Self::Vector, y: &mut Self::Vector) {
+        self.try_axpy(a, x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
 
-    /// Element-wise map `out[i] = f(x[i], y[i])` — the per-element link /
-    /// loss-derivative computations of LogReg/SVM/GLM (a single fused
-    /// element-wise kernel on device backends).
+    fn scal(&mut self, a: f64, x: &mut Self::Vector) {
+        self.try_scal(a, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn copy(&mut self, src: &Self::Vector, dst: &mut Self::Vector) {
+        self.try_copy(src, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn ewmul(&mut self, x: &Self::Vector, y: &Self::Vector, out: &mut Self::Vector) {
+        self.try_ewmul(x, y, out).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> f64 {
+        self.try_dot(x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn nrm2_sq(&mut self, x: &Self::Vector) -> f64 {
+        self.try_nrm2_sq(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     fn map2(
         &mut self,
         x: &Self::Vector,
         y: &Self::Vector,
         out: &mut Self::Vector,
         f: &(dyn Fn(f64, f64) -> f64 + Sync),
-    );
-
-    fn stats(&self) -> BackendStats;
-    fn reset_stats(&mut self);
+    ) {
+        self.try_map2(x, y, out, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 /// The matrix a device backend operates on.
@@ -134,22 +223,37 @@ pub struct FusedBackend<'g> {
 }
 
 impl<'g> FusedBackend<'g> {
-    pub fn new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Self {
-        Self::from_matrix(gpu, DeviceMatrix::Sparse(GpuCsr::upload(gpu, "X", x)))
+    /// Upload and wrap a sparse matrix, reporting device faults (the
+    /// runtime's degradation ladder catches these at construction).
+    pub fn try_new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Result<Self, DeviceError> {
+        Self::try_from_matrix(gpu, DeviceMatrix::Sparse(GpuCsr::try_upload(gpu, "X", x)?))
     }
 
-    pub fn new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Self {
-        Self::from_matrix(gpu, DeviceMatrix::Dense(GpuDense::upload(gpu, "X", x)))
+    /// Upload and wrap a dense matrix, reporting device faults.
+    pub fn try_new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Result<Self, DeviceError> {
+        Self::try_from_matrix(gpu, DeviceMatrix::Dense(GpuDense::try_upload(gpu, "X", x)?))
     }
 
-    pub fn from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Self {
-        FusedBackend {
+    pub fn try_from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Result<Self, DeviceError> {
+        Ok(FusedBackend {
             gpu,
             matrix,
             exec: FusedExecutor::new(gpu),
-            scalar: gpu.alloc_f64("fused.scalar", 1),
+            scalar: gpu.try_alloc_f64("fused.scalar", 1)?,
             stats: BackendStats::default(),
-        }
+        })
+    }
+
+    pub fn new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Self {
+        Self::try_new_sparse(gpu, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Self {
+        Self::try_new_dense(gpu, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Self {
+        Self::try_from_matrix(gpu, matrix).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn matrix(&self) -> &DeviceMatrix {
@@ -179,37 +283,40 @@ impl<'g> Backend for FusedBackend<'g> {
         self.matrix.cols()
     }
 
-    fn from_host(&mut self, name: &str, data: &[f64]) -> GpuBuffer {
-        self.gpu.upload_f64(name, data)
+    fn try_from_host(&mut self, name: &str, data: &[f64]) -> Result<GpuBuffer, DeviceError> {
+        self.gpu.try_upload_f64(name, data)
     }
 
-    fn zeros(&mut self, name: &str, len: usize) -> GpuBuffer {
-        self.gpu.alloc_f64(name, len)
+    fn try_zeros(&mut self, name: &str, len: usize) -> Result<GpuBuffer, DeviceError> {
+        self.gpu.try_alloc_f64(name, len)
     }
 
     fn to_host(&self, v: &GpuBuffer) -> Vec<f64> {
         v.to_vec_f64()
     }
 
-    fn pattern(
+    fn try_pattern(
         &mut self,
         spec: PatternSpec,
         v: Option<&GpuBuffer>,
         y: &GpuBuffer,
         z: Option<&GpuBuffer>,
         w: &mut GpuBuffer,
-    ) {
-        match &self.matrix {
-            DeviceMatrix::Sparse(x) => self.exec.pattern_sparse(spec, x, v, y, z, w),
-            DeviceMatrix::Dense(x) => self.exec.pattern_dense(spec, x, v, y, z, w),
-        }
+    ) -> Result<(), DeviceError> {
+        let res = match &self.matrix {
+            DeviceMatrix::Sparse(x) => self.exec.try_pattern_sparse(spec, x, v, y, z, w),
+            DeviceMatrix::Dense(x) => self.exec.try_pattern_dense(spec, x, v, y, z, w),
+        };
+        // Launches performed before the fault still cost simulated time.
         self.absorb_exec();
+        res?;
         self.stats.record_instance(spec.instance());
+        Ok(())
     }
 
-    fn mv(&mut self, y: &GpuBuffer, out: &mut GpuBuffer) {
+    fn try_mv(&mut self, y: &GpuBuffer, out: &mut GpuBuffer) -> Result<(), DeviceError> {
         let s = match &self.matrix {
-            DeviceMatrix::Sparse(x) => csrmv(
+            DeviceMatrix::Sparse(x) => fusedml_blas::try_csrmv(
                 self.gpu,
                 x,
                 y,
@@ -217,74 +324,92 @@ impl<'g> Backend for FusedBackend<'g> {
                 SpmvStyle::Vector {
                     vs: fusedml_blas::vector_size_for_mean_nnz(x.mean_nnz_per_row()),
                 },
-            ),
-            DeviceMatrix::Dense(x) => fusedml_blas::gemv(self.gpu, x, y, out),
+            )?,
+            DeviceMatrix::Dense(x) => fusedml_blas::try_gemv(self.gpu, x, y, out)?,
         };
         self.charge(s);
+        Ok(())
     }
 
-    fn tmv(&mut self, alpha: f64, u: &GpuBuffer, out: &mut GpuBuffer) {
+    fn try_tmv(
+        &mut self,
+        alpha: f64,
+        u: &GpuBuffer,
+        out: &mut GpuBuffer,
+    ) -> Result<(), DeviceError> {
         match &self.matrix {
             DeviceMatrix::Sparse(x) => {
-                self.exec.xt_y_sparse(alpha, x, u, out);
+                let res = self.exec.try_xt_y_sparse(alpha, x, u, out);
                 self.absorb_exec();
+                res?;
             }
             DeviceMatrix::Dense(x) => {
                 // The paper does not fuse dense X^T y (cuBLAS is already
                 // good there, §4): operator-level.
-                for s in fusedml_blas::gemv_t(self.gpu, x, u, out) {
+                for s in fusedml_blas::try_gemv_t(self.gpu, x, u, out)? {
                     self.charge(s);
                 }
                 if alpha != 1.0 {
-                    let s = level1::scal(self.gpu, alpha, out);
+                    let s = level1::try_scal(self.gpu, alpha, out)?;
                     self.charge(s);
                 }
             }
         }
         self.stats.record_instance(PatternInstance::XtY);
+        Ok(())
     }
 
-    fn axpy(&mut self, a: f64, x: &GpuBuffer, y: &mut GpuBuffer) {
-        let s = level1::axpy(self.gpu, a, x, y);
+    fn try_axpy(&mut self, a: f64, x: &GpuBuffer, y: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let s = level1::try_axpy(self.gpu, a, x, y)?;
         self.charge(s);
+        Ok(())
     }
 
-    fn scal(&mut self, a: f64, x: &mut GpuBuffer) {
-        let s = level1::scal(self.gpu, a, x);
+    fn try_scal(&mut self, a: f64, x: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let s = level1::try_scal(self.gpu, a, x)?;
         self.charge(s);
+        Ok(())
     }
 
-    fn copy(&mut self, src: &GpuBuffer, dst: &mut GpuBuffer) {
-        let s = level1::copy(self.gpu, src, dst);
+    fn try_copy(&mut self, src: &GpuBuffer, dst: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let s = level1::try_copy(self.gpu, src, dst)?;
         self.charge(s);
+        Ok(())
     }
 
-    fn ewmul(&mut self, x: &GpuBuffer, y: &GpuBuffer, out: &mut GpuBuffer) {
-        let s = level1::ewmul(self.gpu, x, y, out);
+    fn try_ewmul(
+        &mut self,
+        x: &GpuBuffer,
+        y: &GpuBuffer,
+        out: &mut GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let s = level1::try_ewmul(self.gpu, x, y, out)?;
         self.charge(s);
+        Ok(())
     }
 
-    fn dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> f64 {
-        let (d, s) = level1::dot(self.gpu, x, y, &self.scalar);
+    fn try_dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> Result<f64, DeviceError> {
+        let (d, s) = level1::try_dot(self.gpu, x, y, &self.scalar)?;
         self.charge(s);
-        d
+        Ok(d)
     }
 
-    fn nrm2_sq(&mut self, x: &GpuBuffer) -> f64 {
-        let (d, s) = level1::nrm2_sq(self.gpu, x, &self.scalar);
+    fn try_nrm2_sq(&mut self, x: &GpuBuffer) -> Result<f64, DeviceError> {
+        let (d, s) = level1::try_nrm2_sq(self.gpu, x, &self.scalar)?;
         self.charge(s);
-        d
+        Ok(d)
     }
 
-    fn map2(
+    fn try_map2(
         &mut self,
         x: &GpuBuffer,
         y: &GpuBuffer,
         out: &mut GpuBuffer,
         f: &(dyn Fn(f64, f64) -> f64 + Sync),
-    ) {
-        let s = device_map2(self.gpu, x, y, out, f);
+    ) -> Result<(), DeviceError> {
+        let s = try_device_map2(self.gpu, x, y, out, f)?;
         self.charge(s);
+        Ok(())
     }
 
     fn stats(&self) -> BackendStats {
@@ -299,18 +424,18 @@ impl<'g> Backend for FusedBackend<'g> {
 /// Element-wise `out[i] = f(x[i], y[i])` device kernel shared by the GPU
 /// backends (models the single fused element-wise kernel a real system
 /// would generate for link functions).
-fn device_map2(
+fn try_device_map2(
     gpu: &Gpu,
     x: &GpuBuffer,
     y: &GpuBuffer,
     out: &GpuBuffer,
     f: &(dyn Fn(f64, f64) -> f64 + Sync),
-) -> fusedml_gpu_sim::LaunchStats {
+) -> Result<fusedml_gpu_sim::LaunchStats, DeviceError> {
     assert_eq!(x.len(), y.len());
     assert_eq!(x.len(), out.len());
     let n = x.len();
     let grid = n.div_ceil(256).clamp(1, 1024);
-    gpu.launch(
+    gpu.try_launch(
         "map2",
         fusedml_gpu_sim::LaunchConfig::new(grid, 256).with_regs(20),
         |blk| {
@@ -362,25 +487,39 @@ pub struct BaselineBackend<'g> {
 }
 
 impl<'g> BaselineBackend<'g> {
-    pub fn new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Self {
-        Self::from_matrix(gpu, DeviceMatrix::Sparse(GpuCsr::upload(gpu, "X", x)))
+    /// Upload and wrap a sparse matrix, reporting device faults.
+    pub fn try_new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Result<Self, DeviceError> {
+        Self::try_from_matrix(gpu, DeviceMatrix::Sparse(GpuCsr::try_upload(gpu, "X", x)?))
     }
 
-    pub fn new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Self {
-        Self::from_matrix(gpu, DeviceMatrix::Dense(GpuDense::upload(gpu, "X", x)))
+    /// Upload and wrap a dense matrix, reporting device faults.
+    pub fn try_new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Result<Self, DeviceError> {
+        Self::try_from_matrix(gpu, DeviceMatrix::Dense(GpuDense::try_upload(gpu, "X", x)?))
     }
 
-    pub fn from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Self {
-        let tmp_p = gpu.alloc_f64("baseline.tmp_p", matrix.rows());
-        BaselineBackend {
+    pub fn try_from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Result<Self, DeviceError> {
+        let tmp_p = gpu.try_alloc_f64("baseline.tmp_p", matrix.rows())?;
+        Ok(BaselineBackend {
             gpu,
             matrix,
-            engine: BaselineEngine::new(gpu, Flavor::CuLibs),
+            engine: BaselineEngine::try_new(gpu, Flavor::CuLibs)?,
             policy: TransposePolicy::PerCall,
             xt: None,
             tmp_p,
             stats: BackendStats::default(),
-        }
+        })
+    }
+
+    pub fn new_sparse(gpu: &'g Gpu, x: &CsrMatrix) -> Self {
+        Self::try_new_sparse(gpu, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn new_dense(gpu: &'g Gpu, x: &DenseMatrix) -> Self {
+        Self::try_new_dense(gpu, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn from_matrix(gpu: &'g Gpu, matrix: DeviceMatrix) -> Self {
+        Self::try_from_matrix(gpu, matrix).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Switch the transposed-product strategy (see [`TransposePolicy`]).
@@ -396,19 +535,19 @@ impl<'g> BaselineBackend<'g> {
     }
 
     /// `w = X^T * u` for the sparse matrix, honoring the policy.
-    fn sparse_tmv_into(&mut self, u: &GpuBuffer, w: &GpuBuffer) {
+    fn sparse_tmv_into(&mut self, u: &GpuBuffer, w: &GpuBuffer) -> Result<(), DeviceError> {
         let DeviceMatrix::Sparse(x) = &self.matrix else {
             unreachable!("sparse_tmv_into on dense matrix")
         };
         let x = x.clone();
         match self.policy {
             TransposePolicy::PerCall => {
-                self.engine.csrmv_t(&x, u, w);
+                self.engine.try_csrmv_t(&x, u, w)?;
             }
             TransposePolicy::CachedOnce => {
                 if self.xt.is_none() {
                     let (xt, launches) =
-                        fusedml_blas::csr2csc_device(self.gpu, &x);
+                        fusedml_blas::try_csr2csc_device(self.gpu, &x)?;
                     for l in &launches {
                         self.stats.sim_ms += l.sim_ms();
                         self.stats.launches += 1;
@@ -416,11 +555,12 @@ impl<'g> BaselineBackend<'g> {
                     self.xt = Some(xt);
                 }
                 let xt = self.xt.as_ref().expect("cached").clone();
-                let s = fusedml_blas::csrmv_t_pretransposed(self.gpu, &xt, u, w);
+                let s = fusedml_blas::try_csrmv_t_pretransposed(self.gpu, &xt, u, w)?;
                 self.stats.sim_ms += s.sim_ms();
                 self.stats.launches += 1;
             }
         }
+        Ok(())
     }
 }
 
@@ -435,126 +575,152 @@ impl<'g> Backend for BaselineBackend<'g> {
         self.matrix.cols()
     }
 
-    fn from_host(&mut self, name: &str, data: &[f64]) -> GpuBuffer {
-        self.gpu.upload_f64(name, data)
+    fn try_from_host(&mut self, name: &str, data: &[f64]) -> Result<GpuBuffer, DeviceError> {
+        self.gpu.try_upload_f64(name, data)
     }
 
-    fn zeros(&mut self, name: &str, len: usize) -> GpuBuffer {
-        self.gpu.alloc_f64(name, len)
+    fn try_zeros(&mut self, name: &str, len: usize) -> Result<GpuBuffer, DeviceError> {
+        self.gpu.try_alloc_f64(name, len)
     }
 
     fn to_host(&self, v: &GpuBuffer) -> Vec<f64> {
         v.to_vec_f64()
     }
 
-    fn pattern(
+    fn try_pattern(
         &mut self,
         spec: PatternSpec,
         v: Option<&GpuBuffer>,
         y: &GpuBuffer,
         z: Option<&GpuBuffer>,
         w: &mut GpuBuffer,
-    ) {
+    ) -> Result<(), DeviceError> {
         let tmp = self.tmp_p.clone();
-        match &self.matrix {
-            DeviceMatrix::Sparse(x) => {
-                let x = x.clone();
-                self.engine.csrmv(&x, y, &tmp);
-                if let Some(v) = v {
-                    self.engine.ewmul(&tmp, v, &tmp);
+        let res = (|| -> Result<(), DeviceError> {
+            match &self.matrix {
+                DeviceMatrix::Sparse(x) => {
+                    let x = x.clone();
+                    self.engine.try_csrmv(&x, y, &tmp)?;
+                    if let Some(v) = v {
+                        self.engine.try_ewmul(&tmp, v, &tmp)?;
+                    }
+                    self.absorb();
+                    self.sparse_tmv_into(&tmp, w)?;
+                    if spec.alpha != 1.0 {
+                        self.engine.try_scal(spec.alpha, w)?;
+                    }
+                    if let Some(z) = z {
+                        self.engine.try_axpy(spec.beta, z, w)?;
+                    }
                 }
-                self.absorb();
-                self.sparse_tmv_into(&tmp, w);
-                if spec.alpha != 1.0 {
-                    self.engine.scal(spec.alpha, w);
-                }
-                if let Some(z) = z {
-                    self.engine.axpy(spec.beta, z, w);
+                DeviceMatrix::Dense(x) => {
+                    let x = x.clone();
+                    self.engine
+                        .try_pattern_dense(spec.alpha, &x, v, y, spec.beta, z, w, &tmp)?;
                 }
             }
-            DeviceMatrix::Dense(x) => {
-                let x = x.clone();
-                self.engine
-                    .pattern_dense(spec.alpha, &x, v, y, spec.beta, z, w, &tmp);
-            }
-        }
+            Ok(())
+        })();
         self.absorb();
+        res?;
         self.stats.record_instance(spec.instance());
+        Ok(())
     }
 
-    fn mv(&mut self, y: &GpuBuffer, out: &mut GpuBuffer) {
-        match &self.matrix {
+    fn try_mv(&mut self, y: &GpuBuffer, out: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let res = match &self.matrix {
             DeviceMatrix::Sparse(x) => {
                 let x = x.clone();
-                self.engine.csrmv(&x, y, out);
+                self.engine.try_csrmv(&x, y, out)
             }
             DeviceMatrix::Dense(x) => {
                 let x = x.clone();
-                self.engine.gemv(&x, y, out);
+                self.engine.try_gemv(&x, y, out)
             }
-        }
+        };
         self.absorb();
+        res
     }
 
-    fn tmv(&mut self, alpha: f64, u: &GpuBuffer, out: &mut GpuBuffer) {
-        match &self.matrix {
-            DeviceMatrix::Sparse(_) => {
-                self.sparse_tmv_into(u, out);
+    fn try_tmv(
+        &mut self,
+        alpha: f64,
+        u: &GpuBuffer,
+        out: &mut GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let res = (|| -> Result<(), DeviceError> {
+            match &self.matrix {
+                DeviceMatrix::Sparse(_) => {
+                    self.sparse_tmv_into(u, out)?;
+                }
+                DeviceMatrix::Dense(x) => {
+                    let x = x.clone();
+                    self.engine.try_gemv_t(&x, u, out)?;
+                }
             }
-            DeviceMatrix::Dense(x) => {
-                let x = x.clone();
-                self.engine.gemv_t(&x, u, out);
+            if alpha != 1.0 {
+                self.engine.try_scal(alpha, out)?;
             }
-        }
-        if alpha != 1.0 {
-            self.engine.scal(alpha, out);
-        }
+            Ok(())
+        })();
         self.absorb();
+        res?;
         self.stats.record_instance(PatternInstance::XtY);
+        Ok(())
     }
 
-    fn axpy(&mut self, a: f64, x: &GpuBuffer, y: &mut GpuBuffer) {
-        self.engine.axpy(a, x, y);
+    fn try_axpy(&mut self, a: f64, x: &GpuBuffer, y: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let res = self.engine.try_axpy(a, x, y);
         self.absorb();
+        res
     }
 
-    fn scal(&mut self, a: f64, x: &mut GpuBuffer) {
-        self.engine.scal(a, x);
+    fn try_scal(&mut self, a: f64, x: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let res = self.engine.try_scal(a, x);
         self.absorb();
+        res
     }
 
-    fn copy(&mut self, src: &GpuBuffer, dst: &mut GpuBuffer) {
-        self.engine.copy(src, dst);
+    fn try_copy(&mut self, src: &GpuBuffer, dst: &mut GpuBuffer) -> Result<(), DeviceError> {
+        let res = self.engine.try_copy(src, dst);
         self.absorb();
+        res
     }
 
-    fn ewmul(&mut self, x: &GpuBuffer, y: &GpuBuffer, out: &mut GpuBuffer) {
-        self.engine.ewmul(x, y, out);
+    fn try_ewmul(
+        &mut self,
+        x: &GpuBuffer,
+        y: &GpuBuffer,
+        out: &mut GpuBuffer,
+    ) -> Result<(), DeviceError> {
+        let res = self.engine.try_ewmul(x, y, out);
         self.absorb();
+        res
     }
 
-    fn dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> f64 {
-        let d = self.engine.dot(x, y);
+    fn try_dot(&mut self, x: &GpuBuffer, y: &GpuBuffer) -> Result<f64, DeviceError> {
+        let res = self.engine.try_dot(x, y);
         self.absorb();
-        d
+        res
     }
 
-    fn nrm2_sq(&mut self, x: &GpuBuffer) -> f64 {
-        let d = self.engine.nrm2_sq(x);
+    fn try_nrm2_sq(&mut self, x: &GpuBuffer) -> Result<f64, DeviceError> {
+        let res = self.engine.try_nrm2_sq(x);
         self.absorb();
-        d
+        res
     }
 
-    fn map2(
+    fn try_map2(
         &mut self,
         x: &GpuBuffer,
         y: &GpuBuffer,
         out: &mut GpuBuffer,
         f: &(dyn Fn(f64, f64) -> f64 + Sync),
-    ) {
-        let s = device_map2(self.gpu, x, y, out, f);
+    ) -> Result<(), DeviceError> {
+        let s = try_device_map2(self.gpu, x, y, out, f)?;
         self.stats.sim_ms += s.sim_ms();
         self.stats.launches += 1;
+        Ok(())
     }
 
     fn stats(&self) -> BackendStats {
@@ -623,26 +789,26 @@ impl Backend for CpuBackend {
         }
     }
 
-    fn from_host(&mut self, _name: &str, data: &[f64]) -> Vec<f64> {
-        data.to_vec()
+    fn try_from_host(&mut self, _name: &str, data: &[f64]) -> Result<Vec<f64>, DeviceError> {
+        Ok(data.to_vec())
     }
 
-    fn zeros(&mut self, _name: &str, len: usize) -> Vec<f64> {
-        vec![0.0; len]
+    fn try_zeros(&mut self, _name: &str, len: usize) -> Result<Vec<f64>, DeviceError> {
+        Ok(vec![0.0; len])
     }
 
     fn to_host(&self, v: &Vec<f64>) -> Vec<f64> {
         v.clone()
     }
 
-    fn pattern(
+    fn try_pattern(
         &mut self,
         spec: PatternSpec,
         v: Option<&Vec<f64>>,
         y: &Vec<f64>,
         z: Option<&Vec<f64>>,
         w: &mut Vec<f64>,
-    ) {
+    ) -> Result<(), DeviceError> {
         *w = match &self.matrix {
             HostMatrix::Sparse(x) => {
                 self.clock.pattern_sparse_ms(
@@ -682,9 +848,10 @@ impl Backend for CpuBackend {
         };
         self.absorb();
         self.stats.record_instance(spec.instance());
+        Ok(())
     }
 
-    fn mv(&mut self, y: &Vec<f64>, out: &mut Vec<f64>) {
+    fn try_mv(&mut self, y: &Vec<f64>, out: &mut Vec<f64>) -> Result<(), DeviceError> {
         *out = match &self.matrix {
             HostMatrix::Sparse(x) => {
                 self.clock.csrmv_ms(x.nnz(), x.rows());
@@ -696,9 +863,15 @@ impl Backend for CpuBackend {
             }
         };
         self.absorb();
+        Ok(())
     }
 
-    fn tmv(&mut self, alpha: f64, u: &Vec<f64>, out: &mut Vec<f64>) {
+    fn try_tmv(
+        &mut self,
+        alpha: f64,
+        u: &Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DeviceError> {
         let mut w = match &self.matrix {
             HostMatrix::Sparse(x) => {
                 self.clock.csrmv_t_ms(x.nnz(), x.rows(), x.cols());
@@ -715,56 +888,67 @@ impl Backend for CpuBackend {
         *out = w;
         self.absorb();
         self.stats.record_instance(PatternInstance::XtY);
+        Ok(())
     }
 
-    fn axpy(&mut self, a: f64, x: &Vec<f64>, y: &mut Vec<f64>) {
+    fn try_axpy(&mut self, a: f64, x: &Vec<f64>, y: &mut Vec<f64>) -> Result<(), DeviceError> {
         self.clock.axpy_ms(x.len());
         reference::axpy(a, x, y);
         self.absorb();
+        Ok(())
     }
 
-    fn scal(&mut self, a: f64, x: &mut Vec<f64>) {
+    fn try_scal(&mut self, a: f64, x: &mut Vec<f64>) -> Result<(), DeviceError> {
         self.clock.scal_ms(x.len());
         reference::scal(a, x);
         self.absorb();
+        Ok(())
     }
 
-    fn copy(&mut self, src: &Vec<f64>, dst: &mut Vec<f64>) {
+    fn try_copy(&mut self, src: &Vec<f64>, dst: &mut Vec<f64>) -> Result<(), DeviceError> {
         self.clock.axpy_ms(src.len());
         dst.clone_from(src);
         self.absorb();
+        Ok(())
     }
 
-    fn ewmul(&mut self, x: &Vec<f64>, y: &Vec<f64>, out: &mut Vec<f64>) {
+    fn try_ewmul(
+        &mut self,
+        x: &Vec<f64>,
+        y: &Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DeviceError> {
         self.clock.ewmul_ms(x.len());
         *out = x.iter().zip(y).map(|(a, b)| a * b).collect();
         self.absorb();
+        Ok(())
     }
 
-    fn dot(&mut self, x: &Vec<f64>, y: &Vec<f64>) -> f64 {
+    fn try_dot(&mut self, x: &Vec<f64>, y: &Vec<f64>) -> Result<f64, DeviceError> {
         self.clock.dot_ms(x.len());
         let d = reference::dot(x, y);
         self.absorb();
-        d
+        Ok(d)
     }
 
-    fn nrm2_sq(&mut self, x: &Vec<f64>) -> f64 {
+    fn try_nrm2_sq(&mut self, x: &Vec<f64>) -> Result<f64, DeviceError> {
         self.clock.dot_ms(x.len());
         let d = reference::norm2_sq(x);
         self.absorb();
-        d
+        Ok(d)
     }
 
-    fn map2(
+    fn try_map2(
         &mut self,
         x: &Vec<f64>,
         y: &Vec<f64>,
         out: &mut Vec<f64>,
         f: &(dyn Fn(f64, f64) -> f64 + Sync),
-    ) {
+    ) -> Result<(), DeviceError> {
         self.clock.ewmul_ms(x.len());
         *out = x.iter().zip(y).map(|(a, b)| f(*a, *b)).collect();
         self.absorb();
+        Ok(())
     }
 
     fn stats(&self) -> BackendStats {

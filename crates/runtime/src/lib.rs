@@ -6,16 +6,29 @@
 //! conversion), a host-vs-device cost model, and end-to-end execution
 //! sessions that reproduce Tables 5 and 6.
 
+// Hot-path code must report faults through typed errors (or panic with an
+// explicit message via the infallible wrappers), never through bare
+// unwrap/expect. Tests and benches are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod costmodel;
 pub mod hybrid;
 pub mod memman;
+pub mod recovery;
 pub mod session;
 pub mod streaming;
 pub mod transfer;
 
 pub use costmodel::{CostModel, Placement, PlacementDecision};
 pub use hybrid::{HybridExecutor, HybridReport};
+pub use recovery::{
+    run_lr_cg_with_recovery, BackendTier, LadderOutcome, RecoveryAction, RecoveryEvent,
+    RecoveryPolicy,
+};
 pub use streaming::{stream_pattern_sparse, StreamReport};
 pub use memman::{MemError, MemStats, MemoryManager};
-pub use session::{run_cpu, run_device, DataSet, EndToEndReport, EngineKind, SessionConfig};
+pub use session::{
+    run_cpu, run_device, run_device_fault_tolerant, DataSet, EndToEndReport, EngineKind,
+    FaultCountsReport, FaultTolerantReport, SessionConfig,
+};
 pub use transfer::TransferModel;

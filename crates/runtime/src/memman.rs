@@ -19,6 +19,26 @@ pub enum MemError {
     OutOfMemory { requested: u64, free: u64 },
 }
 
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::TooLarge {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "block of {requested} bytes exceeds device capacity {capacity}"
+            ),
+            MemError::OutOfMemory { requested, free } => write!(
+                f,
+                "out of device memory: need {requested} bytes, {free} free after eviction"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// Cumulative manager statistics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MemStats {
@@ -143,7 +163,10 @@ impl MemoryManager {
                     free: self.capacity - g.used,
                 });
             };
-            let vb = g.blocks.get_mut(&victim).expect("victim exists");
+            let vb = g
+                .blocks
+                .get_mut(&victim)
+                .unwrap_or_else(|| panic!("victim exists"));
             vb.on_device = false;
             let (vbytes, vdirty, vconv) = (vb.bytes, vb.device_dirty, vb.convert);
             vb.device_dirty = false;
@@ -160,7 +183,7 @@ impl MemoryManager {
         }
 
         let t = self.transfer.h2d_ms(bytes, convert);
-        let b = g.blocks.get_mut(name).expect("exists");
+        let b = g.blocks.get_mut(name).unwrap_or_else(|| panic!("exists"));
         b.on_device = true;
         g.used += bytes;
         g.stats.h2d_transfers += 1;
@@ -181,11 +204,21 @@ impl MemoryManager {
     /// Pin a block (exempt from eviction — e.g. the matrix during the
     /// iteration loop).
     pub fn pin(&self, name: &str) {
-        self.inner.lock().blocks.get_mut(name).expect("registered").pinned = true;
+        self.inner
+            .lock()
+            .blocks
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("block {name} not registered"))
+            .pinned = true;
     }
 
     pub fn unpin(&self, name: &str) {
-        self.inner.lock().blocks.get_mut(name).expect("registered").pinned = false;
+        self.inner
+            .lock()
+            .blocks
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("block {name} not registered"))
+            .pinned = false;
     }
 
     /// Drop a block entirely (deallocate + forget), writing back if dirty.

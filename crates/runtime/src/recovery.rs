@@ -1,0 +1,272 @@
+//! Fault recovery: bounded retry with exponential backoff for transient
+//! device faults, and a graceful-degradation ladder
+//! `Fused -> Baseline -> Cpu` for everything retries cannot fix.
+//!
+//! Retrying re-builds the backend from host data, so a watchdog-killed
+//! kernel (whose output buffers are undefined) never leaks garbage into
+//! the next attempt. Every retry and every degradation decision is
+//! recorded as a [`RecoveryEvent`] so the session report can show *why*
+//! a run ended on the tier it did.
+
+use crate::session::DataSet;
+use fusedml_gpu_sim::Gpu;
+use fusedml_ml::ops::TransposePolicy;
+use fusedml_ml::{
+    try_lr_cg, Backend, BackendStats, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions,
+    LrCgResult, SolverError,
+};
+use serde::{Deserialize, Serialize};
+
+/// Execution tier of the degradation ladder, fastest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendTier {
+    /// The paper's fused kernels.
+    Fused,
+    /// cuBLAS/cuSPARSE-style operator composition.
+    Baseline,
+    /// Host execution — the tier of last resort; never faults.
+    Cpu,
+}
+
+impl BackendTier {
+    /// The next, more conservative tier; `None` from [`BackendTier::Cpu`].
+    pub fn degrade(self) -> Option<BackendTier> {
+        match self {
+            BackendTier::Fused => Some(BackendTier::Baseline),
+            BackendTier::Baseline => Some(BackendTier::Cpu),
+            BackendTier::Cpu => None,
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendTier::Fused => "fused",
+            BackendTier::Baseline => "baseline",
+            BackendTier::Cpu => "cpu",
+        }
+    }
+}
+
+/// What the policy decided after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Same tier again after backoff (transient fault, retries left).
+    Retry,
+    /// Move down the ladder (retries exhausted or fault not transient).
+    Degrade,
+    /// Give up (degradation disabled, or the ladder is exhausted).
+    Abort,
+}
+
+/// One recovery decision, recorded in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Tier the failed attempt ran on.
+    pub tier: BackendTier,
+    /// 1-based attempt number within that tier.
+    pub attempt: usize,
+    /// Stable error class (`DeviceError::kind` / `"numerical-breakdown"`).
+    pub error_kind: String,
+    /// Full error message.
+    pub detail: String,
+    /// What the policy decided.
+    pub action: RecoveryAction,
+    /// Simulated backoff delay charged before the retry (0 otherwise).
+    pub backoff_ms: f64,
+}
+
+/// Retry/degradation policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries per tier *after* the first attempt, for transient faults.
+    pub max_retries: usize,
+    /// Backoff before the first retry (simulated milliseconds).
+    pub backoff_ms: f64,
+    /// Multiplier applied to the backoff per additional retry.
+    pub backoff_multiplier: f64,
+    /// When false, a tier's failure aborts instead of degrading.
+    pub allow_degradation: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_ms: 5.0,
+            backoff_multiplier: 2.0,
+            allow_degradation: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry number `retry` (1-based), exponential.
+    pub fn backoff_for(&self, retry: usize) -> f64 {
+        self.backoff_ms * self.backoff_multiplier.powi(retry.saturating_sub(1) as i32)
+    }
+}
+
+/// Where the ladder landed, with the full decision trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderOutcome {
+    /// Tier that completed the run.
+    pub tier: BackendTier,
+    /// Total attempts across all tiers (>= 1).
+    pub attempts: usize,
+    /// Simulated milliseconds spent backing off before retries.
+    pub retry_backoff_ms: f64,
+    /// Every retry/degradation decision, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Solver result of the successful attempt.
+    pub result: LrCgResult,
+    /// Backend stats of the successful attempt (failed attempts' partial
+    /// compute is absorbed into the shared `Gpu` clock, not shown here).
+    pub stats: BackendStats,
+}
+
+fn attempt_tier(
+    gpu: &Gpu,
+    tier: BackendTier,
+    data: &DataSet,
+    labels: &[f64],
+    opts: LrCgOptions,
+    transpose_policy: TransposePolicy,
+) -> Result<(LrCgResult, BackendStats), SolverError> {
+    match (tier, data) {
+        (BackendTier::Fused, DataSet::Sparse(x)) => {
+            let mut b = FusedBackend::try_new_sparse(gpu, x)?;
+            let r = try_lr_cg(&mut b, labels, opts)?;
+            Ok((r, b.stats()))
+        }
+        (BackendTier::Fused, DataSet::Dense(x)) => {
+            let mut b = FusedBackend::try_new_dense(gpu, x)?;
+            let r = try_lr_cg(&mut b, labels, opts)?;
+            Ok((r, b.stats()))
+        }
+        (BackendTier::Baseline, DataSet::Sparse(x)) => {
+            let mut b =
+                BaselineBackend::try_new_sparse(gpu, x)?.with_transpose_policy(transpose_policy);
+            let r = try_lr_cg(&mut b, labels, opts)?;
+            Ok((r, b.stats()))
+        }
+        (BackendTier::Baseline, DataSet::Dense(x)) => {
+            let mut b = BaselineBackend::try_new_dense(gpu, x)?;
+            let r = try_lr_cg(&mut b, labels, opts)?;
+            Ok((r, b.stats()))
+        }
+        (BackendTier::Cpu, DataSet::Sparse(x)) => {
+            let mut b = CpuBackend::new_sparse(x.clone());
+            let r = try_lr_cg(&mut b, labels, opts)?;
+            Ok((r, b.stats()))
+        }
+        (BackendTier::Cpu, DataSet::Dense(x)) => {
+            let mut b = CpuBackend::new_dense(x.clone());
+            let r = try_lr_cg(&mut b, labels, opts)?;
+            Ok((r, b.stats()))
+        }
+    }
+}
+
+/// Run LR-CG under the recovery policy, starting at the fused tier.
+///
+/// Transient faults are retried on the same tier (fresh backend each
+/// time) up to `policy.max_retries` times with exponential backoff;
+/// anything else — or exhausted retries — degrades down the ladder.
+/// The CPU tier cannot fault, so with degradation enabled this always
+/// succeeds; `Err` is only possible with `allow_degradation: false`.
+pub fn run_lr_cg_with_recovery(
+    gpu: &Gpu,
+    data: &DataSet,
+    labels: &[f64],
+    opts: LrCgOptions,
+    transpose_policy: TransposePolicy,
+    policy: &RecoveryPolicy,
+) -> Result<LadderOutcome, SolverError> {
+    let mut events = Vec::new();
+    let mut attempts = 0usize;
+    let mut retry_backoff_ms = 0.0f64;
+    let mut tier = BackendTier::Fused;
+
+    loop {
+        let mut tier_attempt = 0usize;
+        let error = loop {
+            tier_attempt += 1;
+            attempts += 1;
+            match attempt_tier(gpu, tier, data, labels, opts, transpose_policy) {
+                Ok((result, stats)) => {
+                    return Ok(LadderOutcome {
+                        tier,
+                        attempts,
+                        retry_backoff_ms,
+                        events,
+                        result,
+                        stats,
+                    })
+                }
+                Err(e) => {
+                    if e.is_transient() && tier_attempt <= policy.max_retries {
+                        let backoff = policy.backoff_for(tier_attempt);
+                        retry_backoff_ms += backoff;
+                        events.push(RecoveryEvent {
+                            tier,
+                            attempt: tier_attempt,
+                            error_kind: e.kind().to_string(),
+                            detail: e.to_string(),
+                            action: RecoveryAction::Retry,
+                            backoff_ms: backoff,
+                        });
+                        continue;
+                    }
+                    break e;
+                }
+            }
+        };
+
+        match tier.degrade() {
+            Some(next) if policy.allow_degradation => {
+                events.push(RecoveryEvent {
+                    tier,
+                    attempt: tier_attempt,
+                    error_kind: error.kind().to_string(),
+                    detail: error.to_string(),
+                    action: RecoveryAction::Degrade,
+                    backoff_ms: 0.0,
+                });
+                tier = next;
+            }
+            _ => {
+                events.push(RecoveryEvent {
+                    tier,
+                    attempt: tier_attempt,
+                    error_kind: error.kind().to_string(),
+                    detail: error.to_string(),
+                    action: RecoveryAction::Abort,
+                    backoff_ms: 0.0,
+                });
+                return Err(error);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_and_names() {
+        assert_eq!(BackendTier::Fused.degrade(), Some(BackendTier::Baseline));
+        assert_eq!(BackendTier::Baseline.degrade(), Some(BackendTier::Cpu));
+        assert_eq!(BackendTier::Cpu.degrade(), None);
+        assert_eq!(BackendTier::Fused.name(), "fused");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.backoff_for(1), 5.0);
+        assert_eq!(p.backoff_for(2), 10.0);
+        assert_eq!(p.backoff_for(3), 20.0);
+    }
+}

@@ -5,11 +5,14 @@
 //! overheads).
 
 use crate::memman::MemoryManager;
+use crate::recovery::{run_lr_cg_with_recovery, BackendTier, RecoveryEvent, RecoveryPolicy};
 use crate::transfer::TransferModel;
 use fusedml_gpu_sim::Gpu;
 use fusedml_matrix::{CsrMatrix, DenseMatrix};
 use fusedml_ml::ops::TransposePolicy;
-use fusedml_ml::{lr_cg, Backend, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions};
+use fusedml_ml::{
+    lr_cg, Backend, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions, SolverError,
+};
 use serde::{Deserialize, Serialize};
 
 /// The data set a session runs over.
@@ -127,8 +130,12 @@ pub fn run_device(gpu: &Gpu, data: &DataSet, labels: &[f64], cfg: &SessionConfig
     );
     mm.register("X", data.matrix_bytes(), data.needs_conversion());
     mm.register("labels", (labels.len() * 8) as u64, false);
-    let mut transfer_ms = mm.ensure_on_device("X").expect("matrix fits device");
-    transfer_ms += mm.ensure_on_device("labels").expect("labels fit");
+    let mut transfer_ms = mm
+        .ensure_on_device("X")
+        .unwrap_or_else(|e| panic!("matrix must fit the device: {e}"));
+    transfer_ms += mm
+        .ensure_on_device("labels")
+        .unwrap_or_else(|e| panic!("labels must fit the device: {e}"));
     mm.pin("X");
 
     let opts = LrCgOptions {
@@ -179,6 +186,118 @@ pub fn run_device(gpu: &Gpu, data: &DataSet, labels: &[f64], cfg: &SessionConfig
         launches,
         iterations,
     }
+}
+
+/// Injected-fault tally of one session (copied from the device's
+/// [`FaultInjector`](fusedml_gpu_sim::FaultInjector) after the run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCountsReport {
+    pub kernel_faults: u64,
+    pub alloc_faults: u64,
+    pub transfer_timeouts: u64,
+    pub watchdog_timeouts: u64,
+}
+
+/// [`EndToEndReport`] plus the recovery trail: which tier completed the
+/// run, every retry/degradation decision taken to get there, and the
+/// faults the device injected along the way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTolerantReport {
+    /// Cost breakdown of the successful attempt (failed attempts' partial
+    /// compute still advanced the simulated device clock but is not
+    /// itemized here).
+    pub report: EndToEndReport,
+    /// Tier that completed the run.
+    pub tier: BackendTier,
+    /// Total attempts across all tiers (1 on a clean run).
+    pub attempts: usize,
+    /// Simulated milliseconds spent backing off before retries.
+    pub retry_backoff_ms: f64,
+    /// Every retry/degradation decision, in order (empty on a clean run).
+    pub events: Vec<RecoveryEvent>,
+    /// Learned weights of the successful attempt.
+    pub weights: Vec<f64>,
+    /// Final squared residual norm.
+    pub final_nr2: f64,
+    /// CG restarts taken inside the successful attempt.
+    pub restarts: usize,
+    /// Faults injected over the whole session (all attempts).
+    pub faults: FaultCountsReport,
+}
+
+/// Run LR-CG end to end under a [`RecoveryPolicy`]: start on the fused
+/// tier, retry transient faults with backoff, and degrade
+/// `Fused -> Baseline -> Cpu` when a tier cannot complete. `cfg.engine`
+/// is ignored — the ladder always starts at [`BackendTier::Fused`].
+///
+/// With `policy.allow_degradation` set (the default) this always
+/// succeeds, because the CPU tier cannot fault; `Err` is only possible
+/// when degradation is disabled.
+pub fn run_device_fault_tolerant(
+    gpu: &Gpu,
+    data: &DataSet,
+    labels: &[f64],
+    cfg: &SessionConfig,
+    policy: &RecoveryPolicy,
+) -> Result<FaultTolerantReport, SolverError> {
+    let mm = MemoryManager::new(gpu.spec().global_mem_bytes as u64, cfg.transfer.clone());
+    mm.register("X", data.matrix_bytes(), data.needs_conversion());
+    mm.register("labels", (labels.len() * 8) as u64, false);
+    let mut transfer_ms = mm
+        .ensure_on_device("X")
+        .unwrap_or_else(|e| panic!("matrix must fit the device: {e}"));
+    transfer_ms += mm
+        .ensure_on_device("labels")
+        .unwrap_or_else(|e| panic!("labels must fit the device: {e}"));
+    mm.pin("X");
+
+    let opts = LrCgOptions {
+        eps: 0.001,
+        tolerance: 0.0, // run exactly `iterations` steps
+        max_iterations: cfg.iterations,
+    };
+
+    let outcome =
+        run_lr_cg_with_recovery(gpu, data, labels, opts, cfg.transpose_policy, policy)?;
+
+    let kernel_ms = outcome.stats.sim_ms;
+    let launches = outcome.stats.launches;
+    let iterations = outcome.result.iterations;
+    // Scalar readbacks and dispatch overhead only apply to device tiers.
+    let (readback_ms, dispatch_ms) = if outcome.tier == BackendTier::Cpu {
+        (0.0, 0.0)
+    } else {
+        (
+            (2 * iterations + 1) as f64 * cfg.transfer.scalar_readback_ms(),
+            launches as f64 * cfg.per_launch_overhead_ms,
+        )
+    };
+
+    let counts = gpu.faults().counts();
+    Ok(FaultTolerantReport {
+        report: EndToEndReport {
+            kernel_ms,
+            transfer_ms,
+            readback_ms,
+            dispatch_ms,
+            total_ms: kernel_ms + transfer_ms + readback_ms + dispatch_ms,
+            launches,
+            iterations,
+        },
+        tier: outcome.tier,
+        attempts: outcome.attempts,
+        retry_backoff_ms: outcome.retry_backoff_ms,
+        events: outcome.events,
+        weights: outcome.result.weights,
+        final_nr2: outcome.result.final_nr2,
+        restarts: outcome.result.restarts,
+        faults: FaultCountsReport {
+            kernel_faults: counts.kernel_faults,
+            alloc_faults: counts.alloc_faults,
+            transfer_timeouts: counts.transfer_timeouts,
+            watchdog_timeouts: counts.watchdog_timeouts,
+        },
+    })
 }
 
 /// Run LR-CG end to end with the *simulation* capped at `sim_iters`
