@@ -1,0 +1,1 @@
+//! Offline resolution-only stub.

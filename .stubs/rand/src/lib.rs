@@ -1,0 +1,98 @@
+//! Offline dev-loop stub of `rand` 0.8 — SplitMix64-based, deterministic.
+//! Covers only the API surface this workspace uses.
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore>(rng: &mut R, range: &std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: &std::ops::Range<Self>) -> Self {
+                let span = (range.end - range.start) as u64;
+                assert!(span > 0, "empty range");
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: &std::ops::Range<Self>) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, &range)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub trait Standard {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}

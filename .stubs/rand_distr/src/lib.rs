@@ -1,0 +1,48 @@
+//! Offline dev-loop stub of `rand_distr` 0.4 — Zipf only.
+
+use rand::RngCore;
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Zipf parameters")
+    }
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return Err(ZipfError);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
