@@ -21,11 +21,15 @@ fn type_name(input: TokenStream) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
-    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
 }

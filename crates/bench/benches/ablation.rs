@@ -84,8 +84,7 @@ fn ablation_coarsening(c: &mut Criterion) {
     let spec = PatternSpec::xtxy();
 
     let tuned = plan_sparse(gpu.spec(), M, n, x.mean_nnz_per_row());
-    let uncoarsened =
-        manual_sparse_plan(gpu.spec(), M, n, tuned.vs, tuned.bs, 1).expect("valid");
+    let uncoarsened = manual_sparse_plan(gpu.spec(), M, n, tuned.vs, tuned.bs, 1).expect("valid");
 
     let mut g = c.benchmark_group("ablation_coarsening");
     g.sample_size(10);

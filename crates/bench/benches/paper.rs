@@ -15,9 +15,7 @@ use fusedml_core::executor::FusedExecutor;
 use fusedml_core::tuner::manual_sparse_plan;
 use fusedml_core::{plan_sparse, PatternSpec};
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
-use fusedml_matrix::gen::{
-    dense_random, kdd2010_spec, random_vector, uniform_sparse,
-};
+use fusedml_matrix::gen::{dense_random, kdd2010_spec, random_vector, uniform_sparse};
 use fusedml_ml::{lr_cg, BaselineBackend, FusedBackend, LrCgOptions};
 use std::hint::black_box;
 

@@ -1,0 +1,168 @@
+//! `fusedml-bench` — continuous benchmarking CLI.
+//!
+//! ```text
+//! fusedml-bench run --quick                      # suite -> BENCH_fusion.json
+//! fusedml-bench run --quick --out results/x.json
+//! fusedml-bench compare baseline.json cand.json  # exit 1 on regression
+//! fusedml-bench compare a.json b.json --ignore-wall --modeled-tol 0.05
+//! fusedml-bench list --quick                     # workload ids, no run
+//! ```
+//!
+//! Exit codes: 0 = ok / no regression, 1 = regression detected,
+//! 2 = usage error or structurally incomparable reports.
+
+use fusedml_bench::regress::{
+    compare, run_suite, workload_ids, BenchReport, CompareOptions, Mode, SuiteOptions,
+};
+use fusedml_gpu_sim::DeviceSpec;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => cmd_run(args.collect()),
+        Some("compare") => cmd_compare(args.collect()),
+        Some("list") => cmd_list(args.collect()),
+        Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
+        None => die(USAGE),
+    }
+}
+
+const USAGE: &str = "usage:
+  fusedml-bench run [--quick|--full] [--scale f] [--seed u64] [--device titan|k20] [--out PATH]
+  fusedml-bench compare <baseline.json> <candidate.json>
+                [--modeled-tol f] [--counter-tol f] [--speedup-tol f]
+                [--wall-tol f] [--ignore-wall]
+  fusedml-bench list [--quick|--full] [--scale f]";
+
+/// Parse the suite-shaping flags shared by `run` and `list`.
+fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
+    let mut opts = SuiteOptions::quick();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.mode = Mode::Quick,
+            "--full" => opts.mode = Mode::Full,
+            "--scale" => {
+                opts.scale = next_f64(&mut it, "--scale");
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    die("--scale must be in (0, 1]");
+                }
+            }
+            "--seed" => {
+                opts.seed = next_arg(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an unsigned integer"));
+            }
+            "--device" => {
+                opts.device = match next_arg(&mut it, "--device").as_str() {
+                    "titan" => DeviceSpec::gtx_titan(),
+                    "k20" => DeviceSpec::tesla_k20(),
+                    other => die(&format!("--device must be 'titan' or 'k20', got '{other}'")),
+                };
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    (opts, rest)
+}
+
+fn cmd_run(args: Vec<String>) {
+    let (opts, rest) = parse_suite_opts(&args);
+    let mut out = "BENCH_fusion.json".to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = next_arg(&mut it, "--out"),
+            other => die(&format!("unknown flag '{other}' for run\n{USAGE}")),
+        }
+    }
+
+    eprintln!(
+        "running {} suite on {} (scale {}, seed {:#x})",
+        opts.mode.as_str(),
+        opts.device.name,
+        opts.scale,
+        opts.seed
+    );
+    let t0 = Instant::now();
+    let report = run_suite(&opts, |id| eprintln!("  {id}"));
+    report.save(&out).unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "wrote {} ({} workloads, {:.1?})",
+        out,
+        report.workloads.len(),
+        t0.elapsed()
+    );
+    for w in &report.workloads {
+        eprintln!(
+            "  {:<32} fused {:>10.3} ms  baseline {:>10.3} ms  speedup {:>6.2}x",
+            w.id, w.fused.modeled_ms, w.baseline.modeled_ms, w.speedup
+        );
+    }
+}
+
+fn cmd_compare(args: Vec<String>) {
+    let mut opts = CompareOptions::default();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--modeled-tol" => opts.modeled_tol = next_f64(&mut it, "--modeled-tol"),
+            "--counter-tol" => opts.counter_tol = next_f64(&mut it, "--counter-tol"),
+            "--speedup-tol" => opts.speedup_tol = next_f64(&mut it, "--speedup-tol"),
+            "--wall-tol" => opts.wall_tol = next_f64(&mut it, "--wall-tol"),
+            "--ignore-wall" => opts.check_wall = false,
+            flag if flag.starts_with("--") => {
+                die(&format!("unknown flag '{flag}' for compare\n{USAGE}"))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        die(&format!(
+            "compare needs exactly two report paths, got {}\n{USAGE}",
+            paths.len()
+        ));
+    };
+
+    let base = BenchReport::load(base_path).unwrap_or_else(|e| die(&e));
+    let cand = BenchReport::load(cand_path).unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "baseline:  {} @ {}\ncandidate: {} @ {}",
+        base_path, base.git_sha, cand_path, cand.git_sha
+    );
+    let outcome = compare(&base, &cand, &opts).unwrap_or_else(|e| die(&e));
+    print!("{}", outcome.render());
+    if !outcome.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_list(args: Vec<String>) {
+    let (opts, rest) = parse_suite_opts(&args);
+    if let Some(flag) = rest.first() {
+        die(&format!("unknown flag '{flag}' for list\n{USAGE}"));
+    }
+    for id in workload_ids(&opts) {
+        println!("{id}");
+    }
+}
+
+fn next_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .cloned()
+        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn next_f64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
+    next_arg(it, flag)
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -38,9 +38,7 @@ fn main() {
                 device = match it.next().as_deref() {
                     Some("titan") => DeviceSpec::gtx_titan(),
                     Some("k20") => DeviceSpec::tesla_k20(),
-                    other => die(&format!(
-                        "--device must be 'titan' or 'k20', got {other:?}"
-                    )),
+                    other => die(&format!("--device must be 'titan' or 'k20', got {other:?}")),
                 };
             }
             "--json" => {
@@ -76,8 +74,11 @@ fn main() {
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{name}.json");
-            std::fs::write(&path, serde_json::to_string_pretty(&table.to_json()).unwrap())
-                .expect("write json");
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&table.to_json()).unwrap(),
+            )
+            .expect("write json");
             println!("  wrote {path}\n");
         }
     }

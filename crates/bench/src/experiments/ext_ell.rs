@@ -83,7 +83,9 @@ pub fn run(ctx: &Ctx) -> Table {
             "hyb_overflow",
         ],
     );
-    t.note(format!("m = {m}, n = {n}; pattern X^T(Xy); not a paper artifact"));
+    t.note(format!(
+        "m = {m}, n = {n}; pattern X^T(Xy); not a paper artifact"
+    ));
 
     let uniform = uniform_sparse(m, n, 0.01, ctx.seed);
     let skewed = powerlaw_sparse(m, n, 10.0, 0.8, ctx.seed + 1);

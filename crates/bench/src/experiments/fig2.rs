@@ -46,7 +46,11 @@ pub fn run(ctx: &Ctx) -> Table {
         let mut ex = FusedExecutor::new(&ctx.gpu);
         ex.xt_y_sparse(1.0, &xd, &y, &w);
         let fused_ms = ex.total_sim_ms();
-        let fused_loads: u64 = ex.launches.iter().map(|l| l.counters.gld_transactions).sum();
+        let fused_loads: u64 = ex
+            .launches
+            .iter()
+            .map(|l| l.counters.gld_transactions)
+            .sum();
 
         // cuSPARSE path: transpose, then SpMV over X^T.
         ctx.gpu.flush_caches();
@@ -80,7 +84,10 @@ pub fn run(ctx: &Ctx) -> Table {
             fmt_x(cusparse_ms / fused_ms),
             fmt_count(fused_loads),
             fmt_count(cu_counters.gld_transactions),
-            format!("{:.2}", cu_counters.gld_transactions as f64 / fused_loads as f64),
+            format!(
+                "{:.2}",
+                cu_counters.gld_transactions as f64 / fused_loads as f64
+            ),
             amortize,
         ]);
     }

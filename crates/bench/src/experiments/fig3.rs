@@ -38,23 +38,35 @@ pub fn measure_point(ctx: &Ctx, m: usize, n: usize, seed: u64, spec: PatternSpec
 
     ctx.gpu.flush_caches();
     let mut cu = BaselineEngine::new(&ctx.gpu, Flavor::CuLibs);
-    cu.pattern_sparse(spec.alpha, &xd, v.as_ref(), &y, spec.beta, z.as_ref(), &w, &p);
+    cu.pattern_sparse(
+        spec.alpha,
+        &xd,
+        v.as_ref(),
+        &y,
+        spec.beta,
+        z.as_ref(),
+        &w,
+        &p,
+    );
     let cusparse_ms = cu.total_sim_ms();
 
     ctx.gpu.flush_caches();
     let mut bg = BaselineEngine::new(&ctx.gpu, Flavor::BidmatGpu);
-    bg.pattern_sparse(spec.alpha, &xd, v.as_ref(), &y, spec.beta, z.as_ref(), &w, &p);
+    bg.pattern_sparse(
+        spec.alpha,
+        &xd,
+        v.as_ref(),
+        &y,
+        spec.beta,
+        z.as_ref(),
+        &w,
+        &p,
+    );
     let bidmat_gpu_ms = bg.total_sim_ms();
 
     let mut cpu = CpuEngine::mkl_8threads();
-    let bidmat_cpu_ms = cpu.pattern_sparse_ms(
-        m,
-        n,
-        x.nnz(),
-        spec.with_v,
-        spec.with_z,
-        spec.alpha != 1.0,
-    );
+    let bidmat_cpu_ms =
+        cpu.pattern_sparse_ms(m, n, x.nnz(), spec.with_v, spec.with_z, spec.alpha != 1.0);
 
     EnginePoint {
         n,

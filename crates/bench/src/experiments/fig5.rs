@@ -56,7 +56,13 @@ pub fn run(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "fig5",
         "dense X^T(Xy): fused vs cuBLAS / BIDMat-GPU / BIDMat-CPU",
-        &["n", "fused_ms", "vs_cublas", "vs_bidmat_gpu", "vs_bidmat_cpu"],
+        &[
+            "n",
+            "fused_ms",
+            "vs_cublas",
+            "vs_bidmat_gpu",
+            "vs_bidmat_cpu",
+        ],
     );
     t.note(format!("m = {m} dense (scale {})", ctx.scale));
     t.note("paper averages: 4.27x (cuBLAS), 2.18x (BIDMat-GPU), 15.33x (BIDMat-CPU)");

@@ -7,9 +7,7 @@ use crate::table::{fmt_ms, fmt_x, Table};
 use fusedml_matrix::gen::{higgs_spec, kdd2010_spec, random_vector};
 use fusedml_matrix::reference;
 use fusedml_ml::ops::TransposePolicy;
-use fusedml_runtime::session::{
-    run_device_extrapolated, DataSet, EngineKind, SessionConfig,
-};
+use fusedml_runtime::session::{run_device_extrapolated, DataSet, EngineKind, SessionConfig};
 
 pub fn run(ctx: &Ctx) -> Table {
     let mut t = Table::new(
@@ -24,7 +22,9 @@ pub fn run(ctx: &Ctx) -> Table {
             "transfer_ms",
         ],
     );
-    t.note("paper: HIGGS 4.8x (32 iters), KDD2010 9x (100 iters); KDD transfer 939 ms at full scale");
+    t.note(
+        "paper: HIGGS 4.8x (32 iters), KDD2010 9x (100 iters); KDD transfer 939 ms at full scale",
+    );
     t.note("baseline uses library semantics (transpose per call); the amortized variant is reported below");
 
     let cases = [

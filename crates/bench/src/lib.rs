@@ -2,9 +2,11 @@
 //!
 //! The experiment harness: one module per table/figure of the paper's
 //! evaluation, each regenerating the artifact on the simulated device at a
-//! configurable workload scale, plus the `repro` CLI and Criterion benches.
+//! configurable workload scale, plus the `repro` CLI, the `fusedml-bench`
+//! continuous-benchmarking CLI (see [`regress`]), and Criterion benches.
 
 pub mod experiments;
+pub mod regress;
 pub mod table;
 
 pub use experiments::Ctx;

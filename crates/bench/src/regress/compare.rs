@@ -1,0 +1,433 @@
+//! Diff two `BENCH_fusion.json` reports and decide whether the candidate
+//! regressed — the gate `fusedml-bench compare` (and the CI bench job)
+//! runs.
+//!
+//! Two threshold families, matching the report's two metric classes:
+//! modeled metrics (simulated time, traffic, counters) are deterministic
+//! and get tight tolerances; host wall-clock is machine-dependent and gets
+//! a loose tolerance or is skipped entirely (cross-machine compares).
+
+use super::report::{BenchReport, VariantMetrics};
+
+/// Noise thresholds, all as relative fractions (0.02 = 2%).
+#[derive(Debug, Clone)]
+pub struct CompareOptions {
+    /// Tolerated relative increase in modeled milliseconds / cycles.
+    pub modeled_tol: f64,
+    /// Tolerated relative increase in deterministic event counters
+    /// (DRAM bytes, transactions, global atomics, launches).
+    pub counter_tol: f64,
+    /// Tolerated relative decrease in fused-over-baseline speedup.
+    pub speedup_tol: f64,
+    /// Tolerated relative increase in host wall-clock (loose: scheduler
+    /// noise, CPU differences).
+    pub wall_tol: f64,
+    /// Gate wall-clock at all? Disable when the two reports come from
+    /// different machines (e.g. CI vs. the machine that seeded the
+    /// committed baseline).
+    pub check_wall: bool,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            modeled_tol: 0.02,
+            counter_tol: 0.02,
+            speedup_tol: 0.05,
+            wall_tol: 3.0,
+            check_wall: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Beyond tolerance in the bad direction: fails the gate.
+    Regression,
+    /// Beyond tolerance in the good direction: reported, never fails.
+    Improvement,
+    /// Structural observation (new workload, zero-baseline metric).
+    Note,
+}
+
+/// One metric delta worth reporting.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub workload: String,
+    pub metric: String,
+    pub base: f64,
+    pub cand: f64,
+    /// `(cand - base) / base`; infinite when base is 0 and cand is not.
+    pub rel_delta: f64,
+    pub severity: Severity,
+}
+
+impl Finding {
+    fn render(&self) -> String {
+        let tag = match self.severity {
+            Severity::Regression => "REGRESSION",
+            Severity::Improvement => "improvement",
+            Severity::Note => "note",
+        };
+        format!(
+            "{tag:>11}  {:<40} {:<28} {:>14.4} -> {:>14.4}  ({:+.1}%)",
+            self.workload,
+            self.metric,
+            self.base,
+            self.cand,
+            self.rel_delta * 100.0
+        )
+    }
+}
+
+/// Outcome of a comparison that was structurally possible (matching
+/// schema and fingerprint). Regressions make [`Comparison::passed`] false.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    pub findings: Vec<Finding>,
+    pub workloads_compared: usize,
+}
+
+impl Comparison {
+    pub fn regressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Regression)
+            .count()
+    }
+
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Human-readable summary (what the CI log shows).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} workloads compared, {} regression(s), {} improvement(s)\n",
+            self.workloads_compared,
+            self.regressions(),
+            self.findings
+                .iter()
+                .filter(|f| f.severity == Severity::Improvement)
+                .count()
+        ));
+        out
+    }
+}
+
+struct Checker<'a> {
+    findings: &'a mut Vec<Finding>,
+    workload: String,
+}
+
+impl Checker<'_> {
+    /// Gate a metric where *increases* are bad. `tol` is the tolerated
+    /// relative increase; symmetric decreases are reported as improvements.
+    fn increase_is_bad(&mut self, metric: &str, base: f64, cand: f64, tol: f64) {
+        if base == cand {
+            return;
+        }
+        if base == 0.0 {
+            // A metric appearing out of nowhere: flag as a regression when
+            // it is gated (a fused kernel suddenly doing global atomics is
+            // exactly what this catches).
+            self.findings.push(Finding {
+                workload: self.workload.clone(),
+                metric: metric.to_string(),
+                base,
+                cand,
+                rel_delta: f64::INFINITY,
+                severity: Severity::Regression,
+            });
+            return;
+        }
+        let rel = (cand - base) / base;
+        let severity = if rel > tol {
+            Severity::Regression
+        } else if rel < -tol {
+            Severity::Improvement
+        } else {
+            return;
+        };
+        self.findings.push(Finding {
+            workload: self.workload.clone(),
+            metric: metric.to_string(),
+            base,
+            cand,
+            rel_delta: rel,
+            severity,
+        });
+    }
+
+    /// Gate a metric where *decreases* are bad (speedup).
+    fn decrease_is_bad(&mut self, metric: &str, base: f64, cand: f64, tol: f64) {
+        if base == cand || base == 0.0 {
+            return;
+        }
+        let rel = (cand - base) / base;
+        let severity = if rel < -tol {
+            Severity::Regression
+        } else if rel > tol {
+            Severity::Improvement
+        } else {
+            return;
+        };
+        self.findings.push(Finding {
+            workload: self.workload.clone(),
+            metric: metric.to_string(),
+            base,
+            cand,
+            rel_delta: rel,
+            severity,
+        });
+    }
+
+    fn variant(
+        &mut self,
+        prefix: &str,
+        base: &VariantMetrics,
+        cand: &VariantMetrics,
+        opts: &CompareOptions,
+    ) {
+        self.increase_is_bad(
+            &format!("{prefix}.modeled_ms"),
+            base.modeled_ms,
+            cand.modeled_ms,
+            opts.modeled_tol,
+        );
+        self.increase_is_bad(
+            &format!("{prefix}.dram_bytes"),
+            base.dram_bytes() as f64,
+            cand.dram_bytes() as f64,
+            opts.counter_tol,
+        );
+        self.increase_is_bad(
+            &format!("{prefix}.global_transactions"),
+            (base.gld_transactions + base.gst_transactions) as f64,
+            (cand.gld_transactions + cand.gst_transactions) as f64,
+            opts.counter_tol,
+        );
+        self.increase_is_bad(
+            &format!("{prefix}.global_atomic_ops"),
+            base.global_atomic_ops as f64,
+            cand.global_atomic_ops as f64,
+            opts.counter_tol,
+        );
+        self.increase_is_bad(
+            &format!("{prefix}.launches"),
+            base.launches as f64,
+            cand.launches as f64,
+            opts.counter_tol,
+        );
+        if opts.check_wall {
+            self.increase_is_bad(
+                &format!("{prefix}.wall_ms"),
+                base.wall_ms,
+                cand.wall_ms,
+                opts.wall_tol,
+            );
+        }
+    }
+}
+
+/// Compare `cand` against `base`. `Err` means the reports are structurally
+/// incomparable (different schema or fingerprint) — the CLI maps that to
+/// exit code 2, distinct from exit 1 for a genuine regression.
+pub fn compare(
+    base: &BenchReport,
+    cand: &BenchReport,
+    opts: &CompareOptions,
+) -> Result<Comparison, String> {
+    if base.schema_version != cand.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{} vs candidate v{}",
+            base.schema_version, cand.schema_version
+        ));
+    }
+    if base.fingerprint != cand.fingerprint {
+        return Err(format!(
+            "config fingerprint mismatch — reports are not comparable\n  baseline:  {:?}\n  candidate: {:?}",
+            base.fingerprint, cand.fingerprint
+        ));
+    }
+
+    let mut cmp = Comparison::default();
+    for bw in &base.workloads {
+        let Some(cw) = cand.find(&bw.id) else {
+            // Losing a workload silently would shrink coverage; fail.
+            cmp.findings.push(Finding {
+                workload: bw.id.clone(),
+                metric: "missing in candidate".to_string(),
+                base: 1.0,
+                cand: 0.0,
+                rel_delta: -1.0,
+                severity: Severity::Regression,
+            });
+            continue;
+        };
+        cmp.workloads_compared += 1;
+        let mut ck = Checker {
+            findings: &mut cmp.findings,
+            workload: bw.id.clone(),
+        };
+        ck.decrease_is_bad("speedup", bw.speedup, cw.speedup, opts.speedup_tol);
+        ck.variant("fused", &bw.fused, &cw.fused, opts);
+        ck.variant("baseline", &bw.baseline, &cw.baseline, opts);
+    }
+    for cw in &cand.workloads {
+        if base.find(&cw.id).is_none() {
+            cmp.findings.push(Finding {
+                workload: cw.id.clone(),
+                metric: "new workload (not in baseline)".to_string(),
+                base: 0.0,
+                cand: 1.0,
+                rel_delta: f64::INFINITY,
+                severity: Severity::Note,
+            });
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regress::report::{ConfigFingerprint, WorkloadResult, SCHEMA_VERSION};
+    use fusedml_gpu_sim::Counters;
+
+    fn variant(ms: f64, dram: u64) -> VariantMetrics {
+        let mut c = Counters::new();
+        c.dram_read_bytes = dram;
+        c.gld_transactions = dram / 32;
+        VariantMetrics::new(ms, 0.837, ms * 2.0, 3, 0.5, &c)
+    }
+
+    fn report(fused_ms: f64, base_ms: f64) -> BenchReport {
+        let fused = variant(fused_ms, 100_000);
+        let baseline = variant(base_ms, 300_000);
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_sha: "test".into(),
+            fingerprint: ConfigFingerprint {
+                device: "dev".into(),
+                clock_ghz: 0.837,
+                scale: 1.0,
+                seed: 1,
+                mode: "quick".into(),
+            },
+            workloads: vec![WorkloadResult {
+                id: "w/csr/1x1".into(),
+                algorithm: "w".into(),
+                format: "csr".into(),
+                rows: 1,
+                cols: 1,
+                nnz: 1,
+                iterations: 0,
+                speedup: base_ms / fused_ms,
+                fused,
+                baseline,
+            }],
+        }
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let r = report(1.0, 3.0);
+        let c = compare(&r, &r, &CompareOptions::default()).unwrap();
+        assert!(c.passed(), "{}", c.render());
+        assert_eq!(c.workloads_compared, 1);
+    }
+
+    #[test]
+    fn modeled_slowdown_is_a_regression() {
+        let base = report(1.0, 3.0);
+        let cand = report(1.1, 3.0); // 10% fused modeled-time regression
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(!c.passed());
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.metric == "fused.modeled_ms" && f.severity == Severity::Regression));
+        // The derived speedup drop is flagged too.
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.metric == "speedup" && f.severity == Severity::Regression));
+    }
+
+    #[test]
+    fn speedup_gain_is_an_improvement_not_a_failure() {
+        let base = report(1.0, 3.0);
+        let cand = report(0.8, 3.0);
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(c.passed(), "{}", c.render());
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Improvement));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_incomparable() {
+        let base = report(1.0, 3.0);
+        let mut cand = report(1.0, 3.0);
+        cand.fingerprint.scale = 0.5;
+        assert!(compare(&base, &cand, &CompareOptions::default()).is_err());
+    }
+
+    #[test]
+    fn missing_workload_fails_the_gate() {
+        let base = report(1.0, 3.0);
+        let mut cand = report(1.0, 3.0);
+        cand.workloads.clear();
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(!c.passed());
+    }
+
+    #[test]
+    fn wall_clock_needs_a_big_swing_and_can_be_disabled() {
+        let base = report(1.0, 3.0);
+        let mut cand = report(1.0, 3.0);
+        for w in &mut cand.workloads {
+            w.fused.wall_ms *= 2.0; // 2x wall noise: under the loose default
+        }
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(c.passed(), "{}", c.render());
+
+        for w in &mut cand.workloads {
+            w.fused.wall_ms *= 4.0; // now 8x: beyond tolerance
+        }
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(!c.passed());
+        let c = compare(
+            &base,
+            &cand,
+            &CompareOptions {
+                check_wall: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(c.passed());
+    }
+
+    #[test]
+    fn counter_appearing_from_zero_is_flagged() {
+        let base = report(1.0, 3.0);
+        let mut cand = report(1.0, 3.0);
+        for w in &mut cand.workloads {
+            w.fused.global_atomic_ops = 500; // baseline had none
+        }
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(!c.passed());
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.metric == "fused.global_atomic_ops" && f.rel_delta.is_infinite()));
+    }
+}

@@ -1,0 +1,414 @@
+//! Minimal self-contained JSON tree, writer, and parser for the benchmark
+//! reports.
+//!
+//! The regression gate must round-trip `BENCH_fusion.json` in every
+//! environment this repo builds in — including the offline dev container,
+//! where the `serde_json` dependency resolves to a compile-surface stub
+//! (see `.stubs/`). The report schema is small and flat, so a ~200-line
+//! hand-rolled JSON layer is cheaper than gating the whole subsystem on a
+//! functional serde stack.
+//!
+//! Numbers are emitted via Rust's shortest-roundtrip float formatting, so
+//! deterministic f64 metrics survive a write/parse cycle bit-exactly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys are ordered (BTreeMap) so report files are
+/// byte-stable for a given input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn num(x: f64) -> Json {
+        Json::Num(x)
+    }
+
+    pub fn u64(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|x| x.round() as u64)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Fetch a required field, with a path-carrying error for diagnosis.
+    pub fn field<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    pub fn field_f64(&self, key: &str) -> Result<f64, String> {
+        self.field(key)?
+            .as_f64()
+            .ok_or_else(|| format!("field '{key}' is not a number"))
+    }
+
+    pub fn field_u64(&self, key: &str) -> Result<u64, String> {
+        self.field(key)?
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' is not a number"))
+    }
+
+    pub fn field_str(&self, key: &str) -> Result<&str, String> {
+        self.field(key)?
+            .as_str()
+            .ok_or_else(|| format!("field '{key}' is not a string"))
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Accepts exactly the subset `render` emits
+    /// (plus arbitrary whitespace), which covers any standard-conforming
+    /// producer of the report schema.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no Inf/NaN; clamp to null (never produced by the suite).
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            pos,
+            bytes.get(*pos).map(|b| *b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+    let mut chars = text[*pos..].char_indices();
+    while let Some((off, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += off + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars
+                            .next()
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        code = code * 16
+                            + h.to_digit(16).ok_or_else(|| "bad \\u escape".to_string())?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_report_shaped_document() {
+        let doc = Json::obj(vec![
+            ("schema_version", Json::u64(1)),
+            ("git_sha", Json::str("abc123")),
+            (
+                "workloads",
+                Json::Arr(vec![Json::obj(vec![
+                    ("id", Json::str("lr_cg/csr/50000x1024")),
+                    ("modeled_ms", Json::num(1.2345678901234567)),
+                    ("dram_read_bytes", Json::u64(123_456_789)),
+                    ("ok", Json::Bool(true)),
+                    ("none", Json::Null),
+                ])]),
+            ),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            123456.789012345,
+            4.9e-324,
+            1.7976931348623157e308,
+        ] {
+            let text = Json::Num(x).render();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn large_u64_counters_roundtrip() {
+        // Counter values fit f64's 2^53 integer range comfortably.
+        let x = 9_007_199_254_740_991u64; // 2^53 - 1
+        let back = Json::parse(&Json::u64(x).render()).unwrap();
+        assert_eq!(back.as_u64().unwrap(), x);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote\" slash\\ newline\n tab\t unicode\u{1}";
+        let back = Json::parse(&Json::str(s).render()).unwrap();
+        assert_eq!(back.as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{}extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_foreign_whitespace_styles() {
+        let text = "{\r\n\t\"a\": [1, 2.5, -3e2],  \"b\": {\"c\": null}}";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.field("a").unwrap().as_arr().unwrap()[2].as_f64().unwrap(),
+            -300.0
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Continuous-benchmarking subsystem: a deterministic workload matrix,
+//! a schema-versioned machine-readable report (`BENCH_fusion.json`), and
+//! a regression gate that diffs two reports with noise-aware thresholds.
+//!
+//! Entry points:
+//! * [`suite::run_suite`] — run the matrix, get a [`report::BenchReport`];
+//! * [`compare::compare`] — diff candidate vs. baseline;
+//! * the `fusedml-bench` binary — `run` / `compare` / `list` CLI.
+//!
+//! The JSON layer is hand-rolled ([`json`]) so the subsystem has zero
+//! dependencies beyond the workspace: reports must round-trip in every
+//! build environment, including offline ones where third-party serializers
+//! are stubbed out.
+
+pub mod compare;
+pub mod json;
+pub mod report;
+pub mod suite;
+
+pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
+pub use json::Json;
+pub use report::{BenchReport, ConfigFingerprint, VariantMetrics, WorkloadResult, SCHEMA_VERSION};
+pub use suite::{run_suite, workload_ids, Mode, SuiteOptions};

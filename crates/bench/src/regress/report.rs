@@ -1,0 +1,386 @@
+//! The `BENCH_fusion.json` schema: a schema-versioned, machine-readable
+//! record of one benchmark-suite run, diffable by `fusedml-bench compare`.
+//!
+//! Two metric classes live side by side in every row:
+//!
+//! * **modeled** metrics (simulated milliseconds / cycles, DRAM traffic,
+//!   transaction and atomic counts, the aggregation-tier breakdown) come
+//!   from the deterministic simulator — bit-identical on every host, so
+//!   the regression gate diffs them with tight thresholds;
+//! * **wall-clock** milliseconds measure the host actually running the
+//!   suite — machine-dependent, gated loosely or not at all.
+
+use super::json::Json;
+use fusedml_gpu_sim::Counters;
+
+/// Version of the `BENCH_fusion.json` schema. Bump on breaking changes;
+/// `compare` refuses to diff reports with mismatched versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Everything that parameterizes a suite run. Two reports are only
+/// comparable when their fingerprints match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigFingerprint {
+    /// Simulated device name (e.g. "GeForce GTX Titan (simulated)").
+    pub device: String,
+    /// Core clock used to convert modeled milliseconds to cycles.
+    pub clock_ghz: f64,
+    /// Workload scale factor in (0, 1].
+    pub scale: f64,
+    /// Seed for every synthetic dataset in the matrix.
+    pub seed: u64,
+    /// Suite mode: "quick" or "full".
+    pub mode: String,
+}
+
+impl ConfigFingerprint {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("device", Json::str(&self.device)),
+            ("clock_ghz", Json::num(self.clock_ghz)),
+            ("scale", Json::num(self.scale)),
+            ("seed", Json::u64(self.seed)),
+            ("mode", Json::str(&self.mode)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ConfigFingerprint {
+            device: j.field_str("device")?.to_string(),
+            clock_ghz: j.field_f64("clock_ghz")?,
+            scale: j.field_f64("scale")?,
+            seed: j.field_u64("seed")?,
+            mode: j.field_str("mode")?.to_string(),
+        })
+    }
+}
+
+/// Metrics of one pipeline variant (fused or baseline) on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantMetrics {
+    /// Simulated milliseconds (deterministic).
+    pub modeled_ms: f64,
+    /// Simulated core-clock cycles at the fingerprint's clock
+    /// (deterministic; the primary regression-gate metric).
+    pub modeled_cycles: u64,
+    /// Host wall-clock milliseconds spent simulating this variant
+    /// (machine-dependent; gated loosely).
+    pub wall_ms: f64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// 32-byte global load sectors.
+    pub gld_transactions: u64,
+    /// 32-byte global store sectors.
+    pub gst_transactions: u64,
+    /// Bytes fetched from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written back to DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes served from L2.
+    pub l2_read_bytes: u64,
+    /// Double-precision operations.
+    pub flops: u64,
+    /// Hierarchical-aggregation breakdown: register-tier shuffle ops.
+    pub register_shuffle_ops: u64,
+    /// Shared-memory-tier atomic reduction ops.
+    pub shared_atomic_ops: u64,
+    /// Shared-memory staging traffic.
+    pub shared_access_ops: u64,
+    /// Global-memory-tier atomics (f64 + int).
+    pub global_atomic_ops: u64,
+    /// Time-weighted mean achieved occupancy over the variant's launches,
+    /// in [0, 1]; 0 when not recorded (CPU-modelled or unavailable).
+    pub occupancy: f64,
+}
+
+impl VariantMetrics {
+    /// Assemble from merged counters plus the scalar measurements.
+    pub fn new(
+        modeled_ms: f64,
+        clock_ghz: f64,
+        wall_ms: f64,
+        launches: u64,
+        occupancy: f64,
+        c: &Counters,
+    ) -> Self {
+        let agg = c.aggregation_breakdown();
+        VariantMetrics {
+            modeled_ms,
+            modeled_cycles: (modeled_ms * clock_ghz * 1e6).round() as u64,
+            wall_ms,
+            launches,
+            gld_transactions: c.gld_transactions,
+            gst_transactions: c.gst_transactions,
+            dram_read_bytes: c.dram_read_bytes,
+            dram_write_bytes: c.dram_write_bytes,
+            l2_read_bytes: c.l2_read_bytes,
+            flops: c.flops,
+            register_shuffle_ops: agg.register_shuffle_ops,
+            shared_atomic_ops: agg.shared_atomic_ops,
+            shared_access_ops: agg.shared_access_ops,
+            global_atomic_ops: agg.global_atomic_ops,
+            occupancy,
+        }
+    }
+
+    /// Total DRAM traffic (read + write).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("modeled_ms", Json::num(self.modeled_ms)),
+            ("modeled_cycles", Json::u64(self.modeled_cycles)),
+            ("wall_ms", Json::num(self.wall_ms)),
+            ("launches", Json::u64(self.launches)),
+            ("gld_transactions", Json::u64(self.gld_transactions)),
+            ("gst_transactions", Json::u64(self.gst_transactions)),
+            ("dram_read_bytes", Json::u64(self.dram_read_bytes)),
+            ("dram_write_bytes", Json::u64(self.dram_write_bytes)),
+            ("l2_read_bytes", Json::u64(self.l2_read_bytes)),
+            ("flops", Json::u64(self.flops)),
+            ("register_shuffle_ops", Json::u64(self.register_shuffle_ops)),
+            ("shared_atomic_ops", Json::u64(self.shared_atomic_ops)),
+            ("shared_access_ops", Json::u64(self.shared_access_ops)),
+            ("global_atomic_ops", Json::u64(self.global_atomic_ops)),
+            ("occupancy", Json::num(self.occupancy)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(VariantMetrics {
+            modeled_ms: j.field_f64("modeled_ms")?,
+            modeled_cycles: j.field_u64("modeled_cycles")?,
+            wall_ms: j.field_f64("wall_ms")?,
+            launches: j.field_u64("launches")?,
+            gld_transactions: j.field_u64("gld_transactions")?,
+            gst_transactions: j.field_u64("gst_transactions")?,
+            dram_read_bytes: j.field_u64("dram_read_bytes")?,
+            dram_write_bytes: j.field_u64("dram_write_bytes")?,
+            l2_read_bytes: j.field_u64("l2_read_bytes")?,
+            flops: j.field_u64("flops")?,
+            register_shuffle_ops: j.field_u64("register_shuffle_ops")?,
+            shared_atomic_ops: j.field_u64("shared_atomic_ops")?,
+            shared_access_ops: j.field_u64("shared_access_ops")?,
+            global_atomic_ops: j.field_u64("global_atomic_ops")?,
+            occupancy: j.field_f64("occupancy")?,
+        })
+    }
+}
+
+/// One row of the workload matrix: a (workload, fused-vs-baseline) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Stable identifier, e.g. "lr_cg/csr/10000x512". `compare` matches
+    /// rows across reports by this id.
+    pub id: String,
+    /// Algorithm or kernel family ("lr_cg", "glm", ..., "pattern", "xty").
+    pub algorithm: String,
+    /// Storage format: "csr", "ell", or "dense".
+    pub format: String,
+    pub rows: u64,
+    pub cols: u64,
+    /// Stored non-zeros (rows * cols for dense).
+    pub nnz: u64,
+    /// Solver iterations (0 for single-kernel workloads).
+    pub iterations: u64,
+    pub fused: VariantMetrics,
+    pub baseline: VariantMetrics,
+    /// `baseline.modeled_ms / fused.modeled_ms` — the paper's headline
+    /// metric, per workload.
+    pub speedup: f64,
+}
+
+impl WorkloadResult {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(&self.id)),
+            ("algorithm", Json::str(&self.algorithm)),
+            ("format", Json::str(&self.format)),
+            ("rows", Json::u64(self.rows)),
+            ("cols", Json::u64(self.cols)),
+            ("nnz", Json::u64(self.nnz)),
+            ("iterations", Json::u64(self.iterations)),
+            ("fused", self.fused.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("speedup", Json::num(self.speedup)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(WorkloadResult {
+            id: j.field_str("id")?.to_string(),
+            algorithm: j.field_str("algorithm")?.to_string(),
+            format: j.field_str("format")?.to_string(),
+            rows: j.field_u64("rows")?,
+            cols: j.field_u64("cols")?,
+            nnz: j.field_u64("nnz")?,
+            iterations: j.field_u64("iterations")?,
+            fused: VariantMetrics::from_json(j.field("fused")?)
+                .map_err(|e| format!("workload fused: {e}"))?,
+            baseline: VariantMetrics::from_json(j.field("baseline")?)
+                .map_err(|e| format!("workload baseline: {e}"))?,
+            speedup: j.field_f64("speedup")?,
+        })
+    }
+}
+
+/// A complete `BENCH_fusion.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    /// Commit the suite ran at ("unknown" outside a git checkout).
+    pub git_sha: String,
+    pub fingerprint: ConfigFingerprint,
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::u64(self.schema_version)),
+            ("git_sha", Json::str(&self.git_sha)),
+            ("fingerprint", self.fingerprint.to_json()),
+            (
+                "workloads",
+                Json::Arr(self.workloads.iter().map(|w| w.to_json()).collect()),
+            ),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let version = j.field_u64("schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {version} unsupported (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let mut workloads = Vec::new();
+        for (i, wj) in j
+            .field("workloads")?
+            .as_arr()
+            .ok_or("'workloads' is not an array")?
+            .iter()
+            .enumerate()
+        {
+            workloads
+                .push(WorkloadResult::from_json(wj).map_err(|e| format!("workloads[{i}]: {e}"))?);
+        }
+        Ok(BenchReport {
+            schema_version: version,
+            git_sha: j.field_str("git_sha")?.to_string(),
+            fingerprint: ConfigFingerprint::from_json(j.field("fingerprint")?)
+                .map_err(|e| format!("fingerprint: {e}"))?,
+            workloads,
+        })
+    }
+
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+            }
+        }
+        std::fs::write(path, self.render()).map_err(|e| format!("write {path}: {e}"))
+    }
+
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    }
+
+    pub fn find(&self, id: &str) -> Option<&WorkloadResult> {
+        self.workloads.iter().find(|w| w.id == id)
+    }
+}
+
+/// Current git commit, or "unknown".
+pub fn current_git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_variant(ms: f64) -> VariantMetrics {
+        let mut c = Counters::new();
+        c.gld_transactions = 1000;
+        c.dram_read_bytes = 64_000;
+        c.shuffle_instructions = 42;
+        c.global_atomics = 7;
+        VariantMetrics::new(ms, 0.837, ms * 3.0, 2, 0.75, &c)
+    }
+
+    fn sample_report() -> BenchReport {
+        let fused = sample_variant(1.0);
+        let baseline = sample_variant(3.5);
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_sha: "deadbeef".into(),
+            fingerprint: ConfigFingerprint {
+                device: "GeForce GTX Titan (simulated)".into(),
+                clock_ghz: 0.837,
+                scale: 0.02,
+                seed: 0x5EED,
+                mode: "quick".into(),
+            },
+            workloads: vec![WorkloadResult {
+                id: "lr_cg/csr/8000x512".into(),
+                algorithm: "lr_cg".into(),
+                format: "csr".into(),
+                rows: 8000,
+                cols: 512,
+                nnz: 81_920,
+                iterations: 3,
+                speedup: baseline.modeled_ms / fused.modeled_ms,
+                fused,
+                baseline,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = sample_report();
+        let back = BenchReport::from_json(&Json::parse(&r.render()).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn modeled_cycles_derive_from_ms_and_clock() {
+        let v = sample_variant(2.0);
+        // 2 ms at 0.837 GHz = 1.674e6 cycles.
+        assert_eq!(v.modeled_cycles, 1_674_000);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let mut r = sample_report();
+        r.schema_version = 99;
+        let text = r.render();
+        let err = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_error_names_the_field() {
+        let err = VariantMetrics::from_json(&Json::obj(vec![("modeled_ms", Json::num(1.0))]))
+            .unwrap_err();
+        assert!(err.contains("modeled_cycles"), "{err}");
+    }
+}

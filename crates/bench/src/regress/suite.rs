@@ -1,0 +1,664 @@
+//! The deterministic workload matrix behind `fusedml-bench run`.
+//!
+//! Two layers, mirroring the paper's evaluation:
+//!
+//! * **kernel-level** workloads: one evaluation of the generic pattern
+//!   (or its `X^T y` instantiation) on the fused executor vs. the
+//!   cuBLAS/cuSPARSE-style operator composition — CSR uniform, CSR
+//!   power-law, ELL, and dense storage;
+//! * **algorithm-level** workloads: full solver loops (LR-CG, GLM,
+//!   logistic regression, SVM, HITS) on [`FusedBackend`] vs.
+//!   [`BaselineBackend`] — the `ours-end2end` / `cu-end2end`
+//!   configurations of §4.4.
+//!
+//! Every dataset is seeded, every variant runs on a freshly constructed
+//! simulated device, and all modeled metrics are bit-deterministic across
+//! hosts; only `wall_ms` depends on the machine running the suite.
+
+use super::report::{
+    current_git_sha, BenchReport, ConfigFingerprint, VariantMetrics, WorkloadResult, SCHEMA_VERSION,
+};
+use fusedml_blas::ellmv::GpuEll;
+use fusedml_blas::{level1, BaselineEngine, Flavor, GpuCsr, GpuDense};
+use fusedml_core::ell_fused::{fused_pattern_ell, plan_ell};
+use fusedml_core::{FusedExecutor, PatternSpec};
+use fusedml_gpu_sim::{Counters, DeviceSpec, Gpu, LaunchStats};
+use fusedml_matrix::gen::{
+    dense_random, powerlaw_sparse, random_labels, random_vector, uniform_sparse,
+};
+use fusedml_matrix::{reference, CsrMatrix, DenseMatrix, EllMatrix};
+use fusedml_ml::{
+    glm, hits, logreg, lr_cg, svm_primal, Backend, BackendStats, BaselineBackend, FusedBackend,
+    GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, SvmOptions,
+};
+use std::time::Instant;
+
+/// Suite depth. `Quick` is the CI gate (seconds of host time); `Full`
+/// approaches the paper's scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Quick,
+    Full,
+}
+
+impl Mode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "quick" => Ok(Mode::Quick),
+            "full" => Ok(Mode::Full),
+            other => Err(format!("unknown mode '{other}' (expected quick or full)")),
+        }
+    }
+}
+
+/// Everything `run_suite` needs; becomes the report's fingerprint.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    pub mode: Mode,
+    /// Multiplies every workload's row count, in (0, 1].
+    pub scale: f64,
+    pub seed: u64,
+    pub device: DeviceSpec,
+}
+
+impl SuiteOptions {
+    pub fn quick() -> Self {
+        SuiteOptions {
+            mode: Mode::Quick,
+            scale: 1.0,
+            seed: 0x5EED,
+            device: DeviceSpec::gtx_titan(),
+        }
+    }
+
+    pub fn full() -> Self {
+        SuiteOptions {
+            mode: Mode::Full,
+            ..Self::quick()
+        }
+    }
+
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        ConfigFingerprint {
+            device: self.device.name.clone(),
+            clock_ghz: self.device.clock_ghz,
+            scale: self.scale,
+            seed: self.seed,
+            mode: self.mode.as_str().to_string(),
+        }
+    }
+}
+
+/// Row-length distribution of a synthetic sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dist {
+    Uniform,
+    PowerLaw,
+}
+
+/// Which solver an algorithm-level workload drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Algo {
+    LrCg,
+    Glm,
+    LogReg,
+    Svm,
+    Hits,
+}
+
+impl Algo {
+    fn name(&self) -> &'static str {
+        match self {
+            Algo::LrCg => "lr_cg",
+            Algo::Glm => "glm",
+            Algo::LogReg => "logreg",
+            Algo::Svm => "svm",
+            Algo::Hits => "hits",
+        }
+    }
+}
+
+/// One entry of the workload matrix, before any data is generated.
+enum Kind {
+    /// One full-pattern evaluation, CSR storage.
+    PatternCsr { dist: Dist },
+    /// One `X^T y` evaluation (fused scan vs. cuSPARSE transposed SpMV).
+    XtY,
+    /// One `X^T(Xy)` evaluation, ELL storage (fused) vs. the CSR
+    /// operator composition.
+    PatternEll,
+    /// One full-pattern evaluation, dense storage.
+    PatternDense,
+    /// A solver loop on sparse CSR input.
+    AlgoCsr(Algo),
+    /// A solver loop on dense input.
+    AlgoDense(Algo),
+}
+
+struct WorkloadSpec {
+    kind: Kind,
+    rows: usize,
+    cols: usize,
+    /// Fill fraction for sparse workloads (unused for dense).
+    sparsity: f64,
+    /// Solver iterations (0 for kernel-level workloads).
+    iterations: u64,
+}
+
+impl WorkloadSpec {
+    fn algorithm(&self) -> &'static str {
+        match &self.kind {
+            Kind::PatternCsr { .. } | Kind::PatternEll | Kind::PatternDense => "pattern",
+            Kind::XtY => "xty",
+            Kind::AlgoCsr(a) | Kind::AlgoDense(a) => a.name(),
+        }
+    }
+
+    fn format(&self) -> &'static str {
+        match &self.kind {
+            Kind::PatternCsr { .. } | Kind::XtY | Kind::AlgoCsr(_) => "csr",
+            Kind::PatternEll => "ell",
+            Kind::PatternDense | Kind::AlgoDense(_) => "dense",
+        }
+    }
+
+    fn id(&self) -> String {
+        let variant = match &self.kind {
+            Kind::PatternCsr {
+                dist: Dist::Uniform,
+            } => "/uniform",
+            Kind::PatternCsr {
+                dist: Dist::PowerLaw,
+            } => "/powerlaw",
+            _ => "",
+        };
+        format!(
+            "{}/{}{variant}/{}x{}",
+            self.algorithm(),
+            self.format(),
+            self.rows,
+            self.cols
+        )
+    }
+}
+
+/// The matrix itself. Row counts are pre-`scale`; everything here must stay
+/// deterministic — ids feed the compare gate.
+fn matrix(mode: Mode, scale: f64) -> Vec<WorkloadSpec> {
+    let rows = |base: usize| ((base as f64 * scale).round() as usize).max(64);
+    let mut specs = Vec::new();
+    let (kern_m, kern_n, algo_m, algo_n, algo_iters, outer) = match mode {
+        Mode::Quick => (20_000, 1024, 6_000, 512, 3u64, 2u64),
+        Mode::Full => (100_000, 2048, 25_000, 1024, 8, 3),
+    };
+
+    specs.push(WorkloadSpec {
+        kind: Kind::PatternCsr {
+            dist: Dist::Uniform,
+        },
+        rows: rows(kern_m),
+        cols: kern_n,
+        sparsity: 0.01,
+        iterations: 0,
+    });
+    specs.push(WorkloadSpec {
+        kind: Kind::PatternCsr {
+            dist: Dist::PowerLaw,
+        },
+        rows: rows(kern_m),
+        cols: kern_n,
+        sparsity: 0.01,
+        iterations: 0,
+    });
+    specs.push(WorkloadSpec {
+        kind: Kind::XtY,
+        rows: rows(kern_m),
+        cols: kern_n,
+        sparsity: 0.01,
+        iterations: 0,
+    });
+    specs.push(WorkloadSpec {
+        kind: Kind::PatternEll,
+        rows: rows(kern_m / 2),
+        cols: kern_n / 2,
+        sparsity: 0.02,
+        iterations: 0,
+    });
+    specs.push(WorkloadSpec {
+        kind: Kind::PatternDense,
+        rows: rows(kern_m / 4),
+        cols: 256,
+        sparsity: 1.0,
+        iterations: 0,
+    });
+
+    for algo in [Algo::LrCg, Algo::Glm, Algo::LogReg, Algo::Svm, Algo::Hits] {
+        let iterations = match algo {
+            Algo::LrCg | Algo::Hits => algo_iters,
+            _ => outer,
+        };
+        specs.push(WorkloadSpec {
+            kind: Kind::AlgoCsr(algo),
+            rows: rows(algo_m),
+            cols: algo_n,
+            sparsity: 0.01,
+            iterations,
+        });
+    }
+    specs.push(WorkloadSpec {
+        kind: Kind::AlgoDense(Algo::LrCg),
+        rows: rows(algo_m / 2),
+        cols: 128,
+        sparsity: 1.0,
+        iterations: algo_iters,
+    });
+    specs
+}
+
+/// Workload ids for the given options, without running anything
+/// (`fusedml-bench list`).
+pub fn workload_ids(opts: &SuiteOptions) -> Vec<String> {
+    matrix(opts.mode, opts.scale)
+        .iter()
+        .map(|s| s.id())
+        .collect()
+}
+
+/// Aggregate a launch list into (modeled_ms, counters, launches,
+/// time-weighted occupancy).
+fn fold_launches(launches: &[LaunchStats]) -> (f64, Counters, u64, f64) {
+    let mut counters = Counters::new();
+    let mut ms = 0.0;
+    let mut occ_ms = 0.0;
+    for l in launches {
+        counters.merge(&l.counters);
+        ms += l.sim_ms();
+        occ_ms += l.occupancy.occupancy * l.sim_ms();
+    }
+    let occ = if ms > 0.0 { occ_ms / ms } else { 0.0 };
+    (ms, counters, launches.len() as u64, occ)
+}
+
+fn variant_from_launches(launches: &[LaunchStats], wall_ms: f64, clock_ghz: f64) -> VariantMetrics {
+    let (ms, counters, n, occ) = fold_launches(launches);
+    VariantMetrics::new(ms, clock_ghz, wall_ms, n, occ, &counters)
+}
+
+fn variant_from_stats(stats: &BackendStats, wall_ms: f64, clock_ghz: f64) -> VariantMetrics {
+    VariantMetrics::new(
+        stats.sim_ms,
+        clock_ghz,
+        wall_ms,
+        stats.launches as u64,
+        stats.mean_occupancy(),
+        &stats.counters,
+    )
+}
+
+fn wall_ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Full pattern with every term, exercising v-scaling and the z-axpy tail.
+fn full_spec() -> PatternSpec {
+    PatternSpec::full(1.5, -0.5)
+}
+
+/// Kernel-level CSR workload: fused executor vs. operator composition.
+fn run_pattern_csr(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetrics) {
+    let (m, n) = (x.rows(), x.cols());
+    let spec = full_spec();
+    let seed = opts.seed;
+
+    let fused = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuCsr::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(n, seed + 1));
+        let vd = gpu.upload_f64("v", &random_vector(m, seed + 2));
+        let zd = gpu.upload_f64("z", &random_vector(n, seed + 3));
+        let wd = gpu.alloc_f64("w", n);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut ex = FusedExecutor::new(&gpu);
+        ex.pattern_sparse(spec, &xd, Some(&vd), &yd, Some(&zd), &wd);
+        variant_from_launches(&ex.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+
+    let baseline = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuCsr::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(n, seed + 1));
+        let vd = gpu.upload_f64("v", &random_vector(m, seed + 2));
+        let zd = gpu.upload_f64("z", &random_vector(n, seed + 3));
+        let wd = gpu.alloc_f64("w", n);
+        let pd = gpu.alloc_f64("p", m);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut cu = BaselineEngine::new(&gpu, Flavor::CuLibs);
+        cu.pattern_sparse(
+            spec.alpha,
+            &xd,
+            Some(&vd),
+            &yd,
+            spec.beta,
+            Some(&zd),
+            &wd,
+            &pd,
+        );
+        variant_from_launches(&cu.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    (fused, baseline)
+}
+
+/// `X^T y`: the fused transposed scan vs. the cuSPARSE-style transposed
+/// SpMV (which rebuilds `X^T` per call).
+fn run_xty(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetrics) {
+    let (m, n) = (x.rows(), x.cols());
+    let seed = opts.seed;
+
+    let fused = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuCsr::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(m, seed + 4));
+        let wd = gpu.alloc_f64("w", n);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut ex = FusedExecutor::new(&gpu);
+        ex.xt_y_sparse(1.0, &xd, &yd, &wd);
+        variant_from_launches(&ex.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+
+    let baseline = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuCsr::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(m, seed + 4));
+        let wd = gpu.alloc_f64("w", n);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut cu = BaselineEngine::new(&gpu, Flavor::CuLibs);
+        cu.csrmv_t(&xd, &yd, &wd);
+        variant_from_launches(&cu.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    (fused, baseline)
+}
+
+/// ELL-stored fused kernel vs. the CSR operator composition on the same
+/// logical matrix — the storage-format extension workload.
+fn run_pattern_ell(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetrics) {
+    let (m, n) = (x.rows(), x.cols());
+    let spec = PatternSpec::xtxy();
+    let seed = opts.seed;
+
+    let fused = {
+        let gpu = Gpu::new(opts.device.clone());
+        let ell = EllMatrix::from_csr(x);
+        let eld = GpuEll::upload(&gpu, "ell", &ell);
+        let yd = gpu.upload_f64("y", &random_vector(n, seed + 5));
+        let wd = gpu.alloc_f64("w", n);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let plan = plan_ell(&gpu, m, n);
+        let launches = vec![
+            level1::fill(&gpu, &wd, 0.0),
+            fused_pattern_ell(&gpu, &plan, spec, &eld, None, &yd, None, &wd),
+        ];
+        variant_from_launches(&launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+
+    let baseline = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuCsr::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(n, seed + 5));
+        let wd = gpu.alloc_f64("w", n);
+        let pd = gpu.alloc_f64("p", m);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut cu = BaselineEngine::new(&gpu, Flavor::CuLibs);
+        cu.pattern_sparse(spec.alpha, &xd, None, &yd, spec.beta, None, &wd, &pd);
+        variant_from_launches(&cu.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    (fused, baseline)
+}
+
+/// Dense full pattern: generated fused kernel vs. cuBLAS-style composition.
+fn run_pattern_dense(opts: &SuiteOptions, x: &DenseMatrix) -> (VariantMetrics, VariantMetrics) {
+    let (m, n) = (x.rows(), x.cols());
+    let spec = full_spec();
+    let seed = opts.seed;
+
+    let fused = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuDense::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(n, seed + 6));
+        let vd = gpu.upload_f64("v", &random_vector(m, seed + 7));
+        let zd = gpu.upload_f64("z", &random_vector(n, seed + 8));
+        let wd = gpu.alloc_f64("w", n);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut ex = FusedExecutor::new(&gpu);
+        ex.pattern_dense(spec, &xd, Some(&vd), &yd, Some(&zd), &wd);
+        variant_from_launches(&ex.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+
+    let baseline = {
+        let gpu = Gpu::new(opts.device.clone());
+        let xd = GpuDense::upload(&gpu, "X", x);
+        let yd = gpu.upload_f64("y", &random_vector(n, seed + 6));
+        let vd = gpu.upload_f64("v", &random_vector(m, seed + 7));
+        let zd = gpu.upload_f64("z", &random_vector(n, seed + 8));
+        let wd = gpu.alloc_f64("w", n);
+        let pd = gpu.alloc_f64("p", m);
+        gpu.flush_caches();
+        let t0 = Instant::now();
+        let mut cu = BaselineEngine::new(&gpu, Flavor::CuLibs);
+        cu.pattern_dense(
+            spec.alpha,
+            &xd,
+            Some(&vd),
+            &yd,
+            spec.beta,
+            Some(&zd),
+            &wd,
+            &pd,
+        );
+        variant_from_launches(&cu.launches, wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    (fused, baseline)
+}
+
+/// Drive one solver on any backend with deterministic labels/targets.
+fn drive_algo<B: Backend>(
+    b: &mut B,
+    algo: Algo,
+    iters: u64,
+    seed: u64,
+    x_csr: Option<&CsrMatrix>,
+    x_dense: Option<&DenseMatrix>,
+) {
+    let m = b.rows();
+    let n = b.cols();
+    let w_true = random_vector(n, seed + 10);
+    let targets = match (x_csr, x_dense) {
+        (Some(x), _) => reference::csr_mv(x, &w_true),
+        (_, Some(x)) => reference::dense_mv(x, &w_true),
+        _ => unreachable!("algo workload without a matrix"),
+    };
+    match algo {
+        Algo::LrCg => {
+            lr_cg(
+                b,
+                &targets,
+                LrCgOptions {
+                    max_iterations: iters as usize,
+                    ..Default::default()
+                },
+            );
+        }
+        Algo::Glm => {
+            let counts: Vec<f64> = targets.iter().map(|&e| e.clamp(-3.0, 3.0).exp()).collect();
+            glm(
+                b,
+                &counts,
+                GlmOptions {
+                    max_outer: iters as usize,
+                    ..Default::default()
+                },
+            );
+        }
+        Algo::LogReg => {
+            let labels = random_labels(m, seed + 11);
+            logreg(
+                b,
+                &labels,
+                LogRegOptions {
+                    max_outer: iters as usize,
+                    ..Default::default()
+                },
+            );
+        }
+        Algo::Svm => {
+            let labels = random_labels(m, seed + 11);
+            svm_primal(
+                b,
+                &labels,
+                SvmOptions {
+                    max_outer: iters as usize,
+                    ..Default::default()
+                },
+            );
+        }
+        Algo::Hits => {
+            hits(
+                b,
+                HitsOptions {
+                    max_iterations: iters as usize,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+}
+
+/// Algorithm-level workload on CSR input: `ours-end2end` vs. `cu-end2end`.
+fn run_algo_csr(
+    opts: &SuiteOptions,
+    algo: Algo,
+    iters: u64,
+    x: &CsrMatrix,
+) -> (VariantMetrics, VariantMetrics) {
+    let fused = {
+        let gpu = Gpu::new(opts.device.clone());
+        let t0 = Instant::now();
+        let mut b = FusedBackend::new_sparse(&gpu, x);
+        drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    let baseline = {
+        let gpu = Gpu::new(opts.device.clone());
+        let t0 = Instant::now();
+        let mut b = BaselineBackend::new_sparse(&gpu, x);
+        drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    (fused, baseline)
+}
+
+/// Algorithm-level workload on dense input.
+fn run_algo_dense(
+    opts: &SuiteOptions,
+    algo: Algo,
+    iters: u64,
+    x: &DenseMatrix,
+) -> (VariantMetrics, VariantMetrics) {
+    let fused = {
+        let gpu = Gpu::new(opts.device.clone());
+        let t0 = Instant::now();
+        let mut b = FusedBackend::new_dense(&gpu, x);
+        drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    let baseline = {
+        let gpu = Gpu::new(opts.device.clone());
+        let t0 = Instant::now();
+        let mut b = BaselineBackend::new_dense(&gpu, x);
+        drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+    };
+    (fused, baseline)
+}
+
+/// Run the whole matrix and assemble the report. `progress` receives the
+/// id of each workload as it starts (pass `|_| {}` to silence).
+pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> BenchReport {
+    let mut workloads = Vec::new();
+    for spec in matrix(opts.mode, opts.scale) {
+        let id = spec.id();
+        progress(&id);
+        let (m, n) = (spec.rows, spec.cols);
+        let (nnz, fused, baseline) = match &spec.kind {
+            Kind::PatternCsr { dist } => {
+                let x = match dist {
+                    Dist::Uniform => uniform_sparse(m, n, spec.sparsity, opts.seed),
+                    Dist::PowerLaw => powerlaw_sparse(m, n, 10.0, 0.8, opts.seed),
+                };
+                let (f, b) = run_pattern_csr(opts, &x);
+                (x.nnz() as u64, f, b)
+            }
+            Kind::XtY => {
+                let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
+                let (f, b) = run_xty(opts, &x);
+                (x.nnz() as u64, f, b)
+            }
+            Kind::PatternEll => {
+                let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
+                let (f, b) = run_pattern_ell(opts, &x);
+                (x.nnz() as u64, f, b)
+            }
+            Kind::PatternDense => {
+                let x = dense_random(m, n, opts.seed);
+                let (f, b) = run_pattern_dense(opts, &x);
+                ((m * n) as u64, f, b)
+            }
+            Kind::AlgoCsr(algo) => {
+                let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
+                let (f, b) = run_algo_csr(opts, *algo, spec.iterations, &x);
+                (x.nnz() as u64, f, b)
+            }
+            Kind::AlgoDense(algo) => {
+                let x = dense_random(m, n, opts.seed);
+                let (f, b) = run_algo_dense(opts, *algo, spec.iterations, &x);
+                ((m * n) as u64, f, b)
+            }
+        };
+        let speedup = if fused.modeled_ms > 0.0 {
+            baseline.modeled_ms / fused.modeled_ms
+        } else {
+            0.0
+        };
+        workloads.push(WorkloadResult {
+            id,
+            algorithm: spec.algorithm().to_string(),
+            format: spec.format().to_string(),
+            rows: m as u64,
+            cols: n as u64,
+            nnz,
+            iterations: spec.iterations,
+            fused,
+            baseline,
+            speedup,
+        });
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha: current_git_sha(),
+        fingerprint: opts.fingerprint(),
+        workloads,
+    }
+}

@@ -21,7 +21,10 @@ pub struct CpuEngine {
 
 impl CpuEngine {
     pub fn new(spec: CpuSpec) -> Self {
-        CpuEngine { spec, total_ms: 0.0 }
+        CpuEngine {
+            spec,
+            total_ms: 0.0,
+        }
     }
 
     pub fn mkl_8threads() -> Self {

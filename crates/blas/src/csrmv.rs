@@ -59,13 +59,7 @@ pub fn try_csrmv(
 }
 
 /// `p = X * y` on the device. `p.len() == X.rows`.
-pub fn csrmv(
-    gpu: &Gpu,
-    x: &GpuCsr,
-    y: &GpuBuffer,
-    p: &GpuBuffer,
-    style: SpmvStyle,
-) -> LaunchStats {
+pub fn csrmv(gpu: &Gpu, x: &GpuCsr, y: &GpuBuffer, p: &GpuBuffer, style: SpmvStyle) -> LaunchStats {
     try_csrmv(gpu, x, y, p, style).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -245,9 +239,7 @@ mod tests {
         let yd = g.upload_f64("y", &y);
         let pd = g.alloc_f64("p", 257);
         csrmv(&g, &xd, &yd, &pd, SpmvStyle::Scalar);
-        assert!(
-            reference::max_abs_diff(&pd.to_vec_f64(), &reference::csr_mv(&x, &y)) < 1e-12
-        );
+        assert!(reference::max_abs_diff(&pd.to_vec_f64(), &reference::csr_mv(&x, &y)) < 1e-12);
     }
 
     #[test]

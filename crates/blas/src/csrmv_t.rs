@@ -81,12 +81,7 @@ pub fn try_csrmv_t_scatter(
 
 /// `w = X^T * p`: zero `w`, then atomic scatter. Returns the two launches'
 /// stats in order.
-pub fn csrmv_t_atomic(
-    gpu: &Gpu,
-    x: &GpuCsr,
-    p: &GpuBuffer,
-    w: &GpuBuffer,
-) -> Vec<LaunchStats> {
+pub fn csrmv_t_atomic(gpu: &Gpu, x: &GpuCsr, p: &GpuBuffer, w: &GpuBuffer) -> Vec<LaunchStats> {
     try_csrmv_t_atomic(gpu, x, p, w).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -105,12 +100,7 @@ pub fn try_csrmv_t_atomic(
 /// `w = X^T * p` via a pre-transposed matrix: a plain CSR-vector SpMV over
 /// `X^T` (the explicit-transpose strategy whose amortization Fig. 2
 /// studies). The caller produces `xt` once with [`crate::transpose::csr2csc_device`].
-pub fn csrmv_t_pretransposed(
-    gpu: &Gpu,
-    xt: &GpuCsr,
-    p: &GpuBuffer,
-    w: &GpuBuffer,
-) -> LaunchStats {
+pub fn csrmv_t_pretransposed(gpu: &Gpu, xt: &GpuCsr, p: &GpuBuffer, w: &GpuBuffer) -> LaunchStats {
     try_csrmv_t_pretransposed(gpu, xt, p, w).unwrap_or_else(|e| panic!("{e}"))
 }
 

@@ -102,8 +102,7 @@ pub fn try_ellmv(
                         (row0 + lane < m).then(|| slot * m + row0 + lane)
                     });
                     let ys = w.load_f64_tex(y, |lane| {
-                        (row0 + lane < m && cols[lane] != ELL_PAD)
-                            .then(|| cols[lane] as usize)
+                        (row0 + lane < m && cols[lane] != ELL_PAD).then(|| cols[lane] as usize)
                     });
                     let mut active = 0u64;
                     for lane in 0..WARP_LANES {

@@ -8,7 +8,7 @@
 use crate::csrmv::{vector_size_for_mean_nnz, SpmvStyle};
 use crate::dev::{GpuCsr, GpuDense};
 use crate::level1;
-use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchStats};
+use fusedml_gpu_sim::{Counters, DeviceError, Gpu, GpuBuffer, LaunchStats};
 
 /// Which library's composition style the engine mimics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,16 @@ impl<'g> BaselineEngine<'g> {
     /// Total kernel launches since the last reset.
     pub fn launch_count(&self) -> usize {
         self.launches.len()
+    }
+
+    /// Hardware event counters merged across every launch since the last
+    /// reset (the per-phase export the benchmark reports aggregate).
+    pub fn counters_total(&self) -> Counters {
+        let mut total = Counters::new();
+        for l in &self.launches {
+            total.merge(&l.counters);
+        }
+        total
     }
 
     pub fn reset(&mut self) {

@@ -109,13 +109,9 @@ fn gemv_t_accumulate(
                         let xs = wc.load_f64(&x.data, |lane| {
                             (col0 + lane < n).then(|| x.at(row, col0 + lane))
                         });
-                        wc.shared_store(tile, |lane| {
-                            Some((r_local * WARP_LANES + lane, xs[lane]))
-                        });
+                        wc.shared_store(tile, |lane| Some((r_local * WARP_LANES + lane, xs[lane])));
                     } else {
-                        wc.shared_store(tile, |lane| {
-                            Some((r_local * WARP_LANES + lane, 0.0))
-                        });
+                        wc.shared_store(tile, |lane| Some((r_local * WARP_LANES + lane, 0.0)));
                     }
                 }
                 if wid == 0 {
@@ -154,9 +150,7 @@ fn gemv_t_accumulate(
         blk.each_warp(|wc| {
             if wc.warp_id() == 0 {
                 let v = wc.shared_load(acc, |lane| (col0 + lane < n).then_some(lane));
-                wc.atomic_add_f64(w, |lane| {
-                    (col0 + lane < n).then(|| (col0 + lane, v[lane]))
-                });
+                wc.atomic_add_f64(w, |lane| (col0 + lane < n).then(|| (col0 + lane, v[lane])));
             }
         });
     })
@@ -306,8 +300,10 @@ mod tests {
         g.flush_caches();
         let w2 = g.alloc_f64("w2", 64);
         let direct = gemv_t_direct(&g, &xd, &pd, &w2).pop().unwrap();
-        assert!(direct.counters.shared_accesses + direct.counters.shared_atomics
-            < tiled.counters.shared_accesses + tiled.counters.shared_atomics);
+        assert!(
+            direct.counters.shared_accesses + direct.counters.shared_atomics
+                < tiled.counters.shared_accesses + tiled.counters.shared_atomics
+        );
         assert!(direct.counters.global_atomics >= tiled.counters.global_atomics);
     }
 

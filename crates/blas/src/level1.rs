@@ -33,7 +33,9 @@ where
 pub fn try_fill(gpu: &Gpu, buf: &GpuBuffer, value: f64) -> Result<LaunchStats, DeviceError> {
     let n = buf.len();
     elementwise(gpu, "fill", n, |w, base| {
-        w.store_f64(buf, |lane| (base + lane < n).then_some((base + lane, value)));
+        w.store_f64(buf, |lane| {
+            (base + lane < n).then_some((base + lane, value))
+        });
     })
 }
 
@@ -48,7 +50,9 @@ pub fn try_copy(gpu: &Gpu, src: &GpuBuffer, dst: &GpuBuffer) -> Result<LaunchSta
     let n = src.len();
     elementwise(gpu, "copy", n, |w, base| {
         let v = w.load_f64(src, |lane| (base + lane < n).then_some(base + lane));
-        w.store_f64(dst, |lane| (base + lane < n).then_some((base + lane, v[lane])));
+        w.store_f64(dst, |lane| {
+            (base + lane < n).then_some((base + lane, v[lane]))
+        });
     })
 }
 
@@ -87,7 +91,9 @@ pub fn try_scal(gpu: &Gpu, a: f64, x: &GpuBuffer) -> Result<LaunchStats, DeviceE
     elementwise(gpu, "scal", n, |w, base| {
         let xs = w.load_f64(x, |lane| (base + lane < n).then_some(base + lane));
         w.flops((n - base).min(WARP_LANES) as u64);
-        w.store_f64(x, |lane| (base + lane < n).then(|| (base + lane, a * xs[lane])));
+        w.store_f64(x, |lane| {
+            (base + lane < n).then(|| (base + lane, a * xs[lane]))
+        });
     })
 }
 
@@ -134,7 +140,9 @@ pub fn try_dot(
     out.host_write_f64(0, 0.0);
     let n = x.len();
     let grid = capped_grid(gpu, n, BS);
-    let cfg = LaunchConfig::new(grid, BS).with_regs(20).with_shared_bytes(8);
+    let cfg = LaunchConfig::new(grid, BS)
+        .with_regs(20)
+        .with_shared_bytes(8);
     let stats = gpu.try_launch("dot", cfg, |blk| {
         let block_acc = blk.shared_f64(1);
         let grid_threads = blk.grid_dim() * blk.block_dim();
@@ -229,7 +237,10 @@ mod tests {
         let x = g.upload_f64("x", &xh);
         scal(&g, 2.0, &x);
         let got = x.to_vec_f64();
-        assert!(got.iter().zip(&xh).all(|(a, b)| (a - 2.0 * b).abs() < 1e-15));
+        assert!(got
+            .iter()
+            .zip(&xh)
+            .all(|(a, b)| (a - 2.0 * b).abs() < 1e-15));
 
         let yh = random_vector(100, 4);
         let y = g.upload_f64("y", &yh);

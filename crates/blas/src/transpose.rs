@@ -18,16 +18,22 @@ const BS: usize = 256;
 fn fill_u32(gpu: &Gpu, buf: &GpuBuffer, value: u32) -> Result<LaunchStats, DeviceError> {
     let n = buf.len();
     let grid = capped_grid(gpu, n, BS);
-    gpu.try_launch("fill_u32", LaunchConfig::new(grid, BS).with_regs(12), |blk| {
-        let grid_threads = blk.grid_dim() * blk.block_dim();
-        blk.each_warp(|w| {
-            let mut base = w.gtid(0);
-            while base < n {
-                w.store_u32(buf, |lane| (base + lane < n).then_some((base + lane, value)));
-                base += grid_threads;
-            }
-        });
-    })
+    gpu.try_launch(
+        "fill_u32",
+        LaunchConfig::new(grid, BS).with_regs(12),
+        |blk| {
+            let grid_threads = blk.grid_dim() * blk.block_dim();
+            blk.each_warp(|w| {
+                let mut base = w.gtid(0);
+                while base < n {
+                    w.store_u32(buf, |lane| {
+                        (base + lane < n).then_some((base + lane, value))
+                    });
+                    base += grid_threads;
+                }
+            });
+        },
+    )
 }
 
 /// Inclusive-to-exclusive Hillis–Steele scan of `src` (u32, length `n`)
@@ -56,7 +62,9 @@ fn exclusive_scan_u32(
                 let mut base = w.gtid(0);
                 while base < n {
                     let v = w.load_u32(src, |lane| (base + lane < n).then_some(base + lane));
-                    w.store_u32(a, |lane| (base + lane < n).then_some((base + lane, v[lane])));
+                    w.store_u32(a, |lane| {
+                        (base + lane < n).then_some((base + lane, v[lane]))
+                    });
                     base += grid_threads;
                 }
             });
@@ -109,8 +117,7 @@ fn exclusive_scan_u32(
                 }
                 let mut base = w.gtid(0);
                 while base < n {
-                    let v =
-                        w.load_u32(inclusive, |lane| (base + lane < n).then_some(base + lane));
+                    let v = w.load_u32(inclusive, |lane| (base + lane < n).then_some(base + lane));
                     w.store_u32(dst, |lane| {
                         (base + lane < n).then(|| (base + lane + 1, v[lane]))
                     });
@@ -202,8 +209,8 @@ pub fn try_csr2csc_device(
                 blk.each_warp(|w| {
                     let mut base = w.gtid(0);
                     while base < n {
-                        let v = w
-                            .load_u32(&col_off, |lane| (base + lane < n).then_some(base + lane));
+                        let v =
+                            w.load_u32(&col_off, |lane| (base + lane < n).then_some(base + lane));
                         w.store_u32(&cursor, |lane| {
                             (base + lane < n).then(|| (base + lane, v[lane]))
                         });
@@ -251,9 +258,8 @@ pub fn try_csr2csc_device(
                             idx[lane].map(|_| (cols[lane] as usize, 1))
                         });
                         w.store_u32(&row_idx_out, |lane| {
-                            idx[lane].and_then(|_| {
-                                row_of(lane).map(|r| (dst[lane] as usize, r as u32))
-                            })
+                            idx[lane]
+                                .and_then(|_| row_of(lane).map(|r| (dst[lane] as usize, r as u32)))
                         });
                         w.store_f64(&values_out, |lane| {
                             idx[lane].map(|_| (dst[lane] as usize, vals[lane]))

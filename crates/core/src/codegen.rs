@@ -44,8 +44,8 @@ pub fn try_launch_dense_fused(
         };
     }
     dispatch!(
-        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
-        24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+        26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40
     )
 }
 
@@ -98,7 +98,10 @@ pub fn generate_cuda_source(n: usize, vs: usize, tl: usize) -> String {
         let _ = writeln!(s, "    l_y{i} = y[lid + {}];", (i - 1) * vs);
         let _ = writeln!(s, "    l_w{i} = 0.0;");
     }
-    let _ = writeln!(s, "    for (r = rowStart; r < rowEnd; r += gridDim.x * NV) {{");
+    let _ = writeln!(
+        s,
+        "    for (r = rowStart; r < rowEnd; r += gridDim.x * NV) {{"
+    );
     let _ = writeln!(s, "      sum = 0.0;");
     for i in 1..=tl {
         let _ = writeln!(
@@ -115,11 +118,7 @@ pub fn generate_cuda_source(n: usize, vs: usize, tl: usize) -> String {
     }
     let _ = writeln!(s, "    }}");
     for i in 1..=tl {
-        let _ = writeln!(
-            s,
-            "    atomicAdd(&w[lid + {}], a * l_w{i});",
-            (i - 1) * vs
-        );
+        let _ = writeln!(s, "    atomicAdd(&w[lid + {}], a * l_w{i});", (i - 1) * vs);
     }
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");

@@ -113,8 +113,7 @@ pub fn try_dense_fused_kernel<const TL: usize>(
                     let mut active = 0u64;
                     for i in 0..TL {
                         let xs = wc.load_f64(&x.data, |lane| {
-                            row_of(lane)
-                                .and_then(|r| col_of(tid0 + lane, i).map(|col| r * n + col))
+                            row_of(lane).and_then(|r| col_of(tid0 + lane, i).map(|col| r * n + col))
                         });
                         for lane in 0..WARP_LANES {
                             if row_of(lane).is_some() {
@@ -188,11 +187,10 @@ pub fn try_dense_fused_kernel<const TL: usize>(
                     wc.shared_store(red, |lane| (lane == 0).then_some((wid, sum[0])));
                 });
                 blk.sync(); // line 19
-                // Inter-warp reduction + v[row] scaling by warp 0 (line 20).
+                            // Inter-warp reduction + v[row] scaling by warp 0 (line 20).
                 blk.each_warp(|wc| {
                     if wc.warp_id() == 0 {
-                        let mut sums =
-                            wc.shared_load(red, |lane| (lane < nwarps).then_some(lane));
+                        let mut sums = wc.shared_load(red, |lane| (lane < nwarps).then_some(lane));
                         let width = nwarps.next_power_of_two().min(32);
                         wc.shuffle_reduce_sum(&mut sums, width);
                         let p_r = if let Some(v) = v {
@@ -205,7 +203,7 @@ pub fn try_dense_fused_kernel<const TL: usize>(
                     }
                 });
                 blk.sync(); // line 22
-                // Pass B: broadcast p_r, accumulate l_w.
+                            // Pass B: broadcast p_r, accumulate l_w.
                 blk.each_warp(|wc| {
                     let tid0 = wc.tid(0);
                     let p = wc.shared_load(red, |lane| (lane == 0).then_some(nwarps));
@@ -276,9 +274,7 @@ mod tests {
         let zd = g.upload_f64("z", &z);
         let wd = g.alloc_f64("w", n);
         let spec = PatternSpec::full(1.5, -2.0);
-        crate::codegen::launch_dense_fused(
-            &g, plan, spec, &xd, Some(&vd), &yd, Some(&zd), &wd,
-        );
+        crate::codegen::launch_dense_fused(&g, plan, spec, &xd, Some(&vd), &yd, Some(&zd), &wd);
         let expect = reference::pattern_dense(1.5, &x, Some(&v), &y, -2.0, Some(&z));
         reference::rel_l2_error(&wd.to_vec_f64(), &expect)
     }

@@ -32,8 +32,8 @@ pub fn plan_ell(gpu: &Gpu, m: usize, n: usize) -> EllPlan {
     // Like the CSR tuner: once occupancy passes the latency-hiding knee,
     // prefer the largest block size — fewer resident blocks means fewer
     // per-block flushes of the shared accumulator.
-    let knee = (spec.max_warps_per_sm() as f64 * fusedml_gpu_sim::LATENCY_HIDING_KNEE)
-        .ceil() as usize;
+    let knee =
+        (spec.max_warps_per_sm() as f64 * fusedml_gpu_sim::LATENCY_HIDING_KNEE).ceil() as usize;
     let mut best: Option<(usize, fusedml_gpu_sim::Occupancy)> = None;
     for bs in [128usize, 256, 512, 768, 1024] {
         if bs > spec.max_threads_per_block {
@@ -112,12 +112,10 @@ pub fn try_fused_pattern_ell(
                 // Pass 1: p[r] = X[r,:] . y per lane, slot loop.
                 let mut sum = [0.0f64; WARP_LANES];
                 for slot in 0..width {
-                    let cols = wc.load_u32(&x.col_idx, |l| {
-                        (row0 + l < m).then(|| slot * m + row0 + l)
-                    });
-                    let vals = wc.load_f64(&x.values, |l| {
-                        (row0 + l < m).then(|| slot * m + row0 + l)
-                    });
+                    let cols =
+                        wc.load_u32(&x.col_idx, |l| (row0 + l < m).then(|| slot * m + row0 + l));
+                    let vals =
+                        wc.load_f64(&x.values, |l| (row0 + l < m).then(|| slot * m + row0 + l));
                     let ys = wc.load_f64_tex(y, |l| {
                         (row0 + l < m && cols[l] != ELL_PAD).then(|| cols[l] as usize)
                     });
@@ -140,12 +138,10 @@ pub fn try_fused_pattern_ell(
                 }
                 // Pass 2: scatter X[r,:]^T * p[r]; slots now cache-hot.
                 for slot in 0..width {
-                    let cols = wc.load_u32(&x.col_idx, |l| {
-                        (row0 + l < m).then(|| slot * m + row0 + l)
-                    });
-                    let vals = wc.load_f64(&x.values, |l| {
-                        (row0 + l < m).then(|| slot * m + row0 + l)
-                    });
+                    let cols =
+                        wc.load_u32(&x.col_idx, |l| (row0 + l < m).then(|| slot * m + row0 + l));
+                    let vals =
+                        wc.load_f64(&x.values, |l| (row0 + l < m).then(|| slot * m + row0 + l));
                     let mut active = 0u64;
                     for lane in 0..WARP_LANES {
                         if row0 + lane < m && cols[lane] != ELL_PAD {

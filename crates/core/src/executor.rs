@@ -10,7 +10,8 @@ use crate::sparse_large::{try_fused_pattern_global, try_fused_xt_p_global};
 use crate::tuner::{plan_dense, plan_sparse, DensePlan, SparsePlan};
 use fusedml_blas::level1::try_fill;
 use fusedml_blas::{GpuCsr, GpuDense};
-use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchStats};
+use fusedml_gpu_sim::{Counters, DeviceError, Gpu, GpuBuffer, LaunchStats};
+use std::collections::BTreeMap;
 
 /// Fused-kernel execution engine; the counterpart of
 /// [`fusedml_blas::BaselineEngine`] with identical accounting so
@@ -58,6 +59,27 @@ impl<'g> FusedExecutor<'g> {
 
     pub fn launch_count(&self) -> usize {
         self.launches.len()
+    }
+
+    /// Hardware event counters merged across every launch since the last
+    /// reset — the per-phase export benchmark rows aggregate to attribute
+    /// speedup changes to a reduction tier.
+    pub fn counters_total(&self) -> Counters {
+        let mut total = Counters::new();
+        for l in &self.launches {
+            total.merge(&l.counters);
+        }
+        total
+    }
+
+    /// Counters grouped by kernel name (the "phases" of one fused
+    /// evaluation: zero-fill vs. the fused kernel itself).
+    pub fn counters_by_kernel(&self) -> BTreeMap<String, Counters> {
+        let mut phases: BTreeMap<String, Counters> = BTreeMap::new();
+        for l in &self.launches {
+            phases.entry(l.name.clone()).or_default().merge(&l.counters);
+        }
+        phases
     }
 
     pub fn reset(&mut self) {
@@ -333,8 +355,7 @@ mod tests {
 
         let wd2 = g.alloc_f64("w2", 512);
         let pd = g.alloc_f64("p", 4000);
-        let mut base =
-            fusedml_blas::BaselineEngine::new(&g, fusedml_blas::Flavor::CuLibs);
+        let mut base = fusedml_blas::BaselineEngine::new(&g, fusedml_blas::Flavor::CuLibs);
         g.flush_caches();
         base.pattern_sparse(1.0, &xd, None, &yd, 0.0, None, &wd2, &pd);
 
@@ -345,8 +366,6 @@ mod tests {
             base.total_sim_ms()
         );
         // And the results agree.
-        assert!(
-            reference::rel_l2_error(&wd1.to_vec_f64(), &wd2.to_vec_f64()) < 1e-11
-        );
+        assert!(reference::rel_l2_error(&wd1.to_vec_f64(), &wd2.to_vec_f64()) < 1e-11);
     }
 }

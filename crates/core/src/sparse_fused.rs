@@ -14,7 +14,9 @@
 use crate::pattern::PatternSpec;
 use crate::tuner::SparsePlan;
 use fusedml_blas::GpuCsr;
-use fusedml_gpu_sim::{BlockCtx, DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES};
+use fusedml_gpu_sim::{
+    BlockCtx, DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES,
+};
 
 /// Zero the shared accumulator (Algorithm 1 line 6), block-stride.
 pub(crate) fn zero_shared(blk: &mut BlockCtx, sd: Shared, n: usize) {
@@ -407,8 +409,7 @@ mod tests {
         let wd = g.alloc_f64("w", 512);
         let plan = plan_sparse(g.spec(), 8000, 512, x.mean_nnz_per_row());
         g.flush_caches();
-        let stats =
-            fused_pattern_shared(&g, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+        let stats = fused_pattern_shared(&g, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
         // The second scan re-reads values+col_idx; if temporal locality
         // works, DRAM traffic is much closer to one scan than two.
         let one_scan_bytes = (x.nnz() * 12) as u64;
@@ -430,8 +431,7 @@ mod tests {
         let yd = g.upload_f64("y", &y);
         let wd = g.alloc_f64("w", 100);
         let plan = plan_sparse(g.spec(), 1000, 100, x.mean_nnz_per_row());
-        let stats =
-            fused_pattern_shared(&g, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+        let stats = fused_pattern_shared(&g, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
         // Hierarchical aggregation: global atomics only in the final flush
         // (grid * n), never per non-zero.
         assert_eq!(

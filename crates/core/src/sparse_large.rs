@@ -243,8 +243,7 @@ mod tests {
         let yd = g.upload_f64("y", &y);
         let wd = g.alloc_f64("w", 10_000);
         let plan = global_plan(&g, 300, 10_000, 4);
-        let stats =
-            fused_pattern_global(&g, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+        let stats = fused_pattern_global(&g, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
         // One global atomic per non-zero (no shared pre-aggregation).
         assert_eq!(stats.counters.global_atomics, x.nnz() as u64);
         assert_eq!(stats.counters.shared_atomics, 0);

@@ -23,7 +23,10 @@ pub const SPARSE_KERNEL_REGS: u32 = 43;
 /// thread load: 23 registers at `TL = 1` growing to 255 at `TL = 40`
 /// (§3.3); beyond 40 the kernel would spill.
 pub fn dense_kernel_regs(tl: usize) -> u32 {
-    assert!((1..=MAX_TL).contains(&tl), "TL must be in [1, 40], got {tl}");
+    assert!(
+        (1..=MAX_TL).contains(&tl),
+        "TL must be in [1, 40], got {tl}"
+    );
     23 + ((tl as u32 - 1) * 232).div_ceil(39)
 }
 
@@ -92,8 +95,7 @@ pub fn plan_sparse_with_vs(spec: &DeviceSpec, m: usize, n: usize, vs: usize) -> 
     // increase the degree of coarsening C and the block size to their
     // maximum possible values, while achieving the maximum possible
     // occupancy").
-    let knee_warps =
-        (spec.max_warps_per_sm() as f64 * LATENCY_HIDING_KNEE).ceil() as usize;
+    let knee_warps = (spec.max_warps_per_sm() as f64 * LATENCY_HIDING_KNEE).ceil() as usize;
     let eff_warps = |o: &Occupancy| o.warps_per_sm.min(knee_warps);
     let mut best: Option<(usize, Occupancy)> = None;
     for bs_mult in 1..=32 {
@@ -224,8 +226,8 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
         let tl = 1;
         let vs = spec.warp_size;
         let regs = dense_kernel_regs(tl);
-        let occ =
-            occupancy(spec, bs, regs, 0).unwrap_or_else(|| panic!("titan-class device fits BS=1024"));
+        let occ = occupancy(spec, bs, regs, 0)
+            .unwrap_or_else(|| panic!("titan-class device fits BS=1024"));
         let grid = (occ.blocks_per_sm * spec.num_sms).max(1);
         let total_vectors = grid * bs / vs;
         return DensePlan {
@@ -266,9 +268,7 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
         let eff = occ.warps_per_sm as f64 * (1.0 - waste_frac.min(0.9)) * sync_penalty;
         let better = match &best {
             None => true,
-            Some((btl, _, beff, _)) => {
-                eff > *beff + 1e-9 || (eff > *beff - 1e-9 && tl < *btl)
-            }
+            Some((btl, _, beff, _)) => eff > *beff + 1e-9 || (eff > *beff - 1e-9 && tl < *btl),
         };
         if better {
             best = Some((tl, vs, eff, occ));

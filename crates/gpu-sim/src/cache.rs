@@ -29,7 +29,10 @@ impl CacheModel {
     /// associativity. Capacity is rounded down to a power-of-two set count;
     /// a degenerate capacity yields a 1-set cache.
     pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let ways = ways.max(1);
         let lines = (capacity_bytes / line_bytes).max(ways);
         // Round the set count down to a power of two for cheap indexing.

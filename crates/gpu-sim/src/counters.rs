@@ -4,7 +4,7 @@
 //! (global load transactions in Fig. 2-bottom, atomic traffic in §3.1).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sampling shift for the global-atomic address histogram: one in
 /// `2^ATOMIC_SAMPLE_SHIFT` atomic operations records its target address.
@@ -66,14 +66,54 @@ pub struct Counters {
     pub kernel_launches: u64,
     /// Sampled histogram of global-atomic target addresses, used by the
     /// timing model to estimate same-address serialization. Keys are
-    /// element addresses; values are sampled hit counts.
+    /// element addresses; values are sampled hit counts. Ordered so that
+    /// debug/serialized representations are deterministic.
     #[serde(skip)]
-    pub atomic_addr_samples: HashMap<u64, u32>,
+    pub atomic_addr_samples: BTreeMap<u64, u32>,
+}
+
+/// Where the reduction work of a launch landed in the paper's §3.1
+/// aggregation hierarchy: registers (warp shuffles), shared memory, or
+/// global-memory atomics. The fused kernels' speedup story is precisely
+/// that work migrates *up* this hierarchy, so the benchmark reports carry
+/// this breakdown per workload to make speedup changes attributable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregationBreakdown {
+    /// Register-level reduction ops (warp shuffle instructions).
+    pub register_shuffle_ops: u64,
+    /// Shared-memory atomic reduction ops.
+    pub shared_atomic_ops: u64,
+    /// Plain shared-memory traffic (staging loads/stores around the
+    /// shared-tier reductions).
+    pub shared_access_ops: u64,
+    /// Global-memory atomics (f64 CAS-loop class + native integer).
+    pub global_atomic_ops: u64,
+}
+
+impl AggregationBreakdown {
+    /// Total reduction-hierarchy operations.
+    pub fn total_ops(&self) -> u64 {
+        self.register_shuffle_ops
+            + self.shared_atomic_ops
+            + self.shared_access_ops
+            + self.global_atomic_ops
+    }
 }
 
 impl Counters {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Classify this launch's reduction traffic by aggregation tier
+    /// (register/shuffle vs. shared vs. global-atomic).
+    pub fn aggregation_breakdown(&self) -> AggregationBreakdown {
+        AggregationBreakdown {
+            register_shuffle_ops: self.shuffle_instructions,
+            shared_atomic_ops: self.shared_atomics,
+            shared_access_ops: self.shared_accesses,
+            global_atomic_ops: self.global_atomics + self.global_atomics_int,
+        }
     }
 
     /// Total global sectors (loads + stores).

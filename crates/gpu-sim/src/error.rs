@@ -48,10 +48,7 @@ impl DeviceError {
         matches!(
             self,
             DeviceError::TransientFault { .. } | DeviceError::TransferTimeout { .. }
-        ) || matches!(
-            self,
-            DeviceError::AllocFailed { injected: true, .. }
-        )
+        ) || matches!(self, DeviceError::AllocFailed { injected: true, .. })
     }
 
     /// Short stable identifier for reports and logs.
@@ -72,10 +69,20 @@ impl std::fmt::Display for DeviceError {
             DeviceError::InvalidLaunch { kernel, detail } => {
                 write!(f, "kernel {kernel}: {detail}")
             }
-            DeviceError::TransientFault { kernel, fault_index } => {
-                write!(f, "kernel {kernel}: injected transient fault (draw #{fault_index})")
+            DeviceError::TransientFault {
+                kernel,
+                fault_index,
+            } => {
+                write!(
+                    f,
+                    "kernel {kernel}: injected transient fault (draw #{fault_index})"
+                )
             }
-            DeviceError::WatchdogTimeout { kernel, sim_ms, limit_ms } => {
+            DeviceError::WatchdogTimeout {
+                kernel,
+                sim_ms,
+                limit_ms,
+            } => {
                 write!(
                     f,
                     "kernel {kernel}: watchdog timeout after {sim_ms:.3}ms (limit {limit_ms:.3}ms)"
@@ -88,14 +95,22 @@ impl std::fmt::Display for DeviceError {
                 capacity_bytes,
                 injected,
             } => {
-                let cause = if *injected { "injected fault" } else { "capacity" };
+                let cause = if *injected {
+                    "injected fault"
+                } else {
+                    "capacity"
+                };
                 write!(
                     f,
                     "alloc {name}: {requested_bytes}B failed ({cause}; \
                      {allocated_bytes}B of {capacity_bytes}B in use)"
                 )
             }
-            DeviceError::TransferTimeout { buffer, bytes, fault_index } => {
+            DeviceError::TransferTimeout {
+                buffer,
+                bytes,
+                fault_index,
+            } => {
                 write!(
                     f,
                     "transfer {buffer}: timeout moving {bytes}B (injected draw #{fault_index})"
@@ -113,9 +128,16 @@ mod tests {
 
     #[test]
     fn transience_classification() {
-        let t = DeviceError::TransientFault { kernel: "k".into(), fault_index: 3 };
+        let t = DeviceError::TransientFault {
+            kernel: "k".into(),
+            fault_index: 3,
+        };
         assert!(t.is_transient());
-        let w = DeviceError::WatchdogTimeout { kernel: "k".into(), sim_ms: 9.0, limit_ms: 1.0 };
+        let w = DeviceError::WatchdogTimeout {
+            kernel: "k".into(),
+            sim_ms: 9.0,
+            limit_ms: 1.0,
+        };
         assert!(!w.is_transient());
         let cap = DeviceError::AllocFailed {
             name: "x".into(),

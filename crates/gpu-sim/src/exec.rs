@@ -200,8 +200,8 @@ impl Gpu {
             });
         }
         // Pad allocations to cache-line multiples like cudaMalloc does.
-        let padded = bytes.div_ceil(self.spec.cache_line_bytes as u64)
-            * self.spec.cache_line_bytes as u64;
+        let padded =
+            bytes.div_ceil(self.spec.cache_line_bytes as u64) * self.spec.cache_line_bytes as u64;
         let base = self.next_addr.fetch_add(padded.max(128), Ordering::Relaxed);
         self.allocated_bytes.fetch_add(bytes, Ordering::Relaxed);
         Ok(GpuBuffer::new(name, base, elem, len))
@@ -240,7 +240,8 @@ impl Gpu {
     /// Panics on allocation failure; use [`Gpu::try_alloc_f64`] on paths
     /// that must survive injected faults or capacity exhaustion.
     pub fn alloc_f64(&self, name: &str, len: usize) -> GpuBuffer {
-        self.try_alloc_f64(name, len).unwrap_or_else(|e| panic!("{e}"))
+        self.try_alloc_f64(name, len)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocate an uninitialized (zeroed) u32 buffer on the device.
@@ -248,7 +249,8 @@ impl Gpu {
     /// # Panics
     /// Panics on allocation failure; see [`Gpu::try_alloc_u32`].
     pub fn alloc_u32(&self, name: &str, len: usize) -> GpuBuffer {
-        self.try_alloc_u32(name, len).unwrap_or_else(|e| panic!("{e}"))
+        self.try_alloc_u32(name, len)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocate and fill from a host slice (simulated H2D copy).
@@ -256,13 +258,15 @@ impl Gpu {
     /// # Panics
     /// Panics on allocation failure; see [`Gpu::try_upload_f64`].
     pub fn upload_f64(&self, name: &str, data: &[f64]) -> GpuBuffer {
-        self.try_upload_f64(name, data).unwrap_or_else(|e| panic!("{e}"))
+        self.try_upload_f64(name, data)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// # Panics
     /// Panics on allocation failure; see [`Gpu::try_upload_u32`].
     pub fn upload_u32(&self, name: &str, data: &[u32]) -> GpuBuffer {
-        self.try_upload_u32(name, data).unwrap_or_else(|e| panic!("{e}"))
+        self.try_upload_u32(name, data)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Release accounting for a buffer (the backing store frees when the
@@ -353,7 +357,8 @@ impl Gpu {
         // in grid order, so per-SM state is deterministic.
         let mut results: Vec<(Counters, Vec<SmState>)> = Vec::with_capacity(workers);
         let sm_chunks: Vec<(usize, Vec<SmState>)> = {
-            let mut chunks: Vec<(usize, Vec<SmState>)> = (0..workers).map(|w| (w, Vec::new())).collect();
+            let mut chunks: Vec<(usize, Vec<SmState>)> =
+                (0..workers).map(|w| (w, Vec::new())).collect();
             for (i, sm) in sms.drain(..).enumerate() {
                 chunks[i % workers].1.push(sm);
             }
@@ -396,7 +401,10 @@ impl Gpu {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         // Restore SM state in original order and merge counters
@@ -764,7 +772,8 @@ impl<'a> WarpCtx<'a> {
                 old[lane] = buf.raw_atomic_add_u32(i, v);
                 let a = buf.addr_of(i);
                 self.sm.atomic_phase += 1;
-                self.counters.record_global_atomic_int(a, self.sm.atomic_phase);
+                self.counters
+                    .record_global_atomic_int(a, self.sm.atomic_phase);
                 addrs[n] = a;
                 n += 1;
             }
@@ -1136,7 +1145,10 @@ mod tests {
         let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
             .with_fault_profile(FaultProfile::seeded(5).with_alloc_fault_rate(1.0));
         let err = g.try_alloc_f64("x", 128).unwrap_err();
-        assert!(matches!(err, DeviceError::AllocFailed { injected: true, .. }));
+        assert!(matches!(
+            err,
+            DeviceError::AllocFailed { injected: true, .. }
+        ));
         assert!(err.is_transient());
         // Accounting unchanged by the failed allocation.
         assert_eq!(g.allocated_bytes(), 0);
@@ -1147,7 +1159,13 @@ mod tests {
         let g = gpu();
         let cap = g.spec().global_mem_bytes;
         let err = g.try_alloc_f64("huge", cap).unwrap_err(); // 8x capacity in bytes
-        assert!(matches!(err, DeviceError::AllocFailed { injected: false, .. }));
+        assert!(matches!(
+            err,
+            DeviceError::AllocFailed {
+                injected: false,
+                ..
+            }
+        ));
         assert!(!err.is_transient());
     }
 

@@ -49,7 +49,10 @@ impl FaultProfile {
 
     /// Start a profile with the given seed and everything disabled.
     pub fn seeded(seed: u64) -> Self {
-        FaultProfile { seed, ..FaultProfile::default() }
+        FaultProfile {
+            seed,
+            ..FaultProfile::default()
+        }
     }
 
     pub fn with_kernel_fault_rate(mut self, rate: f64) -> Self {
@@ -243,7 +246,10 @@ mod tests {
             (0..200).map(|_| i.draw_kernel_fault()).collect()
         };
         assert_eq!(a, b);
-        assert!(a.iter().any(|d| d.is_some()), "rate 0.2 over 200 draws must fire");
+        assert!(
+            a.iter().any(|d| d.is_some()),
+            "rate 0.2 over 200 draws must fire"
+        );
         assert!(a.iter().any(|d| d.is_none()));
     }
 
@@ -264,8 +270,9 @@ mod tests {
             .with_kernel_fault_rate(0.3)
             .with_alloc_fault_rate(0.3);
         let pure = FaultInjector::new(p.clone());
-        let kernel_only: Vec<bool> =
-            (0..50).map(|_| pure.draw_kernel_fault().is_some()).collect();
+        let kernel_only: Vec<bool> = (0..50)
+            .map(|_| pure.draw_kernel_fault().is_some())
+            .collect();
         let mixed = FaultInjector::new(p);
         let interleaved: Vec<bool> = (0..50)
             .map(|_| {

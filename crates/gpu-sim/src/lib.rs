@@ -55,7 +55,7 @@ pub mod profile;
 pub mod shared;
 pub mod timing;
 
-pub use counters::Counters;
+pub use counters::{AggregationBreakdown, Counters};
 pub use device::DeviceSpec;
 pub use error::DeviceError;
 pub use exec::{BlockCtx, Gpu, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES};

@@ -143,14 +143,24 @@ impl GpuBuffer {
     /// Copy a host slice into the buffer (the simulated `cudaMemcpy` H2D;
     /// transfer *cost* is modelled separately by `fusedml-runtime`).
     pub fn copy_from_f64(&self, src: &[f64]) {
-        assert_eq!(src.len(), self.len(), "H2D size mismatch for {}", self.name());
+        assert_eq!(
+            src.len(),
+            self.len(),
+            "H2D size mismatch for {}",
+            self.name()
+        );
         for (i, &v) in src.iter().enumerate() {
             self.raw_store(i, v.to_bits());
         }
     }
 
     pub fn copy_from_u32(&self, src: &[u32]) {
-        assert_eq!(src.len(), self.len(), "H2D size mismatch for {}", self.name());
+        assert_eq!(
+            src.len(),
+            self.len(),
+            "H2D size mismatch for {}",
+            self.name()
+        );
         for (i, &v) in src.iter().enumerate() {
             self.raw_store(i, v as u64);
         }

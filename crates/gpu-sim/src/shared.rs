@@ -51,8 +51,9 @@ mod tests {
 
     #[test]
     fn inactive_lanes_ignored() {
-        let idx: Vec<Option<usize>> =
-            (0..32).map(|l| if l < 4 { Some(l * 32) } else { None }).collect();
+        let idx: Vec<Option<usize>> = (0..32)
+            .map(|l| if l < 4 { Some(l * 32) } else { None })
+            .collect();
         assert_eq!(bank_conflict_replays(&idx, 32), 3);
     }
 

@@ -39,6 +39,14 @@ pub struct TimeBreakdown {
 }
 
 impl TimeBreakdown {
+    /// Modeled core-clock cycles behind `total_ms` at `clock_ghz`. The
+    /// timing model is pure f64 arithmetic over integer counters, so this
+    /// value is bit-deterministic across hosts — the benchmark regression
+    /// gate diffs it with tight thresholds, unlike wall-clock.
+    pub fn modeled_cycles(&self, clock_ghz: f64) -> u64 {
+        (self.total_ms * clock_ghz * 1e6).round() as u64
+    }
+
     /// Name of the dominating component (useful for diagnosing shapes).
     pub fn bottleneck(&self) -> &'static str {
         let items = [

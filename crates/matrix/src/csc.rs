@@ -34,7 +34,10 @@ impl CscMatrix {
         for c in 0..cols {
             let rows_of_col = &row_idx[col_off[c]..col_off[c + 1]];
             for w in rows_of_col.windows(2) {
-                assert!(w[0] < w[1], "rows within a column must be strictly increasing");
+                assert!(
+                    w[0] < w[1],
+                    "rows within a column must be strictly increasing"
+                );
             }
             if let Some(&last) = rows_of_col.last() {
                 assert!((last as usize) < rows, "row index {last} out of range");
@@ -100,13 +103,7 @@ mod tests {
 
     #[test]
     fn csc_from_csr_matches() {
-        let csr = CsrMatrix::from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![5.0, 6.0, 7.0],
-        );
+        let csr = CsrMatrix::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![5.0, 6.0, 7.0]);
         let csc = csr.to_csc();
         assert_eq!(csc.col_entries(0).collect::<Vec<_>>(), vec![(0, 5.0)]);
         assert_eq!(csc.col_entries(1).collect::<Vec<_>>(), vec![(1, 7.0)]);

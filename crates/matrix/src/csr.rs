@@ -43,8 +43,7 @@ impl CsrMatrix {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        Self::try_from_parts(rows, cols, row_off, col_idx, values)
-            .unwrap_or_else(|e| panic!("{e}"))
+        Self::try_from_parts(rows, cols, row_off, col_idx, values).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Build from raw parts, reporting the first violated CSR invariant
@@ -321,7 +320,10 @@ mod tests {
         assert_eq!(m.nnz(), 4);
         assert_eq!(m.row_nnz(0), 2);
         assert_eq!(m.row_nnz(1), 0);
-        assert_eq!(m.row_entries(2).collect::<Vec<_>>(), vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(
+            m.row_entries(2).collect::<Vec<_>>(),
+            vec![(0, 3.0), (1, 4.0)]
+        );
         assert!((m.mean_nnz_per_row() - 4.0 / 3.0).abs() < 1e-12);
         assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
     }
@@ -406,22 +408,37 @@ mod tests {
         // col_idx / values mismatch.
         assert_eq!(
             CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]),
-            Err(E::LengthMismatch { col_idx: 1, values: 2 })
+            Err(E::LengthMismatch {
+                col_idx: 1,
+                values: 2
+            })
         );
         // Decreasing offsets, located at the offending row.
         assert_eq!(
             CsrMatrix::try_from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]),
-            Err(E::NonMonotoneOffsets { row: 1, prev: 2, next: 1 })
+            Err(E::NonMonotoneOffsets {
+                row: 1,
+                prev: 2,
+                next: 1
+            })
         );
         // Duplicate column (not strictly increasing).
         assert_eq!(
             CsrMatrix::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]),
-            Err(E::UnsortedColumns { row: 0, prev: 1, next: 1 })
+            Err(E::UnsortedColumns {
+                row: 0,
+                prev: 1,
+                next: 1
+            })
         );
         // Column index out of range, located at the offending row.
         assert_eq!(
             CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![0, 7], vec![1.0, 2.0]),
-            Err(E::ColumnOutOfRange { row: 1, col: 7, cols: 2 })
+            Err(E::ColumnOutOfRange {
+                row: 1,
+                col: 7,
+                cols: 2
+            })
         );
     }
 }

@@ -96,8 +96,7 @@ impl DenseMatrix {
         let new_cols = self.cols + pad;
         let mut data = vec![0.0; self.rows * new_cols];
         for r in 0..self.rows {
-            data[r * new_cols..r * new_cols + self.cols]
-                .copy_from_slice(self.row(r));
+            data[r * new_cols..r * new_cols + self.cols].copy_from_slice(self.row(r));
         }
         self.data = data;
         self.cols = new_cols;

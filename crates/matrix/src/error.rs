@@ -20,7 +20,11 @@ pub enum FormatError {
     /// `col_idx` and `values` differ in length.
     LengthMismatch { col_idx: usize, values: usize },
     /// Offsets decrease between a row and its successor.
-    NonMonotoneOffsets { row: usize, prev: usize, next: usize },
+    NonMonotoneOffsets {
+        row: usize,
+        prev: usize,
+        next: usize,
+    },
     /// Column indices within a row are not strictly increasing.
     UnsortedColumns { row: usize, prev: u32, next: u32 },
     /// A column index is `>= cols`.
@@ -89,29 +93,51 @@ mod tests {
                 FormatError::OffsetLength { rows: 2, len: 2 },
                 "row_off must have rows+1 entries",
             ),
-            (FormatError::OffsetStart { first: 3 }, "row_off must start at 0"),
+            (
+                FormatError::OffsetStart { first: 3 },
+                "row_off must start at 0",
+            ),
             (
                 FormatError::OffsetEnd { last: 4, nnz: 5 },
                 "row_off must end at nnz",
             ),
             (
-                FormatError::LengthMismatch { col_idx: 1, values: 2 },
+                FormatError::LengthMismatch {
+                    col_idx: 1,
+                    values: 2,
+                },
                 "col_idx/values length mismatch",
             ),
             (
-                FormatError::NonMonotoneOffsets { row: 0, prev: 2, next: 1 },
+                FormatError::NonMonotoneOffsets {
+                    row: 0,
+                    prev: 2,
+                    next: 1,
+                },
                 "row_off must be monotone",
             ),
             (
-                FormatError::UnsortedColumns { row: 0, prev: 2, next: 0 },
+                FormatError::UnsortedColumns {
+                    row: 0,
+                    prev: 2,
+                    next: 0,
+                },
                 "strictly increasing",
             ),
             (
-                FormatError::ColumnOutOfRange { row: 0, col: 9, cols: 3 },
+                FormatError::ColumnOutOfRange {
+                    row: 0,
+                    col: 9,
+                    cols: 3,
+                },
                 "column index 9 out of range",
             ),
             (
-                FormatError::RowTooWide { row: 1, row_nnz: 5, width: 3 },
+                FormatError::RowTooWide {
+                    row: 1,
+                    row_nnz: 5,
+                    width: 3,
+                },
                 "more than the ELL width",
             ),
         ];

@@ -53,11 +53,8 @@ pub fn powerlaw_sparse(
     assert!(skew > 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
     // Row lengths: 1 + Zipf draw scaled to hit the requested mean.
-    let zipf_rows = Zipf::new(
-        (4.0 * mean_nnz_per_row).max(2.0) as u64,
-        1.0 + skew,
-    )
-    .expect("valid zipf");
+    let zipf_rows =
+        Zipf::new((4.0 * mean_nnz_per_row).max(2.0) as u64, 1.0 + skew).expect("valid zipf");
     // Column popularity: a mild Zipf over the column space (exponent well
     // below 1 — sparse feature spaces like KDD's 30M n-gram columns have a
     // heavy tail of rare features; even the hottest column holds well
@@ -178,8 +175,14 @@ mod tests {
 
     #[test]
     fn uniform_sparse_deterministic_by_seed() {
-        assert_eq!(uniform_sparse(50, 64, 0.1, 3), uniform_sparse(50, 64, 0.1, 3));
-        assert_ne!(uniform_sparse(50, 64, 0.1, 3), uniform_sparse(50, 64, 0.1, 4));
+        assert_eq!(
+            uniform_sparse(50, 64, 0.1, 3),
+            uniform_sparse(50, 64, 0.1, 3)
+        );
+        assert_ne!(
+            uniform_sparse(50, 64, 0.1, 3),
+            uniform_sparse(50, 64, 0.1, 4)
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub enum MtxError {
     /// Malformed or unsupported header line.
     BadHeader(String),
     /// Malformed entry at the given 1-based line number.
-    BadEntry { line: usize, reason: String },
+    BadEntry {
+        line: usize,
+        reason: String,
+    },
     /// Entry count or coordinates disagree with the size line.
     Inconsistent(String),
 }
@@ -68,7 +71,10 @@ pub fn read_sparse_mtx<R: Read>(reader: R) -> Result<CsrMatrix, MtxError> {
         .next()
         .ok_or_else(|| MtxError::BadHeader("empty file".into()))?;
     let header = header?;
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(MtxError::BadHeader(header));
     }
@@ -104,10 +110,12 @@ pub fn read_sparse_mtx<R: Read>(reader: R) -> Result<CsrMatrix, MtxError> {
         size_line.ok_or_else(|| MtxError::Inconsistent("missing size line".into()))?;
     let dims: Vec<usize> = size
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| MtxError::BadEntry {
-            line: size_lineno,
-            reason: format!("non-integer size token '{t}'"),
-        }))
+        .map(|t| {
+            t.parse().map_err(|_| MtxError::BadEntry {
+                line: size_lineno,
+                reason: format!("non-integer size token '{t}'"),
+            })
+        })
         .collect::<Result<_, _>>()?;
     let [rows, cols, nnz] = dims[..] else {
         return Err(MtxError::BadEntry {
@@ -188,7 +196,10 @@ pub fn read_dense_mtx<R: Read>(reader: R) -> Result<DenseMatrix, MtxError> {
         .next()
         .ok_or_else(|| MtxError::BadHeader("empty file".into()))?;
     let header = header?;
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5
         || toks[0] != "%%matrixmarket"
         || toks[2] != "array"
@@ -209,10 +220,12 @@ pub fn read_dense_mtx<R: Read>(reader: R) -> Result<DenseMatrix, MtxError> {
         if dims.is_none() {
             let d: Vec<usize> = trimmed
                 .split_whitespace()
-                .map(|t| t.parse().map_err(|_| MtxError::BadEntry {
-                    line: idx + 1,
-                    reason: format!("bad size token '{t}'"),
-                }))
+                .map(|t| {
+                    t.parse().map_err(|_| MtxError::BadEntry {
+                        line: idx + 1,
+                        reason: format!("bad size token '{t}'"),
+                    })
+                })
                 .collect::<Result<_, _>>()?;
             let [rows, cols] = d[..] else {
                 return Err(MtxError::BadEntry {
@@ -245,7 +258,9 @@ pub fn read_dense_mtx<R: Read>(reader: R) -> Result<DenseMatrix, MtxError> {
         )));
     }
     // Column-major on disk -> row-major in memory.
-    Ok(DenseMatrix::from_fn(rows, cols, |r, c| values[c * rows + r]))
+    Ok(DenseMatrix::from_fn(rows, cols, |r, c| {
+        values[c * rows + r]
+    }))
 }
 
 /// Write a CSR matrix as MatrixMarket `coordinate real general`.
@@ -347,7 +362,8 @@ mod tests {
 
     #[test]
     fn bad_entry_reports_the_line_number() {
-        let badval = "%%MatrixMarket matrix coordinate real general\n% c\n2 2 2\n1 1 2.0\n2 2 abc\n";
+        let badval =
+            "%%MatrixMarket matrix coordinate real general\n% c\n2 2 2\n1 1 2.0\n2 2 abc\n";
         let Err(MtxError::BadEntry { line, reason }) = read_sparse_mtx(badval.as_bytes()) else {
             panic!("expected BadEntry");
         };

@@ -25,14 +25,15 @@ impl SparseStats {
         let rows = x.rows();
         let lens: Vec<usize> = (0..rows).map(|r| x.row_nnz(r)).collect();
         let nnz = x.nnz();
-        let mean = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let mean = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let var = if rows == 0 {
             0.0
         } else {
-            lens.iter()
-                .map(|&l| (l as f64 - mean).powi(2))
-                .sum::<f64>()
-                / rows as f64
+            lens.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / rows as f64
         };
         SparseStats {
             rows,

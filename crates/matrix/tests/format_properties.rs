@@ -8,17 +8,15 @@ use proptest::prelude::*;
 /// Random COO triplets (with possible duplicates) for structural tests.
 fn coo_strategy() -> impl Strategy<Value = Coo> {
     (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows, 0..cols, -10.0f64..10.0),
-            0..200,
+        proptest::collection::vec((0..rows, 0..cols, -10.0f64..10.0), 0..200).prop_map(
+            move |triplets| {
+                let mut coo = Coo::new(rows, cols);
+                for (r, c, v) in triplets {
+                    coo.push(r, c, v);
+                }
+                coo
+            },
         )
-        .prop_map(move |triplets| {
-            let mut coo = Coo::new(rows, cols);
-            for (r, c, v) in triplets {
-                coo.push(r, c, v);
-            }
-            coo
-        })
     })
 }
 

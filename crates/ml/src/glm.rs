@@ -274,7 +274,10 @@ mod tests {
         let res = glm(
             &mut cpu,
             &targets,
-            GlmOptions { family: Family::Binomial, ..Default::default() },
+            GlmOptions {
+                family: Family::Binomial,
+                ..Default::default()
+            },
         );
         // Predicted direction should correlate with targets.
         let preds = reference::csr_mv(&x, &res.weights);
@@ -301,7 +304,11 @@ mod tests {
         let res = glm(
             &mut cpu,
             &targets,
-            GlmOptions { family: Family::Gamma, lambda: 1e-6, ..Default::default() },
+            GlmOptions {
+                family: Family::Gamma,
+                lambda: 1e-6,
+                ..Default::default()
+            },
         );
         let err = reference::rel_l2_error(&res.weights, &w_true);
         assert!(err < 0.05, "gamma relative error {err}");
@@ -311,7 +318,10 @@ mod tests {
     fn fused_matches_cpu() {
         let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
         let (x, _, targets) = poisson_problem(200, 12, 134);
-        let opts = GlmOptions { max_outer: 3, ..Default::default() };
+        let opts = GlmOptions {
+            max_outer: 3,
+            ..Default::default()
+        };
         let mut cpu = CpuBackend::new_sparse(x.clone());
         let r_cpu = glm(&mut cpu, &targets, opts);
         let mut fused = FusedBackend::new_sparse(&g, &x);

@@ -105,7 +105,11 @@ mod tests {
         let a = star_graph(20);
         let mut cpu = CpuBackend::new_sparse(a);
         let res = hits(&mut cpu, HitsOptions::default());
-        assert!(res.authorities[0] > 0.99, "hub page score {}", res.authorities[0]);
+        assert!(
+            res.authorities[0] > 0.99,
+            "hub page score {}",
+            res.authorities[0]
+        );
         // Converged quickly.
         assert!(res.delta < 1e-9);
         // All 19 pointing pages are equal hubs.
@@ -141,14 +145,15 @@ mod tests {
     fn fused_matches_cpu_and_uses_xtxy() {
         let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
         let x = star_graph(50);
-        let opts = HitsOptions { max_iterations: 10, ..Default::default() };
+        let opts = HitsOptions {
+            max_iterations: 10,
+            ..Default::default()
+        };
         let mut cpu = CpuBackend::new_sparse(x.clone());
         let r_cpu = hits(&mut cpu, opts);
         let mut fused = FusedBackend::new_sparse(&g, &x);
         let r_fused = hits(&mut fused, opts);
-        assert!(
-            reference::rel_l2_error(&r_fused.authorities, &r_cpu.authorities) < 1e-9
-        );
+        assert!(reference::rel_l2_error(&r_fused.authorities, &r_cpu.authorities) < 1e-9);
         assert!(fused.stats().pattern_counts["X^T x (X x y)"] >= 1);
     }
 }

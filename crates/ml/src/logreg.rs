@@ -249,7 +249,10 @@ mod tests {
     fn fused_backend_matches_cpu() {
         let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
         let (x, labels) = problem(200, 20, 112);
-        let opts = LogRegOptions { max_outer: 5, ..Default::default() };
+        let opts = LogRegOptions {
+            max_outer: 5,
+            ..Default::default()
+        };
         let mut cpu = CpuBackend::new_sparse(x.clone());
         let r_cpu = logreg(&mut cpu, &labels, opts);
         let mut fused = FusedBackend::new_sparse(&g, &x);
@@ -268,12 +271,26 @@ mod tests {
     fn objective_decreases_monotonically_enough() {
         let (x, labels) = problem(300, 25, 113);
         let mut cpu = CpuBackend::new_sparse(x);
-        let short = logreg(&mut cpu, &labels, LogRegOptions { max_outer: 2, ..Default::default() });
+        let short = logreg(
+            &mut cpu,
+            &labels,
+            LogRegOptions {
+                max_outer: 2,
+                ..Default::default()
+            },
+        );
         let mut cpu2 = CpuBackend::new_sparse(
             // rebuild: backend consumed the matrix
             problem(300, 25, 113).0,
         );
-        let long = logreg(&mut cpu2, &labels, LogRegOptions { max_outer: 10, ..Default::default() });
+        let long = logreg(
+            &mut cpu2,
+            &labels,
+            LogRegOptions {
+                max_outer: 10,
+                ..Default::default()
+            },
+        );
         assert!(long.objective <= short.objective + 1e-9);
     }
 }
@@ -329,11 +346,7 @@ const SIGMA2: f64 = 0.5;
 const SIGMA3: f64 = 4.0;
 
 /// Train binomial logistic regression with TRON. Labels in `{-1, +1}`.
-pub fn logreg_tron<B: Backend>(
-    backend: &mut B,
-    labels: &[f64],
-    opts: TronOptions,
-) -> TronResult {
+pub fn logreg_tron<B: Backend>(backend: &mut B, labels: &[f64], opts: TronOptions) -> TronResult {
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(labels.len(), m);
@@ -542,8 +555,7 @@ mod tron_tests {
         let newton = logreg(&mut b, &labels, LogRegOptions::default());
         // Same strictly convex objective => same optimum.
         assert!(
-            (tron.objective - newton.objective).abs()
-                < 1e-3 * (1.0 + newton.objective.abs()),
+            (tron.objective - newton.objective).abs() < 1e-3 * (1.0 + newton.objective.abs()),
             "tron {} vs newton {}",
             tron.objective,
             newton.objective
@@ -554,7 +566,10 @@ mod tron_tests {
     fn tron_fused_matches_cpu() {
         let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
         let (x, labels) = problem(200, 20, 203);
-        let opts = TronOptions { max_outer: 6, ..Default::default() };
+        let opts = TronOptions {
+            max_outer: 6,
+            ..Default::default()
+        };
         let mut cpu = CpuBackend::new_sparse(x.clone());
         let r_cpu = logreg_tron(&mut cpu, &labels, opts);
         let mut fused = FusedBackend::new_sparse(&g, &x);
@@ -565,9 +580,7 @@ mod tron_tests {
             reference::rel_l2_error(&r_fused.weights, &r_cpu.weights)
         );
         // TRON's Hessian-vector products go through the full pattern.
-        assert!(
-            fused.stats().pattern_counts["X^T x (v . (X x y)) + b * z"] >= 2
-        );
+        assert!(fused.stats().pattern_counts["X^T x (v . (X x y)) + b * z"] >= 2);
     }
 
     #[test]

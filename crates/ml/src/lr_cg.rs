@@ -202,7 +202,11 @@ mod tests {
     }
 
     /// Labels generated from known weights: CG must recover them.
-    fn synthetic_problem(m: usize, n: usize, seed: u64) -> (fusedml_matrix::CsrMatrix, Vec<f64>, Vec<f64>) {
+    fn synthetic_problem(
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> (fusedml_matrix::CsrMatrix, Vec<f64>, Vec<f64>) {
         let x = uniform_sparse(m, n, 0.2, seed);
         let w_true = random_vector(n, seed + 1);
         let labels = reference::csr_mv(&x, &w_true);
@@ -213,7 +217,14 @@ mod tests {
     fn recovers_true_weights_on_cpu() {
         let (x, w_true, labels) = synthetic_problem(300, 40, 101);
         let mut cpu = CpuBackend::new_sparse(x);
-        let res = lr_cg(&mut cpu, &labels, LrCgOptions { eps: 0.0, ..Default::default() });
+        let res = lr_cg(
+            &mut cpu,
+            &labels,
+            LrCgOptions {
+                eps: 0.0,
+                ..Default::default()
+            },
+        );
         assert!(res.iterations > 0);
         assert!(
             reference::rel_l2_error(&res.weights, &w_true) < 1e-4,
@@ -227,7 +238,10 @@ mod tests {
     fn fused_and_baseline_agree_with_cpu() {
         let g = gpu();
         let (x, _, labels) = synthetic_problem(200, 30, 102);
-        let opts = LrCgOptions { max_iterations: 20, ..Default::default() };
+        let opts = LrCgOptions {
+            max_iterations: 20,
+            ..Default::default()
+        };
 
         let mut cpu = CpuBackend::new_sparse(x.clone());
         let r_cpu = lr_cg(&mut cpu, &labels, opts);
@@ -257,7 +271,11 @@ mod tests {
         let g = gpu();
         let (x, _, labels) = synthetic_problem(120, 25, 104);
         let mut fused = FusedBackend::new_sparse(&g, &x);
-        let opts = LrCgOptions { max_iterations: 7, tolerance: 0.0, ..Default::default() };
+        let opts = LrCgOptions {
+            max_iterations: 7,
+            tolerance: 0.0,
+            ..Default::default()
+        };
         let res = lr_cg(&mut fused, &labels, opts);
         assert_eq!(res.iterations, 7);
         let stats = fused.stats();
@@ -276,7 +294,10 @@ mod tests {
         let res = lr_cg(
             &mut fused,
             &labels,
-            LrCgOptions { eps: 0.0, ..Default::default() },
+            LrCgOptions {
+                eps: 0.0,
+                ..Default::default()
+            },
         );
         assert!(reference::rel_l2_error(&res.weights, &w_true) < 1e-4);
     }

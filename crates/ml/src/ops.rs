@@ -14,11 +14,9 @@
 //! Backends instrument which Table-1 pattern instantiations execute, which
 //! is how the Table 1 experiment regenerates the paper's matrix.
 
-use fusedml_blas::{
-    level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle,
-};
+use fusedml_blas::{level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle};
 use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec};
-use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer};
+use fusedml_gpu_sim::{AggregationBreakdown, Counters, DeviceError, Gpu, GpuBuffer};
 use fusedml_matrix::{reference, CsrMatrix, DenseMatrix};
 use std::collections::BTreeMap;
 
@@ -31,11 +29,34 @@ pub struct BackendStats {
     pub launches: usize,
     /// How many times each Table-1 instantiation was evaluated.
     pub pattern_counts: BTreeMap<&'static str, usize>,
+    /// Hardware event counters merged over every launch (all-zero for the
+    /// CPU backend, which has no counted microarchitecture).
+    pub counters: Counters,
+    /// Time-weighted achieved-occupancy integral in milliseconds: the sum
+    /// of `occupancy * sim_ms` over launches. Divide by [`Self::sim_ms`]
+    /// (see [`Self::mean_occupancy`]) for the mean occupancy of the run.
+    pub occupancy_ms: f64,
 }
 
 impl BackendStats {
     fn record_instance(&mut self, inst: PatternInstance) {
         *self.pattern_counts.entry(inst.formula()).or_insert(0) += 1;
+    }
+
+    /// Where this run's reduction work landed in the §3.1 aggregation
+    /// hierarchy (register/shuffle vs. shared vs. global-atomic).
+    pub fn aggregation_breakdown(&self) -> AggregationBreakdown {
+        self.counters.aggregation_breakdown()
+    }
+
+    /// Time-weighted mean achieved occupancy over the run's launches, in
+    /// [0, 1]; 0 for the CPU backend (no occupancy concept).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.sim_ms > 0.0 {
+            (self.occupancy_ms / self.sim_ms).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -88,8 +109,7 @@ pub trait Backend {
         y: &mut Self::Vector,
     ) -> Result<(), DeviceError>;
     fn try_scal(&mut self, a: f64, x: &mut Self::Vector) -> Result<(), DeviceError>;
-    fn try_copy(&mut self, src: &Self::Vector, dst: &mut Self::Vector)
-        -> Result<(), DeviceError>;
+    fn try_copy(&mut self, src: &Self::Vector, dst: &mut Self::Vector) -> Result<(), DeviceError>;
     fn try_ewmul(
         &mut self,
         x: &Self::Vector,
@@ -116,7 +136,8 @@ pub trait Backend {
     // ------ provided infallible forms (panic on device faults) ------
 
     fn from_host(&mut self, name: &str, data: &[f64]) -> Self::Vector {
-        self.try_from_host(name, data).unwrap_or_else(|e| panic!("{e}"))
+        self.try_from_host(name, data)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn zeros(&mut self, name: &str, len: usize) -> Self::Vector {
@@ -141,7 +162,8 @@ pub trait Backend {
     }
 
     fn tmv(&mut self, alpha: f64, u: &Self::Vector, out: &mut Self::Vector) {
-        self.try_tmv(alpha, u, out).unwrap_or_else(|e| panic!("{e}"))
+        self.try_tmv(alpha, u, out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn axpy(&mut self, a: f64, x: &Self::Vector, y: &mut Self::Vector) {
@@ -263,12 +285,18 @@ impl<'g> FusedBackend<'g> {
     fn absorb_exec(&mut self) {
         self.stats.sim_ms += self.exec.total_sim_ms();
         self.stats.launches += self.exec.launch_count();
+        self.stats.counters.merge(&self.exec.counters_total());
+        for l in &self.exec.launches {
+            self.stats.occupancy_ms += l.occupancy.occupancy * l.sim_ms();
+        }
         self.exec.reset();
     }
 
     fn charge(&mut self, s: fusedml_gpu_sim::LaunchStats) {
         self.stats.sim_ms += s.sim_ms();
         self.stats.launches += 1;
+        self.stats.counters.merge(&s.counters);
+        self.stats.occupancy_ms += s.occupancy.occupancy * s.sim_ms();
     }
 }
 
@@ -531,6 +559,10 @@ impl<'g> BaselineBackend<'g> {
     fn absorb(&mut self) {
         self.stats.sim_ms += self.engine.total_sim_ms();
         self.stats.launches += self.engine.launch_count();
+        self.stats.counters.merge(&self.engine.counters_total());
+        for l in &self.engine.launches {
+            self.stats.occupancy_ms += l.occupancy.occupancy * l.sim_ms();
+        }
         self.engine.reset();
     }
 
@@ -546,11 +578,12 @@ impl<'g> BaselineBackend<'g> {
             }
             TransposePolicy::CachedOnce => {
                 if self.xt.is_none() {
-                    let (xt, launches) =
-                        fusedml_blas::try_csr2csc_device(self.gpu, &x)?;
+                    let (xt, launches) = fusedml_blas::try_csr2csc_device(self.gpu, &x)?;
                     for l in &launches {
                         self.stats.sim_ms += l.sim_ms();
                         self.stats.launches += 1;
+                        self.stats.counters.merge(&l.counters);
+                        self.stats.occupancy_ms += l.occupancy.occupancy * l.sim_ms();
                     }
                     self.xt = Some(xt);
                 }
@@ -558,6 +591,8 @@ impl<'g> BaselineBackend<'g> {
                 let s = fusedml_blas::try_csrmv_t_pretransposed(self.gpu, &xt, u, w)?;
                 self.stats.sim_ms += s.sim_ms();
                 self.stats.launches += 1;
+                self.stats.counters.merge(&s.counters);
+                self.stats.occupancy_ms += s.occupancy.occupancy * s.sim_ms();
             }
         }
         Ok(())
@@ -720,6 +755,8 @@ impl<'g> Backend for BaselineBackend<'g> {
         let s = try_device_map2(self.gpu, x, y, out, f)?;
         self.stats.sim_ms += s.sim_ms();
         self.stats.launches += 1;
+        self.stats.counters.merge(&s.counters);
+        self.stats.occupancy_ms += s.occupancy.occupancy * s.sim_ms();
         Ok(())
     }
 
@@ -866,12 +903,7 @@ impl Backend for CpuBackend {
         Ok(())
     }
 
-    fn try_tmv(
-        &mut self,
-        alpha: f64,
-        u: &Vec<f64>,
-        out: &mut Vec<f64>,
-    ) -> Result<(), DeviceError> {
+    fn try_tmv(&mut self, alpha: f64, u: &Vec<f64>, out: &mut Vec<f64>) -> Result<(), DeviceError> {
         let mut w = match &self.matrix {
             HostMatrix::Sparse(x) => {
                 self.clock.csrmv_t_ms(x.nnz(), x.rows(), x.cols());
@@ -1050,9 +1082,7 @@ mod tests {
         let mut w = fused.zeros("w", 40);
         fused.mv(&yd, &mut p);
         fused.tmv(2.0, &ud, &mut w);
-        assert!(
-            reference::rel_l2_error(&fused.to_host(&p), &reference::csr_mv(&x, &y)) < 1e-12
-        );
+        assert!(reference::rel_l2_error(&fused.to_host(&p), &reference::csr_mv(&x, &y)) < 1e-12);
         let mut expect = reference::csr_tmv(&x, &u);
         reference::scal(2.0, &mut expect);
         assert!(reference::rel_l2_error(&fused.to_host(&w), &expect) < 1e-12);

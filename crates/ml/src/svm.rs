@@ -61,7 +61,13 @@ pub fn svm_primal<B: Backend>(backend: &mut B, labels: &[f64], opts: SvmOptions)
         // viol_i = y_i * margin_i - 1 where negative (violators), else 0.
         backend.map2(&margins, &y, &mut viol, &|t, yi| (yi * t - 1.0).min(0.0));
         // ind_i = 1 when violating.
-        backend.map2(&viol, &viol, &mut ind, &|v, _| if v < 0.0 { 1.0 } else { 0.0 });
+        backend.map2(&viol, &viol, &mut ind, &|v, _| {
+            if v < 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
 
         let viol_host = backend.to_host(&viol);
         support = viol_host.iter().filter(|&&v| v < 0.0).count();
@@ -193,7 +199,10 @@ mod tests {
     fn fused_matches_cpu() {
         let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
         let (x, labels) = problem(150, 15, 122);
-        let opts = SvmOptions { max_outer: 4, ..Default::default() };
+        let opts = SvmOptions {
+            max_outer: 4,
+            ..Default::default()
+        };
         let mut cpu = CpuBackend::new_sparse(x.clone());
         let r_cpu = svm_primal(&mut cpu, &labels, opts);
         let mut fused = FusedBackend::new_sparse(&g, &x);
@@ -205,9 +214,23 @@ mod tests {
     fn objective_improves_with_more_iterations() {
         let (x, labels) = problem(200, 20, 123);
         let mut a = CpuBackend::new_sparse(x.clone());
-        let short = svm_primal(&mut a, &labels, SvmOptions { max_outer: 1, ..Default::default() });
+        let short = svm_primal(
+            &mut a,
+            &labels,
+            SvmOptions {
+                max_outer: 1,
+                ..Default::default()
+            },
+        );
         let mut b = CpuBackend::new_sparse(x);
-        let long = svm_primal(&mut b, &labels, SvmOptions { max_outer: 8, ..Default::default() });
+        let long = svm_primal(
+            &mut b,
+            &labels,
+            SvmOptions {
+                max_outer: 8,
+                ..Default::default()
+            },
+        );
         assert!(long.objective <= short.objective + 1e-9);
     }
 }

@@ -126,8 +126,6 @@ mod tests {
         let sysml = CostModel::new(CpuSpec::core_i7_8threads(), TransferModel::systemml());
         let n = native.place_iterative(2_000_000_000, true, 1.0, 5.0, 2, 50);
         let s = sysml.place_iterative(2_000_000_000, true, 1.0, 5.0, 2, 50);
-        assert!(
-            s.break_even_iterations.unwrap() > 1.5 * n.break_even_iterations.unwrap()
-        );
+        assert!(s.break_even_iterations.unwrap() > 1.5 * n.break_even_iterations.unwrap());
     }
 }

@@ -11,7 +11,7 @@
 use crate::costmodel::{CostModel, Placement, PlacementDecision};
 use crate::session::{run_cpu, run_device, DataSet, EngineKind, SessionConfig};
 use crate::transfer::TransferModel;
-use fusedml_gpu_sim::{CpuSpec, Gpu};
+use fusedml_gpu_sim::{Counters, CpuSpec, Gpu};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of a hybrid run.
@@ -26,6 +26,10 @@ pub struct HybridReport {
     /// What the rejected side would have cost (from the decision's
     /// estimate), for regret analysis.
     pub rejected_ms: f64,
+    /// Hardware event counters of the executed run (all-zero when the
+    /// loop was placed on the host, whose analytical model counts no
+    /// microarchitectural events).
+    pub counters: Counters,
 }
 
 /// Cost-model-driven CPU/GPU placement for iterative pattern workloads.
@@ -51,12 +55,7 @@ impl<'g> HybridExecutor<'g> {
     /// The probe runs two device iterations and two CPU iterations to
     /// measure marginal per-iteration cost, then the full loop executes on
     /// the winning side.
-    pub fn run_lr_cg(
-        &self,
-        data: &DataSet,
-        labels: &[f64],
-        iterations: usize,
-    ) -> HybridReport {
+    pub fn run_lr_cg(&self, data: &DataSet, labels: &[f64], iterations: usize) -> HybridReport {
         // Probe marginal per-iteration costs (2 vs 4 iterations isolates
         // the fixed setup from the loop body).
         let probe = |iters: usize| {
@@ -85,7 +84,7 @@ impl<'g> HybridExecutor<'g> {
             iterations,
         );
 
-        let (executed_ms, rejected_ms) = match decision.placement {
+        let (executed_ms, rejected_ms, counters) = match decision.placement {
             Placement::Device => {
                 let r = run_device(
                     self.gpu,
@@ -93,11 +92,11 @@ impl<'g> HybridExecutor<'g> {
                     labels,
                     &SessionConfig::native(EngineKind::Fused, iterations),
                 );
-                (r.total_ms, decision.host_ms)
+                (r.total_ms, decision.host_ms, r.counters)
             }
             Placement::Host => {
                 let ms = run_cpu(data, labels, iterations);
-                (ms, decision.device_ms)
+                (ms, decision.device_ms, Counters::new())
             }
         };
 
@@ -106,6 +105,7 @@ impl<'g> HybridExecutor<'g> {
             decision,
             executed_ms,
             rejected_ms,
+            counters,
         }
     }
 }

@@ -21,14 +21,14 @@ pub mod transfer;
 
 pub use costmodel::{CostModel, Placement, PlacementDecision};
 pub use hybrid::{HybridExecutor, HybridReport};
+pub use memman::{MemError, MemStats, MemoryManager};
 pub use recovery::{
     run_lr_cg_with_recovery, BackendTier, LadderOutcome, RecoveryAction, RecoveryEvent,
     RecoveryPolicy,
 };
-pub use streaming::{stream_pattern_sparse, StreamReport};
-pub use memman::{MemError, MemStats, MemoryManager};
 pub use session::{
     run_cpu, run_device, run_device_fault_tolerant, DataSet, EndToEndReport, EngineKind,
     FaultCountsReport, FaultTolerantReport, SessionConfig,
 };
+pub use streaming::{stream_pattern_sparse, StreamReport};
 pub use transfer::TransferModel;

@@ -7,7 +7,7 @@
 use crate::memman::MemoryManager;
 use crate::recovery::{run_lr_cg_with_recovery, BackendTier, RecoveryEvent, RecoveryPolicy};
 use crate::transfer::TransferModel;
-use fusedml_gpu_sim::Gpu;
+use fusedml_gpu_sim::{AggregationBreakdown, Counters, Gpu};
 use fusedml_matrix::{CsrMatrix, DenseMatrix};
 use fusedml_ml::ops::TransposePolicy;
 use fusedml_ml::{
@@ -118,16 +118,32 @@ pub struct EndToEndReport {
     pub total_ms: f64,
     pub launches: usize,
     pub iterations: usize,
+    /// Hardware event counters merged over every kernel launch of the run
+    /// (all-zero on the CPU tier). For extrapolated reports these cover
+    /// only the iterations actually simulated — see
+    /// [`run_device_extrapolated`].
+    pub counters: Counters,
+}
+
+impl EndToEndReport {
+    /// Reduction-tier breakdown (register/shuffle vs. shared vs.
+    /// global-atomic) of the run's kernels — the attribution axis of the
+    /// benchmark reports.
+    pub fn aggregation_breakdown(&self) -> AggregationBreakdown {
+        self.counters.aggregation_breakdown()
+    }
 }
 
 /// Run LR-CG end to end on the device, charging transfers through the
 /// memory manager. Iteration count is fixed (tolerance disabled), matching
 /// the paper's 100 (KDD) / 32 (HIGGS) iteration setups.
-pub fn run_device(gpu: &Gpu, data: &DataSet, labels: &[f64], cfg: &SessionConfig) -> EndToEndReport {
-    let mm = MemoryManager::new(
-        gpu.spec().global_mem_bytes as u64,
-        cfg.transfer.clone(),
-    );
+pub fn run_device(
+    gpu: &Gpu,
+    data: &DataSet,
+    labels: &[f64],
+    cfg: &SessionConfig,
+) -> EndToEndReport {
+    let mm = MemoryManager::new(gpu.spec().global_mem_bytes as u64, cfg.transfer.clone());
     mm.register("X", data.matrix_bytes(), data.needs_conversion());
     mm.register("labels", (labels.len() * 8) as u64, false);
     let mut transfer_ms = mm
@@ -144,31 +160,31 @@ pub fn run_device(gpu: &Gpu, data: &DataSet, labels: &[f64], cfg: &SessionConfig
         max_iterations: cfg.iterations,
     };
 
-    let (kernel_ms, launches, iterations) = match (cfg.engine, data) {
+    let (kernel_ms, launches, iterations, counters) = match (cfg.engine, data) {
         (EngineKind::Fused, DataSet::Sparse(x)) => {
             let mut b = FusedBackend::new_sparse(gpu, x);
             let r = lr_cg(&mut b, labels, opts);
             let s = b.stats();
-            (s.sim_ms, s.launches, r.iterations)
+            (s.sim_ms, s.launches, r.iterations, s.counters)
         }
         (EngineKind::Fused, DataSet::Dense(x)) => {
             let mut b = FusedBackend::new_dense(gpu, x);
             let r = lr_cg(&mut b, labels, opts);
             let s = b.stats();
-            (s.sim_ms, s.launches, r.iterations)
+            (s.sim_ms, s.launches, r.iterations, s.counters)
         }
         (EngineKind::Baseline, DataSet::Sparse(x)) => {
             let mut b =
                 BaselineBackend::new_sparse(gpu, x).with_transpose_policy(cfg.transpose_policy);
             let r = lr_cg(&mut b, labels, opts);
             let s = b.stats();
-            (s.sim_ms, s.launches, r.iterations)
+            (s.sim_ms, s.launches, r.iterations, s.counters)
         }
         (EngineKind::Baseline, DataSet::Dense(x)) => {
             let mut b = BaselineBackend::new_dense(gpu, x);
             let r = lr_cg(&mut b, labels, opts);
             let s = b.stats();
-            (s.sim_ms, s.launches, r.iterations)
+            (s.sim_ms, s.launches, r.iterations, s.counters)
         }
     };
 
@@ -185,6 +201,7 @@ pub fn run_device(gpu: &Gpu, data: &DataSet, labels: &[f64], cfg: &SessionConfig
         total_ms: kernel_ms + transfer_ms + readback_ms + dispatch_ms,
         launches,
         iterations,
+        counters,
     }
 }
 
@@ -257,8 +274,7 @@ pub fn run_device_fault_tolerant(
         max_iterations: cfg.iterations,
     };
 
-    let outcome =
-        run_lr_cg_with_recovery(gpu, data, labels, opts, cfg.transpose_policy, policy)?;
+    let outcome = run_lr_cg_with_recovery(gpu, data, labels, opts, cfg.transpose_policy, policy)?;
 
     let kernel_ms = outcome.stats.sim_ms;
     let launches = outcome.stats.launches;
@@ -283,6 +299,7 @@ pub fn run_device_fault_tolerant(
             total_ms: kernel_ms + transfer_ms + readback_ms + dispatch_ms,
             launches,
             iterations,
+            counters: outcome.stats.counters.clone(),
         },
         tier: outcome.tier,
         attempts: outcome.attempts,
@@ -306,6 +323,10 @@ pub fn run_device_fault_tolerant(
 /// the fixed and marginal components exactly. Used by the Table 5/6
 /// experiments whose paper configurations run 100 iterations over
 /// multi-million-row inputs.
+///
+/// The report's `counters` are those of the longest run actually
+/// simulated (`2 * sim_iters` iterations); times and launch counts are
+/// extrapolated, raw event counts are not.
 pub fn run_device_extrapolated(
     gpu: &Gpu,
     data: &DataSet,
@@ -333,8 +354,7 @@ pub fn run_device_extrapolated(
     let extra = (cfg.iterations - r1.iterations) as f64;
     let kernel_ms = r1.kernel_ms + per_iter_kernel * extra;
     let launches = r1.launches + (per_iter_launches * extra) as usize;
-    let readback_ms =
-        (2 * cfg.iterations + 1) as f64 * cfg.transfer.scalar_readback_ms();
+    let readback_ms = (2 * cfg.iterations + 1) as f64 * cfg.transfer.scalar_readback_ms();
     let dispatch_ms = launches as f64 * cfg.per_launch_overhead_ms;
     EndToEndReport {
         kernel_ms,
@@ -344,6 +364,7 @@ pub fn run_device_extrapolated(
         total_ms: kernel_ms + r1.transfer_ms + readback_ms + dispatch_ms,
         launches,
         iterations: cfg.iterations,
+        counters: r2.counters,
     }
 }
 
@@ -408,10 +429,19 @@ mod tests {
     fn fused_end_to_end_beats_baseline() {
         let g = gpu();
         let (data, labels) = dataset();
-        let fused = run_device(&g, &data, &labels, &SessionConfig::native(EngineKind::Fused, 10));
+        let fused = run_device(
+            &g,
+            &data,
+            &labels,
+            &SessionConfig::native(EngineKind::Fused, 10),
+        );
         g.flush_caches();
-        let base =
-            run_device(&g, &data, &labels, &SessionConfig::native(EngineKind::Baseline, 10));
+        let base = run_device(
+            &g,
+            &data,
+            &labels,
+            &SessionConfig::native(EngineKind::Baseline, 10),
+        );
         assert_eq!(fused.iterations, 10);
         assert!(fused.kernel_ms < base.kernel_ms);
         assert!(fused.total_ms < base.total_ms);
@@ -423,10 +453,19 @@ mod tests {
     fn systemml_regime_adds_overheads() {
         let g = gpu();
         let (data, labels) = dataset();
-        let native = run_device(&g, &data, &labels, &SessionConfig::native(EngineKind::Fused, 5));
+        let native = run_device(
+            &g,
+            &data,
+            &labels,
+            &SessionConfig::native(EngineKind::Fused, 5),
+        );
         g.flush_caches();
-        let sysml =
-            run_device(&g, &data, &labels, &SessionConfig::systemml(EngineKind::Fused, 5));
+        let sysml = run_device(
+            &g,
+            &data,
+            &labels,
+            &SessionConfig::systemml(EngineKind::Fused, 5),
+        );
         assert!(sysml.transfer_ms > native.transfer_ms);
         assert!(sysml.dispatch_ms > 0.0);
         assert_eq!(native.dispatch_ms, 0.0);
@@ -446,7 +485,12 @@ mod tests {
     fn report_components_sum() {
         let g = gpu();
         let (data, labels) = dataset();
-        let r = run_device(&g, &data, &labels, &SessionConfig::systemml(EngineKind::Fused, 3));
+        let r = run_device(
+            &g,
+            &data,
+            &labels,
+            &SessionConfig::systemml(EngineKind::Fused, 3),
+        );
         let sum = r.kernel_ms + r.transfer_ms + r.readback_ms + r.dispatch_ms;
         assert!((r.total_ms - sum).abs() < 1e-9);
     }

@@ -57,9 +57,8 @@ fn transient_faults_are_retried_on_the_same_tier() {
     // recovers within the retry budget on the fused tier.
     let mut exercised = false;
     for seed in 0..20u64 {
-        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1).with_fault_profile(
-            FaultProfile::seeded(seed).with_kernel_fault_rate(0.002),
-        );
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(seed).with_kernel_fault_rate(0.002));
         let (data, labels) = problem(302);
         let cfg = SessionConfig::native(EngineKind::Fused, 6);
         let policy = RecoveryPolicy {
@@ -140,7 +139,11 @@ fn same_seed_yields_identical_reports() {
     let a = run();
     let b = run();
     assert_eq!(a, b);
-    assert_eq!(format!("{a:?}"), format!("{b:?}"), "debug repr must match byte for byte");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "debug repr must match byte for byte"
+    );
 }
 
 #[test]

@@ -93,9 +93,17 @@ impl fmt::Display for BinOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `name = expr`
-    Assign { name: String, value: Expr, line: usize },
+    Assign {
+        name: String,
+        value: Expr,
+        line: usize,
+    },
     /// `while (cond) { body }`
-    While { cond: Expr, body: Vec<Stmt>, line: usize },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: usize,
+    },
     /// `if (cond) { then } [else { otherwise }]`
     If {
         cond: Expr,

@@ -210,26 +210,24 @@ impl<'g> Interpreter<'g> {
                 self.eval(value, *line)?;
                 Ok(())
             }
-            Stmt::While { cond, body, line } => {
-                loop {
-                    let c = self.eval(cond, *line)?;
-                    let go = c.truthy().ok_or_else(|| ScriptError {
-                        line: *line,
-                        message: format!("while condition must be scalar, got {}", c.type_name()),
-                    })?;
-                    if !go {
-                        return Ok(());
-                    }
-                    self.exec_block(body)?;
-                    self.stats.statements += 1;
-                    if self.stats.statements > self.max_statements {
-                        return Err(ScriptError {
-                            line: *line,
-                            message: "statement budget exhausted in while loop".into(),
-                        });
-                    }
+            Stmt::While { cond, body, line } => loop {
+                let c = self.eval(cond, *line)?;
+                let go = c.truthy().ok_or_else(|| ScriptError {
+                    line: *line,
+                    message: format!("while condition must be scalar, got {}", c.type_name()),
+                })?;
+                if !go {
+                    return Ok(());
                 }
-            }
+                self.exec_block(body)?;
+                self.stats.statements += 1;
+                if self.stats.statements > self.max_statements {
+                    return Err(ScriptError {
+                        line: *line,
+                        message: "statement budget exhausted in while loop".into(),
+                    });
+                }
+            },
             Stmt::If {
                 cond,
                 then_body,
@@ -275,12 +273,8 @@ impl<'g> Interpreter<'g> {
     fn unary(&mut self, op: UnaryOp, v: Value, line: usize) -> Result<Value, ScriptError> {
         match (op, v) {
             (UnaryOp::Neg, Value::Scalar(x)) => Ok(Value::Scalar(-x)),
-            (UnaryOp::Neg, Value::Vector(x)) => {
-                Ok(Value::vector(x.iter().map(|v| -v).collect()))
-            }
-            (UnaryOp::Not, Value::Scalar(x)) => {
-                Ok(Value::Scalar(if x == 0.0 { 1.0 } else { 0.0 }))
-            }
+            (UnaryOp::Neg, Value::Vector(x)) => Ok(Value::vector(x.iter().map(|v| -v).collect())),
+            (UnaryOp::Not, Value::Scalar(x)) => Ok(Value::Scalar(if x == 0.0 { 1.0 } else { 0.0 })),
             (op, v) => Err(ScriptError {
                 line,
                 message: format!("cannot apply {op:?} to {}", v.type_name()),
@@ -288,13 +282,7 @@ impl<'g> Interpreter<'g> {
         }
     }
 
-    fn binary(
-        &mut self,
-        op: BinOp,
-        l: Value,
-        r: Value,
-        line: usize,
-    ) -> Result<Value, ScriptError> {
+    fn binary(&mut self, op: BinOp, l: Value, r: Value, line: usize) -> Result<Value, ScriptError> {
         use BinOp::*;
         if op == MatMul {
             return self.matmul(l, r, line);
@@ -416,16 +404,17 @@ impl<'g> Interpreter<'g> {
             },
             (l, r) => Err(ScriptError {
                 line,
-                message: format!(
-                    "%*% not defined on {} and {}",
-                    l.type_name(),
-                    r.type_name()
-                ),
+                message: format!("%*% not defined on {} and {}", l.type_name(), r.type_name()),
             }),
         }
     }
 
-    fn call(&mut self, name: &str, args: &[crate::ast::Arg], line: usize) -> Result<Value, ScriptError> {
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[crate::ast::Arg],
+        line: usize,
+    ) -> Result<Value, ScriptError> {
         let err = |msg: String| ScriptError { line, message: msg };
         match name {
             "read" => {
@@ -487,9 +476,7 @@ impl<'g> Interpreter<'g> {
                 let rows = self.named_scalar(args, "rows", line)?;
                 let cols = self.named_scalar(args, "cols", line)?;
                 if cols != 1.0 && rows != 1.0 {
-                    return Err(err(
-                        "matrix(): only row/column vectors are supported".into(),
-                    ));
+                    return Err(err("matrix(): only row/column vectors are supported".into()));
                 }
                 let len = (rows * cols) as usize;
                 Ok(Value::vector(vec![fill; len]))
@@ -517,7 +504,11 @@ impl<'g> Interpreter<'g> {
                     .positional_arg(args, 1, line)?
                     .as_scalar()
                     .ok_or_else(|| err(format!("{name}() takes scalars")))?;
-                Ok(Value::Scalar(if name == "min" { a.min(b) } else { a.max(b) }))
+                Ok(Value::Scalar(if name == "min" {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }))
             }
             other => Err(err(format!("unknown function '{other}'"))),
         }
@@ -578,10 +569,12 @@ impl<'g> Interpreter<'g> {
     fn device_matrix(&mut self, m: &Rc<MatrixVal>) -> Option<&DeviceMat> {
         let gpu = self.gpu?;
         let id = m.id;
-        self.device_cache.entry(id).or_insert_with(|| match &m.data {
-            HostMatrix::Sparse(x) => DeviceMat::Sparse(GpuCsr::upload(gpu, "script.X", x)),
-            HostMatrix::Dense(x) => DeviceMat::Dense(GpuDense::upload(gpu, "script.X", x)),
-        });
+        self.device_cache
+            .entry(id)
+            .or_insert_with(|| match &m.data {
+                HostMatrix::Sparse(x) => DeviceMat::Sparse(GpuCsr::upload(gpu, "script.X", x)),
+                HostMatrix::Dense(x) => DeviceMat::Dense(GpuDense::upload(gpu, "script.X", x)),
+            });
         self.device_cache.get(&id)
     }
 
@@ -689,10 +682,13 @@ impl<'g> Interpreter<'g> {
             None => 1.0,
         };
         let y = self.eval(&p.y, line)?;
-        let y = y.as_vector().ok_or_else(|| ScriptError {
-            line,
-            message: format!("pattern operand y must be a vector, got {}", y.type_name()),
-        })?.to_vec();
+        let y = y
+            .as_vector()
+            .ok_or_else(|| ScriptError {
+                line,
+                message: format!("pattern operand y must be a vector, got {}", y.type_name()),
+            })?
+            .to_vec();
 
         // v: a vector, or a scalar that folds into alpha.
         let mut v: Option<Vec<f64>> = None;
@@ -703,7 +699,10 @@ impl<'g> Interpreter<'g> {
                 other => {
                     return Err(ScriptError {
                         line,
-                        message: format!("pattern operand v must be vector/scalar, got {}", other.type_name()),
+                        message: format!(
+                            "pattern operand v must be vector/scalar, got {}",
+                            other.type_name()
+                        ),
                     })
                 }
             }
@@ -760,7 +759,15 @@ impl<'g> Interpreter<'g> {
 
         // Host-only (or no GPU): reference evaluation.
         if self.mode == EngineMode::HostOnly || self.gpu.is_none() {
-            let w = host_fused(&x.data, &spec, p.inner_mv, v.as_deref(), &y, z.as_deref(), line)?;
+            let w = host_fused(
+                &x.data,
+                &spec,
+                p.inner_mv,
+                v.as_deref(),
+                &y,
+                z.as_deref(),
+                line,
+            )?;
             return Ok(Value::vector(w));
         }
 
@@ -901,7 +908,8 @@ mod tests {
 
     fn eval_scalar(src: &str) -> f64 {
         let mut i = Interpreter::host_only();
-        i.run(&format!("result = {src}\nwrite(result, \"r\")")).unwrap();
+        i.run(&format!("result = {src}\nwrite(result, \"r\")"))
+            .unwrap();
         i.outputs()["r"].as_scalar().unwrap()
     }
 

@@ -111,9 +111,7 @@ pub fn rewrite(e: &Expr) -> Expr {
     }
     match e {
         Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rewrite(a))),
-        Expr::Binary(op, a, b) => {
-            Expr::Binary(*op, Box::new(rewrite(a)), Box::new(rewrite(b)))
-        }
+        Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(rewrite(a)), Box::new(rewrite(b))),
         Expr::Call { name, args } => Expr::Call {
             name: name.clone(),
             args: args

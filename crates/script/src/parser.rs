@@ -331,7 +331,9 @@ mod tests {
     #[test]
     fn named_arguments() {
         let e = expr_of("w = matrix(0, rows=ncol(V), cols=1)");
-        let Expr::Call { name, args } = e else { panic!() };
+        let Expr::Call { name, args } = e else {
+            panic!()
+        };
         assert_eq!(name, "matrix");
         assert_eq!(args.len(), 3);
         assert_eq!(args[1].name.as_deref(), Some("rows"));

@@ -102,7 +102,10 @@ mod tests {
         assert_eq!(Value::Scalar(2.0).truthy(), Some(true));
         assert_eq!(Value::vector(vec![1.0]).truthy(), None);
         assert_eq!(Value::Scalar(3.5).as_scalar(), Some(3.5));
-        assert_eq!(Value::vector(vec![1.0, 2.0]).as_vector(), Some(&[1.0, 2.0][..]));
+        assert_eq!(
+            Value::vector(vec![1.0, 2.0]).as_vector(),
+            Some(&[1.0, 2.0][..])
+        );
     }
 
     #[test]

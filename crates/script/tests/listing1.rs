@@ -15,7 +15,11 @@ fn problem() -> (fusedml_matrix::CsrMatrix, Vec<f64>) {
     (x, labels)
 }
 
-fn script_weights(interp: &mut Interpreter, x: &fusedml_matrix::CsrMatrix, labels: &[f64]) -> Vec<f64> {
+fn script_weights(
+    interp: &mut Interpreter,
+    x: &fusedml_matrix::CsrMatrix,
+    labels: &[f64],
+) -> Vec<f64> {
     interp.bind_sparse("V", x.clone());
     interp.bind_vector("y", labels.to_vec());
     interp.run(LISTING_1).expect("listing 1 runs");
@@ -167,7 +171,9 @@ fn dense_matrices_work_through_scripts() {
 fn runaway_loop_is_stopped() {
     let mut interp = Interpreter::host_only();
     interp.max_statements = 1000;
-    let err = interp.run("i = 0\nwhile (1 > 0) { i = i + 1 }").unwrap_err();
+    let err = interp
+        .run("i = 0\nwhile (1 > 0) { i = i + 1 }")
+        .unwrap_err();
     assert!(err.message.contains("budget"));
 }
 
@@ -175,9 +181,7 @@ fn runaway_loop_is_stopped() {
 fn type_errors_carry_line_numbers() {
     let mut interp = Interpreter::host_only();
     interp.bind_vector("y", vec![1.0, 2.0]);
-    let err = interp
-        .run("y = read(\"y\")\nz = y %*% 3")
-        .unwrap_err();
+    let err = interp.run("y = read(\"y\")\nz = y %*% 3").unwrap_err();
     assert_eq!(err.line, 2);
     assert!(err.message.contains("%*%"));
 }

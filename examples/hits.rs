@@ -36,12 +36,7 @@ fn main() {
     let result = hits(&mut backend, HitsOptions::default());
     let stats = backend.stats();
 
-    let mut ranked: Vec<(usize, f64)> = result
-        .authorities
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, f64)> = result.authorities.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "converged in {} iterations (delta {:.2e}); top authorities:",

@@ -19,10 +19,7 @@ fn main() {
         .iter()
         .map(|&s| if s >= 0.0 { 1.0 } else { -1.0 })
         .collect();
-    println!(
-        "data: {m} x {n} sparse ({} nnz), separable labels",
-        x.nnz()
-    );
+    println!("data: {m} x {n} sparse ({} nnz), separable labels", x.nnz());
 
     let gpu = Gpu::new(DeviceSpec::gtx_titan());
     let mut backend = FusedBackend::new_sparse(&gpu, &x);

@@ -48,7 +48,10 @@ fn main() {
         println!("  BS={bs:>5} C={c:>5}  {ms:.4} ms");
     }
     let worst = results.last().unwrap();
-    println!("  ...worst: BS={} C={}  {:.4} ms", worst.0, worst.1, worst.2);
+    println!(
+        "  ...worst: BS={} C={}  {:.4} ms",
+        worst.0, worst.1, worst.2
+    );
 
     gpu.flush_caches();
     let mut ex = FusedExecutor::new(&gpu);

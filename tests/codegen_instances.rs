@@ -43,16 +43,7 @@ fn all_forty_thread_loads_compute_correctly() {
         let wd = gpu.alloc_f64("w", n);
         fill(&gpu, &wd, 0.0);
         let plan = manual_dense_plan(&gpu, m, n, vs, tl);
-        launch_dense_fused(
-            &gpu,
-            &plan,
-            PatternSpec::xtxy(),
-            &xd,
-            None,
-            &yd,
-            None,
-            &wd,
-        );
+        launch_dense_fused(&gpu, &plan, PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
         let expect = reference::pattern_dense(1.0, &x, None, &y, 0.0, None);
         let err = reference::rel_l2_error(&wd.to_vec_f64(), &expect);
         assert!(err < 1e-10, "TL={tl}: rel error {err}");

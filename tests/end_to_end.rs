@@ -6,8 +6,8 @@ use fusedml::prelude::*;
 use fusedml_matrix::gen::{random_labels, random_vector, uniform_sparse};
 use fusedml_matrix::reference;
 use fusedml_ml::{
-    glm, hits, logreg, lr_cg, svm_primal, Backend, Family, GlmOptions, HitsOptions,
-    LogRegOptions, LrCgOptions, SvmOptions,
+    glm, hits, logreg, lr_cg, svm_primal, Backend, Family, GlmOptions, HitsOptions, LogRegOptions,
+    LrCgOptions, SvmOptions,
 };
 use fusedml_runtime::session::{run_device, DataSet, EngineKind, SessionConfig};
 
@@ -23,7 +23,10 @@ fn all_five_algorithms_agree_across_backends() {
     let w_true = random_vector(n, 2);
     let regression = reference::csr_mv(&x, &w_true);
     let labels = random_labels(m, 3);
-    let counts: Vec<f64> = regression.iter().map(|e| e.clamp(-2.0, 2.0).exp()).collect();
+    let counts: Vec<f64> = regression
+        .iter()
+        .map(|e| e.clamp(-2.0, 2.0).exp())
+        .collect();
 
     macro_rules! compare {
         ($name:literal, $run:expr) => {{
@@ -53,30 +56,46 @@ fn all_five_algorithms_agree_across_backends() {
     compare!("lr_cg", |b: &mut _| lr_cg(
         b,
         &regression,
-        LrCgOptions { max_iterations: 8, ..Default::default() }
+        LrCgOptions {
+            max_iterations: 8,
+            ..Default::default()
+        }
     )
     .weights);
     compare!("logreg", |b: &mut _| logreg(
         b,
         &labels,
-        LogRegOptions { max_outer: 3, ..Default::default() }
+        LogRegOptions {
+            max_outer: 3,
+            ..Default::default()
+        }
     )
     .weights);
     compare!("svm", |b: &mut _| svm_primal(
         b,
         &labels,
-        SvmOptions { max_outer: 3, ..Default::default() }
+        SvmOptions {
+            max_outer: 3,
+            ..Default::default()
+        }
     )
     .weights);
     compare!("glm", |b: &mut _| glm(
         b,
         &counts,
-        GlmOptions { family: Family::Poisson, max_outer: 2, ..Default::default() }
+        GlmOptions {
+            family: Family::Poisson,
+            max_outer: 2,
+            ..Default::default()
+        }
     )
     .weights);
     compare!("hits", |b: &mut _| hits(
         b,
-        HitsOptions { max_iterations: 5, ..Default::default() }
+        HitsOptions {
+            max_iterations: 5,
+            ..Default::default()
+        }
     )
     .authorities);
 }
@@ -90,7 +109,10 @@ fn fused_backend_is_faster_on_every_algorithm() {
 
     let mut fused = FusedBackend::new_sparse(&g, &x);
     let mut base = BaselineBackend::new_sparse(&g, &x);
-    let opts = LogRegOptions { max_outer: 2, ..Default::default() };
+    let opts = LogRegOptions {
+        max_outer: 2,
+        ..Default::default()
+    };
     logreg(&mut fused, &labels, opts);
     logreg(&mut base, &labels, opts);
     let f = fused.stats();
@@ -111,7 +133,12 @@ fn runtime_session_cost_ordering() {
     let data = DataSet::Sparse(x);
 
     // Native fused < native baseline.
-    let nf = run_device(&g, &data, &labels, &SessionConfig::native(EngineKind::Fused, 8));
+    let nf = run_device(
+        &g,
+        &data,
+        &labels,
+        &SessionConfig::native(EngineKind::Fused, 8),
+    );
     g.flush_caches();
     let nb = run_device(
         &g,
@@ -138,7 +165,11 @@ fn pattern_instrumentation_is_consistent_across_backends() {
     let g = gpu();
     let x = uniform_sparse(300, 50, 0.1, 13);
     let labels = reference::csr_mv(&x, &random_vector(50, 14));
-    let opts = LrCgOptions { max_iterations: 5, tolerance: 0.0, ..Default::default() };
+    let opts = LrCgOptions {
+        max_iterations: 5,
+        tolerance: 0.0,
+        ..Default::default()
+    };
 
     let mut fused = FusedBackend::new_sparse(&g, &x);
     lr_cg(&mut fused, &labels, opts);

@@ -16,18 +16,14 @@ fn gpu() -> Gpu {
 }
 
 fn spec_strategy() -> impl Strategy<Value = PatternSpec> {
-    (
-        -2.0f64..2.0,
-        any::<bool>(),
-        -2.0f64..2.0,
-        any::<bool>(),
-    )
-        .prop_map(|(alpha, with_v, beta, with_z)| PatternSpec {
+    (-2.0f64..2.0, any::<bool>(), -2.0f64..2.0, any::<bool>()).prop_map(
+        |(alpha, with_v, beta, with_z)| PatternSpec {
             alpha,
             with_v,
             beta,
             with_z,
-        })
+        },
+    )
 }
 
 proptest! {

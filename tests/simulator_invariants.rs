@@ -139,5 +139,8 @@ fn lower_bandwidth_device_is_slower_when_bandwidth_bound() {
     };
     let titan = run(DeviceSpec::gtx_titan());
     let k20 = run(DeviceSpec::tesla_k20());
-    assert!(k20 > titan, "K20 ({k20} ms) should trail Titan ({titan} ms)");
+    assert!(
+        k20 > titan,
+        "K20 ({k20} ms) should trail Titan ({titan} ms)"
+    );
 }
