@@ -6,15 +6,20 @@
 //! fusedml-bench compare baseline.json cand.json  # exit 1 on regression
 //! fusedml-bench compare a.json b.json --ignore-wall --modeled-tol 0.05
 //! fusedml-bench list --quick                     # workload ids, no run
+//! fusedml-bench trace --quick --out trace.json   # traced LR-CG -> Chrome trace
 //! ```
 //!
 //! Exit codes: 0 = ok / no regression, 1 = regression detected,
 //! 2 = usage error or structurally incomparable reports.
 
 use fusedml_bench::regress::{
-    compare, run_suite, workload_ids, BenchReport, CompareOptions, Mode, SuiteOptions,
+    chrome_trace, compare, metrics_summary, run_suite, workload_ids, BenchReport, CompareOptions,
+    Json, Mode, SuiteOptions,
 };
-use fusedml_gpu_sim::DeviceSpec;
+use fusedml_gpu_sim::{DeviceSpec, Gpu};
+use fusedml_matrix::gen::{random_vector, uniform_sparse};
+use fusedml_matrix::reference;
+use fusedml_runtime::{run_device, DataSet, EngineKind, SessionConfig};
 use std::time::Instant;
 
 fn main() {
@@ -23,6 +28,7 @@ fn main() {
         Some("run") => cmd_run(args.collect()),
         Some("compare") => cmd_compare(args.collect()),
         Some("list") => cmd_list(args.collect()),
+        Some("trace") => cmd_trace(args.collect()),
         Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
         None => die(USAGE),
     }
@@ -33,7 +39,9 @@ const USAGE: &str = "usage:
   fusedml-bench compare <baseline.json> <candidate.json>
                 [--modeled-tol f] [--counter-tol f] [--speedup-tol f]
                 [--wall-tol f] [--ignore-wall]
-  fusedml-bench list [--quick|--full] [--scale f]";
+  fusedml-bench list [--quick|--full] [--scale f]
+  fusedml-bench trace [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
+                [--out PATH] [--summary-out PATH]";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
 fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
@@ -147,6 +155,99 @@ fn cmd_list(args: Vec<String>) {
     }
     for id in workload_ids(&opts) {
         println!("{id}");
+    }
+}
+
+/// Run one end-to-end LR-CG session with tracing on and export the event
+/// stream as a Chrome trace-event file (Perfetto-loadable) plus a flat
+/// metrics summary. The workload routes through the runtime session so
+/// the trace covers every instrumented layer: kernel launches on the
+/// simulated device track, memory-manager transfers on the PCIe track,
+/// and solver iterations / session phases on the host track.
+fn cmd_trace(args: Vec<String>) {
+    let (opts, rest) = parse_suite_opts(&args);
+    let mut out = "trace_lr_cg.json".to_string();
+    let mut summary_out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = next_arg(&mut it, "--out"),
+            "--summary-out" => summary_out = Some(next_arg(&mut it, "--summary-out")),
+            other => die(&format!("unknown flag '{other}' for trace\n{USAGE}")),
+        }
+    }
+
+    // Mirror the suite's LR-CG/CSR workload shape for the chosen mode.
+    let (base_rows, cols, iters) = match opts.mode {
+        Mode::Quick => (6_000usize, 512usize, 3usize),
+        Mode::Full => (25_000, 1024, 8),
+    };
+    let rows = ((base_rows as f64 * opts.scale).round() as usize).max(64);
+    eprintln!(
+        "tracing lr_cg/csr/{rows}x{cols} ({} iterations) on {}",
+        iters, opts.device.name
+    );
+
+    let x = uniform_sparse(rows, cols, 0.01, opts.seed);
+    let w_true = random_vector(cols, opts.seed + 10);
+    let labels = reference::csr_mv(&x, &w_true);
+    let data = DataSet::Sparse(x);
+
+    fusedml_trace::enable();
+    let gpu = Gpu::new(opts.device.clone());
+    let report = run_device(
+        &gpu,
+        &data,
+        &labels,
+        &SessionConfig::native(EngineKind::Fused, iters),
+    );
+    fusedml_trace::disable();
+    let events = fusedml_trace::take();
+    let dropped = fusedml_trace::dropped_events();
+
+    let doc = chrome_trace(&events);
+    let text = doc.render();
+    // The export must survive our own zero-dependency parser: a cheap
+    // structural guarantee before anyone feeds the file to Perfetto.
+    let back = Json::parse(&text)
+        .unwrap_or_else(|e| die(&format!("trace export does not round-trip: {e}")));
+    if back != doc {
+        die("trace export does not round-trip: parsed tree differs");
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(&out, &text).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+
+    let summary = metrics_summary(&events, dropped);
+    if let Some(path) = &summary_out {
+        std::fs::write(path, summary.render())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+
+    let categories: Vec<&str> = match summary.field("by_category") {
+        Ok(Json::Obj(m)) => m.keys().map(String::as_str).collect(),
+        _ => Vec::new(),
+    };
+    eprintln!(
+        "wrote {} ({} events, {} dropped; layers: {})",
+        out,
+        events.len(),
+        dropped,
+        categories.join(", ")
+    );
+    eprintln!(
+        "session totals: kernel {:.3} ms, transfer {:.3} ms, {} launches",
+        report.kernel_ms, report.transfer_ms, report.launches
+    );
+    for layer in ["kernel", "solver", "session"] {
+        if !categories.contains(&layer) {
+            die(&format!("trace is missing the '{layer}' layer"));
+        }
     }
 }
 

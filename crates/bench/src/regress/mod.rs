@@ -5,7 +5,9 @@
 //! Entry points:
 //! * [`suite::run_suite`] — run the matrix, get a [`report::BenchReport`];
 //! * [`compare::compare`] — diff candidate vs. baseline;
-//! * the `fusedml-bench` binary — `run` / `compare` / `list` CLI.
+//! * [`trace_export::chrome_trace`] — Chrome trace-event export of a
+//!   [`fusedml_trace`] event stream (`fusedml-bench trace`);
+//! * the `fusedml-bench` binary — `run` / `compare` / `list` / `trace` CLI.
 //!
 //! The JSON layer is hand-rolled ([`json`]) so the subsystem has zero
 //! dependencies beyond the workspace: reports must round-trip in every
@@ -16,8 +18,10 @@ pub mod compare;
 pub mod json;
 pub mod report;
 pub mod suite;
+pub mod trace_export;
 
 pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
 pub use json::Json;
 pub use report::{BenchReport, ConfigFingerprint, VariantMetrics, WorkloadResult, SCHEMA_VERSION};
 pub use suite::{run_suite, workload_ids, Mode, SuiteOptions};
+pub use trace_export::{chrome_trace, metrics_summary, DEVICE_PID, HOST_PID};

@@ -1,0 +1,322 @@
+//! Chrome trace-event export for the cross-layer tracing subsystem.
+//!
+//! Converts the flat event stream of [`fusedml_trace`] into the Chrome
+//! trace-event JSON format (loadable in Perfetto / `chrome://tracing`),
+//! plus a flat metrics summary for scripts. Both documents are built on
+//! the same zero-dependency [`Json`] layer as the benchmark reports, so
+//! the export works in offline environments where `serde_json` is a stub.
+//!
+//! Layout: the two clock domains are not comparable, so they become two
+//! Chrome *processes* — pid 1 hosts wall-clock tracks (solver loops,
+//! session phases), pid 2 hosts simulated-time tracks (kernels on
+//! `device`, transfers on `pcie`). Each distinct track name becomes a
+//! thread within its process, named via `M` metadata events.
+
+use super::json::Json;
+use fusedml_trace::{ArgValue, ClockDomain, EventKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Chrome process id for wall-clock (host) tracks.
+pub const HOST_PID: u64 = 1;
+/// Chrome process id for simulated-time (device) tracks.
+pub const DEVICE_PID: u64 = 2;
+
+fn pid_of(clock: ClockDomain) -> u64 {
+    match clock {
+        ClockDomain::Wall => HOST_PID,
+        ClockDomain::Sim => DEVICE_PID,
+    }
+}
+
+fn arg_json(v: &ArgValue) -> Json {
+    match v {
+        ArgValue::F64(x) => Json::num(*x),
+        ArgValue::U64(x) => Json::u64(*x),
+        ArgValue::Str(s) => Json::str(s.clone()),
+        ArgValue::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn args_json(args: &[(String, ArgValue)]) -> Json {
+    Json::Obj(args.iter().map(|(k, v)| (k.clone(), arg_json(v))).collect())
+}
+
+/// Build the Chrome trace-event document for an event stream.
+///
+/// Spans become `"ph": "X"` complete events (`ts`/`dur` in microseconds),
+/// instants become `"ph": "i"` with thread scope, and every process/track
+/// in use gets `process_name`/`thread_name` metadata so the viewer shows
+/// meaningful labels instead of raw ids.
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    // Stable thread ids: order of first appearance within each process.
+    let mut tids: BTreeMap<(u64, String), u64> = BTreeMap::new();
+    let mut next_tid: BTreeMap<u64, u64> = BTreeMap::new();
+    for ev in events {
+        let pid = pid_of(ev.clock);
+        if let std::collections::btree_map::Entry::Vacant(slot) =
+            tids.entry((pid, ev.track.clone()))
+        {
+            let next = next_tid.entry(pid).or_insert(1);
+            slot.insert(*next);
+            *next += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (pid, name) in [
+        (HOST_PID, "host (wall clock)"),
+        (DEVICE_PID, "device (simulated time)"),
+    ] {
+        if next_tid.contains_key(&pid) {
+            out.push(Json::obj(vec![
+                ("ph", Json::str("M")),
+                ("pid", Json::u64(pid)),
+                ("name", Json::str("process_name")),
+                ("args", Json::obj(vec![("name", Json::str(name))])),
+            ]));
+        }
+    }
+    for ((pid, track), tid) in &tids {
+        out.push(Json::obj(vec![
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(*pid)),
+            ("tid", Json::u64(*tid)),
+            ("name", Json::str("thread_name")),
+            ("args", Json::obj(vec![("name", Json::str(track.clone()))])),
+        ]));
+    }
+
+    for ev in events {
+        let pid = pid_of(ev.clock);
+        let tid = tids[&(pid, ev.track.clone())];
+        let mut fields = vec![
+            ("pid", Json::u64(pid)),
+            ("tid", Json::u64(tid)),
+            ("ts", Json::num(ev.ts_us)),
+            ("name", Json::str(ev.name.clone())),
+            ("cat", Json::str(ev.cat.clone())),
+            ("args", args_json(&ev.args)),
+        ];
+        match ev.kind {
+            EventKind::Span => {
+                fields.push(("ph", Json::str("X")));
+                fields.push(("dur", Json::num(ev.dur_us)));
+            }
+            EventKind::Instant => {
+                fields.push(("ph", Json::str("i")));
+                fields.push(("s", Json::str("t"))); // thread-scoped marker
+            }
+        }
+        out.push(Json::obj(fields));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+/// Flat metrics rollup of an event stream: counts per category, total
+/// simulated milliseconds per device track, total wall-span milliseconds
+/// per category, and the collector's drop counter.
+pub fn metrics_summary(events: &[TraceEvent], dropped: u64) -> Json {
+    let mut by_category: BTreeMap<String, u64> = BTreeMap::new();
+    let mut sim_ms_by_track: BTreeMap<String, f64> = BTreeMap::new();
+    let mut wall_span_ms_by_category: BTreeMap<String, f64> = BTreeMap::new();
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    for ev in events {
+        *by_category.entry(ev.cat.clone()).or_insert(0) += 1;
+        match ev.kind {
+            EventKind::Span => spans += 1,
+            EventKind::Instant => instants += 1,
+        }
+        if ev.kind == EventKind::Span {
+            match ev.clock {
+                ClockDomain::Sim => {
+                    *sim_ms_by_track.entry(ev.track.clone()).or_insert(0.0) += ev.dur_us / 1e3;
+                }
+                ClockDomain::Wall => {
+                    *wall_span_ms_by_category
+                        .entry(ev.cat.clone())
+                        .or_insert(0.0) += ev.dur_us / 1e3;
+                }
+            }
+        }
+    }
+    Json::obj(vec![
+        ("events", Json::u64(events.len() as u64)),
+        ("spans", Json::u64(spans)),
+        ("instants", Json::u64(instants)),
+        ("dropped", Json::u64(dropped)),
+        (
+            "by_category",
+            Json::Obj(
+                by_category
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::u64(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "sim_ms_by_track",
+            Json::Obj(
+                sim_ms_by_track
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "wall_span_ms_by_category",
+            Json::Obj(
+                wall_span_ms_by_category
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::num(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built events; these tests never touch the global collector.
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cat: "kernel".to_string(),
+                name: "spmv_fused".to_string(),
+                track: "device".to_string(),
+                clock: ClockDomain::Sim,
+                kind: EventKind::Span,
+                ts_us: 0.0,
+                dur_us: 1500.0,
+                args: vec![
+                    ("grid".to_string(), ArgValue::U64(28)),
+                    ("occupancy".to_string(), ArgValue::F64(0.75)),
+                ],
+            },
+            TraceEvent {
+                cat: "mem".to_string(),
+                name: "h2d".to_string(),
+                track: "pcie".to_string(),
+                clock: ClockDomain::Sim,
+                kind: EventKind::Span,
+                ts_us: 0.0,
+                dur_us: 250.0,
+                args: vec![("block".to_string(), ArgValue::Str("X".to_string()))],
+            },
+            TraceEvent {
+                cat: "solver".to_string(),
+                name: "lr_cg.iter".to_string(),
+                track: "host".to_string(),
+                clock: ClockDomain::Wall,
+                kind: EventKind::Span,
+                ts_us: 10.0,
+                dur_us: 90.0,
+                args: vec![("iter".to_string(), ArgValue::U64(0))],
+            },
+            TraceEvent {
+                cat: "fault".to_string(),
+                name: "kernel.injected".to_string(),
+                track: "host".to_string(),
+                clock: ClockDomain::Wall,
+                kind: EventKind::Instant,
+                ts_us: 42.0,
+                dur_us: 0.0,
+                args: vec![("transient".to_string(), ArgValue::Bool(true))],
+            },
+        ]
+    }
+
+    #[test]
+    fn export_separates_clock_domains_into_processes() {
+        let doc = chrome_trace(&sample_events());
+        let evs = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        // 2 process_name + 3 thread_name (device, pcie, host) + 4 events.
+        assert_eq!(evs.len(), 9);
+
+        let kernel = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("spmv_fused"))
+            .unwrap();
+        assert_eq!(kernel.field_str("ph").unwrap(), "X");
+        assert_eq!(kernel.field_u64("pid").unwrap(), DEVICE_PID);
+        assert_eq!(kernel.field_f64("dur").unwrap(), 1500.0);
+        assert_eq!(
+            kernel
+                .field("args")
+                .unwrap()
+                .field_f64("occupancy")
+                .unwrap(),
+            0.75
+        );
+
+        let solver = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("lr_cg.iter"))
+            .unwrap();
+        assert_eq!(solver.field_u64("pid").unwrap(), HOST_PID);
+
+        let fault = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("kernel.injected"))
+            .unwrap();
+        assert_eq!(fault.field_str("ph").unwrap(), "i");
+        assert_eq!(fault.field_str("s").unwrap(), "t");
+        // Instants carry no "dur".
+        assert!(fault.get("dur").is_none());
+    }
+
+    #[test]
+    fn export_names_every_track() {
+        let doc = chrome_trace(&sample_events());
+        let evs = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        let thread_names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.field("args").unwrap().field_str("name").unwrap())
+            .collect();
+        assert!(thread_names.contains(&"device"));
+        assert!(thread_names.contains(&"pcie"));
+        assert!(thread_names.contains(&"host"));
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_parser() {
+        let doc = chrome_trace(&sample_events());
+        let back = Json::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn summary_rolls_up_categories_and_clocks() {
+        let summary = metrics_summary(&sample_events(), 3);
+        assert_eq!(summary.field_u64("events").unwrap(), 4);
+        assert_eq!(summary.field_u64("spans").unwrap(), 3);
+        assert_eq!(summary.field_u64("instants").unwrap(), 1);
+        assert_eq!(summary.field_u64("dropped").unwrap(), 3);
+        let by_cat = summary.field("by_category").unwrap();
+        assert_eq!(by_cat.field_u64("kernel").unwrap(), 1);
+        assert_eq!(by_cat.field_u64("fault").unwrap(), 1);
+        let sim = summary.field("sim_ms_by_track").unwrap();
+        assert_eq!(sim.field_f64("device").unwrap(), 1.5);
+        assert_eq!(sim.field_f64("pcie").unwrap(), 0.25);
+        let wall = summary.field("wall_span_ms_by_category").unwrap();
+        assert_eq!(wall.field_f64("solver").unwrap(), 0.09);
+        // Instants contribute to counts but never to span time.
+        assert!(wall.get("fault").is_none());
+    }
+
+    #[test]
+    fn empty_stream_exports_cleanly() {
+        let doc = chrome_trace(&[]);
+        assert_eq!(doc.field("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+        let summary = metrics_summary(&[], 0);
+        assert_eq!(summary.field_u64("events").unwrap(), 0);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+}

@@ -7,7 +7,7 @@ use crate::codegen::try_launch_dense_fused;
 use crate::pattern::PatternSpec;
 use crate::sparse_fused::{try_fused_pattern_shared, try_fused_xt_p_shared};
 use crate::sparse_large::{try_fused_pattern_global, try_fused_xt_p_global};
-use crate::tuner::{plan_dense, plan_sparse, DensePlan, SparsePlan};
+use crate::tuner::{try_plan_dense, try_plan_sparse, DensePlan, SparsePlan};
 use fusedml_blas::level1::try_fill;
 use fusedml_blas::{GpuCsr, GpuDense};
 use fusedml_gpu_sim::{Counters, DeviceError, Gpu, GpuBuffer, LaunchStats};
@@ -86,14 +86,88 @@ impl<'g> FusedExecutor<'g> {
         self.launches.clear();
     }
 
-    /// The launch plan the tuner would pick for this sparse matrix.
-    pub fn sparse_plan(&self, x: &GpuCsr) -> SparsePlan {
-        plan_sparse(self.gpu.spec(), x.rows, x.cols, x.mean_nnz_per_row())
+    /// The launch plan the tuner would pick for this sparse matrix, or a
+    /// typed (permanent) [`DeviceError`] when the device's resource limits
+    /// admit no configuration — the recovery ladder degrades instead of
+    /// aborting.
+    pub fn try_sparse_plan(&self, x: &GpuCsr) -> Result<SparsePlan, DeviceError> {
+        let plan = try_plan_sparse(self.gpu.spec(), x.rows, x.cols, x.mean_nnz_per_row())?;
+        if fusedml_trace::is_enabled() {
+            let why = if plan.use_shared_w {
+                format!(
+                    "w ({} cols) fits the shared-memory aggregation buffer; \
+                     VS={} from mean nnz/row {:.1}",
+                    x.cols,
+                    plan.vs,
+                    x.mean_nnz_per_row()
+                )
+            } else {
+                format!(
+                    "w ({} cols) exceeds shared memory; aggregating in global memory",
+                    x.cols
+                )
+            };
+            fusedml_trace::instant(
+                "plan",
+                "plan.sparse",
+                "host",
+                &[
+                    ("vs", plan.vs.into()),
+                    ("bs", plan.bs.into()),
+                    ("grid", plan.grid.into()),
+                    ("c", plan.c.into()),
+                    ("use_shared_w", plan.use_shared_w.into()),
+                    ("occupancy", plan.occupancy.occupancy.into()),
+                    ("why", why.as_str().into()),
+                ],
+            );
+        }
+        Ok(plan)
     }
 
-    /// The launch plan the tuner would pick for this dense matrix.
+    /// Infallible [`FusedExecutor::try_sparse_plan`].
+    pub fn sparse_plan(&self, x: &GpuCsr) -> SparsePlan {
+        self.try_sparse_plan(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The launch plan the tuner would pick for this dense matrix, or a
+    /// typed (permanent) [`DeviceError`].
+    pub fn try_dense_plan(&self, x: &GpuDense) -> Result<DensePlan, DeviceError> {
+        let plan = try_plan_dense(self.gpu.spec(), x.rows, x.cols)?;
+        if fusedml_trace::is_enabled() {
+            let why = if x.cols <= self.gpu.spec().warp_size {
+                format!(
+                    "n={} <= warp size: maximum block, TL=1 (no sync overhead)",
+                    x.cols
+                )
+            } else {
+                format!(
+                    "TL={} maximizes resident warps net of wasted-warp and \
+                     inter-vector sync penalties",
+                    plan.tl
+                )
+            };
+            fusedml_trace::instant(
+                "plan",
+                "plan.dense",
+                "host",
+                &[
+                    ("vs", plan.vs.into()),
+                    ("bs", plan.bs.into()),
+                    ("tl", plan.tl.into()),
+                    ("grid", plan.grid.into()),
+                    ("c", plan.c.into()),
+                    ("occupancy", plan.occupancy.occupancy.into()),
+                    ("why", why.as_str().into()),
+                ],
+            );
+        }
+        Ok(plan)
+    }
+
+    /// Infallible [`FusedExecutor::try_dense_plan`].
     pub fn dense_plan(&self, x: &GpuDense) -> DensePlan {
-        plan_dense(self.gpu.spec(), x.rows, x.cols)
+        self.try_dense_plan(x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `w = alpha * X^T (v ⊙ (X y)) + beta * z`, sparse, fully fused
@@ -107,7 +181,7 @@ impl<'g> FusedExecutor<'g> {
         z: Option<&GpuBuffer>,
         w: &GpuBuffer,
     ) -> Result<(), DeviceError> {
-        let plan = self.sparse_plan(x);
+        let plan = self.try_sparse_plan(x)?;
         self.try_pattern_sparse_with_plan(&plan, spec, x, v, y, z, w)
     }
 
@@ -173,7 +247,7 @@ impl<'g> FusedExecutor<'g> {
         y: &GpuBuffer,
         w: &GpuBuffer,
     ) -> Result<(), DeviceError> {
-        let plan = self.sparse_plan(x);
+        let plan = self.try_sparse_plan(x)?;
         self.launches.push(try_fill(self.gpu, w, 0.0)?);
         let stats = if plan.use_shared_w {
             try_fused_xt_p_shared(self.gpu, &plan, alpha, x, y, w)?
@@ -201,7 +275,7 @@ impl<'g> FusedExecutor<'g> {
         z: Option<&GpuBuffer>,
         w: &GpuBuffer,
     ) -> Result<(), DeviceError> {
-        let plan = self.dense_plan(x);
+        let plan = self.try_dense_plan(x)?;
         self.try_pattern_dense_with_plan(&plan, spec, x, v, y, z, w)
     }
 

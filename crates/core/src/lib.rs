@@ -39,4 +39,7 @@ pub use codegen::{generate_cuda_source, launch_dense_fused};
 pub use ell_fused::{fused_pattern_ell, plan_ell, EllPlan};
 pub use executor::FusedExecutor;
 pub use pattern::{PatternInstance, PatternSpec};
-pub use tuner::{plan_dense, plan_sparse, plan_sparse_with_vs, DensePlan, SparsePlan};
+pub use tuner::{
+    plan_dense, plan_sparse, plan_sparse_with_vs, try_plan_dense, try_plan_sparse,
+    try_plan_sparse_with_vs, DensePlan, PlanError, SparsePlan,
+};

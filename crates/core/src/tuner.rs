@@ -11,8 +11,65 @@
 //!   `n <= 32` special case (`BS = 1024`, `TL = 1`).
 
 use fusedml_blas::vector_size_for_mean_nnz;
-use fusedml_gpu_sim::{occupancy, DeviceSpec, Occupancy, LATENCY_HIDING_KNEE};
+use fusedml_gpu_sim::{occupancy, DeviceError, DeviceSpec, Occupancy, LATENCY_HIDING_KNEE};
 use serde::{Deserialize, Serialize};
+
+/// Why the launch-parameter model could not produce a plan. Planning is
+/// pure arithmetic over the device limits, so these are deterministic:
+/// retrying cannot help, but degrading to the baseline engine (whose
+/// kernels have smaller footprints) or to the CPU can — hence the
+/// conversion into [`DeviceError`] (a permanent, non-transient fault) for
+/// propagation through the executor and the recovery ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The matrix has a zero dimension; there is nothing to plan for.
+    EmptyMatrix { m: usize, n: usize },
+    /// No launch configuration satisfies the device's resource limits
+    /// (registers, shared memory, block size) for this problem shape.
+    NoFeasibleConfig {
+        /// Which planner failed (`"sparse"` or `"dense"`).
+        kernel: &'static str,
+        device: String,
+        m: usize,
+        n: usize,
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyMatrix { m, n } => {
+                write!(f, "cannot plan a fused kernel for an empty {m}x{n} matrix")
+            }
+            PlanError::NoFeasibleConfig {
+                kernel,
+                device,
+                m,
+                n,
+                detail,
+            } => write!(
+                f,
+                "no feasible {kernel} launch plan for {m}x{n} on {device}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<PlanError> for DeviceError {
+    fn from(e: PlanError) -> Self {
+        let kernel = match &e {
+            PlanError::EmptyMatrix { .. } => "tuner",
+            PlanError::NoFeasibleConfig { kernel, .. } => kernel,
+        };
+        DeviceError::InvalidLaunch {
+            kernel: kernel.to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Register footprint of the sparse fused kernel, as measured by the paper
 /// with the NVIDIA Visual Profiler (§3.3: "Our kernel requires 43 registers
@@ -76,14 +133,48 @@ pub fn fits_in_shared(spec: &DeviceSpec, n: usize, bs: usize, vs: usize) -> bool
 
 /// Build the launch plan for a sparse fused kernel over an `m x n` matrix
 /// with mean row length `mu`.
+///
+/// # Panics
+/// Panics when no feasible configuration exists on this device; use
+/// [`try_plan_sparse`] on paths that must degrade instead of aborting.
 pub fn plan_sparse(spec: &DeviceSpec, m: usize, n: usize, mu: f64) -> SparsePlan {
+    try_plan_sparse(spec, m, n, mu).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`plan_sparse`].
+pub fn try_plan_sparse(
+    spec: &DeviceSpec,
+    m: usize,
+    n: usize,
+    mu: f64,
+) -> Result<SparsePlan, PlanError> {
     let vs = vector_size_for_mean_nnz(mu);
-    plan_sparse_with_vs(spec, m, n, vs)
+    try_plan_sparse_with_vs(spec, m, n, vs)
 }
 
 /// Like [`plan_sparse`] but with a caller-chosen `VS` (used by the Fig. 6
 /// parameter sweep to hold `VS` fixed while exploring `BS x C`).
+///
+/// # Panics
+/// Panics when no feasible configuration exists; see
+/// [`try_plan_sparse_with_vs`].
 pub fn plan_sparse_with_vs(spec: &DeviceSpec, m: usize, n: usize, vs: usize) -> SparsePlan {
+    try_plan_sparse_with_vs(spec, m, n, vs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`plan_sparse_with_vs`]: reports an empty matrix or a device
+/// whose resource limits admit no block size (e.g. small non-Titan parts
+/// where even `BS = 32` with the kernel's 43 registers and the shared
+/// aggregation buffer is over budget) instead of panicking.
+pub fn try_plan_sparse_with_vs(
+    spec: &DeviceSpec,
+    m: usize,
+    n: usize,
+    vs: usize,
+) -> Result<SparsePlan, PlanError> {
+    if m == 0 || n == 0 {
+        return Err(PlanError::EmptyMatrix { m, n });
+    }
     // Decide the aggregation strategy at the smallest feasible block size;
     // if even BS=32 cannot host w in shared memory, fall back to global.
     let use_shared_w = fits_in_shared(spec, n, 32, vs);
@@ -114,13 +205,19 @@ pub fn plan_sparse_with_vs(spec: &DeviceSpec, m: usize, n: usize, vs: usize) -> 
             }
         }
     }
-    let (bs, occ) = best.unwrap_or_else(|| {
-        panic!(
-            "no feasible block size for n={n}, vs={vs} on {} — matrix too wide \
-             for the shared variant",
-            spec.name
-        )
-    });
+    let Some((bs, occ)) = best else {
+        return Err(PlanError::NoFeasibleConfig {
+            kernel: "sparse",
+            device: spec.name.clone(),
+            m,
+            n,
+            detail: format!(
+                "no block size in {{32..{}}} fits {SPARSE_KERNEL_REGS} regs/thread \
+                 and the aggregation buffer (vs={vs}, shared limit {}B)",
+                spec.max_threads_per_block, spec.shared_mem_per_block
+            ),
+        });
+    };
 
     let shared_bytes = shared_bytes_for(n, bs, vs, use_shared_w);
 
@@ -129,7 +226,7 @@ pub fn plan_sparse_with_vs(spec: &DeviceSpec, m: usize, n: usize, vs: usize) -> 
     let total_vectors = grid * bs / vs;
     let c = m.div_ceil(total_vectors).max(1);
 
-    SparsePlan {
+    Ok(SparsePlan {
         vs,
         bs,
         grid,
@@ -138,7 +235,7 @@ pub fn plan_sparse_with_vs(spec: &DeviceSpec, m: usize, n: usize, vs: usize) -> 
         shared_bytes,
         use_shared_w,
         occupancy: occ,
-    }
+    })
 }
 
 /// Build a fully explicit sparse plan (the Fig. 6 sweep explores the
@@ -217,7 +314,17 @@ impl DensePlan {
 /// caller-facing executor (§3.2's zero-padding step); the plan reports the
 /// `VS` to pad to via [`DensePlan::vs`].
 pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
-    assert!(n > 0 && m > 0, "empty matrix");
+    try_plan_dense(spec, m, n).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`plan_dense`]: reports an empty matrix, a device that cannot
+/// host the `n <= 32` special case's maximum block, or a row too wide for
+/// any thread load (`n > 40 * 128` exceeds the spill-free unroll range)
+/// instead of panicking.
+pub fn try_plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> Result<DensePlan, PlanError> {
+    if m == 0 || n == 0 {
+        return Err(PlanError::EmptyMatrix { m, n });
+    }
 
     // Special case (§3.3): n <= warp size — use the largest block and one
     // element per thread; sync overhead is nil and big blocks hide latency.
@@ -226,11 +333,19 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
         let tl = 1;
         let vs = spec.warp_size;
         let regs = dense_kernel_regs(tl);
-        let occ = occupancy(spec, bs, regs, 0)
-            .unwrap_or_else(|| panic!("titan-class device fits BS=1024"));
+        let occ = occupancy(spec, bs, regs, 0).ok_or_else(|| PlanError::NoFeasibleConfig {
+            kernel: "dense",
+            device: spec.name.clone(),
+            m,
+            n,
+            detail: format!(
+                "maximum block BS={bs} with TL=1 ({regs} regs/thread) \
+                 exceeds this device's per-SM register file"
+            ),
+        })?;
         let grid = (occ.blocks_per_sm * spec.num_sms).max(1);
         let total_vectors = grid * bs / vs;
-        return DensePlan {
+        return Ok(DensePlan {
             vs,
             bs,
             tl,
@@ -238,7 +353,7 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
             c: m.div_ceil(total_vectors).max(1),
             regs,
             occupancy: occ,
-        };
+        });
     }
 
     // BS = 128: the minimum register-allocation-friendly size, minimizing
@@ -274,12 +389,33 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
             best = Some((tl, vs, eff, occ));
         }
     }
-    let (tl, vs, _, occ) =
-        best.unwrap_or_else(|| panic!("some TL in [1,40] always covers n <= 40*128"));
+    let Some((tl, vs, _, occ)) = best else {
+        // Two distinct causes: rows wider than the largest spill-free
+        // unroll can cover, or a device whose register file rejects every
+        // thread load. Both are permanent for this (device, shape) pair.
+        let detail = if n > MAX_TL * bs {
+            format!(
+                "row width n={n} exceeds the TL<=40 coverage limit of {}",
+                MAX_TL * bs
+            )
+        } else {
+            format!(
+                "no TL in [1,{MAX_TL}] fits this device's register file \
+                 (23..=255 regs/thread at BS={bs})"
+            )
+        };
+        return Err(PlanError::NoFeasibleConfig {
+            kernel: "dense",
+            device: spec.name.clone(),
+            m,
+            n,
+            detail,
+        });
+    };
 
     let grid = (occ.blocks_per_sm * spec.num_sms).max(1);
     let total_vectors = grid * bs / vs;
-    DensePlan {
+    Ok(DensePlan {
         vs,
         bs,
         tl,
@@ -287,7 +423,7 @@ pub fn plan_dense(spec: &DeviceSpec, m: usize, n: usize) -> DensePlan {
         c: m.div_ceil(total_vectors).max(1),
         regs: dense_kernel_regs(tl),
         occupancy: occ,
-    }
+    })
 }
 
 /// Equation 6: the vector size for a dense kernel given `n` and `TL`.
@@ -388,6 +524,77 @@ mod tests {
         assert_eq!(eq6_vector_size(200, 2, 128), 128); // 100 > 32 => BS
         assert_eq!(eq6_vector_size(16, 1, 128), 16);
         assert_eq!(eq6_vector_size(1, 1, 128), 1);
+    }
+
+    /// A device whose register file cannot host even one warp of the
+    /// sparse kernel (43 regs/thread * 32 threads = 1376 > 1024).
+    fn register_starved() -> DeviceSpec {
+        DeviceSpec {
+            name: "register-starved test device".to_string(),
+            registers_per_sm: 1024,
+            ..DeviceSpec::gtx_titan()
+        }
+    }
+
+    #[test]
+    fn sparse_plan_rejects_empty_matrix_with_typed_error() {
+        let e = try_plan_sparse(&titan(), 0, 100, 5.0).unwrap_err();
+        assert_eq!(e, PlanError::EmptyMatrix { m: 0, n: 100 });
+        let e = try_plan_sparse(&titan(), 100, 0, 5.0).unwrap_err();
+        assert_eq!(e, PlanError::EmptyMatrix { m: 100, n: 0 });
+    }
+
+    #[test]
+    fn sparse_plan_reports_infeasible_device_instead_of_panicking() {
+        // Regression: this used to panic "no feasible block size" deep in
+        // the tuner; now it is a typed, permanent error the recovery
+        // ladder can degrade on.
+        let e = try_plan_sparse(&register_starved(), 10_000, 500, 8.0).unwrap_err();
+        match &e {
+            PlanError::NoFeasibleConfig { kernel, device, .. } => {
+                assert_eq!(*kernel, "sparse");
+                assert!(device.contains("register-starved"));
+            }
+            other => panic!("expected NoFeasibleConfig, got {other:?}"),
+        }
+        let de = fusedml_gpu_sim::DeviceError::from(e);
+        assert!(!de.is_transient(), "planning failures are permanent");
+    }
+
+    #[test]
+    fn dense_plan_reports_infeasible_device_instead_of_panicking() {
+        // Regression: the n <= 32 special case unwrapped occupancy() on the
+        // assumption every device hosts BS=1024 at 23 regs/thread.
+        let e = try_plan_dense(&register_starved(), 10_000, 28).unwrap_err();
+        assert!(matches!(
+            e,
+            PlanError::NoFeasibleConfig {
+                kernel: "dense",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dense_plan_reports_uncoverable_row_width() {
+        // Latent bug: even on the Titan, n > 40*128 = 5120 has no covering
+        // thread load; this used to hit the "some TL always covers" panic.
+        let e = try_plan_dense(&titan(), 1000, MAX_TL * 128 + 1).unwrap_err();
+        match e {
+            PlanError::NoFeasibleConfig { kernel, detail, .. } => {
+                assert_eq!(kernel, "dense");
+                assert!(detail.contains("coverage limit"), "detail: {detail}");
+            }
+            other => panic!("expected NoFeasibleConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_planners_agree_with_infallible_wrappers() {
+        let p = try_plan_sparse(&titan(), 50_000, 1000, 10.0).unwrap();
+        assert_eq!(p, plan_sparse(&titan(), 50_000, 1000, 10.0));
+        let d = try_plan_dense(&titan(), 10_000, 200).unwrap();
+        assert_eq!(d, plan_dense(&titan(), 10_000, 200));
     }
 
     #[test]

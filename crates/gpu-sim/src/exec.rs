@@ -182,6 +182,14 @@ impl Gpu {
         let in_use = self.allocated_bytes.load(Ordering::Relaxed);
         let capacity = self.spec.global_mem_bytes as u64;
         if self.faults.draw_alloc_fault().is_some() {
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "alloc.injected",
+                    "device",
+                    &[("buffer", name.into()), ("requested_bytes", bytes.into())],
+                );
+            }
             return Err(DeviceError::AllocFailed {
                 name: name.to_string(),
                 requested_bytes: bytes,
@@ -191,6 +199,18 @@ impl Gpu {
             });
         }
         if in_use + bytes > capacity {
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "alloc.capacity",
+                    "device",
+                    &[
+                        ("buffer", name.into()),
+                        ("requested_bytes", bytes.into()),
+                        ("allocated_bytes", in_use.into()),
+                    ],
+                );
+            }
             return Err(DeviceError::AllocFailed {
                 name: name.to_string(),
                 requested_bytes: bytes,
@@ -343,6 +363,14 @@ impl Gpu {
         })?;
 
         if let Some(fault_index) = self.faults.draw_kernel_fault() {
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "kernel.transient",
+                    "device",
+                    &[("kernel", name.into()), ("fault_index", fault_index.into())],
+                );
+            }
             return Err(DeviceError::TransientFault {
                 kernel: name.to_string(),
                 fault_index,
@@ -431,12 +459,43 @@ impl Gpu {
         if let Some(limit_ms) = self.faults.watchdog_limit_ms() {
             if time.total_ms > limit_ms {
                 self.faults.note_watchdog_timeout();
+                if fusedml_trace::is_enabled() {
+                    fusedml_trace::instant(
+                        "fault",
+                        "kernel.watchdog",
+                        "device",
+                        &[
+                            ("kernel", name.into()),
+                            ("sim_ms", time.total_ms.into()),
+                            ("limit_ms", limit_ms.into()),
+                        ],
+                    );
+                }
                 return Err(DeviceError::WatchdogTimeout {
                     kernel: name.to_string(),
                     sim_ms: time.total_ms,
                     limit_ms,
                 });
             }
+        }
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::sim_span(
+                "kernel",
+                name,
+                "device",
+                time.total_ms,
+                &[
+                    ("grid", config.grid_blocks.into()),
+                    ("block", config.block_threads.into()),
+                    ("regs", config.regs_per_thread.into()),
+                    ("shared_bytes", config.shared_bytes.into()),
+                    ("occupancy", occ.occupancy.into()),
+                    ("dram_read_bytes", merged.dram_read_bytes.into()),
+                    ("dram_write_bytes", merged.dram_write_bytes.into()),
+                    ("global_atomics", merged.global_atomics.into()),
+                    ("flops", merged.flops.into()),
+                ],
+            );
         }
         Ok(LaunchStats {
             name: name.to_string(),

@@ -110,6 +110,8 @@ pub fn try_glm<B: Backend>(
     let family = opts.family;
 
     while outer < opts.max_outer {
+        let mut span = fusedml_trace::wall_span("solver", "glm.outer", "host");
+        span.arg("outer", outer);
         backend.try_mv(&w, &mut eta)?;
         backend.try_map2(&eta, &t, &mut mu, &|e, _| family.mean_and_weight(e).0)?;
         backend.try_map2(&eta, &t, &mut wgt, &|e, _| family.mean_and_weight(e).1)?;
@@ -133,6 +135,7 @@ pub fn try_glm<B: Backend>(
                 format!("gradient norm^2 is {gn2}"),
             ));
         }
+        span.arg("gn2", gn2);
         if gn2 <= opts.grad_tol {
             break;
         }

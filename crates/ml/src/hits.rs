@@ -48,6 +48,8 @@ pub fn hits<B: Backend>(backend: &mut B, opts: HitsOptions) -> HitsResult {
     let mut delta = f64::INFINITY;
 
     while iters < opts.max_iterations && delta > opts.tolerance {
+        let mut span = fusedml_trace::wall_span("solver", "hits.iter", "host");
+        span.arg("iter", iters);
         // a' = A^T (A a) — the X^T(Xy) pattern.
         backend.pattern(PatternSpec::xtxy(), None, &a, None, &mut a_next);
         let norm2 = backend.nrm2_sq(&a_next);
@@ -60,6 +62,7 @@ pub fn hits<B: Backend>(backend: &mut B, opts: HitsOptions) -> HitsResult {
         backend.copy(&a_next, &mut delta_buf);
         backend.axpy(-1.0, &a, &mut delta_buf);
         delta = backend.nrm2_sq(&delta_buf).sqrt();
+        span.arg("delta", delta);
 
         backend.copy(&a_next, &mut a);
         iters += 1;

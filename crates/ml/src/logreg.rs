@@ -85,6 +85,8 @@ pub fn try_logreg<B: Backend>(
     let mut objective = f64::INFINITY;
 
     while outer < opts.max_outer {
+        let mut span = fusedml_trace::wall_span("solver", "logreg.outer", "host");
+        span.arg("outer", outer);
         // margins = X w ; sig_i = sigma(y_i * margin_i)
         backend.try_mv(&w, &mut margins)?;
         backend.try_map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t))?;
@@ -103,6 +105,8 @@ pub fn try_logreg<B: Backend>(
                 format!("objective is {objective}"),
             ));
         }
+
+        span.arg("objective", objective);
 
         // grad = X^T ((sig - 1) .* y) + lambda w
         backend.try_map2(&sig, &y, &mut d, &|s, yi| (s - 1.0) * yi)?;
@@ -380,6 +384,9 @@ pub fn logreg_tron<B: Backend>(backend: &mut B, labels: &[f64], opts: TronOption
     let mut radius = 0.0f64;
 
     while outer < opts.max_outer {
+        let mut span = fusedml_trace::wall_span("solver", "logreg_tron.outer", "host");
+        span.arg("outer", outer);
+        span.arg("objective", objective);
         // Gradient at w (sig is current from the last objective eval).
         backend.map2(&sig, &y, &mut d, &|s, yi| (s - 1.0) * yi);
         backend.tmv(1.0, &d, &mut grad);

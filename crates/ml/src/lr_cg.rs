@@ -145,6 +145,10 @@ pub fn try_lr_cg<B: Backend>(
     }
 
     while i < opts.max_iterations && nr2 > nr2_target {
+        let mut span = fusedml_trace::wall_span("solver", "lr_cg.iter", "host");
+        span.arg("iter", i);
+        span.arg("nr2", nr2);
+
         // q = (t(V) %*% (V %*% p)) + eps * p  -- THE pattern.
         backend.try_pattern(
             PatternSpec::xtxy_plus_bz(opts.eps),

@@ -57,6 +57,8 @@ pub fn svm_primal<B: Backend>(backend: &mut B, labels: &[f64], opts: SvmOptions)
     let mut support = 0usize;
 
     while outer < opts.max_outer {
+        let mut span = fusedml_trace::wall_span("solver", "svm.outer", "host");
+        span.arg("outer", outer);
         backend.mv(&w, &mut margins);
         // viol_i = y_i * margin_i - 1 where negative (violators), else 0.
         backend.map2(&margins, &y, &mut viol, &|t, yi| (yi * t - 1.0).min(0.0));
@@ -74,6 +76,8 @@ pub fn svm_primal<B: Backend>(backend: &mut B, labels: &[f64], opts: SvmOptions)
         let loss: f64 = viol_host.iter().map(|v| v * v).sum();
         let wn2 = backend.nrm2_sq(&w);
         objective = 0.5 * opts.lambda * wn2 + loss;
+        span.arg("objective", objective);
+        span.arg("support", support);
 
         // grad = lambda w + 2 X^T (ind ⊙ viol ⊙ y)
         // d_i = 2 * viol_i * y_i (viol already zero on non-violators)

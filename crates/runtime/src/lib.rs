@@ -30,5 +30,5 @@ pub use session::{
     run_cpu, run_device, run_device_fault_tolerant, DataSet, EndToEndReport, EngineKind,
     FaultCountsReport, FaultTolerantReport, SessionConfig,
 };
-pub use streaming::{stream_pattern_sparse, StreamReport};
+pub use streaming::{stream_pattern_sparse, try_stream_pattern_sparse, StreamError, StreamReport};
 pub use transfer::TransferModel;

@@ -109,6 +109,18 @@ impl MemoryManager {
     /// Declare a host-resident block the manager may later move to the
     /// device. `convert` marks blocks paying JNI/format conversion.
     pub fn register(&self, name: &str, bytes: u64, convert: bool) {
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::instant(
+                "mem",
+                "register",
+                "host",
+                &[
+                    ("block", name.into()),
+                    ("bytes", bytes.into()),
+                    ("convert", convert.into()),
+                ],
+            );
+        }
         let mut g = self.inner.lock();
         g.clock += 1;
         let clock = g.clock;
@@ -172,6 +184,19 @@ impl MemoryManager {
             vb.device_dirty = false;
             g.used -= vbytes;
             g.stats.evictions += 1;
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "mem",
+                    "evict",
+                    "host",
+                    &[
+                        ("victim", victim.as_str().into()),
+                        ("bytes", vbytes.into()),
+                        ("dirty", vdirty.into()),
+                        ("for_block", name.into()),
+                    ],
+                );
+            }
             if vdirty {
                 // Consistency: write the newer device copy back.
                 let back = self.transfer.d2h_ms(vbytes, vconv);
@@ -179,6 +204,15 @@ impl MemoryManager {
                 g.stats.d2h_bytes += vbytes;
                 g.stats.transfer_ms += back;
                 ms += back;
+                if fusedml_trace::is_enabled() {
+                    fusedml_trace::sim_span(
+                        "mem",
+                        "writeback.d2h",
+                        "pcie",
+                        back,
+                        &[("block", victim.as_str().into()), ("bytes", vbytes.into())],
+                    );
+                }
             }
         }
 
@@ -189,6 +223,19 @@ impl MemoryManager {
         g.stats.h2d_transfers += 1;
         g.stats.h2d_bytes += bytes;
         g.stats.transfer_ms += t;
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::sim_span(
+                "mem",
+                "h2d",
+                "pcie",
+                t,
+                &[
+                    ("block", name.into()),
+                    ("bytes", bytes.into()),
+                    ("convert", convert.into()),
+                ],
+            );
+        }
         Ok(ms + t)
     }
 
@@ -204,6 +251,9 @@ impl MemoryManager {
     /// Pin a block (exempt from eviction — e.g. the matrix during the
     /// iteration loop).
     pub fn pin(&self, name: &str) {
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::instant("mem", "pin", "host", &[("block", name.into())]);
+        }
         self.inner
             .lock()
             .blocks
@@ -224,6 +274,9 @@ impl MemoryManager {
     /// Drop a block entirely (deallocate + forget), writing back if dirty.
     /// Returns writeback milliseconds.
     pub fn release(&self, name: &str) -> f64 {
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::instant("mem", "release", "host", &[("block", name.into())]);
+        }
         let mut g = self.inner.lock();
         if let Some(b) = g.blocks.remove(name) {
             if b.on_device {
@@ -233,6 +286,15 @@ impl MemoryManager {
                     g.stats.d2h_writebacks += 1;
                     g.stats.d2h_bytes += b.bytes;
                     g.stats.transfer_ms += ms;
+                    if fusedml_trace::is_enabled() {
+                        fusedml_trace::sim_span(
+                            "mem",
+                            "writeback.d2h",
+                            "pcie",
+                            ms,
+                            &[("block", name.into()), ("bytes", b.bytes.into())],
+                        );
+                    }
                     return ms;
                 }
             }

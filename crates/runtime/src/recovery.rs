@@ -208,6 +208,19 @@ pub fn run_lr_cg_with_recovery(
                     if e.is_transient() && tier_attempt <= policy.max_retries {
                         let backoff = policy.backoff_for(tier_attempt);
                         retry_backoff_ms += backoff;
+                        if fusedml_trace::is_enabled() {
+                            fusedml_trace::instant(
+                                "recovery",
+                                "retry",
+                                "host",
+                                &[
+                                    ("tier", tier.name().into()),
+                                    ("attempt", tier_attempt.into()),
+                                    ("error", e.kind().into()),
+                                    ("backoff_ms", backoff.into()),
+                                ],
+                            );
+                        }
                         events.push(RecoveryEvent {
                             tier,
                             attempt: tier_attempt,
@@ -225,6 +238,18 @@ pub fn run_lr_cg_with_recovery(
 
         match tier.degrade() {
             Some(next) if policy.allow_degradation => {
+                if fusedml_trace::is_enabled() {
+                    fusedml_trace::instant(
+                        "recovery",
+                        "degrade",
+                        "host",
+                        &[
+                            ("from", tier.name().into()),
+                            ("to", next.name().into()),
+                            ("error", error.kind().into()),
+                        ],
+                    );
+                }
                 events.push(RecoveryEvent {
                     tier,
                     attempt: tier_attempt,
@@ -236,6 +261,14 @@ pub fn run_lr_cg_with_recovery(
                 tier = next;
             }
             _ => {
+                if fusedml_trace::is_enabled() {
+                    fusedml_trace::instant(
+                        "recovery",
+                        "abort",
+                        "host",
+                        &[("tier", tier.name().into()), ("error", error.kind().into())],
+                    );
+                }
                 events.push(RecoveryEvent {
                     tier,
                     attempt: tier_attempt,

@@ -143,6 +143,19 @@ pub fn run_device(
     labels: &[f64],
     cfg: &SessionConfig,
 ) -> EndToEndReport {
+    let mut session_span = fusedml_trace::wall_span("session", "run_device", "host");
+    session_span.arg(
+        "engine",
+        match cfg.engine {
+            EngineKind::Fused => "fused",
+            EngineKind::Baseline => "baseline",
+        },
+    );
+    session_span.arg("rows", data.rows());
+    session_span.arg("cols", data.cols());
+    session_span.arg("iterations", cfg.iterations);
+
+    let upload_span = fusedml_trace::wall_span("session", "phase.upload", "host");
     let mm = MemoryManager::new(gpu.spec().global_mem_bytes as u64, cfg.transfer.clone());
     mm.register("X", data.matrix_bytes(), data.needs_conversion());
     mm.register("labels", (labels.len() * 8) as u64, false);
@@ -153,6 +166,7 @@ pub fn run_device(
         .ensure_on_device("labels")
         .unwrap_or_else(|e| panic!("labels must fit the device: {e}"));
     mm.pin("X");
+    drop(upload_span);
 
     let opts = LrCgOptions {
         eps: 0.001,
@@ -160,6 +174,7 @@ pub fn run_device(
         max_iterations: cfg.iterations,
     };
 
+    let solve_span = fusedml_trace::wall_span("session", "phase.solve", "host");
     let (kernel_ms, launches, iterations, counters) = match (cfg.engine, data) {
         (EngineKind::Fused, DataSet::Sparse(x)) => {
             let mut b = FusedBackend::new_sparse(gpu, x);
@@ -187,11 +202,26 @@ pub fn run_device(
             (s.sim_ms, s.launches, r.iterations, s.counters)
         }
     };
+    drop(solve_span);
 
     // Listing 1 reads back two scalars per iteration (alpha's dot, the
     // convergence nr2) plus the initial nr2.
     let readback_ms = (2 * iterations + 1) as f64 * cfg.transfer.scalar_readback_ms();
     let dispatch_ms = launches as f64 * cfg.per_launch_overhead_ms;
+    if fusedml_trace::is_enabled() {
+        fusedml_trace::instant(
+            "session",
+            "phase.account",
+            "host",
+            &[
+                ("kernel_ms", kernel_ms.into()),
+                ("transfer_ms", transfer_ms.into()),
+                ("readback_ms", readback_ms.into()),
+                ("dispatch_ms", dispatch_ms.into()),
+                ("launches", launches.into()),
+            ],
+        );
+    }
 
     EndToEndReport {
         kernel_ms,
@@ -257,6 +287,12 @@ pub fn run_device_fault_tolerant(
     cfg: &SessionConfig,
     policy: &RecoveryPolicy,
 ) -> Result<FaultTolerantReport, SolverError> {
+    let mut session_span = fusedml_trace::wall_span("session", "run_device_fault_tolerant", "host");
+    session_span.arg("rows", data.rows());
+    session_span.arg("cols", data.cols());
+    session_span.arg("iterations", cfg.iterations);
+
+    let upload_span = fusedml_trace::wall_span("session", "phase.upload", "host");
     let mm = MemoryManager::new(gpu.spec().global_mem_bytes as u64, cfg.transfer.clone());
     mm.register("X", data.matrix_bytes(), data.needs_conversion());
     mm.register("labels", (labels.len() * 8) as u64, false);
@@ -267,6 +303,7 @@ pub fn run_device_fault_tolerant(
         .ensure_on_device("labels")
         .unwrap_or_else(|e| panic!("labels must fit the device: {e}"));
     mm.pin("X");
+    drop(upload_span);
 
     let opts = LrCgOptions {
         eps: 0.001,
@@ -274,7 +311,11 @@ pub fn run_device_fault_tolerant(
         max_iterations: cfg.iterations,
     };
 
+    let solve_span = fusedml_trace::wall_span("session", "phase.solve", "host");
     let outcome = run_lr_cg_with_recovery(gpu, data, labels, opts, cfg.transpose_policy, policy)?;
+    drop(solve_span);
+    session_span.arg("tier", outcome.tier.name());
+    session_span.arg("attempts", outcome.attempts);
 
     let kernel_ms = outcome.stats.sim_ms;
     let launches = outcome.stats.launches;

@@ -14,9 +14,62 @@
 use crate::transfer::TransferModel;
 use fusedml_blas::GpuCsr;
 use fusedml_core::{FusedExecutor, PatternSpec};
-use fusedml_gpu_sim::{Gpu, GpuBuffer};
+use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer};
 use fusedml_matrix::CsrMatrix;
 use serde::{Deserialize, Serialize};
+
+/// Why a streamed evaluation could not run. Shape and spec mismatches are
+/// caller bugs reported as typed errors at the public entry (they were
+/// `assert!` panics before); device faults propagate from the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// `rows_per_chunk` was zero.
+    InvalidChunk,
+    /// An operand's length does not match the matrix shape.
+    ShapeMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// A `PatternSpec` flag disagrees with the operands provided.
+    SpecMismatch { what: &'static str, enabled: bool },
+    /// The device failed while evaluating a chunk.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InvalidChunk => write!(f, "chunk size must be positive"),
+            StreamError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} length mismatch: expected {expected}, got {got}"),
+            StreamError::SpecMismatch { what, enabled } => write!(
+                f,
+                "PatternSpec.with_{what} is {enabled} but the {what} operand is {}",
+                if *enabled { "absent" } else { "present" }
+            ),
+            StreamError::Device(e) => write!(f, "device fault during streamed chunk: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for StreamError {
+    fn from(e: DeviceError) -> Self {
+        StreamError::Device(e)
+    }
+}
 
 /// Report of a streamed pattern evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,13 +105,64 @@ pub fn stream_pattern_sparse(
     rows_per_chunk: usize,
     transfer: &TransferModel,
 ) -> (Vec<f64>, StreamReport) {
-    assert!(rows_per_chunk > 0, "chunk size must be positive");
-    assert_eq!(y.len(), x.cols(), "y length mismatch");
-    if let Some(v) = v {
-        assert_eq!(v.len(), x.rows(), "v length mismatch");
+    try_stream_pattern_sparse(gpu, spec, x, v, y, z, rows_per_chunk, transfer)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`stream_pattern_sparse`]: invalid shapes or spec/operand
+/// disagreements come back as [`StreamError`] instead of panicking, and
+/// device faults mid-stream propagate as [`StreamError::Device`].
+#[allow(clippy::too_many_arguments)] // the pattern's full operand set
+pub fn try_stream_pattern_sparse(
+    gpu: &Gpu,
+    spec: PatternSpec,
+    x: &CsrMatrix,
+    v: Option<&[f64]>,
+    y: &[f64],
+    z: Option<&[f64]>,
+    rows_per_chunk: usize,
+    transfer: &TransferModel,
+) -> Result<(Vec<f64>, StreamReport), StreamError> {
+    if rows_per_chunk == 0 {
+        return Err(StreamError::InvalidChunk);
     }
-    assert_eq!(spec.with_v, v.is_some());
-    assert_eq!(spec.with_z, z.is_some());
+    if y.len() != x.cols() {
+        return Err(StreamError::ShapeMismatch {
+            what: "y",
+            expected: x.cols(),
+            got: y.len(),
+        });
+    }
+    if let Some(v) = v {
+        if v.len() != x.rows() {
+            return Err(StreamError::ShapeMismatch {
+                what: "v",
+                expected: x.rows(),
+                got: v.len(),
+            });
+        }
+    }
+    if let Some(z) = z {
+        if z.len() != x.cols() {
+            return Err(StreamError::ShapeMismatch {
+                what: "z",
+                expected: x.cols(),
+                got: z.len(),
+            });
+        }
+    }
+    if spec.with_v != v.is_some() {
+        return Err(StreamError::SpecMismatch {
+            what: "v",
+            enabled: spec.with_v,
+        });
+    }
+    if spec.with_z != z.is_some() {
+        return Err(StreamError::SpecMismatch {
+            what: "z",
+            enabled: spec.with_z,
+        });
+    }
 
     let n = x.cols();
     let yd = gpu.upload_f64("stream.y", y);
@@ -79,6 +183,15 @@ pub fn stream_pattern_sparse(
     report.h2d_bytes += vec_bytes;
     let lead_in = transfer.h2d_ms(vec_bytes, false);
     report.transfer_ms += lead_in;
+    if fusedml_trace::is_enabled() {
+        fusedml_trace::sim_span(
+            "stream",
+            "vectors.h2d",
+            "pcie",
+            lead_in,
+            &[("bytes", vec_bytes.into())],
+        );
+    }
 
     let mut ex = FusedExecutor::new(gpu);
     let mut prev_kernel_ms = 0.0f64;
@@ -102,11 +215,24 @@ pub fn stream_pattern_sparse(
             with_z: false,
         };
         ex.reset();
-        ex.pattern_sparse(chunk_spec, &xd, vd.as_ref(), &yd, None, &w_chunk);
-        accumulate(gpu, &mut ex, &w_chunk, &wd);
+        ex.try_pattern_sparse(chunk_spec, &xd, vd.as_ref(), &yd, None, &w_chunk)?;
+        try_accumulate(gpu, &mut ex, &w_chunk, &wd)?;
         let kernel_ms = ex.total_sim_ms();
 
         let t_ms = transfer.h2d_ms(chunk_bytes, false);
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::sim_span(
+                "stream",
+                "chunk.h2d",
+                "pcie",
+                t_ms,
+                &[
+                    ("chunk", report.chunks.into()),
+                    ("rows", rows.into()),
+                    ("bytes", chunk_bytes.into()),
+                ],
+            );
+        }
         report.chunks += 1;
         report.h2d_bytes += chunk_bytes;
         report.transfer_ms += t_ms;
@@ -119,6 +245,11 @@ pub fn stream_pattern_sparse(
         gpu.free(&xd.row_off);
         gpu.free(&xd.col_idx);
         gpu.free(&xd.values);
+        // The per-chunk v slice must be released with the chunk; this used
+        // to leak one device buffer per chunk when `with_v` was set.
+        if let Some(vd) = &vd {
+            gpu.free(vd);
+        }
         row0 += rows;
     }
     overlapped += prev_kernel_ms; // drain the pipeline
@@ -126,14 +257,24 @@ pub fn stream_pattern_sparse(
     // beta * z once, on device.
     if let (Some(zd), true) = (&zd, spec.with_z) {
         ex.reset();
-        let s = fusedml_blas::level1::axpy(gpu, spec.beta, zd, &wd);
+        let s = fusedml_blas::level1::try_axpy(gpu, spec.beta, zd, &wd)?;
         report.kernel_ms += s.sim_ms();
         overlapped += s.sim_ms();
     }
 
     report.overlapped_ms = overlapped;
     report.serial_ms = report.transfer_ms + report.kernel_ms;
-    (wd.to_vec_f64(), report)
+
+    let w = wd.to_vec_f64();
+    // Release the long-lived device vectors too: a streaming evaluation
+    // should leave device memory exactly where it found it.
+    gpu.free(&yd);
+    if let Some(zd) = &zd {
+        gpu.free(zd);
+    }
+    gpu.free(&w_chunk);
+    gpu.free(&wd);
+    Ok((w, report))
 }
 
 /// Extract rows `[row0, row0 + rows)` as a standalone CSR matrix.
@@ -155,9 +296,15 @@ fn slice_rows(x: &CsrMatrix, row0: usize, rows: usize) -> CsrMatrix {
 
 /// `w += w_chunk` on device (one elementwise kernel), charging the cost to
 /// the executor's ledger.
-fn accumulate(gpu: &Gpu, ex: &mut FusedExecutor, src: &GpuBuffer, dst: &GpuBuffer) {
-    let s = fusedml_blas::level1::axpy(gpu, 1.0, src, dst);
+fn try_accumulate(
+    gpu: &Gpu,
+    ex: &mut FusedExecutor,
+    src: &GpuBuffer,
+    dst: &GpuBuffer,
+) -> Result<(), DeviceError> {
+    let s = fusedml_blas::level1::try_axpy(gpu, 1.0, src, dst)?;
     ex.launches.push(s);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -271,5 +418,154 @@ mod tests {
             0,
             &TransferModel::native(),
         );
+    }
+
+    #[test]
+    fn streaming_releases_all_device_memory() {
+        // Regression: the per-chunk v slice leaked one device buffer per
+        // chunk (and the long-lived vectors were never freed), so memory
+        // grew linearly with the chunk count under with_v=true.
+        let g = gpu();
+        let x = uniform_sparse(1000, 150, 0.05, 40);
+        let y = random_vector(150, 41);
+        let v = random_vector(1000, 42);
+        let before = g.allocated_bytes();
+        let (_, report) = stream_pattern_sparse(
+            &g,
+            PatternSpec {
+                alpha: 1.0,
+                with_v: true,
+                beta: 0.0,
+                with_z: false,
+            },
+            &x,
+            Some(&v),
+            &y,
+            None,
+            100,
+            &TransferModel::native(),
+        );
+        assert_eq!(report.chunks, 10);
+        assert_eq!(
+            g.allocated_bytes(),
+            before,
+            "streaming leaked {} bytes across {} chunks",
+            g.allocated_bytes() - before,
+            report.chunks
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_yield_typed_errors() {
+        let g = gpu();
+        let x = uniform_sparse(20, 12, 0.3, 36);
+        let y = random_vector(12, 7);
+        let t = TransferModel::native();
+
+        let e = try_stream_pattern_sparse(&g, PatternSpec::xtxy(), &x, None, &y, None, 0, &t)
+            .unwrap_err();
+        assert_eq!(e, StreamError::InvalidChunk);
+
+        let bad_y = random_vector(5, 8);
+        let e = try_stream_pattern_sparse(&g, PatternSpec::xtxy(), &x, None, &bad_y, None, 4, &t)
+            .unwrap_err();
+        assert_eq!(
+            e,
+            StreamError::ShapeMismatch {
+                what: "y",
+                expected: 12,
+                got: 5
+            }
+        );
+
+        let bad_v = random_vector(3, 9);
+        let spec_v = PatternSpec {
+            alpha: 1.0,
+            with_v: true,
+            beta: 0.0,
+            with_z: false,
+        };
+        let e =
+            try_stream_pattern_sparse(&g, spec_v, &x, Some(&bad_v), &y, None, 4, &t).unwrap_err();
+        assert!(matches!(e, StreamError::ShapeMismatch { what: "v", .. }));
+
+        // Spec says with_v but no v operand supplied.
+        let e = try_stream_pattern_sparse(&g, spec_v, &x, None, &y, None, 4, &t).unwrap_err();
+        assert_eq!(
+            e,
+            StreamError::SpecMismatch {
+                what: "v",
+                enabled: true
+            }
+        );
+
+        // z operand supplied but spec has with_z=false.
+        let z = random_vector(12, 10);
+        let e = try_stream_pattern_sparse(&g, PatternSpec::xtxy(), &x, None, &y, Some(&z), 4, &t)
+            .unwrap_err();
+        assert_eq!(
+            e,
+            StreamError::SpecMismatch {
+                what: "z",
+                enabled: false
+            }
+        );
+    }
+
+    /// Parametrized sweep over chunk sizes (dividing and non-dividing,
+    /// larger than the matrix) and every v/z operand combination: the
+    /// streamed result must match the single-shot reference and the
+    /// overlap model must never exceed the serial model.
+    #[test]
+    fn streaming_correct_across_chunkings_and_operands() {
+        let g = gpu();
+        let m = 730;
+        let n = 96;
+        let x = uniform_sparse(m, n, 0.05, 50);
+        let y = random_vector(n, 51);
+        let v = random_vector(m, 52);
+        let z = random_vector(n, 53);
+
+        for rows_per_chunk in [1usize, 97, 365, 730, 731, 10_000] {
+            for (with_v, with_z) in [(false, false), (true, false), (false, true), (true, true)] {
+                let spec = PatternSpec {
+                    alpha: 1.25,
+                    with_v,
+                    beta: if with_z { -0.75 } else { 0.0 },
+                    with_z,
+                };
+                let before = g.allocated_bytes();
+                let (w, report) = stream_pattern_sparse(
+                    &g,
+                    spec,
+                    &x,
+                    with_v.then_some(&v[..]),
+                    &y,
+                    with_z.then_some(&z[..]),
+                    rows_per_chunk,
+                    &TransferModel::native(),
+                );
+                let expect = reference::pattern_csr(
+                    1.25,
+                    &x,
+                    with_v.then_some(&v),
+                    &y,
+                    spec.beta,
+                    with_z.then_some(&z),
+                );
+                assert!(
+                    reference::rel_l2_error(&w, &expect) < 1e-10,
+                    "chunk={rows_per_chunk} v={with_v} z={with_z}"
+                );
+                assert_eq!(report.chunks, m.div_ceil(rows_per_chunk.min(m)));
+                assert!(
+                    report.overlapped_ms <= report.serial_ms + 1e-9,
+                    "chunk={rows_per_chunk}: overlap {} > serial {}",
+                    report.overlapped_ms,
+                    report.serial_ms
+                );
+                assert_eq!(g.allocated_bytes(), before, "chunk={rows_per_chunk} leaked");
+            }
+        }
     }
 }
