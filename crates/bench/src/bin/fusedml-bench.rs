@@ -13,8 +13,8 @@
 //! 2 = usage error or structurally incomparable reports.
 
 use fusedml_bench::regress::{
-    chrome_trace, compare, metrics_summary, run_suite, workload_ids, BenchReport, CompareOptions,
-    Json, Mode, SuiteOptions,
+    chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
+    run_suite, workload_ids, BenchReport, CompareOptions, Json, Mode, SuiteOptions,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
@@ -29,19 +29,23 @@ fn main() {
         Some("compare") => cmd_compare(args.collect()),
         Some("list") => cmd_list(args.collect()),
         Some("trace") => cmd_trace(args.collect()),
+        Some("hostperf") => cmd_hostperf(args.collect()),
         Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
         None => die(USAGE),
     }
 }
 
 const USAGE: &str = "usage:
-  fusedml-bench run [--quick|--full] [--scale f] [--seed u64] [--device titan|k20] [--out PATH]
+  fusedml-bench run [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
+                [--out PATH] [--no-plan-cache]
   fusedml-bench compare <baseline.json> <candidate.json>
                 [--modeled-tol f] [--counter-tol f] [--speedup-tol f]
                 [--wall-tol f] [--ignore-wall]
   fusedml-bench list [--quick|--full] [--scale f]
   fusedml-bench trace [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
-                [--out PATH] [--summary-out PATH]";
+                [--out PATH] [--summary-out PATH]
+  fusedml-bench hostperf [--from REPORT.json] [--out SUMMARY.json]
+                [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
 fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
@@ -65,8 +69,8 @@ fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
             }
             "--device" => {
                 opts.device = match next_arg(&mut it, "--device").as_str() {
-                    "titan" => DeviceSpec::gtx_titan(),
-                    "k20" => DeviceSpec::tesla_k20(),
+                    "titan" => DeviceSpec::gtx_titan().into(),
+                    "k20" => DeviceSpec::tesla_k20().into(),
                     other => die(&format!("--device must be 'titan' or 'k20', got '{other}'")),
                 };
             }
@@ -83,6 +87,10 @@ fn cmd_run(args: Vec<String>) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = next_arg(&mut it, "--out"),
+            // CI's bit-identity check: a cache-off run must produce the
+            // same modeled metrics as a cache-on run (only the host block
+            // may differ). Executors created after this call inherit it.
+            "--no-plan-cache" => fusedml_core::set_plan_cache_enabled(false),
             other => die(&format!("unknown flag '{other}' for run\n{USAGE}")),
         }
     }
@@ -248,6 +256,57 @@ fn cmd_trace(args: Vec<String>) {
         if !categories.contains(&layer) {
             die(&format!("trace is missing the '{layer}' layer"));
         }
+    }
+}
+
+/// Render the host-overhead view: plan-cache and buffer-pool traffic plus
+/// host milliseconds per solver iteration, per workload and in aggregate.
+/// Reads an existing report with `--from`, otherwise runs the suite.
+fn cmd_hostperf(args: Vec<String>) {
+    let (opts, rest) = parse_suite_opts(&args);
+    let mut from: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--from" => from = Some(next_arg(&mut it, "--from")),
+            "--out" => out = Some(next_arg(&mut it, "--out")),
+            other => die(&format!("unknown flag '{other}' for hostperf\n{USAGE}")),
+        }
+    }
+
+    let report = match &from {
+        Some(path) => BenchReport::load(path).unwrap_or_else(|e| die(&e)),
+        None => {
+            eprintln!(
+                "running {} suite on {} (scale {}, seed {:#x})",
+                opts.mode.as_str(),
+                opts.device.name,
+                opts.scale,
+                opts.seed
+            );
+            run_suite(&opts, |id| eprintln!("  {id}"))
+        }
+    };
+
+    hostperf_table(&report).print();
+
+    if let Some(path) = &out {
+        let summary = hostperf_summary(&report);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+            }
+        }
+        std::fs::write(path, summary.render())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+
+    let totals = hostperf_totals(&report);
+    if totals.pool_hits + totals.pool_misses == 0 {
+        eprintln!("no host activity recorded (v1 report or kernel-only matrix)");
     }
 }
 

@@ -232,22 +232,35 @@ impl Checker<'_> {
                 opts.wall_tol,
             );
         }
+        // The `host` block (plan-cache / pool traffic, host ms per
+        // iteration) is deliberately NOT gated: it legitimately differs
+        // between cache-on and cache-off runs of the same commit, and the
+        // CI bit-identity check relies on comparing such a pair cleanly.
     }
 }
 
 /// Compare `cand` against `base`. `Err` means the reports are structurally
-/// incomparable (different schema or fingerprint) — the CLI maps that to
-/// exit code 2, distinct from exit 1 for a genuine regression.
+/// incomparable (different config fingerprint) — the CLI maps that to
+/// exit code 2, distinct from exit 1 for a genuine regression. A schema
+/// version skew between loadable versions is only a [`Severity::Note`].
 pub fn compare(
     base: &BenchReport,
     cand: &BenchReport,
     opts: &CompareOptions,
 ) -> Result<Comparison, String> {
+    let mut cmp = Comparison::default();
     if base.schema_version != cand.schema_version {
-        return Err(format!(
-            "schema mismatch: baseline v{} vs candidate v{}",
-            base.schema_version, cand.schema_version
-        ));
+        // Versions that load at all are field-compatible (missing fields
+        // default), so a version skew is worth a note, not a refusal —
+        // otherwise every schema bump would orphan the committed baseline.
+        cmp.findings.push(Finding {
+            workload: "(report)".to_string(),
+            metric: "schema_version".to_string(),
+            base: base.schema_version as f64,
+            cand: cand.schema_version as f64,
+            rel_delta: 0.0,
+            severity: Severity::Note,
+        });
     }
     if base.fingerprint != cand.fingerprint {
         return Err(format!(
@@ -256,7 +269,6 @@ pub fn compare(
         ));
     }
 
-    let mut cmp = Comparison::default();
     for bw in &base.workloads {
         let Some(cw) = cand.find(&bw.id) else {
             // Losing a workload silently would shrink coverage; fail.
@@ -370,6 +382,42 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.severity == Severity::Improvement));
+    }
+
+    #[test]
+    fn schema_version_skew_is_a_note_not_an_error() {
+        let base = {
+            let mut r = report(1.0, 3.0);
+            r.schema_version = 1; // committed baseline predates the bump
+            r
+        };
+        let cand = report(1.0, 3.0);
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(c.passed(), "{}", c.render());
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.metric == "schema_version" && f.severity == Severity::Note));
+    }
+
+    #[test]
+    fn host_metrics_never_gate() {
+        use crate::regress::report::HostPerf;
+        let base = report(1.0, 3.0);
+        let mut cand = report(1.0, 3.0);
+        for w in &mut cand.workloads {
+            // A cache-off rerun: many more plans computed, no pool reuse.
+            w.fused.host = HostPerf {
+                plans_computed: 500,
+                plan_cache_hits: 0,
+                pool_hits: 0,
+                pool_misses: 4000,
+                pool_bytes_recycled: 0,
+                host_ms_per_iter: 9.0,
+            };
+        }
+        let c = compare(&base, &cand, &CompareOptions::default()).unwrap();
+        assert!(c.passed(), "{}", c.render());
     }
 
     #[test]

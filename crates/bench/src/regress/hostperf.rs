@@ -1,0 +1,243 @@
+//! The `fusedml-bench hostperf` view: the host-overhead story of one
+//! suite run, extracted from a schema-v2 `BENCH_fusion.json`.
+//!
+//! The modeled (simulated) metrics answer "is the device work right and
+//! fast"; this view answers "what did the *host* pay per iteration" —
+//! tuner runs avoided by the plan cache, device allocations served from
+//! the buffer pool, and wall milliseconds per solver step. These are the
+//! metrics that prove the plan cache and buffer pool pay off, since the
+//! modeled counters are bit-identical with them on or off.
+
+use super::json::Json;
+use super::report::{BenchReport, HostPerf};
+use crate::table::{fmt_count, Table};
+
+/// Aggregated host-overhead counters over every variant of a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostPerfTotals {
+    pub plans_computed: u64,
+    pub plan_cache_hits: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_bytes_recycled: u64,
+}
+
+impl HostPerfTotals {
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plans_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    fn absorb(&mut self, h: &HostPerf) {
+        self.plans_computed += h.plans_computed;
+        self.plan_cache_hits += h.plan_cache_hits;
+        self.pool_hits += h.pool_hits;
+        self.pool_misses += h.pool_misses;
+        self.pool_bytes_recycled += h.pool_bytes_recycled;
+    }
+}
+
+/// Sum the host-overhead counters over every (workload, variant) pair.
+pub fn hostperf_totals(report: &BenchReport) -> HostPerfTotals {
+    let mut t = HostPerfTotals::default();
+    for w in &report.workloads {
+        t.absorb(&w.fused.host);
+        t.absorb(&w.baseline.host);
+    }
+    t
+}
+
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn fmt_pct(rate: f64) -> String {
+    format!("{:.1}%", rate * 100.0)
+}
+
+/// Render the per-workload host-overhead table. One row per variant that
+/// recorded any host activity (kernel-level workloads have none).
+pub fn hostperf_table(report: &BenchReport) -> Table {
+    let mut t = Table::new(
+        "hostperf",
+        "host overhead per workload (plan cache + buffer pool)",
+        &[
+            "workload",
+            "variant",
+            "plans",
+            "plan_hits",
+            "pool_hits",
+            "pool_miss",
+            "pool_hit%",
+            "MiB_recycled",
+            "host_ms/iter",
+        ],
+    );
+    for w in &report.workloads {
+        for (name, v) in [("fused", &w.fused), ("baseline", &w.baseline)] {
+            let h = &v.host;
+            if *h == HostPerf::default() {
+                continue;
+            }
+            t.row(vec![
+                w.id.clone(),
+                name.to_string(),
+                fmt_count(h.plans_computed),
+                fmt_count(h.plan_cache_hits),
+                fmt_count(h.pool_hits),
+                fmt_count(h.pool_misses),
+                fmt_pct(h.pool_hit_rate()),
+                fmt_mib(h.pool_bytes_recycled),
+                format!("{:.3}", h.host_ms_per_iter),
+            ]);
+        }
+    }
+    let totals = hostperf_totals(report);
+    t.note(format!(
+        "totals: {} tuner runs, {} plan-cache hits ({} hit rate); pool {}/{} hits ({} hit rate), {} MiB recycled",
+        totals.plans_computed,
+        totals.plan_cache_hits,
+        fmt_pct(totals.plan_cache_hit_rate()),
+        totals.pool_hits,
+        totals.pool_hits + totals.pool_misses,
+        fmt_pct(totals.pool_hit_rate()),
+        fmt_mib(totals.pool_bytes_recycled),
+    ));
+    t.note("modeled metrics are bit-identical with the plan cache on or off; these host counters are where the win shows up");
+    t
+}
+
+/// Machine-readable summary of the host-overhead view (`--out`).
+pub fn hostperf_summary(report: &BenchReport) -> Json {
+    let totals = hostperf_totals(report);
+    let mut rows = Vec::new();
+    for w in &report.workloads {
+        for (name, v) in [("fused", &w.fused), ("baseline", &w.baseline)] {
+            if v.host == HostPerf::default() {
+                continue;
+            }
+            let h = &v.host;
+            rows.push(Json::obj(vec![
+                ("workload", Json::str(&w.id)),
+                ("variant", Json::str(name)),
+                ("plans_computed", Json::u64(h.plans_computed)),
+                ("plan_cache_hits", Json::u64(h.plan_cache_hits)),
+                ("pool_hits", Json::u64(h.pool_hits)),
+                ("pool_misses", Json::u64(h.pool_misses)),
+                ("pool_hit_rate", Json::num(h.pool_hit_rate())),
+                ("pool_bytes_recycled", Json::u64(h.pool_bytes_recycled)),
+                ("host_ms_per_iter", Json::num(h.host_ms_per_iter)),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        ("schema_version", Json::u64(report.schema_version)),
+        ("git_sha", Json::str(&report.git_sha)),
+        ("plans_computed", Json::u64(totals.plans_computed)),
+        ("plan_cache_hits", Json::u64(totals.plan_cache_hits)),
+        (
+            "plan_cache_hit_rate",
+            Json::num(totals.plan_cache_hit_rate()),
+        ),
+        ("pool_hits", Json::u64(totals.pool_hits)),
+        ("pool_misses", Json::u64(totals.pool_misses)),
+        ("pool_hit_rate", Json::num(totals.pool_hit_rate())),
+        ("pool_bytes_recycled", Json::u64(totals.pool_bytes_recycled)),
+        ("workloads", Json::Arr(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regress::report::{ConfigFingerprint, VariantMetrics, WorkloadResult};
+    use fusedml_gpu_sim::Counters;
+
+    fn variant(host: HostPerf) -> VariantMetrics {
+        VariantMetrics::new(1.0, 0.837, 2.0, 3, 0.5, &Counters::new()).with_host(host)
+    }
+
+    fn report() -> BenchReport {
+        let fused = variant(HostPerf {
+            plans_computed: 1,
+            plan_cache_hits: 9,
+            pool_hits: 90,
+            pool_misses: 10,
+            pool_bytes_recycled: 2 * 1024 * 1024,
+            host_ms_per_iter: 0.4,
+        });
+        let baseline = variant(HostPerf::default());
+        BenchReport {
+            schema_version: crate::regress::report::SCHEMA_VERSION,
+            git_sha: "test".into(),
+            fingerprint: ConfigFingerprint {
+                device: "dev".into(),
+                clock_ghz: 0.837,
+                scale: 1.0,
+                seed: 1,
+                mode: "quick".into(),
+            },
+            workloads: vec![WorkloadResult {
+                id: "lr_cg/csr/100x10".into(),
+                algorithm: "lr_cg".into(),
+                format: "csr".into(),
+                rows: 100,
+                cols: 10,
+                nnz: 50,
+                iterations: 3,
+                speedup: 2.0,
+                fused,
+                baseline,
+            }],
+        }
+    }
+
+    #[test]
+    fn totals_sum_both_variants() {
+        let t = hostperf_totals(&report());
+        assert_eq!(t.plans_computed, 1);
+        assert_eq!(t.plan_cache_hits, 9);
+        assert!((t.pool_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((t.plan_cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_skips_variants_without_host_activity() {
+        let t = hostperf_table(&report());
+        // Only the fused variant recorded host traffic.
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][1], "fused");
+        let rendered = t.render();
+        assert!(rendered.contains("90.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn summary_exposes_the_acceptance_metrics() {
+        let j = hostperf_summary(&report());
+        assert_eq!(j.field_u64("pool_hits").unwrap(), 90);
+        assert!((j.field_f64("pool_hit_rate").unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(j.field("workloads").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_report_renders_zero_rates() {
+        let mut r = report();
+        r.workloads.clear();
+        let t = hostperf_totals(&r);
+        assert_eq!(t.pool_hit_rate(), 0.0);
+        assert_eq!(hostperf_table(&r).rows.len(), 0);
+    }
+}

@@ -15,13 +15,17 @@
 //! are stubbed out.
 
 pub mod compare;
+pub mod hostperf;
 pub mod json;
 pub mod report;
 pub mod suite;
 pub mod trace_export;
 
 pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
+pub use hostperf::{hostperf_summary, hostperf_table, hostperf_totals, HostPerfTotals};
 pub use json::Json;
-pub use report::{BenchReport, ConfigFingerprint, VariantMetrics, WorkloadResult, SCHEMA_VERSION};
+pub use report::{
+    BenchReport, ConfigFingerprint, HostPerf, VariantMetrics, WorkloadResult, SCHEMA_VERSION,
+};
 pub use suite::{run_suite, workload_ids, Mode, SuiteOptions};
 pub use trace_export::{chrome_trace, metrics_summary, DEVICE_PID, HOST_PID};

@@ -13,9 +13,17 @@
 use super::json::Json;
 use fusedml_gpu_sim::Counters;
 
-/// Version of the `BENCH_fusion.json` schema. Bump on breaking changes;
-/// `compare` refuses to diff reports with mismatched versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version of the `BENCH_fusion.json` schema. Bump on breaking changes.
+///
+/// History:
+/// * v1 — modeled + wall metrics per variant.
+/// * v2 — adds the nested `host` object per variant (plan-cache and
+///   buffer-pool traffic, host milliseconds per solver iteration). v1
+///   documents still load: the host fields default to zero.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`BenchReport::from_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Everything that parameterizes a suite run. Two reports are only
 /// comparable when their fingerprints match.
@@ -51,6 +59,66 @@ impl ConfigFingerprint {
             scale: j.field_f64("scale")?,
             seed: j.field_u64("seed")?,
             mode: j.field_str("mode")?.to_string(),
+        })
+    }
+}
+
+/// Host-overhead metrics of one variant: what the launch-plan cache and
+/// the device buffer pool did for the run. All counters are zero for
+/// kernel-level workloads (no solver loop, nothing to amortize) and for
+/// v1 documents.
+///
+/// These are *host* metrics: they vary with the plan cache on vs. off
+/// while the modeled counters stay bit-identical, so `compare` reports
+/// but never gates them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostPerf {
+    /// Times the analytical tuner actually ran (cache misses + uncached
+    /// runs + planning errors).
+    pub plans_computed: u64,
+    /// Plans served from the cache without running the tuner.
+    pub plan_cache_hits: u64,
+    /// Device allocations served from the buffer pool's free lists.
+    pub pool_hits: u64,
+    /// Device allocations that went to the host allocator.
+    pub pool_misses: u64,
+    /// Requested bytes served from recycled blocks.
+    pub pool_bytes_recycled: u64,
+    /// Host wall-clock milliseconds per solver iteration (wall_ms /
+    /// iterations; 0 for kernel-level workloads).
+    pub host_ms_per_iter: f64,
+}
+
+impl HostPerf {
+    /// Fraction of device allocations served from the pool, in `[0, 1]`.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("plans_computed", Json::u64(self.plans_computed)),
+            ("plan_cache_hits", Json::u64(self.plan_cache_hits)),
+            ("pool_hits", Json::u64(self.pool_hits)),
+            ("pool_misses", Json::u64(self.pool_misses)),
+            ("pool_bytes_recycled", Json::u64(self.pool_bytes_recycled)),
+            ("host_ms_per_iter", Json::num(self.host_ms_per_iter)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(HostPerf {
+            plans_computed: j.field_u64("plans_computed")?,
+            plan_cache_hits: j.field_u64("plan_cache_hits")?,
+            pool_hits: j.field_u64("pool_hits")?,
+            pool_misses: j.field_u64("pool_misses")?,
+            pool_bytes_recycled: j.field_u64("pool_bytes_recycled")?,
+            host_ms_per_iter: j.field_f64("host_ms_per_iter")?,
         })
     }
 }
@@ -91,6 +159,8 @@ pub struct VariantMetrics {
     /// Time-weighted mean achieved occupancy over the variant's launches,
     /// in [0, 1]; 0 when not recorded (CPU-modelled or unavailable).
     pub occupancy: f64,
+    /// Host-overhead accounting (schema v2; zero for v1 documents).
+    pub host: HostPerf,
 }
 
 impl VariantMetrics {
@@ -120,7 +190,15 @@ impl VariantMetrics {
             shared_access_ops: agg.shared_access_ops,
             global_atomic_ops: agg.global_atomic_ops,
             occupancy,
+            host: HostPerf::default(),
         }
+    }
+
+    /// Attach host-overhead accounting (builder-style, used by the suite
+    /// for algorithm-level workloads).
+    pub fn with_host(mut self, host: HostPerf) -> Self {
+        self.host = host;
+        self
     }
 
     /// Total DRAM traffic (read + write).
@@ -145,6 +223,7 @@ impl VariantMetrics {
             ("shared_access_ops", Json::u64(self.shared_access_ops)),
             ("global_atomic_ops", Json::u64(self.global_atomic_ops)),
             ("occupancy", Json::num(self.occupancy)),
+            ("host", self.host.to_json()),
         ])
     }
 
@@ -165,6 +244,12 @@ impl VariantMetrics {
             shared_access_ops: j.field_u64("shared_access_ops")?,
             global_atomic_ops: j.field_u64("global_atomic_ops")?,
             occupancy: j.field_f64("occupancy")?,
+            // Absent in v1 documents: default to zero rather than failing,
+            // so old baselines stay loadable.
+            host: match j.field("host") {
+                Ok(h) => HostPerf::from_json(h).map_err(|e| format!("host: {e}"))?,
+                Err(_) => HostPerf::default(),
+            },
         })
     }
 }
@@ -251,9 +336,10 @@ impl BenchReport {
 
     pub fn from_json(j: &Json) -> Result<Self, String> {
         let version = j.field_u64("schema_version")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "schema version {version} unsupported (this build reads {SCHEMA_VERSION})"
+                "schema version {version} unsupported (this build reads \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let mut workloads = Vec::new();
@@ -366,6 +452,53 @@ mod tests {
         let v = sample_variant(2.0);
         // 2 ms at 0.837 GHz = 1.674e6 cycles.
         assert_eq!(v.modeled_cycles, 1_674_000);
+    }
+
+    #[test]
+    fn v1_document_loads_with_zero_host_fields() {
+        // Fabricate a genuine v1 document: version 1, no `host` objects.
+        let r = sample_report();
+        let mut j = r.to_json();
+        let Json::Obj(doc) = &mut j else {
+            panic!("report is an object")
+        };
+        doc.insert("schema_version".into(), Json::u64(1));
+        let Some(Json::Arr(ws)) = doc.get_mut("workloads") else {
+            panic!("workloads is an array")
+        };
+        for w in ws {
+            let Json::Obj(w) = w else { panic!() };
+            for variant in ["fused", "baseline"] {
+                let Some(Json::Obj(v)) = w.get_mut(variant) else {
+                    panic!()
+                };
+                v.remove("host");
+            }
+        }
+        let back = BenchReport::from_json(&j).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.workloads[0].fused.host, HostPerf::default());
+        // Everything that existed in v1 survives untouched.
+        assert_eq!(
+            back.workloads[0].fused.modeled_ms,
+            r.workloads[0].fused.modeled_ms
+        );
+    }
+
+    #[test]
+    fn host_perf_roundtrips_and_rates() {
+        let h = HostPerf {
+            plans_computed: 2,
+            plan_cache_hits: 98,
+            pool_hits: 90,
+            pool_misses: 10,
+            pool_bytes_recycled: 4096,
+            host_ms_per_iter: 0.25,
+        };
+        let back = HostPerf::from_json(&h.to_json()).unwrap();
+        assert_eq!(h, back);
+        assert!((h.pool_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(HostPerf::default().pool_hit_rate(), 0.0);
     }
 
     #[test]

@@ -16,13 +16,14 @@
 //! hosts; only `wall_ms` depends on the machine running the suite.
 
 use super::report::{
-    current_git_sha, BenchReport, ConfigFingerprint, VariantMetrics, WorkloadResult, SCHEMA_VERSION,
+    current_git_sha, BenchReport, ConfigFingerprint, HostPerf, VariantMetrics, WorkloadResult,
+    SCHEMA_VERSION,
 };
 use fusedml_blas::ellmv::GpuEll;
 use fusedml_blas::{level1, BaselineEngine, Flavor, GpuCsr, GpuDense};
 use fusedml_core::ell_fused::{fused_pattern_ell, plan_ell};
 use fusedml_core::{FusedExecutor, PatternSpec};
-use fusedml_gpu_sim::{Counters, DeviceSpec, Gpu, LaunchStats};
+use fusedml_gpu_sim::{Counters, DevicePool, DeviceSpec, Gpu, LaunchStats};
 use fusedml_matrix::gen::{
     dense_random, powerlaw_sparse, random_labels, random_vector, uniform_sparse,
 };
@@ -31,6 +32,7 @@ use fusedml_ml::{
     glm, hits, logreg, lr_cg, svm_primal, Backend, BackendStats, BaselineBackend, FusedBackend,
     GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, SvmOptions,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Suite depth. `Quick` is the CI gate (seconds of host time); `Full`
@@ -65,7 +67,9 @@ pub struct SuiteOptions {
     /// Multiplies every workload's row count, in (0, 1].
     pub scale: f64,
     pub seed: u64,
-    pub device: DeviceSpec,
+    /// Shared device spec: every per-variant `Gpu` construction bumps the
+    /// refcount instead of cloning the 28-field struct.
+    pub device: Arc<DeviceSpec>,
 }
 
 impl SuiteOptions {
@@ -74,7 +78,7 @@ impl SuiteOptions {
             mode: Mode::Quick,
             scale: 1.0,
             seed: 0x5EED,
-            device: DeviceSpec::gtx_titan(),
+            device: Arc::new(DeviceSpec::gtx_titan()),
         }
     }
 
@@ -291,7 +295,12 @@ fn variant_from_launches(launches: &[LaunchStats], wall_ms: f64, clock_ghz: f64)
     VariantMetrics::new(ms, clock_ghz, wall_ms, n, occ, &counters)
 }
 
-fn variant_from_stats(stats: &BackendStats, wall_ms: f64, clock_ghz: f64) -> VariantMetrics {
+fn variant_from_stats(
+    stats: &BackendStats,
+    wall_ms: f64,
+    clock_ghz: f64,
+    iters: u64,
+) -> VariantMetrics {
     VariantMetrics::new(
         stats.sim_ms,
         clock_ghz,
@@ -300,10 +309,27 @@ fn variant_from_stats(stats: &BackendStats, wall_ms: f64, clock_ghz: f64) -> Var
         stats.mean_occupancy(),
         &stats.counters,
     )
+    .with_host(HostPerf {
+        plans_computed: stats.plan.plans_computed(),
+        plan_cache_hits: stats.plan.hits,
+        pool_hits: stats.pool.hits,
+        pool_misses: stats.pool.misses,
+        pool_bytes_recycled: stats.pool.bytes_recycled,
+        host_ms_per_iter: wall_ms / iters.max(1) as f64,
+    })
 }
 
 fn wall_ms_since(t0: Instant) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Per-variant device on the suite's shared buffer pool. Each variant gets
+/// its own `Gpu` (isolated counters, caches, and address space) but blocks
+/// freed by earlier workloads warm up later ones — the caching-allocator
+/// model, and what makes the pool hit rate meaningful across a matrix of
+/// same-shaped workloads.
+fn suite_gpu(opts: &SuiteOptions, pool: &DevicePool) -> Gpu {
+    Gpu::new(opts.device.clone()).with_shared_pool(pool)
 }
 
 /// Full pattern with every term, exercising v-scaling and the z-axpy tail.
@@ -312,13 +338,17 @@ fn full_spec() -> PatternSpec {
 }
 
 /// Kernel-level CSR workload: fused executor vs. operator composition.
-fn run_pattern_csr(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetrics) {
+fn run_pattern_csr(
+    opts: &SuiteOptions,
+    pool: &DevicePool,
+    x: &CsrMatrix,
+) -> (VariantMetrics, VariantMetrics) {
     let (m, n) = (x.rows(), x.cols());
     let spec = full_spec();
     let seed = opts.seed;
 
     let fused = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuCsr::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(n, seed + 1));
         let vd = gpu.upload_f64("v", &random_vector(m, seed + 2));
@@ -332,7 +362,7 @@ fn run_pattern_csr(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, Varia
     };
 
     let baseline = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuCsr::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(n, seed + 1));
         let vd = gpu.upload_f64("v", &random_vector(m, seed + 2));
@@ -359,12 +389,16 @@ fn run_pattern_csr(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, Varia
 
 /// `X^T y`: the fused transposed scan vs. the cuSPARSE-style transposed
 /// SpMV (which rebuilds `X^T` per call).
-fn run_xty(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetrics) {
+fn run_xty(
+    opts: &SuiteOptions,
+    pool: &DevicePool,
+    x: &CsrMatrix,
+) -> (VariantMetrics, VariantMetrics) {
     let (m, n) = (x.rows(), x.cols());
     let seed = opts.seed;
 
     let fused = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuCsr::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(m, seed + 4));
         let wd = gpu.alloc_f64("w", n);
@@ -376,7 +410,7 @@ fn run_xty(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetric
     };
 
     let baseline = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuCsr::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(m, seed + 4));
         let wd = gpu.alloc_f64("w", n);
@@ -391,13 +425,17 @@ fn run_xty(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetric
 
 /// ELL-stored fused kernel vs. the CSR operator composition on the same
 /// logical matrix — the storage-format extension workload.
-fn run_pattern_ell(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, VariantMetrics) {
+fn run_pattern_ell(
+    opts: &SuiteOptions,
+    pool: &DevicePool,
+    x: &CsrMatrix,
+) -> (VariantMetrics, VariantMetrics) {
     let (m, n) = (x.rows(), x.cols());
     let spec = PatternSpec::xtxy();
     let seed = opts.seed;
 
     let fused = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let ell = EllMatrix::from_csr(x);
         let eld = GpuEll::upload(&gpu, "ell", &ell);
         let yd = gpu.upload_f64("y", &random_vector(n, seed + 5));
@@ -413,7 +451,7 @@ fn run_pattern_ell(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, Varia
     };
 
     let baseline = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuCsr::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(n, seed + 5));
         let wd = gpu.alloc_f64("w", n);
@@ -428,13 +466,17 @@ fn run_pattern_ell(opts: &SuiteOptions, x: &CsrMatrix) -> (VariantMetrics, Varia
 }
 
 /// Dense full pattern: generated fused kernel vs. cuBLAS-style composition.
-fn run_pattern_dense(opts: &SuiteOptions, x: &DenseMatrix) -> (VariantMetrics, VariantMetrics) {
+fn run_pattern_dense(
+    opts: &SuiteOptions,
+    pool: &DevicePool,
+    x: &DenseMatrix,
+) -> (VariantMetrics, VariantMetrics) {
     let (m, n) = (x.rows(), x.cols());
     let spec = full_spec();
     let seed = opts.seed;
 
     let fused = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuDense::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(n, seed + 6));
         let vd = gpu.upload_f64("v", &random_vector(m, seed + 7));
@@ -448,7 +490,7 @@ fn run_pattern_dense(opts: &SuiteOptions, x: &DenseMatrix) -> (VariantMetrics, V
     };
 
     let baseline = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let xd = GpuDense::upload(&gpu, "X", x);
         let yd = gpu.upload_f64("y", &random_vector(n, seed + 6));
         let vd = gpu.upload_f64("v", &random_vector(m, seed + 7));
@@ -549,23 +591,24 @@ fn drive_algo<B: Backend>(
 /// Algorithm-level workload on CSR input: `ours-end2end` vs. `cu-end2end`.
 fn run_algo_csr(
     opts: &SuiteOptions,
+    pool: &DevicePool,
     algo: Algo,
     iters: u64,
     x: &CsrMatrix,
 ) -> (VariantMetrics, VariantMetrics) {
     let fused = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let t0 = Instant::now();
         let mut b = FusedBackend::new_sparse(&gpu, x);
         drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
-        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     let baseline = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let t0 = Instant::now();
         let mut b = BaselineBackend::new_sparse(&gpu, x);
         drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
-        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     (fused, baseline)
 }
@@ -573,23 +616,24 @@ fn run_algo_csr(
 /// Algorithm-level workload on dense input.
 fn run_algo_dense(
     opts: &SuiteOptions,
+    pool: &DevicePool,
     algo: Algo,
     iters: u64,
     x: &DenseMatrix,
 ) -> (VariantMetrics, VariantMetrics) {
     let fused = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let t0 = Instant::now();
         let mut b = FusedBackend::new_dense(&gpu, x);
         drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
-        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     let baseline = {
-        let gpu = Gpu::new(opts.device.clone());
+        let gpu = suite_gpu(opts, pool);
         let t0 = Instant::now();
         let mut b = BaselineBackend::new_dense(&gpu, x);
         drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
-        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz)
+        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     (fused, baseline)
 }
@@ -598,6 +642,10 @@ fn run_algo_dense(
 /// id of each workload as it starts (pass `|_| {}` to silence).
 pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> BenchReport {
     let mut workloads = Vec::new();
+    // One buffer pool for the whole matrix: freed blocks from one variant
+    // serve the next variant's allocations (many workloads share size
+    // classes), so only the first touch of each size class ever misses.
+    let pool = DevicePool::new();
     for spec in matrix(opts.mode, opts.scale) {
         let id = spec.id();
         progress(&id);
@@ -608,32 +656,32 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> BenchRe
                     Dist::Uniform => uniform_sparse(m, n, spec.sparsity, opts.seed),
                     Dist::PowerLaw => powerlaw_sparse(m, n, 10.0, 0.8, opts.seed),
                 };
-                let (f, b) = run_pattern_csr(opts, &x);
+                let (f, b) = run_pattern_csr(opts, &pool, &x);
                 (x.nnz() as u64, f, b)
             }
             Kind::XtY => {
                 let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
-                let (f, b) = run_xty(opts, &x);
+                let (f, b) = run_xty(opts, &pool, &x);
                 (x.nnz() as u64, f, b)
             }
             Kind::PatternEll => {
                 let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
-                let (f, b) = run_pattern_ell(opts, &x);
+                let (f, b) = run_pattern_ell(opts, &pool, &x);
                 (x.nnz() as u64, f, b)
             }
             Kind::PatternDense => {
                 let x = dense_random(m, n, opts.seed);
-                let (f, b) = run_pattern_dense(opts, &x);
+                let (f, b) = run_pattern_dense(opts, &pool, &x);
                 ((m * n) as u64, f, b)
             }
             Kind::AlgoCsr(algo) => {
                 let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
-                let (f, b) = run_algo_csr(opts, *algo, spec.iterations, &x);
+                let (f, b) = run_algo_csr(opts, &pool, *algo, spec.iterations, &x);
                 (x.nnz() as u64, f, b)
             }
             Kind::AlgoDense(algo) => {
                 let x = dense_random(m, n, opts.seed);
-                let (f, b) = run_algo_dense(opts, *algo, spec.iterations, &x);
+                let (f, b) = run_algo_dense(opts, &pool, *algo, spec.iterations, &x);
                 ((m * n) as u64, f, b)
             }
         };

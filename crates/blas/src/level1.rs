@@ -11,7 +11,12 @@ use fusedml_gpu_sim::{DeviceError, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WA
 
 const BS: usize = 256;
 
-fn elementwise<F>(gpu: &Gpu, name: &str, n: usize, body: F) -> Result<LaunchStats, DeviceError>
+fn elementwise<F>(
+    gpu: &Gpu,
+    name: &'static str,
+    n: usize,
+    body: F,
+) -> Result<LaunchStats, DeviceError>
 where
     F: Fn(&mut fusedml_gpu_sim::WarpCtx, usize /* base */) + Sync,
 {

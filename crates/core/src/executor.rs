@@ -5,12 +5,14 @@
 
 use crate::codegen::try_launch_dense_fused;
 use crate::pattern::PatternSpec;
+use crate::plancache::{Invalidation, PlanCache, PlanCacheStats};
 use crate::sparse_fused::{try_fused_pattern_shared, try_fused_xt_p_shared};
 use crate::sparse_large::{try_fused_pattern_global, try_fused_xt_p_global};
 use crate::tuner::{try_plan_dense, try_plan_sparse, DensePlan, SparsePlan};
 use fusedml_blas::level1::try_fill;
-use fusedml_blas::{GpuCsr, GpuDense};
+use fusedml_blas::{vector_size_for_mean_nnz, GpuCsr, GpuDense};
 use fusedml_gpu_sim::{Counters, DeviceError, Gpu, GpuBuffer, LaunchStats};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 /// Fused-kernel execution engine; the counterpart of
@@ -38,6 +40,12 @@ pub struct FusedExecutor<'g> {
     gpu: &'g Gpu,
     /// Every launch performed since the last [`FusedExecutor::reset`].
     pub launches: Vec<LaunchStats>,
+    /// Memoized tuner results (see [`crate::plancache`]); interior
+    /// mutability because planning is conceptually a read-only query.
+    plan_cache: RefCell<PlanCache>,
+    /// Per-executor caching switch, seeded from the process-wide default
+    /// ([`crate::plancache::plan_cache_enabled`]).
+    plan_cache_on: Cell<bool>,
 }
 
 impl<'g> FusedExecutor<'g> {
@@ -45,6 +53,8 @@ impl<'g> FusedExecutor<'g> {
         FusedExecutor {
             gpu,
             launches: Vec::new(),
+            plan_cache: RefCell::new(PlanCache::new()),
+            plan_cache_on: Cell::new(crate::plancache::plan_cache_enabled()),
         }
     }
 
@@ -73,11 +83,13 @@ impl<'g> FusedExecutor<'g> {
     }
 
     /// Counters grouped by kernel name (the "phases" of one fused
-    /// evaluation: zero-fill vs. the fused kernel itself).
-    pub fn counters_by_kernel(&self) -> BTreeMap<String, Counters> {
-        let mut phases: BTreeMap<String, Counters> = BTreeMap::new();
+    /// evaluation: zero-fill vs. the fused kernel itself). Kernel names
+    /// are interned static strings, so grouping allocates no per-launch
+    /// `String`s.
+    pub fn counters_by_kernel(&self) -> BTreeMap<&'static str, Counters> {
+        let mut phases: BTreeMap<&'static str, Counters> = BTreeMap::new();
         for l in &self.launches {
-            phases.entry(l.name.clone()).or_default().merge(&l.counters);
+            phases.entry(l.name).or_default().merge(&l.counters);
         }
         phases
     }
@@ -86,12 +98,73 @@ impl<'g> FusedExecutor<'g> {
         self.launches.clear();
     }
 
+    /// Enable or disable plan memoization on this executor (does not drop
+    /// already-cached plans; see [`FusedExecutor::invalidate_plan_cache`]).
+    pub fn set_plan_cache(&self, enabled: bool) {
+        self.plan_cache_on.set(enabled);
+    }
+
+    /// Whether this executor memoizes plans.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_cache_on.get()
+    }
+
+    /// Cumulative plan-cache traffic (sparse + dense), independent of
+    /// [`FusedExecutor::reset`].
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plan_cache.borrow().stats()
+    }
+
+    /// Drop every memoized plan, recording the typed reason.
+    pub fn invalidate_plan_cache(&self, reason: Invalidation) {
+        self.plan_cache.borrow_mut().invalidate(reason);
+    }
+
+    /// Zero the plan-cache counters (cached plans stay valid).
+    pub fn reset_plan_stats(&self) {
+        self.plan_cache.borrow_mut().reset_stats();
+    }
+
     /// The launch plan the tuner would pick for this sparse matrix, or a
     /// typed (permanent) [`DeviceError`] when the device's resource limits
     /// admit no configuration — the recovery ladder degrades instead of
     /// aborting.
+    ///
+    /// Memoized: repeated calls for the same device/shape/VS-bucket return
+    /// the cached plan without re-running the BS×C tuner sweep, so an
+    /// iterative solver plans once per solve instead of once per
+    /// iteration. Planning errors are never cached.
     pub fn try_sparse_plan(&self, x: &GpuCsr) -> Result<SparsePlan, DeviceError> {
-        let plan = try_plan_sparse(self.gpu.spec(), x.rows, x.cols, x.mean_nnz_per_row())?;
+        let spec = self.gpu.spec();
+        let mu = x.mean_nnz_per_row();
+        let (plan, cached) = self
+            .plan_cache
+            .borrow_mut()
+            .sparse_plan(
+                self.plan_cache_on.get(),
+                spec,
+                x.rows,
+                x.cols,
+                vector_size_for_mean_nnz(mu),
+                || try_plan_sparse(spec, x.rows, x.cols, mu),
+            )
+            .map_err(DeviceError::from)?;
+        if cached {
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "plan",
+                    "plan.cache_hit",
+                    "host",
+                    &[
+                        ("kind", "sparse".into()),
+                        ("rows", x.rows.into()),
+                        ("cols", x.cols.into()),
+                        ("vs", plan.vs.into()),
+                    ],
+                );
+            }
+            return Ok(plan);
+        }
         if fusedml_trace::is_enabled() {
             let why = if plan.use_shared_w {
                 format!(
@@ -131,9 +204,33 @@ impl<'g> FusedExecutor<'g> {
     }
 
     /// The launch plan the tuner would pick for this dense matrix, or a
-    /// typed (permanent) [`DeviceError`].
+    /// typed (permanent) [`DeviceError`]. Memoized like
+    /// [`FusedExecutor::try_sparse_plan`], keyed by device and shape.
     pub fn try_dense_plan(&self, x: &GpuDense) -> Result<DensePlan, DeviceError> {
-        let plan = try_plan_dense(self.gpu.spec(), x.rows, x.cols)?;
+        let spec = self.gpu.spec();
+        let (plan, cached) = self
+            .plan_cache
+            .borrow_mut()
+            .dense_plan(self.plan_cache_on.get(), spec, x.rows, x.cols, || {
+                try_plan_dense(spec, x.rows, x.cols)
+            })
+            .map_err(DeviceError::from)?;
+        if cached {
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "plan",
+                    "plan.cache_hit",
+                    "host",
+                    &[
+                        ("kind", "dense".into()),
+                        ("rows", x.rows.into()),
+                        ("cols", x.cols.into()),
+                        ("tl", plan.tl.into()),
+                    ],
+                );
+            }
+            return Ok(plan);
+        }
         if fusedml_trace::is_enabled() {
             let why = if x.cols <= self.gpu.spec().warp_size {
                 format!(
@@ -441,5 +538,69 @@ mod tests {
         );
         // And the results agree.
         assert!(reference::rel_l2_error(&wd1.to_vec_f64(), &wd2.to_vec_f64()) < 1e-11);
+    }
+
+    #[test]
+    fn repeated_pattern_calls_plan_once() {
+        let g = gpu();
+        let x = uniform_sparse(2000, 256, 0.03, 90);
+        let y = random_vector(256, 8);
+        let xd = GpuCsr::upload(&g, "x", &x);
+        let yd = g.upload_f64("y", &y);
+        let wd = g.alloc_f64("w", 256);
+        let mut ex = FusedExecutor::new(&g);
+        ex.set_plan_cache(true); // independent of the process default
+        let iterations = 10;
+        for _ in 0..iterations {
+            ex.pattern_sparse(PatternSpec::xtxy(), &xd, None, &yd, None, &wd);
+        }
+        let s = ex.plan_stats();
+        assert_eq!(s.plans_computed(), 1, "O(1) tuner runs per solve");
+        assert_eq!(s.hits, iterations - 1);
+        assert_eq!(ex.launch_count(), 2 * iterations as usize);
+    }
+
+    #[test]
+    fn cached_plan_is_bit_identical_to_fresh_plan() {
+        let g = gpu();
+        let x = uniform_sparse(3000, 400, 0.02, 91);
+        let xd = GpuCsr::upload(&g, "x", &x);
+        let ex = FusedExecutor::new(&g);
+        ex.set_plan_cache(true);
+        let first = ex.try_sparse_plan(&xd).unwrap();
+        let cached = ex.try_sparse_plan(&xd).unwrap();
+        ex.set_plan_cache(false);
+        let fresh = ex.try_sparse_plan(&xd).unwrap();
+        assert_eq!(first, cached);
+        assert_eq!(cached, fresh, "a cache hit must equal a fresh tuner run");
+    }
+
+    #[test]
+    fn disabled_executor_cache_replans_every_call() {
+        let g = gpu();
+        let x = dense_random(900, 24, 92);
+        let xd = GpuDense::upload(&g, "x", &x);
+        let ex = FusedExecutor::new(&g);
+        ex.set_plan_cache(false);
+        for _ in 0..3 {
+            ex.try_dense_plan(&xd).unwrap();
+        }
+        let s = ex.plan_stats();
+        assert_eq!((s.hits, s.plans_computed()), (0, 3));
+    }
+
+    #[test]
+    fn invalidation_forces_replan() {
+        let g = gpu();
+        let x = uniform_sparse(1000, 200, 0.04, 93);
+        let xd = GpuCsr::upload(&g, "x", &x);
+        let ex = FusedExecutor::new(&g);
+        ex.set_plan_cache(true);
+        ex.try_sparse_plan(&xd).unwrap();
+        ex.invalidate_plan_cache(crate::plancache::Invalidation::MatrixChanged);
+        ex.try_sparse_plan(&xd).unwrap();
+        let s = ex.plan_stats();
+        assert_eq!(s.misses, 2, "post-invalidation call re-runs the tuner");
+        assert!(s.invalidations > 0);
     }
 }

@@ -31,6 +31,7 @@ pub mod dense_fused;
 pub mod ell_fused;
 pub mod executor;
 pub mod pattern;
+pub mod plancache;
 pub mod sparse_fused;
 pub mod sparse_large;
 pub mod tuner;
@@ -39,6 +40,9 @@ pub use codegen::{generate_cuda_source, launch_dense_fused};
 pub use ell_fused::{fused_pattern_ell, plan_ell, EllPlan};
 pub use executor::FusedExecutor;
 pub use pattern::{PatternInstance, PatternSpec};
+pub use plancache::{
+    plan_cache_enabled, set_plan_cache_enabled, Invalidation, PlanCache, PlanCacheStats,
+};
 pub use tuner::{
     plan_dense, plan_sparse, plan_sparse_with_vs, try_plan_dense, try_plan_sparse,
     try_plan_sparse_with_vs, DensePlan, PlanError, SparsePlan,

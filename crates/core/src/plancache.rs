@@ -1,0 +1,386 @@
+//! Memoization of the §3.3 launch-parameter model.
+//!
+//! An iterative solver evaluates the generic pattern hundreds of times on
+//! the *same* matrix, and every evaluation used to re-run the full BS×C
+//! tuner sweep with occupancy evaluation. The SystemML fusion-plan line of
+//! work decides a fusion plan once per program and reuses it across
+//! iterations; this cache gives the reproduction the same property: a
+//! 500-iteration CG solve plans once, not 500 times.
+//!
+//! ## Cache key derivation
+//!
+//! A plan is a pure function of the device and a small set of matrix
+//! statistics, so the key captures exactly those inputs:
+//!
+//! * **Device fingerprint** ([`DeviceSpec::fingerprint`]): any change to a
+//!   resource limit or throughput figure changes the key, so a plan tuned
+//!   for one device is never served for another.
+//! * **Shape** (`rows`, `cols`): `rows` drives the coarsening factor C and
+//!   grid, `cols` drives the shared-vs-global aggregation choice.
+//! * **Bucketed mean-nnz/row** (sparse only): the tuner consumes the mean
+//!   nnz/row `mu` *only* through the Equation 4 vector size
+//!   `VS = vector_size_for_mean_nnz(mu)`, so the key stores the VS bucket.
+//!   Two matrices whose `mu` falls in the same bucket genuinely share a
+//!   plan — a cached hit is bit-identical to a fresh tuner run — while a
+//!   bucket-boundary crossing (say `mu` 32 → 33) misses and replans.
+//!
+//! Planning *errors* are never cached: [`PlanError::NoFeasibleConfig`] and
+//! empty-matrix rejections re-run the tuner on every call, so a transient
+//! mis-sized request cannot poison the cache.
+
+use crate::tuner::{DensePlan, SparsePlan};
+use fusedml_gpu_sim::DeviceSpec;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for plan caching, read once per
+/// [`crate::FusedExecutor`] construction. The bench CLI flips this to A/B
+/// host overhead with caching on vs. off (`fusedml-bench run
+/// --no-plan-cache`); modeled counters are bit-identical either way.
+static PLAN_CACHE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide default for plan caching in newly constructed
+/// executors (existing executors are unaffected).
+pub fn set_plan_cache_enabled(enabled: bool) {
+    PLAN_CACHE_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// The process-wide plan-caching default.
+pub fn plan_cache_enabled() -> bool {
+    PLAN_CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Why a plan cache was invalidated (recorded in [`PlanCacheStats`] and the
+/// trace stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invalidation {
+    /// The executor was pointed at a different device.
+    DeviceChanged,
+    /// The caller knows its matrix population changed enough to re-tune
+    /// (the shape/VS key already isolates most changes; this is for
+    /// explicit "start over" requests).
+    MatrixChanged,
+    /// Unconditional flush.
+    All,
+}
+
+impl Invalidation {
+    fn as_str(self) -> &'static str {
+        match self {
+            Invalidation::DeviceChanged => "device_changed",
+            Invalidation::MatrixChanged => "matrix_changed",
+            Invalidation::All => "all",
+        }
+    }
+}
+
+/// Hit/miss accounting for one cache (cumulative until
+/// [`PlanCache::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans served from the cache without running the tuner.
+    pub hits: u64,
+    /// Tuner runs whose result was inserted into the cache.
+    pub misses: u64,
+    /// Tuner runs performed while caching was disabled (never inserted).
+    pub uncached: u64,
+    /// Planning errors (never cached; the tuner re-runs on every call).
+    pub errors: u64,
+    /// Explicit invalidations.
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Total times the tuner actually ran (the work the cache exists to
+    /// avoid).
+    pub fn plans_computed(&self) -> u64 {
+        self.misses + self.uncached + self.errors
+    }
+
+    fn merge(&mut self, other: &PlanCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.uncached += other.uncached;
+        self.errors += other.errors;
+        self.invalidations += other.invalidations;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SparseKey {
+    device: u64,
+    rows: usize,
+    cols: usize,
+    /// Equation 4 vector size — the only channel through which mean
+    /// nnz/row reaches the sparse tuner.
+    vs: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct DenseKey {
+    device: u64,
+    rows: usize,
+    cols: usize,
+}
+
+/// Memoized sparse and dense launch plans for one device, plus traffic
+/// counters. Owned by [`crate::FusedExecutor`]; the executor consults it
+/// before every tuner run.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    sparse: BTreeMap<SparseKey, SparsePlan>,
+    dense: BTreeMap<DenseKey, DensePlan>,
+    sparse_stats: PlanCacheStats,
+    dense_stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Memoize `compute` under the sparse key `(device, rows, cols, vs)`.
+    /// `enabled = false` bypasses the map but still counts the tuner run.
+    pub(crate) fn sparse_plan<E>(
+        &mut self,
+        enabled: bool,
+        device: &DeviceSpec,
+        rows: usize,
+        cols: usize,
+        vs: usize,
+        compute: impl FnOnce() -> Result<SparsePlan, E>,
+    ) -> Result<(SparsePlan, bool), E> {
+        let key = SparseKey {
+            device: device.fingerprint(),
+            rows,
+            cols,
+            vs,
+        };
+        if enabled {
+            if let Some(plan) = self.sparse.get(&key) {
+                self.sparse_stats.hits += 1;
+                return Ok((*plan, true));
+            }
+        }
+        match compute() {
+            Ok(plan) => {
+                if enabled {
+                    self.sparse.insert(key, plan);
+                    self.sparse_stats.misses += 1;
+                } else {
+                    self.sparse_stats.uncached += 1;
+                }
+                Ok((plan, false))
+            }
+            Err(e) => {
+                self.sparse_stats.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Memoize `compute` under the dense key `(device, rows, cols)`.
+    pub(crate) fn dense_plan<E>(
+        &mut self,
+        enabled: bool,
+        device: &DeviceSpec,
+        rows: usize,
+        cols: usize,
+        compute: impl FnOnce() -> Result<DensePlan, E>,
+    ) -> Result<(DensePlan, bool), E> {
+        let key = DenseKey {
+            device: device.fingerprint(),
+            rows,
+            cols,
+        };
+        if enabled {
+            if let Some(plan) = self.dense.get(&key) {
+                self.dense_stats.hits += 1;
+                return Ok((*plan, true));
+            }
+        }
+        match compute() {
+            Ok(plan) => {
+                if enabled {
+                    self.dense.insert(key, plan);
+                    self.dense_stats.misses += 1;
+                } else {
+                    self.dense_stats.uncached += 1;
+                }
+                Ok((plan, false))
+            }
+            Err(e) => {
+                self.dense_stats.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop every cached plan, recording the typed reason.
+    pub fn invalidate(&mut self, reason: Invalidation) {
+        self.sparse.clear();
+        self.dense.clear();
+        self.sparse_stats.invalidations += 1;
+        self.dense_stats.invalidations += 1;
+        if fusedml_trace::is_enabled() {
+            fusedml_trace::instant(
+                "plan",
+                "plan.cache_invalidate",
+                "host",
+                &[("reason", reason.as_str().into())],
+            );
+        }
+    }
+
+    /// Cached entries: `(sparse, dense)`.
+    pub fn len(&self) -> (usize, usize) {
+        (self.sparse.len(), self.dense.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sparse.is_empty() && self.dense.is_empty()
+    }
+
+    /// Sparse and dense counters merged.
+    pub fn stats(&self) -> PlanCacheStats {
+        let mut s = self.sparse_stats;
+        s.merge(&self.dense_stats);
+        s
+    }
+
+    pub fn sparse_stats(&self) -> PlanCacheStats {
+        self.sparse_stats
+    }
+
+    pub fn dense_stats(&self) -> PlanCacheStats {
+        self.dense_stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.sparse_stats = PlanCacheStats::default();
+        self.dense_stats = PlanCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{try_plan_dense, try_plan_sparse, PlanError};
+    use fusedml_blas::vector_size_for_mean_nnz;
+
+    fn titan() -> DeviceSpec {
+        DeviceSpec::gtx_titan()
+    }
+
+    /// A device whose register file is too small for any sparse
+    /// configuration (mirrors the tuner's own NoFeasibleConfig tests).
+    fn register_starved() -> DeviceSpec {
+        DeviceSpec {
+            registers_per_sm: 1024,
+            ..DeviceSpec::gtx_titan()
+        }
+    }
+
+    fn plan_sparse_via_cache(
+        cache: &mut PlanCache,
+        spec: &DeviceSpec,
+        m: usize,
+        n: usize,
+        mu: f64,
+    ) -> Result<(SparsePlan, bool), PlanError> {
+        let vs = vector_size_for_mean_nnz(mu);
+        cache.sparse_plan(true, spec, m, n, vs, || try_plan_sparse(spec, m, n, mu))
+    }
+
+    #[test]
+    fn second_identical_request_hits() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        let (p1, hit1) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
+        let (p2, hit2) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
+        assert!(!hit1 && hit2);
+        assert_eq!(p1, p2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.plans_computed(), 1);
+    }
+
+    #[test]
+    fn different_device_fingerprints_do_not_share_plans() {
+        let mut cache = PlanCache::new();
+        let titan = titan();
+        let k20 = DeviceSpec::tesla_k20();
+        let (_, hit1) = plan_sparse_via_cache(&mut cache, &titan, 10_000, 512, 20.0).unwrap();
+        let (_, hit2) = plan_sparse_via_cache(&mut cache, &k20, 10_000, 512, 20.0).unwrap();
+        assert!(!hit1 && !hit2, "k20 must not reuse the titan plan");
+        assert_eq!(cache.len(), (2, 0));
+    }
+
+    #[test]
+    fn mean_nnz_bucket_boundary_crossing_replans() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        // VS buckets per Equation 4: mu in (16, 32] -> VS 16, mu > 32 -> 32.
+        assert_eq!(vector_size_for_mean_nnz(20.0), 16);
+        assert_eq!(vector_size_for_mean_nnz(32.0), 16);
+        assert_eq!(vector_size_for_mean_nnz(33.0), 32);
+        let (_, h1) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
+        let (_, h2) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 32.0).unwrap();
+        let (_, h3) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 33.0).unwrap();
+        assert!(!h1, "first request computes");
+        assert!(h2, "same VS bucket shares the plan");
+        assert!(!h3, "crossing the bucket boundary must replan");
+        assert_eq!(cache.len(), (2, 0));
+    }
+
+    #[test]
+    fn planning_errors_are_not_cached_as_success() {
+        let mut cache = PlanCache::new();
+        let starved = register_starved();
+        for _ in 0..2 {
+            let err = plan_sparse_via_cache(&mut cache, &starved, 10_000, 512, 20.0)
+                .expect_err("register-starved device cannot plan");
+            assert!(matches!(err, PlanError::NoFeasibleConfig { .. }));
+        }
+        assert!(cache.is_empty(), "errors must never enter the cache");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.errors), (0, 0, 2));
+        assert_eq!(s.plans_computed(), 2, "the tuner re-ran on each call");
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        for _ in 0..3 {
+            let (_, hit) = cache
+                .dense_plan(false, &spec, 5_000, 128, || {
+                    try_plan_dense(&spec, 5_000, 128)
+                })
+                .unwrap();
+            assert!(!hit);
+        }
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.uncached), (0, 3));
+        assert_eq!(s.plans_computed(), 3);
+    }
+
+    #[test]
+    fn invalidation_flushes_and_counts() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
+        cache
+            .dense_plan(true, &spec, 5_000, 128, || {
+                try_plan_dense(&spec, 5_000, 128)
+            })
+            .unwrap();
+        assert_eq!(cache.len(), (1, 1));
+        cache.invalidate(Invalidation::DeviceChanged);
+        assert!(cache.is_empty());
+        let (_, hit) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
+        assert!(!hit, "invalidation forces a replan");
+        assert_eq!(cache.stats().invalidations, 2); // sparse + dense side
+    }
+}

@@ -20,11 +20,12 @@ use crate::error::DeviceError;
 use crate::fault::{FaultInjector, FaultProfile};
 use crate::memory::{Elem, GpuBuffer};
 use crate::occupancy::{occupancy, Occupancy};
+use crate::pool::{BufferPool, DevicePool, PoolStats};
 use crate::shared::bank_conflict_replays;
 use crate::timing::{kernel_time, TimeBreakdown};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Number of lanes in a warp. Fixed at 32 like every NVIDIA architecture.
 pub const WARP_LANES: usize = 32;
@@ -84,7 +85,9 @@ impl LaunchConfig {
 /// Outcome of one simulated kernel launch.
 #[derive(Debug, Clone)]
 pub struct LaunchStats {
-    pub name: String,
+    /// Kernel name. Kernels are a fixed set known at compile time, so the
+    /// name is a static borrow — recording a launch allocates nothing.
+    pub name: &'static str,
     pub config: LaunchConfig,
     pub occupancy: Occupancy,
     pub counters: Counters,
@@ -110,16 +113,23 @@ struct SmState {
 
 /// The simulated GPU: owns device memory allocation and per-SM state.
 pub struct Gpu {
-    spec: DeviceSpec,
+    /// Shared, not cloned: several simulated devices (and their buffers)
+    /// can borrow one spec, so constructing a `Gpu` per bench variant does
+    /// not deep-copy the device description each time.
+    spec: Arc<DeviceSpec>,
     next_addr: AtomicU64,
     allocated_bytes: AtomicU64,
+    pool: Arc<BufferPool>,
     sms: Mutex<Vec<SmState>>,
     host_threads: usize,
     faults: FaultInjector,
 }
 
 impl Gpu {
-    pub fn new(spec: DeviceSpec) -> Self {
+    /// Accepts either an owned [`DeviceSpec`] or an `Arc<DeviceSpec>`; the
+    /// latter shares the spec without cloning it per construction.
+    pub fn new(spec: impl Into<Arc<DeviceSpec>>) -> Self {
+        let spec = spec.into();
         let host_threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -129,7 +139,8 @@ impl Gpu {
 
     /// Create a GPU whose blocks are simulated by exactly `host_threads`
     /// worker threads (1 = fully sequential, maximally reproducible).
-    pub fn with_host_threads(spec: DeviceSpec, host_threads: usize) -> Self {
+    pub fn with_host_threads(spec: impl Into<Arc<DeviceSpec>>, host_threads: usize) -> Self {
+        let spec = spec.into();
         // Each SM gets a full-capacity private view of the L2: the real
         // L2 is a shared, address-interleaved cache, so capacity available
         // to shared hot structures (the y/v/w vectors) is the full 1.5MB,
@@ -150,6 +161,7 @@ impl Gpu {
             // Non-zero base so address 0 is never valid.
             next_addr: AtomicU64::new(0x1000),
             allocated_bytes: AtomicU64::new(0),
+            pool: Arc::new(BufferPool::new()),
             sms: Mutex::new(sms),
             host_threads: host_threads.max(1),
             faults: FaultInjector::disabled(),
@@ -160,6 +172,17 @@ impl Gpu {
     /// injects nothing).
     pub fn with_fault_profile(mut self, profile: FaultProfile) -> Self {
         self.faults = FaultInjector::new(profile);
+        self
+    }
+
+    /// Share a [`DevicePool`] with this device (builder style), replacing
+    /// its private pool. Several `Gpu` instances simulating the same
+    /// physical device can then recycle each other's freed buffers — the
+    /// caching-allocator model, where the pool outlives any one context.
+    /// Modeled counters are unaffected: addresses still come from this
+    /// device's own bump allocator.
+    pub fn with_shared_pool(mut self, pool: &DevicePool) -> Self {
+        self.pool = Arc::clone(pool.inner());
         self
     }
 
@@ -220,11 +243,48 @@ impl Gpu {
             });
         }
         // Pad allocations to cache-line multiples like cudaMalloc does.
+        // The base address is drawn from the bump allocator on *every*
+        // allocation — pool hit or miss — so the address stream feeding the
+        // cache models is identical to an unpooled allocator's and modeled
+        // counters stay bit-identical with pooling enabled.
         let padded =
             bytes.div_ceil(self.spec.cache_line_bytes as u64) * self.spec.cache_line_bytes as u64;
         let base = self.next_addr.fetch_add(padded.max(128), Ordering::Relaxed);
         self.allocated_bytes.fetch_add(bytes, Ordering::Relaxed);
-        Ok(GpuBuffer::new(name, base, elem, len))
+        let recycled = self.pool.acquire(len);
+        if fusedml_trace::is_enabled() {
+            let outcome = if recycled.is_some() {
+                "pool.hit"
+            } else {
+                "pool.miss"
+            };
+            fusedml_trace::instant(
+                "mem",
+                outcome,
+                "device",
+                &[("buffer", name.into()), ("bytes", bytes.into())],
+            );
+        }
+        Ok(GpuBuffer::with_pool(
+            name,
+            base,
+            elem,
+            len,
+            Arc::downgrade(&self.pool),
+            recycled,
+        ))
+    }
+
+    /// Cumulative buffer-pool traffic for this device.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Cap the host bytes the buffer pool retains in its free lists
+    /// (default [`crate::pool::DEFAULT_POOL_RETAIN_BYTES`]). `0` disables
+    /// recycling entirely: every freed block returns to the host allocator.
+    pub fn set_pool_retain_bytes(&self, bytes: u64) {
+        self.pool.set_retain_cap(bytes);
     }
 
     /// Allocate an uninitialized (zeroed) f64 buffer, reporting injected or
@@ -314,7 +374,7 @@ impl Gpu {
     /// large, register or shared-memory footprint over the limits) —
     /// mirroring a CUDA launch failure — or if fault injection fires. Use
     /// [`Gpu::try_launch`] on paths that must survive faults.
-    pub fn launch<K>(&self, name: &str, config: LaunchConfig, kernel: K) -> LaunchStats
+    pub fn launch<K>(&self, name: &'static str, config: LaunchConfig, kernel: K) -> LaunchStats
     where
         K: Fn(&mut BlockCtx) + Sync,
     {
@@ -335,7 +395,7 @@ impl Gpu {
     /// undefined, exactly like a kernel killed mid-flight.
     pub fn try_launch<K>(
         &self,
-        name: &str,
+        name: &'static str,
         config: LaunchConfig,
         kernel: K,
     ) -> Result<LaunchStats, DeviceError>
@@ -498,7 +558,7 @@ impl Gpu {
             );
         }
         Ok(LaunchStats {
-            name: name.to_string(),
+            name,
             config,
             occupancy: occ,
             counters: merged,
@@ -1272,5 +1332,78 @@ mod tests {
         assert_eq!(g.allocated_bytes() - before, 8192);
         g.free(&b);
         assert_eq!(g.allocated_bytes(), before);
+    }
+
+    #[test]
+    fn pool_recycles_dropped_buffers_with_fresh_addresses() {
+        let g = gpu();
+        let first = g.alloc_f64("scratch", 500);
+        let first_addr = first.addr_of(0);
+        first.host_write_f64(3, 42.0);
+        drop(first);
+        assert_eq!(g.pool_stats().reclaimed, 1);
+
+        // Same-bucket reallocation: served from the pool, but with a fresh
+        // bump address (counter bit-identity) and zeroed contents
+        // (zero-on-reuse).
+        let second = g.alloc_f64("scratch2", 500);
+        assert_eq!(g.pool_stats().hits, 1);
+        assert_ne!(second.addr_of(0), first_addr);
+        assert_eq!(second.host_read_f64(3), 0.0);
+    }
+
+    #[test]
+    fn pool_ignores_buffers_with_live_handles() {
+        let g = gpu();
+        let a = g.alloc_f64("a", 64);
+        let alias = a.clone();
+        g.free(&a); // accounting only: `alias` still references the store
+        drop(a);
+        assert_eq!(g.pool_stats().reclaimed, 0);
+        alias.host_write_f64(0, 1.0); // still safe to touch
+        drop(alias);
+        assert_eq!(g.pool_stats().reclaimed, 1);
+    }
+
+    #[test]
+    fn pool_disabled_by_zero_retention_cap() {
+        let g = gpu();
+        g.set_pool_retain_bytes(0);
+        drop(g.alloc_f64("a", 64));
+        let s = g.pool_stats();
+        assert_eq!(s.reclaimed, 0);
+        assert_eq!(s.retained_bytes, 0);
+    }
+
+    #[test]
+    fn shared_pool_recycles_across_devices() {
+        let spec = std::sync::Arc::new(DeviceSpec::tiny_test_device());
+        let pool = DevicePool::new();
+        let g1 = Gpu::with_host_threads(spec.clone(), 1).with_shared_pool(&pool);
+        {
+            let warm = g1.alloc_f64("warm", 500);
+            warm.host_write_f64(0, 7.0);
+        } // dropped: reclaimed into the shared pool
+        drop(g1);
+        assert_eq!(pool.stats().reclaimed, 1);
+
+        // A *different* device on the same pool gets the recycled block —
+        // with its own fresh bump address and zeroed contents.
+        let g2 = Gpu::with_host_threads(spec, 1).with_shared_pool(&pool);
+        let reused = g2.alloc_f64("reused", 500);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(reused.host_read_f64(0), 0.0);
+        // The second device's own-stats view is the shared pool's view.
+        assert_eq!(g2.pool_stats(), pool.stats());
+    }
+
+    #[test]
+    fn shared_spec_constructs_without_cloning() {
+        let spec = std::sync::Arc::new(DeviceSpec::tiny_test_device());
+        let g1 = Gpu::with_host_threads(spec.clone(), 1);
+        let g2 = Gpu::with_host_threads(spec.clone(), 1);
+        assert_eq!(g1.spec().name, g2.spec().name);
+        // Three owners: the local Arc plus one per device.
+        assert_eq!(std::sync::Arc::strong_count(&spec), 3);
     }
 }

@@ -51,6 +51,7 @@ pub mod exec;
 pub mod fault;
 pub mod memory;
 pub mod occupancy;
+pub mod pool;
 pub mod profile;
 pub mod shared;
 pub mod timing;
@@ -62,5 +63,6 @@ pub use exec::{BlockCtx, Gpu, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_L
 pub use fault::{FaultCounts, FaultInjector, FaultProfile};
 pub use memory::{Elem, GpuBuffer};
 pub use occupancy::{occupancy, Limiter, Occupancy};
+pub use pool::{DevicePool, PoolStats, DEFAULT_POOL_RETAIN_BYTES};
 pub use profile::profile_report;
 pub use timing::{CpuSpec, PcieSpec, TimeBreakdown, LATENCY_HIDING_KNEE};

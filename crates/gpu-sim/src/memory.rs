@@ -9,7 +9,9 @@
 //! the cache and coalescing models can reason about real-looking addresses.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+
+use crate::pool::BufferPool;
 
 /// Element type stored in a buffer. Integer index arrays (CSR `col_idx`,
 /// `row_off`) are 4-byte elements for traffic accounting even though each
@@ -35,7 +37,21 @@ struct BufferInner {
     name: String,
     base_addr: u64,
     elem: Elem,
+    /// Logical element count; the addressable extent of the buffer.
+    len: usize,
+    /// Backing store, `cells.len() >= len` (capacity is bucketed to a power
+    /// of two so the pool can match freed blocks to later requests).
     cells: Box<[AtomicU64]>,
+    /// Pool the backing store returns to when the last handle drops.
+    pool: Weak<BufferPool>,
+}
+
+impl Drop for BufferInner {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.reclaim(std::mem::take(&mut self.cells));
+        }
+    }
 }
 
 /// A handle to a device-memory buffer. Cloning shares the allocation.
@@ -45,14 +61,46 @@ pub struct GpuBuffer {
 }
 
 impl GpuBuffer {
+    /// Unpooled constructor for unit tests; production allocations go
+    /// through [`GpuBuffer::with_pool`] via `Gpu::alloc`.
+    #[cfg(test)]
     pub(crate) fn new(name: &str, base_addr: u64, elem: Elem, len: usize) -> Self {
-        let cells = (0..len).map(|_| AtomicU64::new(0)).collect();
+        GpuBuffer::with_pool(name, base_addr, elem, len, Weak::new(), None)
+    }
+
+    /// Construct a buffer whose backing store recycles through `pool`,
+    /// reusing `recycled` cells when the pool had a fitting block.
+    ///
+    /// Zero-on-reuse: the logical prefix of a recycled block is cleared so
+    /// the buffer is indistinguishable from a fresh allocation.
+    pub(crate) fn with_pool(
+        name: &str,
+        base_addr: u64,
+        elem: Elem,
+        len: usize,
+        pool: Weak<BufferPool>,
+        recycled: Option<Box<[AtomicU64]>>,
+    ) -> Self {
+        let cells = match recycled {
+            Some(cells) => {
+                debug_assert!(cells.len() >= len, "recycled block too small for {name}");
+                for c in cells.iter().take(len) {
+                    c.store(0, Ordering::Relaxed);
+                }
+                cells
+            }
+            None => (0..crate::pool::bucket_for(len))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        };
         GpuBuffer {
             inner: Arc::new(BufferInner {
                 name: name.to_string(),
                 base_addr,
                 elem,
+                len,
                 cells,
+                pool,
             }),
         }
     }
@@ -62,11 +110,11 @@ impl GpuBuffer {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.cells.len()
+        self.inner.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.cells.is_empty()
+        self.inner.len == 0
     }
 
     pub fn elem(&self) -> Elem {

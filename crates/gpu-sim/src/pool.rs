@@ -1,0 +1,265 @@
+//! Size-bucketed host-side buffer pool.
+//!
+//! Device buffers are backed by host `AtomicU64` cell blocks; allocating one
+//! costs a heap allocation plus zero-initialization on every `alloc_f64` /
+//! `upload_*` call. Iterative workloads (the baseline's per-call `csr2csc`
+//! scratch, the streaming chunk pipeline) alloc and free identically-sized
+//! buffers hundreds of times per solve, so the pool parks freed cell blocks
+//! in power-of-two capacity buckets and hands them back to later
+//! allocations of a fitting size.
+//!
+//! Two invariants keep the simulation's modeled counters bit-identical with
+//! pooling enabled:
+//!
+//! 1. **Fresh simulated addresses.** The pool recycles only the *host*
+//!    backing store. Every allocation — pool hit or miss — still draws a
+//!    new base address from the bump allocator, so the address stream seen
+//!    by the cache and coalescing models is exactly the one an unpooled
+//!    allocator would produce.
+//! 2. **Zero-on-reuse.** The logical prefix of a recycled block is zeroed
+//!    before it is handed out, so a pooled buffer is indistinguishable from
+//!    a freshly allocated one (the simulated `cudaMalloc` + `cudaMemset`
+//!    contract). Cells beyond the logical length are never addressable.
+//!
+//! What pooling buys is purely host-side: allocator traffic and wall-clock,
+//! reported through [`PoolStats`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// Host bytes the pool retains in its free lists before it starts dropping
+/// reclaimed blocks on the floor (cells are 8 bytes each). Bounds peak host
+/// memory when a workload frees large one-off buffers.
+pub const DEFAULT_POOL_RETAIN_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Pool traffic counters, cumulative over the owning [`crate::Gpu`]'s life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Allocations served from a free list.
+    pub hits: u64,
+    /// Allocations that had to go to the host allocator.
+    pub misses: u64,
+    /// Requested bytes served from recycled blocks (sum over hits).
+    pub bytes_recycled: u64,
+    /// Blocks returned to the pool by dropped/freed buffers.
+    pub reclaimed: u64,
+    /// Host bytes currently parked in the free lists.
+    pub retained_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of allocations served from the pool, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas relative to an earlier snapshot, attributing a
+    /// window of pool traffic (e.g. one solver run) on a shared device.
+    /// `retained_bytes` is a gauge, not a counter, so the current value is
+    /// kept as-is.
+    pub fn delta_since(&self, base: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            bytes_recycled: self.bytes_recycled.saturating_sub(base.bytes_recycled),
+            reclaimed: self.reclaimed.saturating_sub(base.reclaimed),
+            retained_bytes: self.retained_bytes,
+        }
+    }
+}
+
+/// A shareable handle to one buffer pool, attachable to any number of
+/// [`crate::Gpu`] instances via [`crate::Gpu::with_shared_pool`].
+///
+/// This is the CUDA caching-allocator ownership model: the pool belongs to
+/// the *physical device*, not to any one context created on it, so freed
+/// blocks from a finished run warm up the next run's allocations. Sharing
+/// cannot perturb modeled counters — simulated addresses come from each
+/// `Gpu`'s own bump allocator and recycled cells are zeroed on reuse, so
+/// only the host-side [`PoolStats`] observe the sharing.
+#[derive(Debug, Clone)]
+pub struct DevicePool(Arc<BufferPool>);
+
+impl DevicePool {
+    pub fn new() -> Self {
+        DevicePool(Arc::new(BufferPool::new()))
+    }
+
+    /// Cumulative traffic across every `Gpu` attached to this pool.
+    pub fn stats(&self) -> PoolStats {
+        self.0.stats()
+    }
+
+    /// Cap the host bytes retained in the free lists (`0` disables reuse).
+    pub fn set_retain_bytes(&self, bytes: u64) {
+        self.0.set_retain_cap(bytes);
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<BufferPool> {
+        &self.0
+    }
+}
+
+impl Default for DevicePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Free lists of recycled cell blocks, bucketed by power-of-two capacity.
+///
+/// Cells are element-agnostic (`f64` and `u32` buffers both bit-pack into
+/// `AtomicU64` cells), so one bucket space serves every element type.
+#[derive(Debug)]
+pub(crate) struct BufferPool {
+    buckets: Mutex<BTreeMap<usize, Vec<Box<[AtomicU64]>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_recycled: AtomicU64,
+    reclaimed: AtomicU64,
+    retained_cells: AtomicU64,
+    retain_cap_cells: AtomicU64,
+}
+
+/// Bucket (block capacity in cells) that serves requests for `len` cells.
+pub(crate) fn bucket_for(len: usize) -> usize {
+    len.next_power_of_two().max(1)
+}
+
+impl BufferPool {
+    pub(crate) fn new() -> Self {
+        BufferPool {
+            buckets: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_recycled: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            retained_cells: AtomicU64::new(0),
+            retain_cap_cells: AtomicU64::new(DEFAULT_POOL_RETAIN_BYTES / 8),
+        }
+    }
+
+    /// Pull a block with capacity >= `len` cells out of `len`'s bucket, or
+    /// record a miss. The caller zeroes the logical prefix (zero-on-reuse).
+    pub(crate) fn acquire(&self, len: usize) -> Option<Box<[AtomicU64]>> {
+        let bucket = bucket_for(len);
+        let block = {
+            let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+            buckets.get_mut(&bucket).and_then(Vec::pop)
+        };
+        match block {
+            Some(cells) => {
+                self.retained_cells
+                    .fetch_sub(cells.len() as u64, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_recycled
+                    .fetch_add(len as u64 * 8, Ordering::Relaxed);
+                Some(cells)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Park a reclaimed block in its bucket, unless doing so would push the
+    /// pool past its retention cap (then the block simply drops).
+    pub(crate) fn reclaim(&self, cells: Box<[AtomicU64]>) {
+        let cap = cells.len();
+        if cap == 0 {
+            return;
+        }
+        // Blocks we allocate always have power-of-two capacity; round a
+        // foreign capacity down so the bucket never over-promises.
+        let bucket = if cap.is_power_of_two() {
+            cap
+        } else {
+            bucket_for(cap) / 2
+        };
+        let retained = self.retained_cells.load(Ordering::Relaxed);
+        if retained + cap as u64 > self.retain_cap_cells.load(Ordering::Relaxed) {
+            return; // over the cap: let the host allocator have it back
+        }
+        self.retained_cells.fetch_add(cap as u64, Ordering::Relaxed);
+        self.reclaimed.fetch_add(1, Ordering::Relaxed);
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        buckets.entry(bucket).or_default().push(cells);
+    }
+
+    pub(crate) fn set_retain_cap(&self, bytes: u64) {
+        self.retain_cap_cells.store(bytes / 8, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_recycled: self.bytes_recycled.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            retained_bytes: self.retained_cells.load(Ordering::Relaxed) * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(cap: usize) -> Box<[AtomicU64]> {
+        (0..cap).map(|_| AtomicU64::new(0xDEAD)).collect()
+    }
+
+    #[test]
+    fn acquire_miss_then_hit_after_reclaim() {
+        let pool = BufferPool::new();
+        assert!(pool.acquire(100).is_none());
+        pool.reclaim(block(128));
+        let got = pool.acquire(100).expect("bucket 128 serves len 100");
+        assert_eq!(got.len(), 128);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.reclaimed), (1, 1, 1));
+        assert_eq!(s.bytes_recycled, 100 * 8);
+        assert_eq!(s.retained_bytes, 0);
+    }
+
+    #[test]
+    fn buckets_separate_sizes() {
+        let pool = BufferPool::new();
+        pool.reclaim(block(64));
+        // len 65 needs bucket 128; the 64-block must not serve it.
+        assert!(pool.acquire(65).is_none());
+        assert!(pool.acquire(64).is_some());
+    }
+
+    #[test]
+    fn retention_cap_drops_excess_blocks() {
+        let pool = BufferPool::new();
+        pool.set_retain_cap(128 * 8);
+        pool.reclaim(block(128));
+        pool.reclaim(block(128)); // over the cap: dropped
+        let s = pool.stats();
+        assert_eq!(s.reclaimed, 1);
+        assert_eq!(s.retained_bytes, 128 * 8);
+        assert!(pool.acquire(128).is_some());
+        assert!(pool.acquire(128).is_none());
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let pool = BufferPool::new();
+        assert_eq!(pool.stats().hit_rate(), 0.0);
+        pool.acquire(8);
+        pool.reclaim(block(8));
+        pool.acquire(8);
+        assert_eq!(pool.stats().hit_rate(), 0.5);
+    }
+}

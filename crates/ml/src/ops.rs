@@ -15,8 +15,8 @@
 //! is how the Table 1 experiment regenerates the paper's matrix.
 
 use fusedml_blas::{level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle};
-use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec};
-use fusedml_gpu_sim::{AggregationBreakdown, Counters, DeviceError, Gpu, GpuBuffer};
+use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec, PlanCacheStats};
+use fusedml_gpu_sim::{AggregationBreakdown, Counters, DeviceError, Gpu, GpuBuffer, PoolStats};
 use fusedml_matrix::{reference, CsrMatrix, DenseMatrix};
 use std::collections::BTreeMap;
 
@@ -36,6 +36,12 @@ pub struct BackendStats {
     /// of `occupancy * sim_ms` over launches. Divide by [`Self::sim_ms`]
     /// (see [`Self::mean_occupancy`]) for the mean occupancy of the run.
     pub occupancy_ms: f64,
+    /// Launch-plan cache traffic of the run (all-zero for backends without
+    /// a memoizing planner: the baseline engine and the CPU tier).
+    pub plan: PlanCacheStats,
+    /// Device buffer-pool traffic attributable to this backend since its
+    /// construction or last `reset_stats` (all-zero on the CPU tier).
+    pub pool: PoolStats,
 }
 
 impl BackendStats {
@@ -242,6 +248,10 @@ pub struct FusedBackend<'g> {
     exec: FusedExecutor<'g>,
     scalar: GpuBuffer,
     stats: BackendStats,
+    /// Pool snapshot at construction / last reset; `stats()` reports the
+    /// delta so backends sharing one device don't claim each other's
+    /// traffic.
+    pool_base: PoolStats,
 }
 
 impl<'g> FusedBackend<'g> {
@@ -263,6 +273,7 @@ impl<'g> FusedBackend<'g> {
             exec: FusedExecutor::new(gpu),
             scalar: gpu.try_alloc_f64("fused.scalar", 1)?,
             stats: BackendStats::default(),
+            pool_base: gpu.pool_stats(),
         })
     }
 
@@ -441,11 +452,16 @@ impl<'g> Backend for FusedBackend<'g> {
     }
 
     fn stats(&self) -> BackendStats {
-        self.stats.clone()
+        let mut s = self.stats.clone();
+        s.plan = self.exec.plan_stats();
+        s.pool = self.gpu.pool_stats().delta_since(&self.pool_base);
+        s
     }
 
     fn reset_stats(&mut self) {
         self.stats = BackendStats::default();
+        self.exec.reset_plan_stats();
+        self.pool_base = self.gpu.pool_stats();
     }
 }
 
@@ -512,6 +528,8 @@ pub struct BaselineBackend<'g> {
     /// Scratch of length m for pattern intermediates.
     tmp_p: GpuBuffer,
     stats: BackendStats,
+    /// Pool snapshot at construction / last reset (see `FusedBackend`).
+    pool_base: PoolStats,
 }
 
 impl<'g> BaselineBackend<'g> {
@@ -535,6 +553,7 @@ impl<'g> BaselineBackend<'g> {
             xt: None,
             tmp_p,
             stats: BackendStats::default(),
+            pool_base: gpu.pool_stats(),
         })
     }
 
@@ -761,11 +780,14 @@ impl<'g> Backend for BaselineBackend<'g> {
     }
 
     fn stats(&self) -> BackendStats {
-        self.stats.clone()
+        let mut s = self.stats.clone();
+        s.pool = self.gpu.pool_stats().delta_since(&self.pool_base);
+        s
     }
 
     fn reset_stats(&mut self) {
         self.stats = BackendStats::default();
+        self.pool_base = self.gpu.pool_stats();
     }
 }
 
@@ -1091,5 +1113,38 @@ mod tests {
             fused.stats().pattern_counts[PatternInstance::XtY.formula()],
             1
         );
+    }
+
+    #[test]
+    fn backend_stats_surface_plan_and_pool_traffic() {
+        let g = gpu();
+        let x = uniform_sparse(400, 128, 0.05, 94);
+        let y = random_vector(128, 5);
+        let mut b = FusedBackend::new_sparse(&g, &x);
+        b.exec.set_plan_cache(true); // independent of the process default
+        let yd = b.from_host("y", &y);
+        let mut wd = b.zeros("w", 128);
+        for _ in 0..5 {
+            b.pattern(PatternSpec::xtxy(), None, &yd, None, &mut wd);
+        }
+        let s = b.stats();
+        assert_eq!(
+            s.plan.plans_computed(),
+            1,
+            "five evaluations, one tuner run"
+        );
+        assert_eq!(s.plan.hits, 4);
+
+        // A dropped scratch buffer recycles through the pool and the reuse
+        // lands in this backend's accounting window.
+        drop(b.zeros("scratch", 300));
+        let _again = b.zeros("scratch2", 300);
+        assert!(b.stats().pool.hits >= 1);
+
+        b.reset_stats();
+        let s = b.stats();
+        assert_eq!(s.plan.plans_computed(), 0);
+        assert_eq!(s.plan.hits, 0);
+        assert_eq!((s.pool.hits, s.pool.misses), (0, 0));
     }
 }

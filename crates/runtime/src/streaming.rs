@@ -456,6 +456,52 @@ mod tests {
     }
 
     #[test]
+    fn pool_reuses_chunk_staging_after_warmup() {
+        // Regression: every chunk used to allocate fresh backing stores for
+        // its CSR staging and v slice; with the buffer pool, steady-state
+        // chunks recycle the previous chunk's blocks, and a second
+        // identical evaluation allocates nothing at all.
+        let g = gpu();
+        let x = uniform_sparse(1200, 150, 0.05, 60);
+        let y = random_vector(150, 61);
+        let v = random_vector(1200, 62);
+        let spec = PatternSpec {
+            alpha: 1.0,
+            with_v: true,
+            beta: 0.0,
+            with_z: false,
+        };
+        let run = || {
+            stream_pattern_sparse(
+                &g,
+                spec,
+                &x,
+                Some(&v),
+                &y,
+                None,
+                128,
+                &TransferModel::native(),
+            )
+        };
+        run(); // warm-up populates the pool buckets
+        let warm = g.pool_stats();
+        assert!(
+            warm.hits > 0,
+            "steady-state chunks must recycle earlier chunk staging"
+        );
+        let (w, _) = run();
+        let hot = g.pool_stats();
+        assert_eq!(
+            hot.misses, warm.misses,
+            "second identical run must cause zero net allocator traffic"
+        );
+        assert!(hot.hits > warm.hits);
+        // Recycled staging must not perturb the result.
+        let expect = reference::pattern_csr(1.0, &x, Some(&v), &y, 0.0, None);
+        assert!(reference::rel_l2_error(&w, &expect) < 1e-10);
+    }
+
+    #[test]
     fn invalid_inputs_yield_typed_errors() {
         let g = gpu();
         let x = uniform_sparse(20, 12, 0.3, 36);
