@@ -12,9 +12,14 @@
 //! Exit codes: 0 = ok / no regression, 1 = regression detected,
 //! 2 = usage error or structurally incomparable reports.
 
+// CLI failures must go through `die` (or a worded panic), never a bare
+// unwrap/expect — the exit-code contract above depends on it.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use fusedml_bench::regress::{
     chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
-    run_suite, workload_ids, BenchReport, CompareOptions, Json, Mode, SuiteOptions,
+    run_campaign, run_scenario, run_suite, workload_ids, BenchReport, ChaosOptions, CompareOptions,
+    Json, Mode, Scenario, SuiteOptions,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
@@ -30,6 +35,7 @@ fn main() {
         Some("list") => cmd_list(args.collect()),
         Some("trace") => cmd_trace(args.collect()),
         Some("hostperf") => cmd_hostperf(args.collect()),
+        Some("chaos") => cmd_chaos(args.collect()),
         Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
         None => die(USAGE),
     }
@@ -45,7 +51,9 @@ const USAGE: &str = "usage:
   fusedml-bench trace [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
                 [--out PATH] [--summary-out PATH]
   fusedml-bench hostperf [--from REPORT.json] [--out SUMMARY.json]
-                [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]";
+                [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
+  fusedml-bench chaos [--scenarios N] [--seed u64] [--out PATH]
+  fusedml-bench chaos replay --seed u64";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
 fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
@@ -308,6 +316,109 @@ fn cmd_hostperf(args: Vec<String>) {
     if totals.pool_hits + totals.pool_misses == 0 {
         eprintln!("no host activity recorded (v1 report or kernel-only matrix)");
     }
+}
+
+/// Chaos campaign / replay. A campaign sweeps derived fault scenarios and
+/// writes the schema-versioned report; exit 1 if any invariant failed.
+/// `chaos replay --seed <s>` re-derives one scenario from its seed (as
+/// recorded in a report), runs it twice, and proves the two outcomes are
+/// bit-identical.
+fn cmd_chaos(args: Vec<String>) {
+    if args.first().map(String::as_str) == Some("replay") {
+        let mut seed: Option<u64> = None;
+        let mut it = args[1..].iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => seed = Some(parse_seed(&next_arg(&mut it, "--seed"))),
+                other => die(&format!("unknown flag '{other}' for chaos replay\n{USAGE}")),
+            }
+        }
+        let Some(seed) = seed else {
+            die(&format!("chaos replay needs --seed\n{USAGE}"));
+        };
+        let sc = Scenario::from_seed(0, seed);
+        eprintln!(
+            "replaying scenario {:#018x}: {} under {} faults (rate {})",
+            seed,
+            sc.workload.name(),
+            sc.class.name(),
+            sc.rate
+        );
+        let first = run_scenario(&sc);
+        let second = run_scenario(&sc);
+        print!("{}", first.to_json().render());
+        if first != second {
+            eprintln!("replay diverged: two runs of the same seed disagree");
+            std::process::exit(1);
+        }
+        eprintln!("replay is bit-identical");
+        if !first.pass() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut opts = ChaosOptions::default();
+    let mut out = "CHAOS_fusion.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenarios" => {
+                opts.scenarios = next_arg(&mut it, "--scenarios")
+                    .parse()
+                    .unwrap_or_else(|_| die("--scenarios needs an unsigned integer"));
+            }
+            "--seed" => opts.seed = parse_seed(&next_arg(&mut it, "--seed")),
+            "--out" => out = next_arg(&mut it, "--out"),
+            other => die(&format!("unknown flag '{other}' for chaos\n{USAGE}")),
+        }
+    }
+
+    eprintln!(
+        "chaos campaign: {} scenarios, seed {:#x}",
+        opts.scenarios, opts.seed
+    );
+    let report = run_campaign(&opts, |r| {
+        eprintln!(
+            "  [{:>4}] {:<7} {:<10} rate {:<5} -> {} on {} ({} attempt{}){}",
+            r.scenario.index,
+            r.scenario.workload.name(),
+            r.scenario.class.name(),
+            r.scenario.rate,
+            r.outcome,
+            r.tier,
+            r.attempts,
+            if r.attempts == 1 { "" } else { "s" },
+            if r.pass() { "" } else { "  INVARIANT VIOLATED" }
+        );
+    });
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(&out, report.render())
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    eprintln!(
+        "wrote {} ({} scenarios, {} failure{})",
+        out,
+        report.results.len(),
+        report.failures(),
+        if report.failures() == 1 { "" } else { "s" }
+    );
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+/// Seeds print as hex in reports; accept both hex and decimal back.
+fn parse_seed(s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| die("--seed needs an unsigned integer (decimal or 0x hex)"))
 }
 
 fn next_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {

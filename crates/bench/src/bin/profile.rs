@@ -8,6 +8,9 @@
 //! profile fused-ell     [--rows m] [--cols n] [--density d]
 //! ```
 
+// Dev tool or not, a missing launch is a worded panic, not a bare expect.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use fusedml_blas::csrmv_t_scatter;
 use fusedml_blas::ellmv::GpuEll;
 use fusedml_blas::level1::fill;
@@ -62,7 +65,9 @@ fn main() {
             let mut ex = FusedExecutor::new(&gpu);
             println!("plan: {:?}\n", ex.sparse_plan(&xd));
             ex.pattern_sparse(PatternSpec::xtxy(), &xd, None, &y, None, &w);
-            ex.launches.pop().expect("launched")
+            ex.launches
+                .pop()
+                .unwrap_or_else(|| panic!("kernel did not launch"))
         }
         "fused-dense" => {
             let x = dense_random(rows, cols, 1);
@@ -72,7 +77,9 @@ fn main() {
             let mut ex = FusedExecutor::new(&gpu);
             println!("plan: {:?}\n", ex.dense_plan(&xd));
             ex.pattern_dense(PatternSpec::xtxy(), &xd, None, &y, None, &w);
-            ex.launches.pop().expect("launched")
+            ex.launches
+                .pop()
+                .unwrap_or_else(|| panic!("kernel did not launch"))
         }
         "csrmv-t" => {
             let x = uniform_sparse(rows, cols, density, 1);

@@ -7,6 +7,9 @@
 //! repro all --json results  # also dump JSON rows per experiment
 //! ```
 
+// Failures must carry a worded panic message, never a bare unwrap/expect.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use fusedml_bench::experiments::{self, Ctx};
 use fusedml_bench::Table;
 use fusedml_gpu_sim::DeviceSpec;
@@ -72,13 +75,12 @@ fn main() {
         table.print();
         println!("  ({} regenerated in {:.1?})\n", name, t0.elapsed());
         if let Some(dir) = &json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create json dir {dir}: {e}"));
             let path = format!("{dir}/{name}.json");
-            std::fs::write(
-                &path,
-                serde_json::to_string_pretty(&table.to_json()).unwrap(),
-            )
-            .expect("write json");
+            let text = serde_json::to_string_pretty(&table.to_json())
+                .unwrap_or_else(|e| panic!("table does not serialize: {e}"));
+            std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!("  wrote {path}\n");
         }
     }

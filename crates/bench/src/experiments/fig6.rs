@@ -99,7 +99,9 @@ pub fn run(ctx: &Ctx) -> Table {
     let n = 1000;
     let (points, model) = sweep(ctx, m, n);
     let best = &points[0];
-    let worst = points.last().expect("non-empty sweep");
+    let Some(worst) = points.last() else {
+        panic!("non-empty sweep")
+    };
     let rank = points.iter().filter(|p| p.sim_ms < model.sim_ms).count();
     let percentile = 100.0 * rank as f64 / points.len() as f64;
 

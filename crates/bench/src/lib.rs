@@ -5,6 +5,10 @@
 //! configurable workload scale, plus the `repro` CLI, the `fusedml-bench`
 //! continuous-benchmarking CLI (see [`regress`]), and Criterion benches.
 
+// The harness feeds CI gates: failures must carry a typed or explicitly
+// worded panic message, never a bare unwrap/expect. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod experiments;
 pub mod regress;
 pub mod table;

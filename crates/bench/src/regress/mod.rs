@@ -7,13 +7,17 @@
 //! * [`compare::compare`] — diff candidate vs. baseline;
 //! * [`trace_export::chrome_trace`] — Chrome trace-event export of a
 //!   [`fusedml_trace`] event stream (`fusedml-bench trace`);
-//! * the `fusedml-bench` binary — `run` / `compare` / `list` / `trace` CLI.
+//! * [`chaos::run_campaign`] — the deterministic fault-injection sweep
+//!   behind `fusedml-bench chaos` / `chaos replay`;
+//! * the `fusedml-bench` binary — `run` / `compare` / `list` / `trace` /
+//!   `chaos` CLI.
 //!
 //! The JSON layer is hand-rolled ([`json`]) so the subsystem has zero
 //! dependencies beyond the workspace: reports must round-trip in every
 //! build environment, including offline ones where third-party serializers
 //! are stubbed out.
 
+pub mod chaos;
 pub mod compare;
 pub mod hostperf;
 pub mod json;
@@ -21,6 +25,10 @@ pub mod report;
 pub mod suite;
 pub mod trace_export;
 
+pub use chaos::{
+    run_campaign, run_scenario, ChaosOptions, ChaosReport, FaultClass, Scenario, ScenarioResult,
+    CHAOS_SCHEMA_VERSION,
+};
 pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
 pub use hostperf::{hostperf_summary, hostperf_table, hostperf_totals, HostPerfTotals};
 pub use json::Json;

@@ -73,7 +73,7 @@ impl Table {
     }
 
     pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("table serializes")
+        serde_json::to_value(self).unwrap_or_else(|e| panic!("table serializes: {e}"))
     }
 }
 

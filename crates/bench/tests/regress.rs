@@ -5,6 +5,7 @@
 
 use fusedml_bench::regress::{
     compare, run_suite, workload_ids, BenchReport, CompareOptions, Json, Severity, SuiteOptions,
+    SCHEMA_VERSION,
 };
 
 /// A scaled-down quick suite that keeps this test in the seconds range.
@@ -80,7 +81,7 @@ fn report_roundtrips_through_disk() {
     // The file is real JSON: it must re-parse structurally too.
     let text = std::fs::read_to_string(&path).unwrap();
     let j = Json::parse(&text).unwrap();
-    assert_eq!(j.field_u64("schema_version").unwrap(), 1);
+    assert_eq!(j.field_u64("schema_version").unwrap(), SCHEMA_VERSION);
     std::fs::remove_file(&path).ok();
 }
 

@@ -37,17 +37,29 @@ pub enum DeviceError {
         bytes: u64,
         fault_index: u64,
     },
+    /// The integrity layer caught corrupted device data (a seeded bit flip
+    /// from the corruption fault class). `stage` names the verification
+    /// point (`"h2d"` or `"pool-reuse"`); `fault_index` is the corruption
+    /// draw that produced the flip, for reproducible diagnostics.
+    DataCorruption {
+        buffer: String,
+        stage: &'static str,
+        fault_index: u64,
+    },
 }
 
 impl DeviceError {
     /// Whether retrying the same operation (at session granularity) can
-    /// succeed: injected transient faults and transfer timeouts clear on
-    /// retry; launch rejection, watchdog overruns and capacity exhaustion
-    /// repeat deterministically and call for degradation instead.
+    /// succeed: injected transient faults, transfer timeouts and detected
+    /// corruption clear on retry (the next transfer draws fresh); launch
+    /// rejection, watchdog overruns and capacity exhaustion repeat
+    /// deterministically and call for degradation instead.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            DeviceError::TransientFault { .. } | DeviceError::TransferTimeout { .. }
+            DeviceError::TransientFault { .. }
+                | DeviceError::TransferTimeout { .. }
+                | DeviceError::DataCorruption { .. }
         ) || matches!(self, DeviceError::AllocFailed { injected: true, .. })
     }
 
@@ -59,6 +71,7 @@ impl DeviceError {
             DeviceError::WatchdogTimeout { .. } => "watchdog-timeout",
             DeviceError::AllocFailed { .. } => "alloc-failed",
             DeviceError::TransferTimeout { .. } => "transfer-timeout",
+            DeviceError::DataCorruption { .. } => "data-corruption",
         }
     }
 }
@@ -116,6 +129,17 @@ impl std::fmt::Display for DeviceError {
                     "transfer {buffer}: timeout moving {bytes}B (injected draw #{fault_index})"
                 )
             }
+            DeviceError::DataCorruption {
+                buffer,
+                stage,
+                fault_index,
+            } => {
+                write!(
+                    f,
+                    "buffer {buffer}: integrity check failed at {stage} \
+                     (injected bit flip, draw #{fault_index})"
+                )
+            }
         }
     }
 }
@@ -155,6 +179,14 @@ mod tests {
             injected: true,
         };
         assert!(inj.is_transient());
+        let c = DeviceError::DataCorruption {
+            buffer: "x".into(),
+            stage: "h2d",
+            fault_index: 0,
+        };
+        assert!(c.is_transient(), "a re-upload draws fresh: retryable");
+        assert_eq!(c.kind(), "data-corruption");
+        assert!(c.to_string().contains("integrity check failed at h2d"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::pool::{BufferPool, DevicePool, PoolStats};
 use crate::shared::bank_conflict_replays;
 use crate::timing::{kernel_time, TimeBreakdown};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of lanes in a warp. Fixed at 32 like every NVIDIA architecture.
@@ -111,6 +111,17 @@ struct SmState {
     atomic_phase: u64,
 }
 
+/// Cumulative integrity-layer traffic: how many buffers were verified, how
+/// many bytes were digested, and how many verifications caught a flip. The
+/// checks/bytes counters are the checksum-overhead accounting — what the
+/// defense costs even on clean runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    pub checks: u64,
+    pub bytes_checked: u64,
+    pub violations: u64,
+}
+
 /// The simulated GPU: owns device memory allocation and per-SM state.
 pub struct Gpu {
     /// Shared, not cloned: several simulated devices (and their buffers)
@@ -123,6 +134,10 @@ pub struct Gpu {
     sms: Mutex<Vec<SmState>>,
     host_threads: usize,
     faults: FaultInjector,
+    integrity: AtomicBool,
+    integrity_checks: AtomicU64,
+    integrity_bytes: AtomicU64,
+    integrity_violations: AtomicU64,
 }
 
 impl Gpu {
@@ -165,6 +180,10 @@ impl Gpu {
             sms: Mutex::new(sms),
             host_threads: host_threads.max(1),
             faults: FaultInjector::disabled(),
+            integrity: AtomicBool::new(false),
+            integrity_checks: AtomicU64::new(0),
+            integrity_bytes: AtomicU64::new(0),
+            integrity_violations: AtomicU64::new(0),
         }
     }
 
@@ -184,6 +203,34 @@ impl Gpu {
     pub fn with_shared_pool(mut self, pool: &DevicePool) -> Self {
         self.pool = Arc::clone(pool.inner());
         self
+    }
+
+    /// Enable or disable the integrity layer (builder style). Off by
+    /// default: with checks off, uploads and pooled reuse skip checksum and
+    /// guard verification entirely, so the device is bit-identical to one
+    /// built before the integrity layer existed.
+    pub fn with_integrity_checks(self, enabled: bool) -> Self {
+        self.integrity.store(enabled, Ordering::Relaxed);
+        self
+    }
+
+    /// Toggle the integrity layer at run time.
+    pub fn set_integrity_checks(&self, enabled: bool) {
+        self.integrity.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether H2D and pool-reuse verification is currently on.
+    pub fn integrity_checks_enabled(&self) -> bool {
+        self.integrity.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative integrity-layer traffic for this device.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        IntegrityStats {
+            checks: self.integrity_checks.load(Ordering::Relaxed),
+            bytes_checked: self.integrity_bytes.load(Ordering::Relaxed),
+            violations: self.integrity_violations.load(Ordering::Relaxed),
+        }
     }
 
     /// The device's fault injector (disabled unless a profile was attached).
@@ -221,16 +268,31 @@ impl Gpu {
                 injected: true,
             });
         }
-        if in_use + bytes > capacity {
+        // Memory pressure shrinks the effective capacity once the model's
+        // allocation threshold is crossed. With pressure off the reserve is
+        // zero and this is exactly the old capacity check.
+        self.faults.note_alloc_request();
+        let reserved = self.faults.reserved_bytes(capacity);
+        let effective = capacity.saturating_sub(reserved);
+        if in_use + bytes > effective {
+            let pressure = reserved > 0 && in_use + bytes <= capacity;
+            if pressure {
+                self.faults.note_pressure_rejection();
+            }
             if fusedml_trace::is_enabled() {
                 fusedml_trace::instant(
                     "fault",
-                    "alloc.capacity",
+                    if pressure {
+                        "alloc.pressure"
+                    } else {
+                        "alloc.capacity"
+                    },
                     "device",
                     &[
                         ("buffer", name.into()),
                         ("requested_bytes", bytes.into()),
                         ("allocated_bytes", in_use.into()),
+                        ("reserved_bytes", reserved.into()),
                     ],
                 );
             }
@@ -238,7 +300,7 @@ impl Gpu {
                 name: name.to_string(),
                 requested_bytes: bytes,
                 allocated_bytes: in_use,
-                capacity_bytes: capacity,
+                capacity_bytes: effective,
                 injected: false,
             });
         }
@@ -265,14 +327,112 @@ impl Gpu {
                 &[("buffer", name.into()), ("bytes", bytes.into())],
             );
         }
-        Ok(GpuBuffer::with_pool(
-            name,
-            base,
-            elem,
-            len,
-            Arc::downgrade(&self.pool),
-            recycled,
-        ))
+        let from_pool = recycled.is_some();
+        let buf = GpuBuffer::with_pool(name, base, elem, len, Arc::downgrade(&self.pool), recycled);
+        // Pooled reuse is a corruption opportunity: the recycled block was
+        // zeroed, but a bit may flip between the clear and first use. The
+        // integrity layer's guard check is that the prefix reads back
+        // all-zero — exhaustive for this class, since flips only target the
+        // logical prefix.
+        if from_pool {
+            let injected = self.faults.draw_corruption().inspect(|&fault_index| {
+                if len > 0 {
+                    let (elem_idx, bit) = self.faults.corruption_site(fault_index, len);
+                    buf.corrupt_bit(elem_idx, bit);
+                }
+                if fusedml_trace::is_enabled() {
+                    fusedml_trace::instant(
+                        "fault",
+                        "mem.corruption",
+                        "device",
+                        &[
+                            ("buffer", name.into()),
+                            ("stage", "pool-reuse".into()),
+                            ("fault_index", fault_index.into()),
+                        ],
+                    );
+                }
+            });
+            if self.integrity.load(Ordering::Relaxed) {
+                self.integrity_checks.fetch_add(1, Ordering::Relaxed);
+                self.integrity_bytes.fetch_add(bytes, Ordering::Relaxed);
+                let guard_violated = (0..len).any(|i| buf.raw_load(i) != 0);
+                if guard_violated {
+                    self.integrity_violations.fetch_add(1, Ordering::Relaxed);
+                    // Roll back the accounting: the failed allocation must
+                    // leave the device book-keeping where it started.
+                    self.allocated_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                    if fusedml_trace::is_enabled() {
+                        fusedml_trace::instant(
+                            "fault",
+                            "integrity.violation",
+                            "device",
+                            &[("buffer", name.into()), ("stage", "pool-reuse".into())],
+                        );
+                    }
+                    return Err(DeviceError::DataCorruption {
+                        buffer: name.to_string(),
+                        stage: "pool-reuse",
+                        fault_index: injected.unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Inject (maybe) a transfer corruption into a just-uploaded buffer and
+    /// run the H2D integrity verification: FNV-1a of the device cells
+    /// against the digest of the host cells that were copied in. On a
+    /// caught flip, the allocation's accounting is rolled back and the
+    /// caller gets [`DeviceError::DataCorruption`].
+    fn corrupt_and_verify_h2d(
+        &self,
+        buf: &GpuBuffer,
+        host_digest: impl FnOnce() -> u64,
+    ) -> Result<(), DeviceError> {
+        let injected = self.faults.draw_corruption().inspect(|&fault_index| {
+            if !buf.is_empty() {
+                let (elem_idx, bit) = self.faults.corruption_site(fault_index, buf.len());
+                buf.corrupt_bit(elem_idx, bit);
+            }
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "mem.corruption",
+                    "device",
+                    &[
+                        ("buffer", buf.name().into()),
+                        ("stage", "h2d".into()),
+                        ("fault_index", fault_index.into()),
+                    ],
+                );
+            }
+        });
+        if !self.integrity.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        self.integrity_checks.fetch_add(1, Ordering::Relaxed);
+        self.integrity_bytes
+            .fetch_add(buf.size_bytes(), Ordering::Relaxed);
+        if buf.fnv_checksum() != host_digest() {
+            self.integrity_violations.fetch_add(1, Ordering::Relaxed);
+            self.free(buf);
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "integrity.violation",
+                    "device",
+                    &[("buffer", buf.name().into()), ("stage", "h2d".into())],
+                );
+            }
+            return Err(DeviceError::DataCorruption {
+                buffer: buf.name().to_string(),
+                stage: "h2d",
+                fault_index: injected.unwrap_or_default(),
+            });
+        }
+        Ok(())
     }
 
     /// Cumulative buffer-pool traffic for this device.
@@ -300,10 +460,14 @@ impl Gpu {
     }
 
     /// Allocate and fill from a host slice (simulated H2D copy), reporting
-    /// failures instead of panicking.
+    /// failures instead of panicking. Subject to the corruption fault class
+    /// and, when enabled, the H2D integrity verification.
     pub fn try_upload_f64(&self, name: &str, data: &[f64]) -> Result<GpuBuffer, DeviceError> {
         let b = self.try_alloc_f64(name, data.len())?;
         b.copy_from_f64(data);
+        self.corrupt_and_verify_h2d(&b, || {
+            crate::memory::fnv1a_cells(data.iter().map(|v| v.to_bits()))
+        })?;
         Ok(b)
     }
 
@@ -311,6 +475,9 @@ impl Gpu {
     pub fn try_upload_u32(&self, name: &str, data: &[u32]) -> Result<GpuBuffer, DeviceError> {
         let b = self.try_alloc_u32(name, data.len())?;
         b.copy_from_u32(data);
+        self.corrupt_and_verify_h2d(&b, || {
+            crate::memory::fnv1a_cells(data.iter().map(|&v| u64::from(v)))
+        })?;
         Ok(b)
     }
 
@@ -1286,6 +1453,101 @@ mod tests {
             }
         ));
         assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn silent_corruption_flips_exactly_one_bit_when_unchecked() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(21).with_corruption_rate(1.0));
+        let data = vec![1.0; 64];
+        let b = g
+            .try_upload_f64("x", &data)
+            .expect("silent: upload succeeds");
+        let read_back = b.to_vec_f64();
+        let diffs = read_back
+            .iter()
+            .zip(&data)
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        assert_eq!(diffs, 1, "exactly one element corrupted");
+        assert_eq!(g.faults().counts().corruptions, 1);
+        assert_eq!(g.integrity_stats(), IntegrityStats::default());
+    }
+
+    #[test]
+    fn integrity_layer_catches_h2d_corruption() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(21).with_corruption_rate(1.0))
+            .with_integrity_checks(true);
+        let err = g.try_upload_f64("x", &[1.0; 64]).unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::DataCorruption { stage: "h2d", .. }
+        ));
+        assert!(err.is_transient());
+        let s = g.integrity_stats();
+        assert_eq!((s.checks, s.violations), (1, 1));
+        assert_eq!(s.bytes_checked, 64 * 8);
+        // Accounting rolled back: the rejected upload left nothing behind.
+        assert_eq!(g.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn integrity_layer_catches_pool_reuse_corruption() {
+        // Corrupt only the *second* corruption opportunity: the first is
+        // the warm-up upload (clean), the second is the pooled reuse.
+        // Rate 1.0 with checks off for the warm-up would abort it instead.
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(21).with_corruption_rate(1.0));
+        drop(g.try_upload_f64("warm", &[3.0; 500]).expect("silent"));
+        assert_eq!(g.pool_stats().reclaimed, 1);
+        g.set_integrity_checks(true);
+        let before = g.allocated_bytes();
+        let err = g.try_alloc_f64("reused", 500).unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::DataCorruption {
+                stage: "pool-reuse",
+                ..
+            }
+        ));
+        assert_eq!(g.integrity_stats().violations, 1);
+        assert_eq!(g.allocated_bytes(), before);
+    }
+
+    #[test]
+    fn clean_uploads_pass_integrity_checks() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1).with_integrity_checks(true);
+        let b = g.try_upload_f64("x", &[1.5; 32]).expect("clean");
+        assert_eq!(b.to_vec_f64(), vec![1.5; 32]);
+        let u = g.try_upload_u32("idx", &[7, 8, 9]).expect("clean");
+        assert_eq!(u.to_vec_u32(), vec![7, 8, 9]);
+        let s = g.integrity_stats();
+        assert_eq!((s.checks, s.violations), (2, 0));
+        assert_eq!(s.bytes_checked, 32 * 8 + 3 * 4);
+    }
+
+    #[test]
+    fn memory_pressure_shrinks_effective_capacity_mid_run() {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(0).with_memory_pressure(2, 1.0));
+        // First two requests see the full device.
+        let a = g.try_alloc_f64("a", 64).expect("pre-pressure");
+        let _b = g.try_alloc_f64("b", 64).expect("pre-pressure");
+        // From the third request on, the whole capacity is reserved.
+        let err = g.try_alloc_f64("c", 64).unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::AllocFailed {
+                injected: false,
+                capacity_bytes: 0,
+                ..
+            }
+        ));
+        assert!(!err.is_transient(), "pressure is permanent: degrade");
+        assert_eq!(g.faults().counts().pressure_rejections, 1);
+        // Accounting untouched by the rejection.
+        assert_eq!(g.allocated_bytes(), 2 * a.size_bytes());
     }
 
     #[test]

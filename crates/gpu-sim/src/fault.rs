@@ -10,6 +10,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Mid-run memory pressure: once the device has seen `after_allocs`
+/// allocation requests, `reserve_fraction` of its capacity becomes
+/// reserved — as if a co-tenant process grabbed it — shrinking the
+/// effective free bytes for every later allocation. Deterministic by
+/// construction (keyed on the allocation count, not wall time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryPressure {
+    /// Allocation requests observed before the pressure sets in.
+    pub after_allocs: u64,
+    /// Fraction of device capacity reserved once pressure is active,
+    /// in `[0, 1]`.
+    pub reserve_fraction: f64,
+}
+
 /// What to inject and how often. `Default` disables everything, so an
 /// injector is free when unused.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,9 +38,15 @@ pub struct FaultProfile {
     pub alloc_fault_rate: f64,
     /// Probability that a host/device transfer times out.
     pub transfer_timeout_rate: f64,
+    /// Probability that a device buffer is silently corrupted (one bit
+    /// flipped at a seeded site) on an H2D transfer or a pooled-buffer
+    /// reuse. Undetected unless the device's integrity checks are on.
+    pub corruption_rate: f64,
     /// Simulated-kernel watchdog: launches whose modelled time exceeds this
     /// limit fail with [`crate::DeviceError::WatchdogTimeout`].
     pub watchdog_limit_ms: Option<f64>,
+    /// Mid-run memory-pressure mode (None = off).
+    pub memory_pressure: Option<MemoryPressure>,
 }
 
 impl Default for FaultProfile {
@@ -36,7 +56,9 @@ impl Default for FaultProfile {
             kernel_fault_rate: 0.0,
             alloc_fault_rate: 0.0,
             transfer_timeout_rate: 0.0,
+            corruption_rate: 0.0,
             watchdog_limit_ms: None,
+            memory_pressure: None,
         }
     }
 }
@@ -73,9 +95,27 @@ impl FaultProfile {
         self
     }
 
+    pub fn with_corruption_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.corruption_rate = rate;
+        self
+    }
+
     pub fn with_watchdog_limit_ms(mut self, limit_ms: f64) -> Self {
         assert!(limit_ms > 0.0, "watchdog limit must be positive");
         self.watchdog_limit_ms = Some(limit_ms);
+        self
+    }
+
+    pub fn with_memory_pressure(mut self, after_allocs: u64, reserve_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reserve_fraction),
+            "reserve fraction must be in [0, 1]"
+        );
+        self.memory_pressure = Some(MemoryPressure {
+            after_allocs,
+            reserve_fraction,
+        });
         self
     }
 
@@ -84,7 +124,9 @@ impl FaultProfile {
         self.kernel_fault_rate > 0.0
             || self.alloc_fault_rate > 0.0
             || self.transfer_timeout_rate > 0.0
+            || self.corruption_rate > 0.0
             || self.watchdog_limit_ms.is_some()
+            || self.memory_pressure.is_some()
     }
 }
 
@@ -95,11 +137,18 @@ pub struct FaultCounts {
     pub alloc_faults: u64,
     pub transfer_timeouts: u64,
     pub watchdog_timeouts: u64,
+    /// Bit flips injected into device buffers (whether or not the
+    /// integrity layer was on to catch them).
+    pub corruptions: u64,
+    /// Allocations rejected only because of the memory-pressure reserve
+    /// (they would have fit in the unpressured device).
+    pub pressure_rejections: u64,
 }
 
 const KERNEL_SALT: u64 = 0x6b65726e656c5f66; // "kernel_f"
 const ALLOC_SALT: u64 = 0x616c6c6f635f666c; // "alloc_fl"
 const TRANSFER_SALT: u64 = 0x7472616e73666572; // "transfer"
+const CORRUPT_SALT: u64 = 0x636f72727570746e; // "corruptn"
 
 /// SplitMix64 finalizer: a high-quality bijective mix of the input.
 fn mix64(mut z: u64) -> u64 {
@@ -125,10 +174,14 @@ pub struct FaultInjector {
     kernel_draws: AtomicU64,
     alloc_draws: AtomicU64,
     transfer_draws: AtomicU64,
+    corruption_draws: AtomicU64,
+    alloc_requests: AtomicU64,
     kernel_faults: AtomicU64,
     alloc_faults: AtomicU64,
     transfer_timeouts: AtomicU64,
     watchdog_timeouts: AtomicU64,
+    corruptions: AtomicU64,
+    pressure_rejections: AtomicU64,
 }
 
 impl FaultInjector {
@@ -138,10 +191,14 @@ impl FaultInjector {
             kernel_draws: AtomicU64::new(0),
             alloc_draws: AtomicU64::new(0),
             transfer_draws: AtomicU64::new(0),
+            corruption_draws: AtomicU64::new(0),
+            alloc_requests: AtomicU64::new(0),
             kernel_faults: AtomicU64::new(0),
             alloc_faults: AtomicU64::new(0),
             transfer_timeouts: AtomicU64::new(0),
             watchdog_timeouts: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            pressure_rejections: AtomicU64::new(0),
         }
     }
 
@@ -196,6 +253,61 @@ impl FaultInjector {
         }
     }
 
+    /// Decide whether the next corruption opportunity (an H2D transfer or
+    /// a pooled-buffer reuse) flips a bit. Returns the draw index when it
+    /// does; the site comes from [`FaultInjector::corruption_site`].
+    pub fn draw_corruption(&self) -> Option<u64> {
+        if self.profile.corruption_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.corruption_draws.fetch_add(1, Ordering::Relaxed);
+        if unit(self.profile.seed, CORRUPT_SALT, idx) < self.profile.corruption_rate {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// The (element, bit) a corruption draw flips in a buffer of `len`
+    /// elements — a pure function of `(seed, fault_index)`, independent of
+    /// the accept/reject stream so the site is uncorrelated with *whether*
+    /// the draw fired.
+    pub fn corruption_site(&self, fault_index: u64, len: usize) -> (usize, u32) {
+        let h = mix64(mix64(self.profile.seed ^ CORRUPT_SALT) ^ fault_index);
+        let elem = if len == 0 { 0 } else { (h >> 6) as usize % len };
+        let bit = (h & 63) as u32;
+        (elem, bit)
+    }
+
+    /// Record one allocation request for the memory-pressure model. A no-op
+    /// (counter untouched) when pressure is off, so a pressure-free device
+    /// behaves bit-identically to one built before this class existed.
+    pub fn note_alloc_request(&self) {
+        if self.profile.memory_pressure.is_some() {
+            self.alloc_requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Device bytes currently reserved by the memory-pressure model, for a
+    /// device of `capacity_bytes`. Zero until the configured allocation
+    /// count is reached (or when pressure is off).
+    pub fn reserved_bytes(&self, capacity_bytes: u64) -> u64 {
+        match self.profile.memory_pressure {
+            // Strictly greater: the first `after_allocs` requests see the
+            // full device; pressure sets in on every request after them.
+            Some(mp) if self.alloc_requests.load(Ordering::Relaxed) > mp.after_allocs => {
+                (capacity_bytes as f64 * mp.reserve_fraction) as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Record an allocation rejected only because of the pressure reserve.
+    pub fn note_pressure_rejection(&self) {
+        self.pressure_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Watchdog limit, if configured.
     pub fn watchdog_limit_ms(&self) -> Option<f64> {
         self.profile.watchdog_limit_ms
@@ -213,6 +325,8 @@ impl FaultInjector {
             alloc_faults: self.alloc_faults.load(Ordering::Relaxed),
             transfer_timeouts: self.transfer_timeouts.load(Ordering::Relaxed),
             watchdog_timeouts: self.watchdog_timeouts.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            pressure_rejections: self.pressure_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -228,10 +342,15 @@ mod tests {
             assert_eq!(inj.draw_kernel_fault(), None);
             assert_eq!(inj.draw_alloc_fault(), None);
             assert_eq!(inj.draw_transfer_timeout(), None);
+            assert_eq!(inj.draw_corruption(), None);
+            inj.note_alloc_request();
         }
         assert_eq!(inj.counts(), FaultCounts::default());
         // Disabled classes consume no draw indices at all.
         assert_eq!(inj.kernel_draws.load(Ordering::Relaxed), 0);
+        assert_eq!(inj.corruption_draws.load(Ordering::Relaxed), 0);
+        assert_eq!(inj.alloc_requests.load(Ordering::Relaxed), 0);
+        assert_eq!(inj.reserved_bytes(1 << 30), 0);
     }
 
     #[test]
@@ -297,5 +416,79 @@ mod tests {
     #[should_panic(expected = "rate must be in [0, 1]")]
     fn rejects_bad_rate() {
         FaultProfile::seeded(0).with_kernel_fault_rate(1.5);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_across_all_classes() {
+        // Satellite: one combined determinism check covering the original
+        // classes *and* the new corruption/pressure draws. Two injectors
+        // with the same profile must produce an identical fault schedule
+        // (indices, sites, counts) over an identical operation sequence.
+        let mk = || {
+            FaultInjector::new(
+                FaultProfile::seeded(0xC0FFEE)
+                    .with_kernel_fault_rate(0.1)
+                    .with_alloc_fault_rate(0.1)
+                    .with_transfer_timeout_rate(0.1)
+                    .with_corruption_rate(0.15)
+                    .with_memory_pressure(10, 0.5),
+            )
+        };
+        let schedule = |inj: &FaultInjector| {
+            let mut trail = Vec::new();
+            for step in 0..200u64 {
+                trail.push((inj.draw_kernel_fault(), inj.draw_alloc_fault()));
+                if let Some(fi) = inj.draw_corruption() {
+                    trail.push((Some(fi), None));
+                    let (elem, bit) = inj.corruption_site(fi, 97);
+                    trail.push((Some(elem as u64), Some(bit as u64)));
+                }
+                inj.note_alloc_request();
+                trail.push((Some(inj.reserved_bytes(1000)), Some(step)));
+            }
+            (trail, inj.counts())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(schedule(&a), schedule(&b));
+        let counts = a.counts();
+        assert!(counts.corruptions > 0, "rate 0.15 over 200 draws must fire");
+        assert_eq!(a.reserved_bytes(1000), 500);
+    }
+
+    #[test]
+    fn corruption_sites_are_in_range_and_seed_dependent() {
+        let a = FaultInjector::new(FaultProfile::seeded(1).with_corruption_rate(1.0));
+        let b = FaultInjector::new(FaultProfile::seeded(2).with_corruption_rate(1.0));
+        let sa: Vec<(usize, u32)> = (0..64).map(|i| a.corruption_site(i, 33)).collect();
+        let sb: Vec<(usize, u32)> = (0..64).map(|i| b.corruption_site(i, 33)).collect();
+        assert_ne!(sa, sb);
+        for (elem, bit) in sa {
+            assert!(elem < 33);
+            assert!(bit < 64);
+        }
+        // Degenerate length never indexes out of bounds.
+        assert_eq!(a.corruption_site(5, 0).0, 0);
+    }
+
+    #[test]
+    fn pressure_reserve_kicks_in_at_the_threshold() {
+        let inj = FaultInjector::new(FaultProfile::seeded(0).with_memory_pressure(3, 0.25));
+        assert_eq!(inj.reserved_bytes(4000), 0);
+        inj.note_alloc_request();
+        inj.note_alloc_request();
+        inj.note_alloc_request();
+        assert_eq!(inj.reserved_bytes(4000), 0, "first N requests unpressured");
+        inj.note_alloc_request();
+        assert_eq!(inj.reserved_bytes(4000), 1000, "past the threshold");
+        assert_eq!(inj.counts().pressure_rejections, 0);
+        inj.note_pressure_rejection();
+        assert_eq!(inj.counts().pressure_rejections, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve fraction must be in [0, 1]")]
+    fn rejects_bad_reserve_fraction() {
+        FaultProfile::seeded(0).with_memory_pressure(1, 1.5);
     }
 }

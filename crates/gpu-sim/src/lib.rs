@@ -59,9 +59,11 @@ pub mod timing;
 pub use counters::{AggregationBreakdown, Counters};
 pub use device::DeviceSpec;
 pub use error::DeviceError;
-pub use exec::{BlockCtx, Gpu, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES};
-pub use fault::{FaultCounts, FaultInjector, FaultProfile};
-pub use memory::{Elem, GpuBuffer};
+pub use exec::{
+    BlockCtx, Gpu, IntegrityStats, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES,
+};
+pub use fault::{FaultCounts, FaultInjector, FaultProfile, MemoryPressure};
+pub use memory::{fnv1a_cells, Elem, GpuBuffer};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use pool::{DevicePool, PoolStats, DEFAULT_POOL_RETAIN_BYTES};
 pub use profile::profile_report;

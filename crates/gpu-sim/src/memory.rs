@@ -231,6 +231,36 @@ impl GpuBuffer {
             self.raw_store(i, 0);
         }
     }
+
+    /// Flip one bit of one element's raw cell — the corruption fault
+    /// class's mutation primitive. Not event-counted: silent corruption by
+    /// definition leaves no trace in the performance model.
+    pub(crate) fn corrupt_bit(&self, idx: usize, bit: u32) {
+        let cur = self.raw_load(idx);
+        self.raw_store(idx, cur ^ (1u64 << (bit % 64)));
+    }
+
+    /// FNV-1a digest over the logical cells — the integrity layer's
+    /// device-side checksum, comparable against [`fnv1a_cells`] of the host
+    /// data that produced the buffer. Host-side work, not event-counted.
+    pub fn fnv_checksum(&self) -> u64 {
+        fnv1a_cells((0..self.len()).map(|i| self.raw_load(i)))
+    }
+}
+
+/// FNV-1a over a stream of 64-bit cell values (little-endian bytes). Host
+/// slices digest through the same cell encoding the device stores use:
+/// `f64::to_bits` for f64 elements, zero-extension for u32 elements.
+pub fn fnv1a_cells(cells: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for mut v in cells {
+        for _ in 0..8 {
+            h ^= v & 0xff;
+            h = h.wrapping_mul(0x100000001b3);
+            v >>= 8;
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -276,6 +306,31 @@ mod tests {
             }
         });
         assert_eq!(b.host_read_f64(0), 4000.0);
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let b = GpuBuffer::new("x", 0x1000, Elem::F64, 8);
+        b.copy_from_f64(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let clean = b.fnv_checksum();
+        let host = fnv1a_cells(
+            [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+                .into_iter()
+                .map(f64::to_bits),
+        );
+        assert_eq!(clean, host);
+        b.corrupt_bit(3, 52);
+        assert_ne!(b.fnv_checksum(), clean, "one flipped bit must change it");
+        b.corrupt_bit(3, 52); // flip back
+        assert_eq!(b.fnv_checksum(), clean);
+    }
+
+    #[test]
+    fn u32_checksum_matches_zero_extended_host_cells() {
+        let b = GpuBuffer::new("idx", 0x2000, Elem::U32, 3);
+        b.copy_from_u32(&[7, 0, u32::MAX]);
+        let host = fnv1a_cells([7u32, 0, u32::MAX].into_iter().map(u64::from));
+        assert_eq!(b.fnv_checksum(), host);
     }
 
     #[test]

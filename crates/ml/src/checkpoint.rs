@@ -1,0 +1,230 @@
+//! Solver checkpoint/resume: periodic host-side snapshots of iterative
+//! solver state so a recovery ladder can resume from the last good
+//! iterate instead of iteration 0.
+//!
+//! Snapshots live on the *host* (plain `Vec<f64>`), deliberately outside
+//! device memory: a device fault, a degraded backend tier, or a fresh
+//! `Gpu` must all be able to re-upload the state. A checkpoint therefore
+//! survives a Fused→Baseline degrade, where the new backend shares no
+//! buffers with the failed one.
+//!
+//! Cadence is controlled by the [`CheckpointHandle`]'s `every` interval;
+//! `every == 0` disables saving entirely and the `try_*_ckpt` solver
+//! entry points perform *bit-identical* work to their plain `try_*`
+//! counterparts (no extra device ops, no extra downloads), which keeps
+//! the perf-regression gate honest.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A host-side snapshot of one solver's resumable state.
+///
+/// Each variant captures exactly what that solver needs to continue
+/// mid-stream: full CG state for `lr_cg` (iterate, residual, direction
+/// and their norms), the trust-region radius for TRON, and the iterate
+/// plus outer-loop counters for the Newton-type solvers, whose loops
+/// recompute everything else from the weights each outer iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverCheckpoint {
+    /// Full CG state of [`try_lr_cg`](crate::lr_cg::try_lr_cg).
+    LrCg {
+        iteration: usize,
+        restarts: usize,
+        nr2: f64,
+        initial_nr2: f64,
+        weights: Vec<f64>,
+        residual: Vec<f64>,
+        direction: Vec<f64>,
+    },
+    /// IRLS outer-loop state of [`try_glm`](crate::glm::try_glm).
+    Glm {
+        outer: usize,
+        cg_iterations: usize,
+        weights: Vec<f64>,
+    },
+    /// Damped-Newton state of [`try_logreg`](crate::logreg::try_logreg).
+    LogReg {
+        outer: usize,
+        cg_iterations: usize,
+        weights: Vec<f64>,
+    },
+    /// TRON state incl. the adaptive trust-region radius.
+    Tron {
+        outer: usize,
+        cg_iterations: usize,
+        rejected: usize,
+        radius: f64,
+        weights: Vec<f64>,
+    },
+    /// Primal L2-SVM Newton state.
+    Svm {
+        outer: usize,
+        cg_iterations: usize,
+        weights: Vec<f64>,
+    },
+    /// HITS power-iteration state.
+    Hits {
+        iteration: usize,
+        delta: f64,
+        authorities: Vec<f64>,
+    },
+}
+
+impl SolverCheckpoint {
+    /// The outer-iteration count the snapshot was taken at; resuming from
+    /// this checkpoint continues at this iteration.
+    pub fn iteration(&self) -> usize {
+        match self {
+            SolverCheckpoint::LrCg { iteration, .. } => *iteration,
+            SolverCheckpoint::Glm { outer, .. } => *outer,
+            SolverCheckpoint::LogReg { outer, .. } => *outer,
+            SolverCheckpoint::Tron { outer, .. } => *outer,
+            SolverCheckpoint::Svm { outer, .. } => *outer,
+            SolverCheckpoint::Hits { iteration, .. } => *iteration,
+        }
+    }
+
+    /// Which solver the snapshot belongs to.
+    pub fn solver(&self) -> &'static str {
+        match self {
+            SolverCheckpoint::LrCg { .. } => "lr_cg",
+            SolverCheckpoint::Glm { .. } => "glm",
+            SolverCheckpoint::LogReg { .. } => "logreg",
+            SolverCheckpoint::Tron { .. } => "logreg_tron",
+            SolverCheckpoint::Svm { .. } => "svm",
+            SolverCheckpoint::Hits { .. } => "hits",
+        }
+    }
+}
+
+/// Shared checkpoint slot handed to a `try_*_ckpt` solver.
+///
+/// Cloning shares the slot: the recovery ladder keeps one handle across
+/// retries and tier degrades, so an attempt on a fresh backend sees the
+/// snapshot the failed attempt saved.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointHandle {
+    every: usize,
+    slot: Arc<Mutex<Option<SolverCheckpoint>>>,
+    saves: Arc<AtomicU64>,
+    last_resume: Arc<AtomicU64>,
+}
+
+/// Sentinel for "never resumed" in the packed `last_resume` cell.
+const NO_RESUME: u64 = u64::MAX;
+
+impl CheckpointHandle {
+    /// A handle that snapshots every `every` iterations (`0` disables
+    /// saving; an existing snapshot is still consumed on resume).
+    pub fn new(every: usize) -> Self {
+        CheckpointHandle {
+            every,
+            slot: Arc::new(Mutex::new(None)),
+            saves: Arc::new(AtomicU64::new(0)),
+            last_resume: Arc::new(AtomicU64::new(NO_RESUME)),
+        }
+    }
+
+    /// The snapshot interval.
+    pub fn every(&self) -> usize {
+        self.every
+    }
+
+    /// True when a snapshot should be taken after iteration `iteration`.
+    pub fn due(&self, iteration: usize) -> bool {
+        self.every > 0 && iteration > 0 && iteration.is_multiple_of(self.every)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<SolverCheckpoint>> {
+        // A panic while holding the guard cannot corrupt an Option swap.
+        self.slot.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Store a snapshot, replacing any previous one.
+    pub fn save(&self, checkpoint: SolverCheckpoint) {
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        *self.lock() = Some(checkpoint);
+    }
+
+    /// Clone of the most recent snapshot, if any.
+    pub fn latest(&self) -> Option<SolverCheckpoint> {
+        self.lock().clone()
+    }
+
+    /// Drop the stored snapshot (e.g. after a permanent abort, so a
+    /// later unrelated run cannot resume from stale state).
+    pub fn clear(&self) {
+        *self.lock() = None;
+    }
+
+    /// Number of snapshots saved through this handle (and its clones).
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Called by a solver when it restores state from a snapshot; records
+    /// the iteration it resumed at for reporting.
+    pub fn note_resume(&self, iteration: usize) {
+        self.last_resume.store(iteration as u64, Ordering::Relaxed);
+    }
+
+    /// The iteration of the most recent resume, if any solver run resumed
+    /// from this handle's snapshot.
+    pub fn last_resume(&self) -> Option<usize> {
+        match self.last_resume.load(Ordering::Relaxed) {
+            NO_RESUME => None,
+            it => Some(it as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_respects_interval_and_skips_iteration_zero() {
+        let h = CheckpointHandle::new(5);
+        assert!(!h.due(0));
+        assert!(!h.due(4));
+        assert!(h.due(5));
+        assert!(!h.due(6));
+        assert!(h.due(10));
+        let off = CheckpointHandle::new(0);
+        assert!(!off.due(5));
+    }
+
+    #[test]
+    fn save_latest_clear_roundtrip() {
+        let h = CheckpointHandle::new(2);
+        assert_eq!(h.latest(), None);
+        assert_eq!(h.saves(), 0);
+        h.save(SolverCheckpoint::Glm {
+            outer: 4,
+            cg_iterations: 12,
+            weights: vec![1.0, 2.0],
+        });
+        let c = h.latest().expect("snapshot stored");
+        assert_eq!(c.iteration(), 4);
+        assert_eq!(c.solver(), "glm");
+        assert_eq!(h.saves(), 1);
+        h.clear();
+        assert_eq!(h.latest(), None);
+        assert_eq!(h.saves(), 1, "clear does not rewind the save counter");
+    }
+
+    #[test]
+    fn clones_share_the_slot_and_resume_marker() {
+        let h = CheckpointHandle::new(3);
+        let other = h.clone();
+        other.save(SolverCheckpoint::Hits {
+            iteration: 6,
+            delta: 1e-3,
+            authorities: vec![0.5; 4],
+        });
+        assert_eq!(h.latest().map(|c| c.iteration()), Some(6));
+        assert_eq!(h.last_resume(), None);
+        other.note_resume(6);
+        assert_eq!(h.last_resume(), Some(6));
+    }
+}

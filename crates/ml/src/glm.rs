@@ -7,6 +7,7 @@
 //! `X^T (W ⊙ (X s)) + lambda s` — the `X^T (v ⊙ (X y))` instantiation the
 //! paper's Table 1 attributes to GLM.
 
+use crate::checkpoint::{CheckpointHandle, SolverCheckpoint};
 use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
@@ -91,21 +92,51 @@ pub fn try_glm<B: Backend>(
     targets: &[f64],
     opts: GlmOptions,
 ) -> Result<GlmResult, SolverError> {
+    try_glm_ckpt(backend, targets, opts, None)
+}
+
+/// [`try_glm`] with checkpoint/resume: the IRLS outer loop recomputes
+/// mean/weight/residual vectors from the iterate each pass, so a snapshot
+/// of the weights plus outer-loop counters is all the state a resume
+/// needs. With `ckpt` `None` the device work is identical to
+/// [`try_glm`].
+pub fn try_glm_ckpt<B: Backend>(
+    backend: &mut B,
+    targets: &[f64],
+    opts: GlmOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<GlmResult, SolverError> {
     const SOLVER: &str = "glm";
 
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(targets.len(), m);
 
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::Glm {
+            outer,
+            cg_iterations,
+            weights,
+        } if weights.len() == n => Some((outer, cg_iterations, weights)),
+        _ => None,
+    });
+
     let t = backend.try_from_host("targets", targets)?;
-    let mut w = backend.try_zeros("w", n)?;
+    let (mut w, mut outer, mut cg_total) = match resume {
+        Some((outer, cg_iterations, weights)) => {
+            let w = backend.try_from_host("w", &weights)?;
+            if let Some(h) = ckpt {
+                h.note_resume(outer);
+            }
+            (w, outer, cg_iterations)
+        }
+        None => (backend.try_zeros("w", n)?, 0, 0),
+    };
     let mut eta = backend.try_zeros("eta", m)?;
     let mut mu = backend.try_zeros("mu", m)?;
     let mut wgt = backend.try_zeros("wgt", m)?;
     let mut resid = backend.try_zeros("resid", m)?;
     let mut grad = backend.try_zeros("grad", n)?;
-    let mut outer = 0;
-    let mut cg_total = 0;
     let mut gn2 = f64::INFINITY;
     let family = opts.family;
 
@@ -211,6 +242,15 @@ pub fn try_glm<B: Backend>(
             step *= 0.5;
         }
         outer += 1;
+        if let Some(h) = ckpt {
+            if h.due(outer) {
+                h.save(SolverCheckpoint::Glm {
+                    outer,
+                    cg_iterations: cg_total,
+                    weights: backend.to_host(&w),
+                });
+            }
+        }
         if !accepted {
             break;
         }

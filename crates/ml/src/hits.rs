@@ -4,6 +4,8 @@
 //! precisely Table 1's `X^T (X y)` instantiation, evaluated once per power
 //! iteration; hub scores follow as `h = A a`.
 
+use crate::checkpoint::{CheckpointHandle, SolverCheckpoint};
+use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
 
@@ -36,52 +38,123 @@ impl Default for HitsOptions {
 /// Run HITS on the adjacency matrix held by the backend (`A[i, j] = 1`
 /// when page `i` links to page `j`).
 pub fn hits<B: Backend>(backend: &mut B, opts: HitsOptions) -> HitsResult {
+    try_hits(backend, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`hits`]: device faults propagate as [`SolverError::Device`];
+/// a non-finite authority norm or delta (e.g. after silent corruption of
+/// the iterate) aborts with [`SolverError::NumericalBreakdown`] instead of
+/// normalizing NaNs into the scores.
+pub fn try_hits<B: Backend>(backend: &mut B, opts: HitsOptions) -> Result<HitsResult, SolverError> {
+    try_hits_ckpt(backend, opts, None)
+}
+
+/// [`try_hits`] with checkpoint/resume: snapshots the normalized
+/// authority vector, iteration count and last delta; a resumed run
+/// continues the power iteration from that vector. With `ckpt` `None`
+/// the device work is identical to [`try_hits`].
+pub fn try_hits_ckpt<B: Backend>(
+    backend: &mut B,
+    opts: HitsOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<HitsResult, SolverError> {
+    const SOLVER: &str = "hits";
+
     let m = backend.rows();
     let n = backend.cols();
 
-    // a_0 = uniform unit vector.
-    let init = vec![1.0 / (n as f64).sqrt(); n];
-    let mut a = backend.from_host("authority", &init);
-    let mut a_next = backend.zeros("authority.next", n);
-    let mut delta_buf = backend.zeros("delta", n);
-    let mut iters = 0;
-    let mut delta = f64::INFINITY;
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::Hits {
+            iteration,
+            delta,
+            authorities,
+        } if authorities.len() == n && delta.is_finite() => Some((iteration, delta, authorities)),
+        _ => None,
+    });
+
+    let (mut a, mut iters, mut delta) = match resume {
+        Some((iteration, delta, authorities)) => {
+            let a = backend.try_from_host("authority", &authorities)?;
+            if let Some(h) = ckpt {
+                h.note_resume(iteration);
+            }
+            (a, iteration, delta)
+        }
+        None => {
+            // a_0 = uniform unit vector.
+            let init = vec![1.0 / (n as f64).sqrt(); n];
+            (backend.try_from_host("authority", &init)?, 0, f64::INFINITY)
+        }
+    };
+    let mut a_next = backend.try_zeros("authority.next", n)?;
+    let mut delta_buf = backend.try_zeros("delta", n)?;
 
     while iters < opts.max_iterations && delta > opts.tolerance {
         let mut span = fusedml_trace::wall_span("solver", "hits.iter", "host");
         span.arg("iter", iters);
         // a' = A^T (A a) — the X^T(Xy) pattern.
-        backend.pattern(PatternSpec::xtxy(), None, &a, None, &mut a_next);
-        let norm2 = backend.nrm2_sq(&a_next);
+        backend.try_pattern(PatternSpec::xtxy(), None, &a, None, &mut a_next)?;
+        let norm2 = backend.try_nrm2_sq(&a_next)?;
+        if !norm2.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                iters,
+                format!("authority norm^2 is {norm2}"),
+            ));
+        }
         if norm2 <= 0.0 {
             break; // graph has no edges
         }
-        backend.scal(1.0 / norm2.sqrt(), &mut a_next);
+        backend.try_scal(1.0 / norm2.sqrt(), &mut a_next)?;
 
         // delta = ||a' - a||
-        backend.copy(&a_next, &mut delta_buf);
-        backend.axpy(-1.0, &a, &mut delta_buf);
-        delta = backend.nrm2_sq(&delta_buf).sqrt();
+        backend.try_copy(&a_next, &mut delta_buf)?;
+        backend.try_axpy(-1.0, &a, &mut delta_buf)?;
+        delta = backend.try_nrm2_sq(&delta_buf)?.sqrt();
+        if !delta.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                iters,
+                format!("iterate delta is {delta}"),
+            ));
+        }
         span.arg("delta", delta);
 
-        backend.copy(&a_next, &mut a);
+        backend.try_copy(&a_next, &mut a)?;
         iters += 1;
+
+        if let Some(h) = ckpt {
+            if h.due(iters) {
+                h.save(SolverCheckpoint::Hits {
+                    iteration: iters,
+                    delta,
+                    authorities: backend.to_host(&a),
+                });
+            }
+        }
     }
 
     // Hubs: h = A a, normalized.
-    let mut h = backend.zeros("hubs", m);
-    backend.mv(&a, &mut h);
-    let hn2 = backend.nrm2_sq(&h);
+    let mut h = backend.try_zeros("hubs", m)?;
+    backend.try_mv(&a, &mut h)?;
+    let hn2 = backend.try_nrm2_sq(&h)?;
+    if !hn2.is_finite() {
+        return Err(SolverError::breakdown(
+            SOLVER,
+            iters,
+            format!("hub norm^2 is {hn2}"),
+        ));
+    }
     if hn2 > 0.0 {
-        backend.scal(1.0 / hn2.sqrt(), &mut h);
+        backend.try_scal(1.0 / hn2.sqrt(), &mut h)?;
     }
 
-    HitsResult {
+    Ok(HitsResult {
         authorities: backend.to_host(&a),
         hubs: backend.to_host(&h),
         iterations: iters,
         delta,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -142,6 +215,52 @@ mod tests {
         let an: f64 = res.authorities.iter().map(|v| v * v).sum();
         assert!((an - 1.0).abs() < 1e-9);
         assert!(res.authorities.iter().all(|&v| v >= -1e-12));
+    }
+
+    #[test]
+    fn nan_adjacency_is_a_typed_breakdown_not_a_nan_result() {
+        let mut coo = Coo::new(6, 6);
+        coo.push(1, 0, 1.0);
+        coo.push(2, 0, f64::NAN);
+        let x = CsrMatrix::from_coo(&coo);
+        let mut cpu = CpuBackend::new_sparse(x);
+        let err = crate::hits::try_hits(&mut cpu, HitsOptions::default())
+            .expect_err("NaN edge weight must not converge silently");
+        assert_eq!(err.kind(), "numerical-breakdown");
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        use crate::checkpoint::CheckpointHandle;
+        // A dense-ish random graph: the power iteration converges slowly
+        // enough that the run is still live at the snapshot boundary.
+        let x = fusedml_matrix::gen::uniform_sparse(40, 40, 0.15, 145);
+        let opts = HitsOptions {
+            max_iterations: 6,
+            tolerance: 0.0,
+        };
+        let mut cpu = CpuBackend::new_sparse(x.clone());
+        let full = hits(&mut cpu, opts);
+
+        let h = CheckpointHandle::new(3);
+        let mut first = CpuBackend::new_sparse(x.clone());
+        let partial = crate::hits::try_hits_ckpt(
+            &mut first,
+            HitsOptions {
+                max_iterations: 3,
+                ..opts
+            },
+            Some(&h),
+        )
+        .expect("partial");
+        assert_eq!(partial.iterations, 3);
+        let mut second = CpuBackend::new_sparse(x);
+        let resumed = crate::hits::try_hits_ckpt(&mut second, opts, Some(&h)).expect("resumed");
+        assert_eq!(h.last_resume(), Some(3));
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(resumed.authorities, full.authorities);
+        assert_eq!(resumed.hubs, full.hubs);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! operator-baseline and CPU engines with identical numerics and full
 //! time/launch/pattern instrumentation.
 
+// Production solver code must surface faults as typed errors, never
+// panic; tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod checkpoint;
 pub mod error;
 pub mod glm;
 pub mod hits;
@@ -15,12 +20,14 @@ pub mod lr_cg;
 pub mod ops;
 pub mod svm;
 
+pub use checkpoint::{CheckpointHandle, SolverCheckpoint};
 pub use error::SolverError;
-pub use glm::{glm, try_glm, Family, GlmOptions, GlmResult};
-pub use hits::{hits, HitsOptions, HitsResult};
+pub use glm::{glm, try_glm, try_glm_ckpt, Family, GlmOptions, GlmResult};
+pub use hits::{hits, try_hits, try_hits_ckpt, HitsOptions, HitsResult};
 pub use logreg::{
-    logreg, logreg_tron, try_logreg, LogRegOptions, LogRegResult, TronOptions, TronResult,
+    logreg, logreg_tron, try_logreg, try_logreg_ckpt, try_logreg_tron, try_logreg_tron_ckpt,
+    LogRegOptions, LogRegResult, TronOptions, TronResult,
 };
-pub use lr_cg::{lr_cg, try_lr_cg, LrCgOptions, LrCgResult};
+pub use lr_cg::{lr_cg, try_lr_cg, try_lr_cg_ckpt, LrCgOptions, LrCgResult};
 pub use ops::{Backend, BackendStats, BaselineBackend, CpuBackend, DeviceMatrix, FusedBackend};
-pub use svm::{svm_primal, SvmOptions, SvmResult};
+pub use svm::{svm_primal, try_svm, try_svm_ckpt, SvmOptions, SvmResult};

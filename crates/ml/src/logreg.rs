@@ -7,6 +7,7 @@
 //! `X^T (v ⊙ (X y)) + beta z`, which is why Table 1 marks LogReg in the
 //! `v`-carrying rows.
 
+use crate::checkpoint::{CheckpointHandle, SolverCheckpoint};
 use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
@@ -67,6 +68,19 @@ pub fn try_logreg<B: Backend>(
     labels: &[f64],
     opts: LogRegOptions,
 ) -> Result<LogRegResult, SolverError> {
+    try_logreg_ckpt(backend, labels, opts, None)
+}
+
+/// [`try_logreg`] with checkpoint/resume: each outer Newton pass
+/// recomputes margins, sigmoids and objective from the iterate, so the
+/// snapshot is the weights plus outer-loop counters. With `ckpt` `None`
+/// the device work is identical to [`try_logreg`].
+pub fn try_logreg_ckpt<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: LogRegOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<LogRegResult, SolverError> {
     const SOLVER: &str = "logreg";
 
     let m = backend.rows();
@@ -74,14 +88,30 @@ pub fn try_logreg<B: Backend>(
     assert_eq!(labels.len(), m);
     assert!(labels.iter().all(|&l| l == 1.0 || l == -1.0));
 
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::LogReg {
+            outer,
+            cg_iterations,
+            weights,
+        } if weights.len() == n => Some((outer, cg_iterations, weights)),
+        _ => None,
+    });
+
     let y = backend.try_from_host("labels", labels)?;
-    let mut w = backend.try_zeros("w", n)?;
+    let (mut w, mut outer, mut cg_total) = match resume {
+        Some((outer, cg_iterations, weights)) => {
+            let w = backend.try_from_host("w", &weights)?;
+            if let Some(h) = ckpt {
+                h.note_resume(outer);
+            }
+            (w, outer, cg_iterations)
+        }
+        None => (backend.try_zeros("w", n)?, 0usize, 0usize),
+    };
     let mut margins = backend.try_zeros("margins", m)?;
     let mut sig = backend.try_zeros("sig", m)?;
     let mut d = backend.try_zeros("d", m)?;
     let mut grad = backend.try_zeros("grad", n)?;
-    let mut cg_total = 0usize;
-    let mut outer = 0usize;
     let mut objective = f64::INFINITY;
 
     while outer < opts.max_outer {
@@ -196,6 +226,15 @@ pub fn try_logreg<B: Backend>(
             step *= 0.5;
         }
         outer += 1;
+        if let Some(h) = ckpt {
+            if h.due(outer) {
+                h.save(SolverCheckpoint::LogReg {
+                    outer,
+                    cg_iterations: cg_total,
+                    weights: backend.to_host(&w),
+                });
+            }
+        }
         if !accepted {
             break;
         }
@@ -351,130 +390,202 @@ const SIGMA3: f64 = 4.0;
 
 /// Train binomial logistic regression with TRON. Labels in `{-1, +1}`.
 pub fn logreg_tron<B: Backend>(backend: &mut B, labels: &[f64], opts: TronOptions) -> TronResult {
+    try_logreg_tron(backend, labels, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`logreg_tron`]: device faults propagate as
+/// [`SolverError::Device`]; a non-finite objective or gradient norm
+/// aborts with [`SolverError::NumericalBreakdown`].
+pub fn try_logreg_tron<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: TronOptions,
+) -> Result<TronResult, SolverError> {
+    try_logreg_tron_ckpt(backend, labels, opts, None)
+}
+
+/// [`try_logreg_tron`] with checkpoint/resume. The snapshot carries the
+/// adaptive trust-region radius alongside the iterate and counters so a
+/// resumed run does not restart region adaptation from `||g||`. With
+/// `ckpt` `None` the device work is identical to [`try_logreg_tron`].
+pub fn try_logreg_tron_ckpt<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: TronOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<TronResult, SolverError> {
+    const SOLVER: &str = "logreg_tron";
+
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(labels.len(), m);
 
-    let y = backend.from_host("labels", labels);
-    let mut w = backend.zeros("w", n);
-    let mut margins = backend.zeros("margins", m);
-    let mut sig = backend.zeros("sig", m);
-    let mut d = backend.zeros("d", m);
-    let mut grad = backend.zeros("grad", n);
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::Tron {
+            outer,
+            cg_iterations,
+            rejected,
+            radius,
+            weights,
+        } if weights.len() == n && radius.is_finite() && radius > 0.0 => {
+            Some((outer, cg_iterations, rejected, radius, weights))
+        }
+        _ => None,
+    });
+
+    let y = backend.try_from_host("labels", labels)?;
+    let (mut w, mut outer, mut cg_total, mut rejected, mut radius, resumed) = match resume {
+        Some((outer, cg_iterations, rejected, radius, weights)) => {
+            let w = backend.try_from_host("w", &weights)?;
+            if let Some(h) = ckpt {
+                h.note_resume(outer);
+            }
+            (w, outer, cg_iterations, rejected, radius, true)
+        }
+        None => (
+            backend.try_zeros("w", n)?,
+            0usize,
+            0usize,
+            0usize,
+            0.0f64,
+            false,
+        ),
+    };
+    let mut margins = backend.try_zeros("margins", m)?;
+    let mut sig = backend.try_zeros("sig", m)?;
+    let mut d = backend.try_zeros("d", m)?;
+    let mut grad = backend.try_zeros("grad", n)?;
 
     // f(w), sigma(y * Xw) and the objective at the current iterate.
     macro_rules! objective_at {
         ($wv:expr) => {{
-            backend.mv($wv, &mut margins);
-            backend.map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t));
+            backend.try_mv($wv, &mut margins)?;
+            backend.try_map2(&margins, &y, &mut sig, &|t, yi| sigmoid(yi * t))?;
             let loss: f64 = backend
                 .to_host(&sig)
                 .iter()
                 .map(|&s| -(s.max(1e-300)).ln())
                 .sum();
-            let wn2 = backend.nrm2_sq($wv);
+            let wn2 = backend.try_nrm2_sq($wv)?;
             loss + 0.5 * opts.lambda * wn2
         }};
     }
 
     let mut objective = objective_at!(&w);
-    let mut cg_total = 0usize;
-    let mut rejected = 0usize;
-    let mut outer = 0usize;
-    let mut radius = 0.0f64;
+    if !objective.is_finite() {
+        return Err(SolverError::breakdown(
+            SOLVER,
+            outer,
+            format!("objective is {objective}"),
+        ));
+    }
 
     while outer < opts.max_outer {
         let mut span = fusedml_trace::wall_span("solver", "logreg_tron.outer", "host");
         span.arg("outer", outer);
         span.arg("objective", objective);
         // Gradient at w (sig is current from the last objective eval).
-        backend.map2(&sig, &y, &mut d, &|s, yi| (s - 1.0) * yi);
-        backend.tmv(1.0, &d, &mut grad);
-        backend.axpy(opts.lambda, &w, &mut grad);
-        let gn = backend.nrm2_sq(&grad).sqrt();
+        backend.try_map2(&sig, &y, &mut d, &|s, yi| (s - 1.0) * yi)?;
+        backend.try_tmv(1.0, &d, &mut grad)?;
+        backend.try_axpy(opts.lambda, &w, &mut grad)?;
+        let gn = backend.try_nrm2_sq(&grad)?.sqrt();
+        if !gn.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("gradient norm is {gn}"),
+            ));
+        }
         if gn * gn <= opts.grad_tol {
             break;
         }
-        if outer == 0 {
+        if outer == 0 && !resumed {
             radius = opts.initial_radius.unwrap_or(gn);
         }
 
         // Hessian weights D = sig (1 - sig).
-        backend.map2(&sig, &sig, &mut d, &|s, _| s * (1.0 - s));
+        backend.try_map2(&sig, &sig, &mut d, &|s, _| s * (1.0 - s))?;
 
         // --- CG-Steihaug: minimize q(s) within ||s|| <= radius ---
-        let mut s = backend.zeros("tron.s", n);
-        let mut r = backend.zeros("tron.r", n);
-        backend.copy(&grad, &mut r);
-        backend.scal(-1.0, &mut r);
-        let mut p = backend.zeros("tron.p", n);
-        backend.copy(&r, &mut p);
-        let mut rs = backend.nrm2_sq(&r);
+        let mut s = backend.try_zeros("tron.s", n)?;
+        let mut r = backend.try_zeros("tron.r", n)?;
+        backend.try_copy(&grad, &mut r)?;
+        backend.try_scal(-1.0, &mut r)?;
+        let mut p = backend.try_zeros("tron.p", n)?;
+        backend.try_copy(&r, &mut p)?;
+        let mut rs = backend.try_nrm2_sq(&r)?;
         let rs0 = rs;
-        let mut hp = backend.zeros("tron.hp", n);
+        let mut hp = backend.try_zeros("tron.hp", n)?;
         let mut hit_boundary = false;
         for _ in 0..opts.max_inner_cg {
             if rs <= 1e-6 * rs0 {
                 break;
             }
-            backend.pattern(
+            backend.try_pattern(
                 PatternSpec::full(1.0, opts.lambda),
                 Some(&d),
                 &p,
                 Some(&p),
                 &mut hp,
-            );
+            )?;
             cg_total += 1;
-            let php = backend.dot(&p, &hp);
+            let php = backend.try_dot(&p, &hp)?;
             if php <= 0.0 {
                 // Negative curvature: step to the boundary along p.
-                let tau = boundary_tau(backend, &s, &p, radius);
-                backend.axpy(tau, &p, &mut s);
+                let tau = try_boundary_tau(backend, &s, &p, radius)?;
+                backend.try_axpy(tau, &p, &mut s)?;
                 hit_boundary = true;
                 break;
             }
             let alpha = rs / php;
             // Would s + alpha p leave the region?
-            let sn2 = backend.nrm2_sq(&s);
-            let sp = backend.dot(&s, &p);
-            let pn2 = backend.nrm2_sq(&p);
+            let sn2 = backend.try_nrm2_sq(&s)?;
+            let sp = backend.try_dot(&s, &p)?;
+            let pn2 = backend.try_nrm2_sq(&p)?;
             let step_norm2 = sn2 + 2.0 * alpha * sp + alpha * alpha * pn2;
             if step_norm2 > radius * radius {
-                let tau = boundary_tau(backend, &s, &p, radius);
-                backend.axpy(tau, &p, &mut s);
+                let tau = try_boundary_tau(backend, &s, &p, radius)?;
+                backend.try_axpy(tau, &p, &mut s)?;
                 hit_boundary = true;
                 break;
             }
-            backend.axpy(alpha, &p, &mut s);
-            backend.axpy(-alpha, &hp, &mut r);
-            let rs_new = backend.nrm2_sq(&r);
+            backend.try_axpy(alpha, &p, &mut s)?;
+            backend.try_axpy(-alpha, &hp, &mut r)?;
+            let rs_new = backend.try_nrm2_sq(&r)?;
             let beta = rs_new / rs;
             rs = rs_new;
-            backend.scal(beta, &mut p);
-            backend.axpy(1.0, &r, &mut p);
+            backend.try_scal(beta, &mut p)?;
+            backend.try_axpy(1.0, &r, &mut p)?;
         }
 
         // Predicted reduction: -q(s) = -(g.s + 0.5 s.Hs).
-        backend.pattern(
+        backend.try_pattern(
             PatternSpec::full(1.0, opts.lambda),
             Some(&d),
             &s,
             Some(&s),
             &mut hp,
-        );
-        let gs = backend.dot(&grad, &s);
-        let shs = backend.dot(&s, &hp);
+        )?;
+        let gs = backend.try_dot(&grad, &s)?;
+        let shs = backend.try_dot(&s, &hp)?;
         let predicted = -(gs + 0.5 * shs);
-        let s_norm = backend.nrm2_sq(&s).sqrt();
+        let s_norm = backend.try_nrm2_sq(&s)?.sqrt();
         if predicted <= 0.0 || s_norm == 0.0 {
             break; // no useful model direction left
         }
 
         // Actual reduction and the ratio test.
-        let mut w_try = backend.zeros("tron.wtry", n);
-        backend.copy(&w, &mut w_try);
-        backend.axpy(1.0, &s, &mut w_try);
+        let mut w_try = backend.try_zeros("tron.wtry", n)?;
+        backend.try_copy(&w, &mut w_try)?;
+        backend.try_axpy(1.0, &s, &mut w_try)?;
         let obj_try = objective_at!(&w_try);
+        if !obj_try.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("trial objective is {obj_try}"),
+            ));
+        }
         let actual = objective - obj_try;
         let rho = actual / predicted;
 
@@ -486,7 +597,7 @@ pub fn logreg_tron<B: Backend>(backend: &mut B, labels: &[f64], opts: TronOption
         }
 
         if rho > ETA0 {
-            backend.copy(&w_try, &mut w);
+            backend.try_copy(&w_try, &mut w)?;
             objective = obj_try;
         } else {
             rejected += 1;
@@ -495,28 +606,44 @@ pub fn logreg_tron<B: Backend>(backend: &mut B, labels: &[f64], opts: TronOption
             objective = objective_at!(&w);
         }
         outer += 1;
+        if let Some(h) = ckpt {
+            if h.due(outer) {
+                h.save(SolverCheckpoint::Tron {
+                    outer,
+                    cg_iterations: cg_total,
+                    rejected,
+                    radius,
+                    weights: backend.to_host(&w),
+                });
+            }
+        }
     }
 
-    TronResult {
+    Ok(TronResult {
         weights: backend.to_host(&w),
         iterations: outer,
         cg_iterations: cg_total,
         objective,
         radius,
         rejected_steps: rejected,
-    }
+    })
 }
 
 /// Positive root `tau` of `||s + tau p|| = radius`.
-fn boundary_tau<B: Backend>(backend: &mut B, s: &B::Vector, p: &B::Vector, radius: f64) -> f64 {
-    let sn2 = backend.nrm2_sq(s);
-    let sp = backend.dot(s, p);
-    let pn2 = backend.nrm2_sq(p);
+fn try_boundary_tau<B: Backend>(
+    backend: &mut B,
+    s: &B::Vector,
+    p: &B::Vector,
+    radius: f64,
+) -> Result<f64, SolverError> {
+    let sn2 = backend.try_nrm2_sq(s)?;
+    let sp = backend.try_dot(s, p)?;
+    let pn2 = backend.try_nrm2_sq(p)?;
     if pn2 == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let disc = (sp * sp + pn2 * (radius * radius - sn2)).max(0.0);
-    (-sp + disc.sqrt()) / pn2
+    Ok((-sp + disc.sqrt()) / pn2)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! `X^T(Xy) + beta*z` instantiation of the generic pattern; the remainder
 //! is BLAS-1 (`axpy`, `dot`, `nrm2`), matching the Table 2 breakdown.
 
+use crate::checkpoint::{CheckpointHandle, SolverCheckpoint};
 use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
@@ -75,6 +76,22 @@ pub fn try_lr_cg<B: Backend>(
     labels: &[f64],
     opts: LrCgOptions,
 ) -> Result<LrCgResult, SolverError> {
+    try_lr_cg_ckpt(backend, labels, opts, None)
+}
+
+/// [`try_lr_cg`] with checkpoint/resume: a snapshot of the full CG state
+/// (iterate, residual, direction, norms, restart count) is saved to
+/// `ckpt` every `ckpt.every()` iterations, and a valid existing snapshot
+/// is restored instead of starting from iteration 0 — including onto a
+/// different backend tier than the one that saved it, since snapshots
+/// live on the host. With `ckpt` `None` the device work is identical to
+/// [`try_lr_cg`].
+pub fn try_lr_cg_ckpt<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: LrCgOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<LrCgResult, SolverError> {
     const SOLVER: &str = "lr_cg";
     const MAX_RESTARTS: usize = 2;
 
@@ -84,32 +101,69 @@ pub fn try_lr_cg<B: Backend>(
 
     let y = backend.try_from_host("labels", labels)?;
 
-    // r = -(t(V) %*% y)
-    let mut r = backend.try_zeros("r", n)?;
-    backend.try_tmv(-1.0, &y, &mut r)?;
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::LrCg {
+            iteration,
+            restarts,
+            nr2,
+            initial_nr2,
+            weights,
+            residual,
+            direction,
+        } if weights.len() == n
+            && residual.len() == n
+            && direction.len() == n
+            && nr2.is_finite()
+            && initial_nr2.is_finite() =>
+        {
+            Some((
+                iteration,
+                restarts,
+                nr2,
+                initial_nr2,
+                weights,
+                residual,
+                direction,
+            ))
+        }
+        _ => None,
+    });
 
-    // p = -r
-    let mut p = backend.try_zeros("p", n)?;
-    backend.try_copy(&r, &mut p)?;
-    backend.try_scal(-1.0, &mut p)?;
+    let (mut w, mut r, mut p, mut nr2, initial_nr2, mut i, mut restarts) = match resume {
+        Some((iteration, restarts, nr2, initial_nr2, weights, residual, direction)) => {
+            let w = backend.try_from_host("w", &weights)?;
+            let r = backend.try_from_host("r", &residual)?;
+            let p = backend.try_from_host("p", &direction)?;
+            if let Some(h) = ckpt {
+                h.note_resume(iteration);
+            }
+            (w, r, p, nr2, initial_nr2, iteration, restarts)
+        }
+        None => {
+            // r = -(t(V) %*% y)
+            let mut r = backend.try_zeros("r", n)?;
+            backend.try_tmv(-1.0, &y, &mut r)?;
 
-    // nr2 = sum(r * r)
-    let mut nr2 = backend.try_nrm2_sq(&r)?;
-    if !nr2.is_finite() {
-        return Err(SolverError::breakdown(
-            SOLVER,
-            0,
-            format!("initial residual norm^2 is {nr2}"),
-        ));
-    }
-    let initial_nr2 = nr2;
-    let nr2_target = nr2 * opts.tolerance * opts.tolerance;
+            // p = -r
+            let mut p = backend.try_zeros("p", n)?;
+            backend.try_copy(&r, &mut p)?;
+            backend.try_scal(-1.0, &mut p)?;
 
-    let mut w = backend.try_zeros("w", n)?;
+            // nr2 = sum(r * r)
+            let nr2 = backend.try_nrm2_sq(&r)?;
+            if !nr2.is_finite() {
+                return Err(SolverError::breakdown(
+                    SOLVER,
+                    0,
+                    format!("initial residual norm^2 is {nr2}"),
+                ));
+            }
+            let w = backend.try_zeros("w", n)?;
+            (w, r, p, nr2, nr2, 0, 0)
+        }
+    };
+    let nr2_target = initial_nr2 * opts.tolerance * opts.tolerance;
     let mut q = backend.try_zeros("q", n)?;
-
-    let mut i = 0;
-    let mut restarts = 0;
 
     // Rebuild the CG state from the current iterate: r = X^T(Xw) + eps w
     // - X^T y, p = -r. Used after a non-finite value is detected; bails
@@ -182,6 +236,20 @@ pub fn try_lr_cg<B: Backend>(
         backend.try_scal(beta, &mut p)?;
         backend.try_axpy(-1.0, &r, &mut p)?;
         i += 1;
+
+        if let Some(h) = ckpt {
+            if h.due(i) {
+                h.save(SolverCheckpoint::LrCg {
+                    iteration: i,
+                    restarts,
+                    nr2,
+                    initial_nr2,
+                    weights: backend.to_host(&w),
+                    residual: backend.to_host(&r),
+                    direction: backend.to_host(&p),
+                });
+            }
+        }
     }
 
     Ok(LrCgResult {
@@ -286,6 +354,66 @@ mod tests {
         // One X^T y at init, one XtXy+bz per iteration.
         assert_eq!(stats.pattern_counts["a * X^T x y"], 1);
         assert_eq!(stats.pattern_counts["X^T x (X x y) + b * z"], 7);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        use crate::checkpoint::CheckpointHandle;
+        let (x, _, labels) = synthetic_problem(220, 35, 107);
+        let opts = LrCgOptions {
+            max_iterations: 10,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+
+        let mut cpu = CpuBackend::new_sparse(x.clone());
+        let full = lr_cg(&mut cpu, &labels, opts);
+
+        // Run 4 iterations with snapshots every 2, as if a fault killed
+        // the run, then resume on a *fresh* backend for the remainder.
+        let h = CheckpointHandle::new(2);
+        let mut first = CpuBackend::new_sparse(x.clone());
+        let partial = try_lr_cg_ckpt(
+            &mut first,
+            &labels,
+            LrCgOptions {
+                max_iterations: 4,
+                ..opts
+            },
+            Some(&h),
+        )
+        .expect("partial run");
+        assert_eq!(partial.iterations, 4);
+        assert_eq!(h.saves(), 2);
+        assert_eq!(h.latest().map(|c| c.iteration()), Some(4));
+
+        let mut second = CpuBackend::new_sparse(x);
+        let resumed = try_lr_cg_ckpt(&mut second, &labels, opts, Some(&h)).expect("resumed run");
+        assert_eq!(h.last_resume(), Some(4));
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(
+            resumed.weights, full.weights,
+            "resume must not perturb numerics"
+        );
+        assert_eq!(resumed.final_nr2, full.final_nr2);
+        assert_eq!(resumed.initial_nr2, full.initial_nr2);
+    }
+
+    #[test]
+    fn checkpoint_handle_none_matches_plain_try_run() {
+        let g = gpu();
+        let (x, _, labels) = synthetic_problem(150, 20, 108);
+        let opts = LrCgOptions {
+            max_iterations: 8,
+            ..Default::default()
+        };
+        let mut a = FusedBackend::new_sparse(&g, &x);
+        let plain = try_lr_cg(&mut a, &labels, opts).expect("plain");
+        let stats_a = a.stats();
+        let mut b = FusedBackend::new_sparse(&g, &x);
+        let with_none = try_lr_cg_ckpt(&mut b, &labels, opts, None).expect("ckpt none");
+        assert_eq!(plain, with_none);
+        assert_eq!(stats_a.launches, b.stats().launches, "no extra device work");
     }
 
     #[test]

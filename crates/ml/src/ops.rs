@@ -596,7 +596,9 @@ impl<'g> BaselineBackend<'g> {
                 self.engine.try_csrmv_t(&x, u, w)?;
             }
             TransposePolicy::CachedOnce => {
-                if self.xt.is_none() {
+                let xt = if let Some(xt) = &self.xt {
+                    xt.clone()
+                } else {
                     let (xt, launches) = fusedml_blas::try_csr2csc_device(self.gpu, &x)?;
                     for l in &launches {
                         self.stats.sim_ms += l.sim_ms();
@@ -604,9 +606,8 @@ impl<'g> BaselineBackend<'g> {
                         self.stats.counters.merge(&l.counters);
                         self.stats.occupancy_ms += l.occupancy.occupancy * l.sim_ms();
                     }
-                    self.xt = Some(xt);
-                }
-                let xt = self.xt.as_ref().expect("cached").clone();
+                    self.xt.insert(xt).clone()
+                };
                 let s = fusedml_blas::try_csrmv_t_pretransposed(self.gpu, &xt, u, w)?;
                 self.stats.sim_ms += s.sim_ms();
                 self.stats.launches += 1;

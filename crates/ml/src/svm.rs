@@ -7,6 +7,8 @@
 //! `X^T (I_sv ⊙ (X s)) + beta s` — again the generic pattern with `v` an
 //! indicator vector (Table 1's SVM row).
 
+use crate::checkpoint::{CheckpointHandle, SolverCheckpoint};
+use crate::error::SolverError;
 use crate::ops::Backend;
 use fusedml_core::PatternSpec;
 
@@ -41,91 +43,155 @@ impl Default for SvmOptions {
 
 /// Train a binary L2-SVM with labels in `{-1, +1}`.
 pub fn svm_primal<B: Backend>(backend: &mut B, labels: &[f64], opts: SvmOptions) -> SvmResult {
+    try_svm(backend, labels, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`svm_primal`]: device faults propagate as
+/// [`SolverError::Device`]; a non-finite objective, gradient norm, or CG
+/// curvature (e.g. after silent corruption of the iterate) aborts with
+/// [`SolverError::NumericalBreakdown`].
+pub fn try_svm<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: SvmOptions,
+) -> Result<SvmResult, SolverError> {
+    try_svm_ckpt(backend, labels, opts, None)
+}
+
+/// [`try_svm`] with checkpoint/resume: each outer Newton pass recomputes
+/// margins, violators and the objective from the iterate, so the snapshot
+/// is the weights plus outer-loop counters. With `ckpt` `None` the device
+/// work is identical to [`try_svm`].
+pub fn try_svm_ckpt<B: Backend>(
+    backend: &mut B,
+    labels: &[f64],
+    opts: SvmOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<SvmResult, SolverError> {
+    const SOLVER: &str = "svm";
+
     let m = backend.rows();
     let n = backend.cols();
     assert_eq!(labels.len(), m);
 
-    let y = backend.from_host("labels", labels);
-    let mut w = backend.zeros("w", n);
-    let mut margins = backend.zeros("margins", m);
-    let mut viol = backend.zeros("viol", m); // y_i margin_i - 1 clipped
-    let mut ind = backend.zeros("ind", m); // support indicator
-    let mut grad = backend.zeros("grad", n);
-    let mut outer = 0;
-    let mut cg_total = 0;
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::Svm {
+            outer,
+            cg_iterations,
+            weights,
+        } if weights.len() == n => Some((outer, cg_iterations, weights)),
+        _ => None,
+    });
+
+    let y = backend.try_from_host("labels", labels)?;
+    let (mut w, mut outer, mut cg_total) = match resume {
+        Some((outer, cg_iterations, weights)) => {
+            let w = backend.try_from_host("w", &weights)?;
+            if let Some(h) = ckpt {
+                h.note_resume(outer);
+            }
+            (w, outer, cg_iterations)
+        }
+        None => (backend.try_zeros("w", n)?, 0, 0),
+    };
+    let mut margins = backend.try_zeros("margins", m)?;
+    let mut viol = backend.try_zeros("viol", m)?; // y_i margin_i - 1 clipped
+    let mut ind = backend.try_zeros("ind", m)?; // support indicator
+    let mut grad = backend.try_zeros("grad", n)?;
     let mut objective = f64::INFINITY;
     let mut support = 0usize;
 
     while outer < opts.max_outer {
         let mut span = fusedml_trace::wall_span("solver", "svm.outer", "host");
         span.arg("outer", outer);
-        backend.mv(&w, &mut margins);
+        backend.try_mv(&w, &mut margins)?;
         // viol_i = y_i * margin_i - 1 where negative (violators), else 0.
-        backend.map2(&margins, &y, &mut viol, &|t, yi| (yi * t - 1.0).min(0.0));
+        backend.try_map2(&margins, &y, &mut viol, &|t, yi| (yi * t - 1.0).min(0.0))?;
         // ind_i = 1 when violating.
-        backend.map2(&viol, &viol, &mut ind, &|v, _| {
+        backend.try_map2(&viol, &viol, &mut ind, &|v, _| {
             if v < 0.0 {
                 1.0
             } else {
                 0.0
             }
-        });
+        })?;
 
         let viol_host = backend.to_host(&viol);
         support = viol_host.iter().filter(|&&v| v < 0.0).count();
         let loss: f64 = viol_host.iter().map(|v| v * v).sum();
-        let wn2 = backend.nrm2_sq(&w);
+        let wn2 = backend.try_nrm2_sq(&w)?;
         objective = 0.5 * opts.lambda * wn2 + loss;
+        if !objective.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("objective is {objective}"),
+            ));
+        }
         span.arg("objective", objective);
         span.arg("support", support);
 
         // grad = lambda w + 2 X^T (ind ⊙ viol ⊙ y)
         // d_i = 2 * viol_i * y_i (viol already zero on non-violators)
-        let mut dvec = backend.zeros("d", m);
-        backend.map2(&viol, &y, &mut dvec, &|v, yi| 2.0 * v * yi);
-        backend.tmv(1.0, &dvec, &mut grad);
-        backend.axpy(opts.lambda, &w, &mut grad);
-        let gn2 = backend.nrm2_sq(&grad);
+        let mut dvec = backend.try_zeros("d", m)?;
+        backend.try_map2(&viol, &y, &mut dvec, &|v, yi| 2.0 * v * yi)?;
+        backend.try_tmv(1.0, &dvec, &mut grad)?;
+        backend.try_axpy(opts.lambda, &w, &mut grad)?;
+        let gn2 = backend.try_nrm2_sq(&grad)?;
+        if !gn2.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                outer,
+                format!("gradient norm^2 is {gn2}"),
+            ));
+        }
         if gn2 <= opts.grad_tol {
             break;
         }
 
         // CG on (lambda I + 2 X^T diag(ind) X) s = -grad.
-        let mut s = backend.zeros("cg.s", n);
-        let mut r = backend.zeros("cg.r", n);
-        backend.copy(&grad, &mut r);
-        backend.scal(-1.0, &mut r);
-        let mut p = backend.zeros("cg.p", n);
-        backend.copy(&r, &mut p);
-        let mut rs = backend.nrm2_sq(&r);
+        let mut s = backend.try_zeros("cg.s", n)?;
+        let mut r = backend.try_zeros("cg.r", n)?;
+        backend.try_copy(&grad, &mut r)?;
+        backend.try_scal(-1.0, &mut r)?;
+        let mut p = backend.try_zeros("cg.p", n)?;
+        backend.try_copy(&r, &mut p)?;
+        let mut rs = backend.try_nrm2_sq(&r)?;
         let rs0 = rs;
-        let mut hp = backend.zeros("cg.hp", n);
-        let mut two_ind = backend.zeros("2ind", m);
-        backend.map2(&ind, &ind, &mut two_ind, &|i, _| 2.0 * i);
+        let mut hp = backend.try_zeros("cg.hp", n)?;
+        let mut two_ind = backend.try_zeros("2ind", m)?;
+        backend.try_map2(&ind, &ind, &mut two_ind, &|i, _| 2.0 * i)?;
         for _ in 0..opts.max_inner_cg {
             if rs <= 1e-6 * rs0 {
                 break;
             }
             // hp = X^T ((2 ind) ⊙ (X p)) + lambda p — the generic pattern.
-            backend.pattern(
+            backend.try_pattern(
                 PatternSpec::full(1.0, opts.lambda),
                 Some(&two_ind),
                 &p,
                 Some(&p),
                 &mut hp,
-            );
-            let php = backend.dot(&p, &hp);
+            )?;
+            let php = backend.try_dot(&p, &hp)?;
+            if !php.is_finite() {
+                return Err(SolverError::breakdown(
+                    SOLVER,
+                    outer,
+                    format!("CG curvature p.Hp is {php}"),
+                ));
+            }
             if php <= 0.0 {
                 break;
             }
             let alpha = rs / php;
-            backend.axpy(alpha, &p, &mut s);
-            backend.axpy(-alpha, &hp, &mut r);
-            let rs_new = backend.nrm2_sq(&r);
+            backend.try_axpy(alpha, &p, &mut s)?;
+            backend.try_axpy(-alpha, &hp, &mut r)?;
+            let rs_new = backend.try_nrm2_sq(&r)?;
             let beta = rs_new / rs;
             rs = rs_new;
-            backend.scal(beta, &mut p);
-            backend.axpy(1.0, &r, &mut p);
+            backend.try_scal(beta, &mut p)?;
+            backend.try_axpy(1.0, &r, &mut p)?;
             cg_total += 1;
         }
 
@@ -133,16 +199,16 @@ pub fn svm_primal<B: Backend>(backend: &mut B, labels: &[f64], opts: SvmOptions)
         let mut step = 1.0;
         let mut accepted = false;
         for _ in 0..10 {
-            let mut w_try = backend.zeros("w.try", n);
-            backend.copy(&w, &mut w_try);
-            backend.axpy(step, &s, &mut w_try);
-            backend.mv(&w_try, &mut margins);
-            backend.map2(&margins, &y, &mut viol, &|t, yi| (yi * t - 1.0).min(0.0));
+            let mut w_try = backend.try_zeros("w.try", n)?;
+            backend.try_copy(&w, &mut w_try)?;
+            backend.try_axpy(step, &s, &mut w_try)?;
+            backend.try_mv(&w_try, &mut margins)?;
+            backend.try_map2(&margins, &y, &mut viol, &|t, yi| (yi * t - 1.0).min(0.0))?;
             let loss: f64 = backend.to_host(&viol).iter().map(|v| v * v).sum();
-            let wn2 = backend.nrm2_sq(&w_try);
+            let wn2 = backend.try_nrm2_sq(&w_try)?;
             let obj_try = 0.5 * opts.lambda * wn2 + loss;
             if obj_try < objective - 1e-12 {
-                backend.copy(&w_try, &mut w);
+                backend.try_copy(&w_try, &mut w)?;
                 objective = obj_try;
                 accepted = true;
                 break;
@@ -150,18 +216,27 @@ pub fn svm_primal<B: Backend>(backend: &mut B, labels: &[f64], opts: SvmOptions)
             step *= 0.5;
         }
         outer += 1;
+        if let Some(h) = ckpt {
+            if h.due(outer) {
+                h.save(SolverCheckpoint::Svm {
+                    outer,
+                    cg_iterations: cg_total,
+                    weights: backend.to_host(&w),
+                });
+            }
+        }
         if !accepted {
             break;
         }
     }
 
-    SvmResult {
+    Ok(SvmResult {
         weights: backend.to_host(&w),
         iterations: outer,
         cg_iterations: cg_total,
         objective,
         support_vectors: support,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -212,6 +287,51 @@ mod tests {
         let mut fused = FusedBackend::new_sparse(&g, &x);
         let r_fused = svm_primal(&mut fused, &labels, opts);
         assert!(reference::rel_l2_error(&r_fused.weights, &r_cpu.weights) < 1e-6);
+    }
+
+    #[test]
+    fn nan_labels_are_a_typed_breakdown_not_a_nan_result() {
+        let (x, mut labels) = problem(120, 10, 124);
+        for i in [3, 7, 11, 42] {
+            labels[i] = f64::NAN;
+        }
+        let mut cpu = CpuBackend::new_sparse(x);
+        let err = try_svm(&mut cpu, &labels, SvmOptions::default())
+            .expect_err("NaN label must not converge silently");
+        assert_eq!(err.kind(), "numerical-breakdown");
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        use crate::checkpoint::CheckpointHandle;
+        let (x, labels) = problem(200, 18, 125);
+        let opts = SvmOptions {
+            max_outer: 6,
+            ..Default::default()
+        };
+        let mut cpu = CpuBackend::new_sparse(x.clone());
+        let full = svm_primal(&mut cpu, &labels, opts);
+
+        let h = CheckpointHandle::new(2);
+        let mut first = CpuBackend::new_sparse(x.clone());
+        let partial = try_svm_ckpt(
+            &mut first,
+            &labels,
+            SvmOptions {
+                max_outer: 2,
+                ..opts
+            },
+            Some(&h),
+        )
+        .expect("partial");
+        assert!(partial.iterations >= 1);
+        let mut second = CpuBackend::new_sparse(x);
+        let resumed = try_svm_ckpt(&mut second, &labels, opts, Some(&h)).expect("resumed");
+        assert!(h.last_resume().is_some());
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(resumed.weights, full.weights);
+        assert_eq!(resumed.objective, full.objective);
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub use costmodel::{CostModel, Placement, PlacementDecision};
 pub use hybrid::{HybridExecutor, HybridReport};
 pub use memman::{MemError, MemStats, MemoryManager};
 pub use recovery::{
-    run_lr_cg_with_recovery, BackendTier, LadderOutcome, RecoveryAction, RecoveryEvent,
-    RecoveryPolicy,
+    run_lr_cg_with_recovery, BackendTier, LadderError, LadderOutcome, RecoveryAction,
+    RecoveryEvent, RecoveryPolicy,
 };
 pub use session::{
     run_cpu, run_device, run_device_fault_tolerant, DataSet, EndToEndReport, EngineKind,

@@ -12,10 +12,11 @@ use crate::session::DataSet;
 use fusedml_gpu_sim::Gpu;
 use fusedml_ml::ops::TransposePolicy;
 use fusedml_ml::{
-    try_lr_cg, Backend, BackendStats, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions,
-    LrCgResult, SolverError,
+    try_lr_cg_ckpt, Backend, BackendStats, BaselineBackend, CheckpointHandle, CpuBackend,
+    FusedBackend, LrCgOptions, LrCgResult, SolverError,
 };
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Execution tier of the degradation ladder, fastest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,6 +88,11 @@ pub struct RecoveryPolicy {
     pub backoff_multiplier: f64,
     /// When false, a tier's failure aborts instead of degrading.
     pub allow_degradation: bool,
+    /// Snapshot solver state every this many iterations so retries and
+    /// tier degrades resume from the last good iterate instead of
+    /// iteration 0. `0` (the default) disables checkpointing and keeps
+    /// every attempt bit-identical to the pre-checkpoint behaviour.
+    pub checkpoint_every: usize,
 }
 
 impl Default for RecoveryPolicy {
@@ -96,6 +102,7 @@ impl Default for RecoveryPolicy {
             backoff_ms: 5.0,
             backoff_multiplier: 2.0,
             allow_degradation: true,
+            checkpoint_every: 0,
         }
     }
 }
@@ -123,6 +130,69 @@ pub struct LadderOutcome {
     /// Backend stats of the successful attempt (failed attempts' partial
     /// compute is absorbed into the shared `Gpu` clock, not shown here).
     pub stats: BackendStats,
+    /// Iteration the successful attempt resumed from, when checkpointing
+    /// was enabled and a prior failed attempt left a snapshot behind
+    /// (`None` when the run started from iteration 0).
+    pub resumed_at: Option<usize>,
+}
+
+/// The ladder gave up: every usable tier failed. Carries the *last*
+/// error seen on each tier, in the order the tiers were attempted, plus
+/// the full decision trail — so an abort report can show not just the
+/// final CPU-tier error but also what killed the faster tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderError {
+    /// `(tier, last error on that tier)` in attempt order; never empty.
+    pub tier_errors: Vec<(BackendTier, SolverError)>,
+    /// Total attempts across all tiers.
+    pub attempts: usize,
+    /// Every retry/degradation/abort decision, in order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl LadderError {
+    /// The error that ended the run: the last tier's last error.
+    pub fn final_error(&self) -> &SolverError {
+        match self.tier_errors.last() {
+            Some((_, e)) => e,
+            // `tier_errors` is never empty by construction; keep a
+            // diagnosable panic rather than unwrap for the impossible arm.
+            None => unreachable!("LadderError built without any tier error"),
+        }
+    }
+
+    /// Delegates to the final error (matches [`SolverError::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.final_error().is_transient()
+    }
+
+    /// Stable class tag of the final error.
+    pub fn kind(&self) -> &'static str {
+        self.final_error().kind()
+    }
+}
+
+impl fmt::Display for LadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery ladder exhausted after {} attempts: ",
+            self.attempts
+        )?;
+        for (i, (tier, e)) in self.tier_errors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{} tier: {e}", tier.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LadderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.final_error())
+    }
 }
 
 fn attempt_tier(
@@ -132,37 +202,38 @@ fn attempt_tier(
     labels: &[f64],
     opts: LrCgOptions,
     transpose_policy: TransposePolicy,
+    ckpt: Option<&CheckpointHandle>,
 ) -> Result<(LrCgResult, BackendStats), SolverError> {
     match (tier, data) {
         (BackendTier::Fused, DataSet::Sparse(x)) => {
             let mut b = FusedBackend::try_new_sparse(gpu, x)?;
-            let r = try_lr_cg(&mut b, labels, opts)?;
+            let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
         (BackendTier::Fused, DataSet::Dense(x)) => {
             let mut b = FusedBackend::try_new_dense(gpu, x)?;
-            let r = try_lr_cg(&mut b, labels, opts)?;
+            let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
         (BackendTier::Baseline, DataSet::Sparse(x)) => {
             let mut b =
                 BaselineBackend::try_new_sparse(gpu, x)?.with_transpose_policy(transpose_policy);
-            let r = try_lr_cg(&mut b, labels, opts)?;
+            let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
         (BackendTier::Baseline, DataSet::Dense(x)) => {
             let mut b = BaselineBackend::try_new_dense(gpu, x)?;
-            let r = try_lr_cg(&mut b, labels, opts)?;
+            let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
         (BackendTier::Cpu, DataSet::Sparse(x)) => {
             let mut b = CpuBackend::new_sparse(x.clone());
-            let r = try_lr_cg(&mut b, labels, opts)?;
+            let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
         (BackendTier::Cpu, DataSet::Dense(x)) => {
             let mut b = CpuBackend::new_dense(x.clone());
-            let r = try_lr_cg(&mut b, labels, opts)?;
+            let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
     }
@@ -173,8 +244,13 @@ fn attempt_tier(
 /// Transient faults are retried on the same tier (fresh backend each
 /// time) up to `policy.max_retries` times with exponential backoff;
 /// anything else — or exhausted retries — degrades down the ladder.
+/// With `policy.checkpoint_every > 0` the solver snapshots its CG state
+/// at that cadence and every retry or degraded attempt resumes from the
+/// last snapshot instead of iteration 0 — the snapshot lives on the
+/// host, so it survives the switch to a fresh backend on a lower tier.
 /// The CPU tier cannot fault, so with degradation enabled this always
-/// succeeds; `Err` is only possible with `allow_degradation: false`.
+/// succeeds; `Err` is only possible with `allow_degradation: false`, and
+/// carries the last error seen on every tier attempted.
 pub fn run_lr_cg_with_recovery(
     gpu: &Gpu,
     data: &DataSet,
@@ -182,18 +258,48 @@ pub fn run_lr_cg_with_recovery(
     opts: LrCgOptions,
     transpose_policy: TransposePolicy,
     policy: &RecoveryPolicy,
-) -> Result<LadderOutcome, SolverError> {
+) -> Result<LadderOutcome, LadderError> {
     let mut events = Vec::new();
+    let mut tier_errors: Vec<(BackendTier, SolverError)> = Vec::new();
     let mut attempts = 0usize;
     let mut retry_backoff_ms = 0.0f64;
     let mut tier = BackendTier::Fused;
+    let ckpt =
+        (policy.checkpoint_every > 0).then(|| CheckpointHandle::new(policy.checkpoint_every));
+
+    // Emitted before a retry/degraded attempt that will pick up a
+    // snapshot, so the trace shows where the resumed run restarts.
+    let trace_resume = |h: &CheckpointHandle, to: BackendTier| {
+        if let Some(snap) = h.latest() {
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "recovery",
+                    "resume",
+                    "host",
+                    &[
+                        ("tier", to.name().into()),
+                        ("iteration", snap.iteration().into()),
+                        ("solver", snap.solver().into()),
+                    ],
+                );
+            }
+        }
+    };
 
     loop {
         let mut tier_attempt = 0usize;
         let error = loop {
             tier_attempt += 1;
             attempts += 1;
-            match attempt_tier(gpu, tier, data, labels, opts, transpose_policy) {
+            match attempt_tier(
+                gpu,
+                tier,
+                data,
+                labels,
+                opts,
+                transpose_policy,
+                ckpt.as_ref(),
+            ) {
                 Ok((result, stats)) => {
                     return Ok(LadderOutcome {
                         tier,
@@ -202,6 +308,7 @@ pub fn run_lr_cg_with_recovery(
                         events,
                         result,
                         stats,
+                        resumed_at: ckpt.as_ref().and_then(|h| h.last_resume()),
                     })
                 }
                 Err(e) => {
@@ -229,6 +336,9 @@ pub fn run_lr_cg_with_recovery(
                             action: RecoveryAction::Retry,
                             backoff_ms: backoff,
                         });
+                        if let Some(h) = ckpt.as_ref() {
+                            trace_resume(h, tier);
+                        }
                         continue;
                     }
                     break e;
@@ -258,6 +368,10 @@ pub fn run_lr_cg_with_recovery(
                     action: RecoveryAction::Degrade,
                     backoff_ms: 0.0,
                 });
+                tier_errors.push((tier, error));
+                if let Some(h) = ckpt.as_ref() {
+                    trace_resume(h, next);
+                }
                 tier = next;
             }
             _ => {
@@ -277,7 +391,12 @@ pub fn run_lr_cg_with_recovery(
                     action: RecoveryAction::Abort,
                     backoff_ms: 0.0,
                 });
-                return Err(error);
+                tier_errors.push((tier, error));
+                return Err(LadderError {
+                    tier_errors,
+                    attempts,
+                    events,
+                });
             }
         }
     }

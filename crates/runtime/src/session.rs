@@ -5,14 +5,14 @@
 //! overheads).
 
 use crate::memman::MemoryManager;
-use crate::recovery::{run_lr_cg_with_recovery, BackendTier, RecoveryEvent, RecoveryPolicy};
+use crate::recovery::{
+    run_lr_cg_with_recovery, BackendTier, LadderError, RecoveryEvent, RecoveryPolicy,
+};
 use crate::transfer::TransferModel;
 use fusedml_gpu_sim::{AggregationBreakdown, Counters, Gpu};
 use fusedml_matrix::{CsrMatrix, DenseMatrix};
 use fusedml_ml::ops::TransposePolicy;
-use fusedml_ml::{
-    lr_cg, Backend, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions, SolverError,
-};
+use fusedml_ml::{lr_cg, Backend, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions};
 use serde::{Deserialize, Serialize};
 
 /// The data set a session runs over.
@@ -243,6 +243,10 @@ pub struct FaultCountsReport {
     pub alloc_faults: u64,
     pub transfer_timeouts: u64,
     pub watchdog_timeouts: u64,
+    /// Silent bit flips injected into device buffers.
+    pub corruptions: u64,
+    /// Allocations rejected by the memory-pressure reserve.
+    pub pressure_rejections: u64,
 }
 
 /// [`EndToEndReport`] plus the recovery trail: which tier completed the
@@ -268,6 +272,10 @@ pub struct FaultTolerantReport {
     pub final_nr2: f64,
     /// CG restarts taken inside the successful attempt.
     pub restarts: usize,
+    /// Iteration the successful attempt resumed from via a solver
+    /// checkpoint (`None` when checkpointing was off or no attempt
+    /// failed past the first snapshot).
+    pub resumed_at: Option<usize>,
     /// Faults injected over the whole session (all attempts).
     pub faults: FaultCountsReport,
 }
@@ -286,7 +294,7 @@ pub fn run_device_fault_tolerant(
     labels: &[f64],
     cfg: &SessionConfig,
     policy: &RecoveryPolicy,
-) -> Result<FaultTolerantReport, SolverError> {
+) -> Result<FaultTolerantReport, LadderError> {
     let mut session_span = fusedml_trace::wall_span("session", "run_device_fault_tolerant", "host");
     session_span.arg("rows", data.rows());
     session_span.arg("cols", data.cols());
@@ -316,6 +324,9 @@ pub fn run_device_fault_tolerant(
     drop(solve_span);
     session_span.arg("tier", outcome.tier.name());
     session_span.arg("attempts", outcome.attempts);
+    if let Some(it) = outcome.resumed_at {
+        session_span.arg("resumed_at", it);
+    }
 
     let kernel_ms = outcome.stats.sim_ms;
     let launches = outcome.stats.launches;
@@ -349,11 +360,14 @@ pub fn run_device_fault_tolerant(
         weights: outcome.result.weights,
         final_nr2: outcome.result.final_nr2,
         restarts: outcome.result.restarts,
+        resumed_at: outcome.resumed_at,
         faults: FaultCountsReport {
             kernel_faults: counts.kernel_faults,
             alloc_faults: counts.alloc_faults,
             transfer_timeouts: counts.transfer_timeouts,
             watchdog_timeouts: counts.watchdog_timeouts,
+            corruptions: counts.corruptions,
+            pressure_rejections: counts.pressure_rejections,
         },
     })
 }

@@ -169,6 +169,177 @@ fn different_seeds_can_change_the_fault_trail() {
 }
 
 #[test]
+fn transient_fault_resumes_from_checkpoint_not_iteration_zero() {
+    // With checkpointing on, a mid-run transient fault must restart the
+    // solver from the last snapshot rather than iteration 0, and the
+    // report must say so. Scan seeds for a run that faults *after* the
+    // first snapshot was taken.
+    let mut exercised = false;
+    for seed in 0..60u64 {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(seed).with_kernel_fault_rate(0.002));
+        let (data, labels) = problem(307);
+        let cfg = SessionConfig::native(EngineKind::Fused, 12);
+        let policy = RecoveryPolicy {
+            max_retries: 10,
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let r = run_device_fault_tolerant(&g, &data, &labels, &cfg, &policy)
+            .expect("retries must recover");
+        let Some(resumed_at) = r.resumed_at else {
+            continue; // no fault, or it hit before the first snapshot
+        };
+        exercised = true;
+        assert!(resumed_at > 0, "resume point must be a real iteration");
+        assert_eq!(resumed_at % 2, 0, "snapshots are taken every 2 iterations");
+        assert!(!r.events.is_empty(), "a resume implies a failed attempt");
+        let reference = cpu_reference(&data, &labels, 12);
+        let err = fusedml_matrix::reference::rel_l2_error(&r.weights, &reference);
+        assert!(err < 1e-6, "seed {seed}: resumed run off by {err}");
+        break;
+    }
+    assert!(exercised, "no seed faulted after the first checkpoint");
+}
+
+#[test]
+fn checkpoint_survives_degradation_to_a_lower_tier() {
+    // Snapshots live on the host, so a Fused-tier fault after the first
+    // save must let the *Baseline or Cpu* attempt pick the run up
+    // mid-flight. max_retries: 0 forces every fault to degrade.
+    let mut exercised = false;
+    for seed in 0..80u64 {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(seed).with_kernel_fault_rate(0.003));
+        let (data, labels) = problem(308);
+        let cfg = SessionConfig::native(EngineKind::Fused, 12);
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let r = run_device_fault_tolerant(&g, &data, &labels, &cfg, &policy)
+            .expect("degradation enabled");
+        let Some(resumed_at) = r.resumed_at else {
+            continue;
+        };
+        if r.tier == BackendTier::Fused {
+            continue; // resumed, but not across a tier boundary
+        }
+        exercised = true;
+        assert!(resumed_at > 0);
+        assert!(r.events.iter().any(|e| e.action == RecoveryAction::Degrade));
+        let reference = cpu_reference(&data, &labels, 12);
+        let err = fusedml_matrix::reference::rel_l2_error(&r.weights, &reference);
+        assert!(err < 1e-6, "seed {seed}: cross-tier resume off by {err}");
+        break;
+    }
+    assert!(exercised, "no seed degraded after the first checkpoint");
+}
+
+#[test]
+fn injected_bit_flip_is_detected_not_silently_converged_through() {
+    // Corruption + integrity checks on: every fired bit flip must surface
+    // as a typed data-corruption event that the ladder recovers from —
+    // never a silently wrong answer.
+    let mut exercised = false;
+    for seed in 0..40u64 {
+        let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+            .with_fault_profile(FaultProfile::seeded(seed).with_corruption_rate(0.02))
+            .with_integrity_checks(true);
+        let (data, labels) = problem(309);
+        let cfg = SessionConfig::native(EngineKind::Fused, 8);
+        let policy = RecoveryPolicy {
+            max_retries: 10,
+            ..Default::default()
+        };
+        let r = run_device_fault_tolerant(&g, &data, &labels, &cfg, &policy)
+            .expect("corruption is transient; retries or the ladder recover");
+        if r.faults.corruptions == 0 {
+            continue;
+        }
+        exercised = true;
+        assert!(
+            r.events.iter().any(|e| e.error_kind == "data-corruption"),
+            "seed {seed}: {} corruption(s) fired but none was reported: {:?}",
+            r.faults.corruptions,
+            r.events
+        );
+        let reference = cpu_reference(&data, &labels, 8);
+        let err = fusedml_matrix::reference::rel_l2_error(&r.weights, &reference);
+        assert!(
+            err < 1e-6,
+            "seed {seed}: post-corruption answer off by {err}"
+        );
+        break;
+    }
+    assert!(exercised, "no seed fired a corruption draw");
+}
+
+#[test]
+fn memory_pressure_degrades_to_cpu_with_typed_accounting() {
+    // reserve_fraction 1.0: after the first few allocations every later
+    // request is rejected, on both device tiers — the ladder must land on
+    // the CPU and the report must count the rejections as pressure, not
+    // as injected alloc faults.
+    let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
+        .with_fault_profile(FaultProfile::seeded(11).with_memory_pressure(6, 1.0));
+    let (data, labels) = problem(310);
+    let cfg = SessionConfig::native(EngineKind::Fused, 8);
+    let r = run_device_fault_tolerant(&g, &data, &labels, &cfg, &RecoveryPolicy::default())
+        .expect("cpu tier is immune to device memory pressure");
+    assert_eq!(r.tier, BackendTier::Cpu);
+    assert!(r.faults.pressure_rejections > 0);
+    assert_eq!(r.faults.alloc_faults, 0, "no alloc faults were injected");
+    let reference = cpu_reference(&data, &labels, 8);
+    let err = fusedml_matrix::reference::rel_l2_error(&r.weights, &reference);
+    assert!(err < 1e-6, "pressure-degraded run off by {err}");
+}
+
+#[test]
+fn exhausted_ladder_reports_the_last_error_per_tier() {
+    // NaN labels break the solver on *every* tier — the one failure mode
+    // even the CPU cannot absorb. The ladder must walk
+    // Fused -> Baseline -> Cpu and hand back the per-tier error trail.
+    let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1);
+    let (data, mut labels) = problem(311);
+    for i in [3usize, 17, 40] {
+        labels[i] = f64::NAN;
+    }
+    let cfg = SessionConfig::native(EngineKind::Fused, 6);
+    let err = run_device_fault_tolerant(&g, &data, &labels, &cfg, &RecoveryPolicy::default())
+        .expect_err("NaN labels must not converge on any tier");
+    assert_eq!(err.kind(), "numerical-breakdown");
+    assert!(!err.is_transient(), "a breakdown is not retryable");
+    let tiers: Vec<BackendTier> = err.tier_errors.iter().map(|(t, _)| *t).collect();
+    assert_eq!(
+        tiers,
+        [BackendTier::Fused, BackendTier::Baseline, BackendTier::Cpu],
+        "one last-error per tier, in ladder order"
+    );
+    assert!(err
+        .tier_errors
+        .iter()
+        .all(|(_, e)| e.kind() == "numerical-breakdown"));
+    // Event trail: Fused degrade, Baseline degrade, Cpu abort — no
+    // retries, since a breakdown is permanent.
+    let actions: Vec<RecoveryAction> = err.events.iter().map(|e| e.action).collect();
+    assert_eq!(
+        actions,
+        [
+            RecoveryAction::Degrade,
+            RecoveryAction::Degrade,
+            RecoveryAction::Abort
+        ]
+    );
+    assert_eq!(err.attempts, 3);
+    let msg = err.to_string();
+    for tier in ["fused", "baseline", "cpu"] {
+        assert!(msg.contains(tier), "{msg:?} must name the {tier} tier");
+    }
+}
+
+#[test]
 fn degradation_disabled_surfaces_the_error() {
     let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
         .with_fault_profile(FaultProfile::seeded(9).with_kernel_fault_rate(1.0));
