@@ -19,7 +19,7 @@
 use fusedml_bench::regress::{
     chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
     run_campaign, run_scenario, run_suite, workload_ids, BenchReport, ChaosOptions, CompareOptions,
-    Json, Mode, Scenario, SuiteOptions,
+    FaultClass, Json, Mode, Scenario, SuiteOptions,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
@@ -52,7 +52,7 @@ const USAGE: &str = "usage:
                 [--out PATH] [--summary-out PATH]
   fusedml-bench hostperf [--from REPORT.json] [--out SUMMARY.json]
                 [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
-  fusedml-bench chaos [--scenarios N] [--seed u64] [--out PATH]
+  fusedml-bench chaos [--scenarios N] [--seed u64] [--out PATH] [--class NAME]
   fusedml-bench chaos replay --seed u64";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
@@ -338,11 +338,18 @@ fn cmd_chaos(args: Vec<String>) {
         };
         let sc = Scenario::from_seed(0, seed);
         eprintln!(
-            "replaying scenario {:#018x}: {} under {} faults (rate {})",
+            "replaying scenario {:#018x}: {} under {} faults (rate {}, {} device{}{})",
             seed,
             sc.workload.name(),
             sc.class.name(),
-            sc.rate
+            sc.rate,
+            sc.device_count,
+            if sc.device_count == 1 { "" } else { "s" },
+            if sc.device_count == 1 {
+                String::new()
+            } else {
+                format!(" over {}", sc.interconnect)
+            }
         );
         let first = run_scenario(&sc);
         let second = run_scenario(&sc);
@@ -370,21 +377,32 @@ fn cmd_chaos(args: Vec<String>) {
             }
             "--seed" => opts.seed = parse_seed(&next_arg(&mut it, "--seed")),
             "--out" => out = next_arg(&mut it, "--out"),
+            "--class" => {
+                opts.only_class = Some(
+                    FaultClass::from_name(&next_arg(&mut it, "--class"))
+                        .unwrap_or_else(|e| die(&format!("{e}\n{USAGE}"))),
+                );
+            }
             other => die(&format!("unknown flag '{other}' for chaos\n{USAGE}")),
         }
     }
 
     eprintln!(
-        "chaos campaign: {} scenarios, seed {:#x}",
-        opts.scenarios, opts.seed
+        "chaos campaign: {} scenarios, seed {:#x}{}",
+        opts.scenarios,
+        opts.seed,
+        opts.only_class
+            .map(|c| format!(", class {}", c.name()))
+            .unwrap_or_default()
     );
     let report = run_campaign(&opts, |r| {
         eprintln!(
-            "  [{:>4}] {:<7} {:<10} rate {:<5} -> {} on {} ({} attempt{}){}",
+            "  [{:>4}] {:<7} {:<11} rate {:<5} x{} -> {} on {} ({} attempt{}){}",
             r.scenario.index,
             r.scenario.workload.name(),
             r.scenario.class.name(),
             r.scenario.rate,
+            r.scenario.device_count,
             r.outcome,
             r.tier,
             r.attempts,

@@ -3,8 +3,9 @@
 //! Sweeps seeded fault scenarios — every fault class the simulated device
 //! can inject (kernel faults, allocation failures, transfer timeouts,
 //! silent bit-flip corruption under the integrity layer, mid-run memory
-//! pressure, and a mixed profile) crossed with every solver workload —
-//! and checks a small set of robustness invariants per scenario:
+//! pressure, a mixed profile, and — on multi-device scenarios — whole
+//! device loss and stragglers) crossed with every solver workload — and
+//! checks a small set of robustness invariants per scenario:
 //!
 //! 1. **never panics** — each scenario runs under `catch_unwind`; a panic
 //!    is an invariant failure, not a campaign crash;
@@ -14,25 +15,37 @@
 //!    attempts before the CPU fallback, counted and checked;
 //! 4. **accounting stays consistent** — device allocation never exceeds
 //!    capacity, fault classes that were off drew nothing, and (with the
-//!    integrity layer on) every injected bit flip was detected.
+//!    integrity layer on) every injected bit flip was detected;
+//! 5. **sharding is bit-transparent** — for multi-device LR-CG scenarios,
+//!    the modeled result is bit-identical across an unfaulted 1-device
+//!    run, an unfaulted N-device run, and an N-device run that lost one
+//!    device (resharded onto the survivors).
 //!
 //! Every scenario is a pure function of its 64-bit seed: the workload,
-//! fault class, rates and dataset are all derived from it, and the report
-//! contains no wall-clock times — so `chaos replay --seed <s>` reproduces
-//! any scenario from a report bit-identically.
+//! fault class, rates, device count, interconnect and dataset are all
+//! derived from it, and the report contains no wall-clock times — so
+//! `chaos replay --seed <s>` reproduces any scenario from a report
+//! bit-identically.
 
 use super::json::Json;
-use fusedml_gpu_sim::{DeviceSpec, FaultCounts, FaultProfile, Gpu};
+use fusedml_gpu_sim::{DeviceGroup, DeviceSpec, FaultCounts, FaultProfile, Gpu, InterconnectSpec};
 use fusedml_matrix::gen::{random_labels, random_vector, uniform_sparse};
 use fusedml_matrix::{reference, CsrMatrix};
 use fusedml_ml::{
     try_glm, try_hits, try_logreg, try_lr_cg, try_svm, Backend, CpuBackend, FusedBackend,
-    GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, SolverError, SvmOptions,
+    GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, ShardedBackend, SolverError, SvmOptions,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Version of the chaos-report JSON layout.
-pub const CHAOS_SCHEMA_VERSION: u64 = 1;
+/// Version of the chaos-report JSON layout. v2 added the multi-device
+/// axis: `device_count` / `interconnect` per scenario, the device-loss
+/// and straggler fault counts, and the `bit_identity` invariant.
+pub const CHAOS_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest report layout [`ChaosReport::from_json`] still accepts. v1
+/// reports load with the multi-device fields at their single-device
+/// defaults (one device, no interconnect, `bit_identity` vacuously true).
+pub const CHAOS_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Device attempts (fresh backend each) before falling back to the CPU.
 pub const MAX_DEVICE_ATTEMPTS: usize = 4;
@@ -77,6 +90,14 @@ impl Workload {
             Workload::Hits => "hits",
         }
     }
+
+    /// Inverse of [`Workload::name`], for the report loader.
+    pub fn from_name(name: &str) -> Result<Workload, String> {
+        Workload::ALL
+            .into_iter()
+            .find(|w| w.name() == name)
+            .ok_or_else(|| format!("unknown workload '{name}'"))
+    }
 }
 
 /// Which injector knob a scenario turns.
@@ -91,16 +112,23 @@ pub enum FaultClass {
     MemoryPressure,
     /// Every class at once, at reduced rates (integrity armed).
     Mixed,
+    /// Whole-device loss on a sharded multi-device group.
+    DeviceLoss,
+    /// Straggling shards on a multi-device group (timing-only faults;
+    /// the run must still converge to the bit-exact result).
+    Straggler,
 }
 
 impl FaultClass {
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 8] = [
         FaultClass::KernelFaults,
         FaultClass::AllocFaults,
         FaultClass::TransferTimeouts,
         FaultClass::Corruption,
         FaultClass::MemoryPressure,
         FaultClass::Mixed,
+        FaultClass::DeviceLoss,
+        FaultClass::Straggler,
     ];
 
     pub fn name(self) -> &'static str {
@@ -111,7 +139,22 @@ impl FaultClass {
             FaultClass::Corruption => "corruption",
             FaultClass::MemoryPressure => "pressure",
             FaultClass::Mixed => "mixed",
+            FaultClass::DeviceLoss => "device-loss",
+            FaultClass::Straggler => "straggler",
         }
+    }
+
+    /// Inverse of [`FaultClass::name`], for the report loader.
+    pub fn from_name(name: &str) -> Result<FaultClass, String> {
+        FaultClass::ALL
+            .into_iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| format!("unknown fault class '{name}'"))
+    }
+
+    /// Classes that require a device group (the rest run on one device).
+    fn multi_device(self) -> bool {
+        matches!(self, FaultClass::DeviceLoss | FaultClass::Straggler)
     }
 }
 
@@ -130,10 +173,37 @@ pub struct Scenario {
     pub pressure_after_allocs: Option<u64>,
     /// Seed for the scenario's dataset.
     pub data_seed: u64,
+    /// Devices the scenario shards over (1 for single-device classes).
+    pub device_count: usize,
+    /// Interconnect profile name for multi-device scenarios; `"none"`
+    /// on one device.
+    pub interconnect: &'static str,
 }
 
 /// Fault-probability tiers: occasional, common, heavy, certain.
 const RATES: [f64; 4] = [0.002, 0.02, 0.2, 1.0];
+
+/// Device-loss probability tiers. A loss is terminal for its device, so
+/// even the heavy tier stays below the per-launch certainty of [`RATES`]
+/// — a rate-1.0 loss class would only ever measure the CPU fallback.
+const LOSS_RATES: [f64; 4] = [0.001, 0.005, 0.02, 0.1];
+
+/// Modeled-time slowdown a straggling launch suffers.
+const STRAGGLER_SLOWDOWN: f64 = 8.0;
+
+/// Interconnect profiles the multi-device axis draws from.
+const INTERCONNECTS: [&str; 2] = ["pcie-gen3-x16", "nvlink2"];
+
+/// `"none"` or a name [`InterconnectSpec::by_name`] accepts.
+fn interconnect_static(name: &str) -> Result<&'static str, String> {
+    if name == "none" {
+        return Ok("none");
+    }
+    INTERCONNECTS
+        .into_iter()
+        .find(|n| *n == name)
+        .ok_or_else(|| format!("unknown interconnect '{name}'"))
+}
 
 /// Derive scenario `index` of the campaign with the given seed.
 pub fn scenario(campaign_seed: u64, index: usize) -> Scenario {
@@ -151,10 +221,22 @@ impl Scenario {
             // campaign's small buffers at all, so the knob is the arming
             // threshold, not the fraction.
             FaultClass::MemoryPressure => (1.0, Some(2 + mix64(seed ^ 0xD4) % 12)),
+            FaultClass::DeviceLoss => (
+                LOSS_RATES[(mix64(seed ^ 0xC3) % LOSS_RATES.len() as u64) as usize],
+                None,
+            ),
             _ => (
                 RATES[(mix64(seed ^ 0xC3) % RATES.len() as u64) as usize],
                 None,
             ),
+        };
+        let (device_count, interconnect) = if class.multi_device() {
+            (
+                2 + (mix64(seed ^ 0xF6) % 3) as usize, // 2..=4 devices
+                INTERCONNECTS[(mix64(seed ^ 0x1C) % INTERCONNECTS.len() as u64) as usize],
+            )
+        } else {
+            (1, "none")
         };
         Scenario {
             index,
@@ -164,6 +246,8 @@ impl Scenario {
             rate,
             pressure_after_allocs,
             data_seed: mix64(seed ^ 0xE5),
+            device_count,
+            interconnect,
         }
     }
 
@@ -182,7 +266,19 @@ impl Scenario {
                 .with_alloc_fault_rate(self.rate * 0.25)
                 .with_transfer_timeout_rate(self.rate * 0.25)
                 .with_corruption_rate(self.rate * 0.25),
+            FaultClass::DeviceLoss => p.with_device_loss_rate(self.rate),
+            FaultClass::Straggler => p.with_straggler(self.rate, STRAGGLER_SLOWDOWN),
         }
+    }
+
+    /// The interconnect spec of a multi-device scenario.
+    fn interconnect_spec(&self) -> InterconnectSpec {
+        InterconnectSpec::by_name(self.interconnect).unwrap_or_else(|| {
+            panic!(
+                "scenario carries unknown interconnect {}",
+                self.interconnect
+            )
+        })
     }
 
     /// Corruption-bearing scenarios arm the checksum layer; pure
@@ -285,6 +381,10 @@ pub struct InvariantChecks {
     pub finite_result: bool,
     pub bounded_attempts: bool,
     pub accounting: bool,
+    /// Multi-device LR-CG only (vacuously true elsewhere): the modeled
+    /// result is bit-identical across a 1-device run, an N-device run,
+    /// and an N-device run that lost one device, all unfaulted.
+    pub bit_identity: bool,
 }
 
 impl InvariantChecks {
@@ -294,6 +394,7 @@ impl InvariantChecks {
             && self.finite_result
             && self.bounded_attempts
             && self.accounting
+            && self.bit_identity
     }
 
     fn failed() -> InvariantChecks {
@@ -303,6 +404,7 @@ impl InvariantChecks {
             finite_result: false,
             bounded_attempts: false,
             accounting: false,
+            bit_identity: false,
         }
     }
 
@@ -313,7 +415,30 @@ impl InvariantChecks {
             ("finite_result", Json::Bool(self.finite_result)),
             ("bounded_attempts", Json::Bool(self.bounded_attempts)),
             ("accounting", Json::Bool(self.accounting)),
+            ("bit_identity", Json::Bool(self.bit_identity)),
         ])
+    }
+
+    fn from_json(j: &Json) -> Result<InvariantChecks, String> {
+        let flag = |key: &str| -> Result<bool, String> {
+            match j.field(key)? {
+                Json::Bool(b) => Ok(*b),
+                _ => Err(format!("field '{key}' is not a bool")),
+            }
+        };
+        Ok(InvariantChecks {
+            no_panic: flag("no_panic")?,
+            typed_outcome: flag("typed_outcome")?,
+            finite_result: flag("finite_result")?,
+            bounded_attempts: flag("bounded_attempts")?,
+            accounting: flag("accounting")?,
+            // v1 reports predate the invariant; it held vacuously there.
+            bit_identity: match j.get("bit_identity") {
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("field 'bit_identity' is not a bool".to_string()),
+                None => true,
+            },
+        })
     }
 }
 
@@ -353,6 +478,8 @@ impl ScenarioResult {
                 "pressure_after_allocs",
                 sc.pressure_after_allocs.map_or(Json::Null, Json::u64),
             ),
+            ("device_count", Json::u64(sc.device_count as u64)),
+            ("interconnect", Json::str(sc.interconnect)),
             ("outcome", Json::str(self.outcome)),
             ("tier", Json::str(self.tier)),
             (
@@ -372,6 +499,8 @@ impl ScenarioResult {
                         "pressure_rejections",
                         Json::u64(self.faults.pressure_rejections),
                     ),
+                    ("device_losses", Json::u64(self.faults.device_losses)),
+                    ("stragglers", Json::u64(self.faults.stragglers)),
                 ]),
             ),
             (
@@ -385,11 +514,95 @@ impl ScenarioResult {
             ("pass", Json::Bool(self.pass())),
         ])
     }
+
+    /// Parse one result row; accepts v1 rows (multi-device fields absent).
+    fn from_json(j: &Json) -> Result<ScenarioResult, String> {
+        let seed = parse_hex_u64(j.field_str("seed")?)?;
+        let scenario = Scenario {
+            index: j.field_u64("index")? as usize,
+            seed,
+            workload: Workload::from_name(j.field_str("workload")?)?,
+            class: FaultClass::from_name(j.field_str("fault_class")?)?,
+            rate: j.field_f64("rate")?,
+            pressure_after_allocs: match j.field("pressure_after_allocs")? {
+                Json::Null => None,
+                v => Some(v.as_u64().ok_or("pressure_after_allocs is not a number")?),
+            },
+            // Not serialized: a pure function of the seed, like the rest
+            // of the derivation.
+            data_seed: mix64(seed ^ 0xE5),
+            device_count: match j.get("device_count") {
+                Some(v) => v.as_u64().ok_or("device_count is not a number")? as usize,
+                None => 1, // v1 report: everything ran on one device
+            },
+            interconnect: match j.get("interconnect") {
+                Some(v) => interconnect_static(v.as_str().ok_or("interconnect is not a string")?)?,
+                None => "none",
+            },
+        };
+        let outcome = match j.field_str("outcome")? {
+            "converged" => "converged",
+            "typed-abort" => "typed-abort",
+            "panic" => "panic",
+            other => return Err(format!("unknown outcome '{other}'")),
+        };
+        let tier = match j.field_str("tier")? {
+            "fused" => "fused",
+            "sharded" => "sharded",
+            "cpu" => "cpu",
+            "none" => "none",
+            other => return Err(format!("unknown tier '{other}'")),
+        };
+        let f = j.field("faults")?;
+        let opt_count = |key: &str| -> Result<u64, String> {
+            match f.get(key) {
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("faults.{key} is not a number")),
+                None => Ok(0), // v1 report: class did not exist yet
+            }
+        };
+        let integrity = j.field("integrity")?;
+        Ok(ScenarioResult {
+            scenario,
+            outcome,
+            tier,
+            error_kind: match j.field("error_kind")? {
+                Json::Null => None,
+                v => Some(v.as_str().ok_or("error_kind is not a string")?.to_string()),
+            },
+            attempts: j.field_u64("attempts")? as usize,
+            faults: FaultCounts {
+                kernel_faults: f.field_u64("kernel")?,
+                alloc_faults: f.field_u64("alloc")?,
+                transfer_timeouts: f.field_u64("transfer")?,
+                watchdog_timeouts: f.field_u64("watchdog")?,
+                corruptions: f.field_u64("corruptions")?,
+                pressure_rejections: f.field_u64("pressure_rejections")?,
+                device_losses: opt_count("device_losses")?,
+                stragglers: opt_count("stragglers")?,
+            },
+            integrity_checks: integrity.field_u64("checks")?,
+            integrity_violations: integrity.field_u64("violations")?,
+            invariants: InvariantChecks::from_json(j.field("invariants")?)?,
+        })
+    }
+}
+
+/// Parse the `{:#018x}` seeds reports carry.
+fn parse_hex_u64(s: &str) -> Result<u64, String> {
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("seed '{s}' is not 0x-hex"))?;
+    u64::from_str_radix(hex, 16).map_err(|e| format!("seed '{s}': {e}"))
 }
 
 /// The fallback ladder of one scenario, minus the panic guard: fresh
 /// fused backends up to the attempt budget, then the CPU.
 fn run_scenario_inner(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
+    if sc.device_count > 1 {
+        return run_scenario_sharded(sc, data);
+    }
     let gpu = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
         .with_fault_profile(sc.profile())
         .with_integrity_checks(sc.integrity());
@@ -438,7 +651,10 @@ fn run_scenario_inner(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
         && (transfer_on || faults.transfer_timeouts == 0)
         && (corruption_on || faults.corruptions == 0)
         && (pressure_on || faults.pressure_rejections == 0)
-        && faults.watchdog_timeouts == 0;
+        && faults.watchdog_timeouts == 0
+        // Single-device classes never lose devices or straggle.
+        && faults.device_losses == 0
+        && faults.stragglers == 0;
     let detection_ok = match sc.class {
         FaultClass::Corruption => integrity.violations == faults.corruptions,
         FaultClass::Mixed => integrity.violations <= faults.corruptions,
@@ -469,7 +685,143 @@ fn run_scenario_inner(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
             finite_result,
             bounded_attempts: attempts <= MAX_DEVICE_ATTEMPTS + 1,
             accounting: capacity_ok && gating_ok && detection_ok,
+            bit_identity: true, // single-device: nothing to compare
         },
+    }
+}
+
+/// The multi-device ladder: fresh sharded backends up to the attempt
+/// budget, then the CPU. A device loss is permanent for its device but
+/// not for the group — the next attempt's backend construction filters
+/// the lost ordinal and reshards the rows onto the survivors, so losses
+/// retry like transients as long as anyone is alive.
+fn run_scenario_sharded(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
+    let group = DeviceGroup::new(
+        DeviceSpec::gtx_titan(),
+        sc.device_count,
+        sc.interconnect_spec(),
+        &sc.profile(),
+    );
+
+    let mut attempts = 0usize;
+    let mut device_ok: Option<Vec<f64>> = None;
+    while attempts < MAX_DEVICE_ATTEMPTS {
+        attempts += 1;
+        let outcome = ShardedBackend::try_new_sparse(&group, &data.x)
+            .map_err(SolverError::from)
+            .and_then(|mut b| run_workload(&mut b, sc.workload, data));
+        match outcome {
+            Ok(v) => {
+                device_ok = Some(v);
+                break;
+            }
+            Err(e)
+                if group.alive_count() > 0
+                    && (e.is_transient()
+                        || e.device_error().map(|d| d.kind()) == Some("device-lost")) =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+    let (tier, result) = match device_ok {
+        Some(v) => ("sharded", Ok(v)),
+        None => {
+            attempts += 1;
+            let mut b = CpuBackend::new_sparse(data.x.clone());
+            ("cpu", run_workload(&mut b, sc.workload, data))
+        }
+    };
+
+    let faults = group.fault_counts();
+    let capacity_ok = (0..group.len()).all(|i| {
+        group.device(i).allocated_bytes() <= group.device(i).spec().global_mem_bytes as u64
+    });
+    // Only the scenario's own class may draw; the integrity layer is off,
+    // so no violations can be reported.
+    let loss_on = sc.class == FaultClass::DeviceLoss;
+    let straggler_on = sc.class == FaultClass::Straggler;
+    let gating_ok = faults.kernel_faults == 0
+        && faults.alloc_faults == 0
+        && faults.transfer_timeouts == 0
+        && faults.corruptions == 0
+        && faults.pressure_rejections == 0
+        && faults.watchdog_timeouts == 0
+        && (loss_on || faults.device_losses == 0)
+        && (straggler_on || faults.stragglers == 0);
+    let detection_ok = (0..group.len()).all(|i| group.device(i).integrity_stats().violations == 0);
+
+    let (outcome, error_kind, finite_result) = match &result {
+        Ok(v) => (
+            "converged",
+            None,
+            v.iter().all(|x| x.is_finite()) && !v.is_empty(),
+        ),
+        Err(e) => ("typed-abort", Some(e.kind().to_string()), true),
+    };
+
+    // The sharding-transparency invariant only has a sharded reference
+    // implementation for LR-CG; the other solvers exercise it indirectly
+    // through the pattern kernels they share with it.
+    let bit_identity = if sc.workload == Workload::LrCg {
+        check_bit_identity(sc, data)
+    } else {
+        true
+    };
+
+    ScenarioResult {
+        scenario: *sc,
+        outcome,
+        tier,
+        error_kind,
+        attempts,
+        faults,
+        integrity_checks: (0..group.len())
+            .map(|i| group.device(i).integrity_stats().checks)
+            .sum(),
+        integrity_violations: (0..group.len())
+            .map(|i| group.device(i).integrity_stats().violations)
+            .sum(),
+        invariants: InvariantChecks {
+            no_panic: true,
+            typed_outcome: true,
+            finite_result,
+            bounded_attempts: attempts <= MAX_DEVICE_ATTEMPTS + 1,
+            accounting: capacity_ok && gating_ok && detection_ok,
+            bit_identity,
+        },
+    }
+}
+
+/// Invariant 5: on unfaulted groups, 1-device, N-device and
+/// N-device-minus-one runs of the scenario's LR-CG workload must agree
+/// bit for bit (the canonical shard reduction makes the result
+/// shard-count-invariant).
+fn check_bit_identity(sc: &Scenario, data: &ScenarioData) -> bool {
+    let solve = |group: &DeviceGroup| -> Option<Vec<f64>> {
+        let mut b = ShardedBackend::try_new_sparse(group, &data.x).ok()?;
+        run_workload(&mut b, Workload::LrCg, data).ok()
+    };
+    let clean = FaultProfile::disabled();
+    let spec = DeviceSpec::gtx_titan();
+    let one = DeviceGroup::new(spec.clone(), 1, sc.interconnect_spec(), &clean);
+    let full = DeviceGroup::new(
+        spec.clone(),
+        sc.device_count,
+        sc.interconnect_spec(),
+        &clean,
+    );
+    let degraded = DeviceGroup::new(spec, sc.device_count, sc.interconnect_spec(), &clean);
+    // Lose a seed-derived device before solving; construction reshards
+    // the rows across the survivors (device_count >= 2, so >= 1 remains).
+    degraded.mark_lost((mix64(sc.seed ^ 0x1D) % sc.device_count as u64) as usize);
+    match (solve(&one), solve(&full), solve(&degraded)) {
+        (Some(a), Some(b), Some(c)) => {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            bits(&a) == bits(&b) && bits(&b) == bits(&c)
+        }
+        _ => false,
     }
 }
 
@@ -497,6 +849,10 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
 pub struct ChaosOptions {
     pub scenarios: usize,
     pub seed: u64,
+    /// Restrict the campaign to one fault class (`--class`): derivation
+    /// walks the same index sequence but only runs matching scenarios,
+    /// so a filtered row replays bit-identically from its seed.
+    pub only_class: Option<FaultClass>,
 }
 
 impl Default for ChaosOptions {
@@ -504,6 +860,7 @@ impl Default for ChaosOptions {
         ChaosOptions {
             scenarios: 200,
             seed: 0xC4A0_55EED,
+            only_class: None,
         }
     }
 }
@@ -540,14 +897,54 @@ impl ChaosReport {
     pub fn render(&self) -> String {
         self.to_json().render()
     }
+
+    /// Parse a report. Accepts every schema back to
+    /// [`CHAOS_MIN_SCHEMA_VERSION`]: v1 rows load with one device, no
+    /// interconnect, zero device-loss/straggler counts and a vacuously
+    /// true `bit_identity` invariant.
+    pub fn from_json(j: &Json) -> Result<ChaosReport, String> {
+        let version = j.field_u64("schema_version")?;
+        if !(CHAOS_MIN_SCHEMA_VERSION..=CHAOS_SCHEMA_VERSION).contains(&version) {
+            return Err(format!(
+                "unsupported chaos schema version {version} (supported: {CHAOS_MIN_SCHEMA_VERSION}..={CHAOS_SCHEMA_VERSION})"
+            ));
+        }
+        let seed = parse_hex_u64(j.field_str("campaign_seed")?)?;
+        let rows = j
+            .field("results")?
+            .as_arr()
+            .ok_or("'results' is not an array")?;
+        let mut results = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            results.push(ScenarioResult::from_json(row).map_err(|e| format!("results[{i}]: {e}"))?);
+        }
+        Ok(ChaosReport { seed, results })
+    }
+
+    /// Load a report file (see [`ChaosReport::from_json`]).
+    pub fn load(path: &str) -> Result<ChaosReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    }
 }
 
 /// Run the whole campaign. `progress` sees each result as it lands
 /// (pass `|_| {}` to silence).
 pub fn run_campaign(opts: &ChaosOptions, mut progress: impl FnMut(&ScenarioResult)) -> ChaosReport {
     let mut results = Vec::with_capacity(opts.scenarios);
-    for i in 0..opts.scenarios {
+    // With a class filter, walk far enough down the index sequence to
+    // collect the quota; the indices recorded in the report stay the
+    // unfiltered campaign positions, so replay-by-seed is unaffected.
+    let index_budget = opts.scenarios * if opts.only_class.is_some() { 64 } else { 1 };
+    for i in 0..index_budget {
+        if results.len() == opts.scenarios {
+            break;
+        }
         let sc = scenario(opts.seed, i);
+        if opts.only_class.is_some_and(|c| sc.class != c) {
+            continue;
+        }
         let r = run_scenario(&sc);
         progress(&r);
         results.push(r);
@@ -632,6 +1029,153 @@ mod tests {
             sample.scenario.seed,
         ));
         assert_eq!(&replay, sample);
+    }
+
+    #[test]
+    fn device_classes_draw_a_device_axis_and_the_rest_do_not() {
+        let scs: Vec<Scenario> = (0..400).map(|i| scenario(0xDE7_1CE, i)).collect();
+        let mut saw_multi = false;
+        for sc in &scs {
+            if sc.class.multi_device() {
+                saw_multi = true;
+                assert!(
+                    (2..=4).contains(&sc.device_count),
+                    "device class drew {} devices",
+                    sc.device_count
+                );
+                assert!(
+                    InterconnectSpec::by_name(sc.interconnect).is_some(),
+                    "unknown interconnect {}",
+                    sc.interconnect
+                );
+            } else {
+                assert_eq!(sc.device_count, 1);
+                assert_eq!(sc.interconnect, "none");
+            }
+        }
+        assert!(saw_multi, "no multi-device class drawn in 400 scenarios");
+    }
+
+    #[test]
+    fn sharded_lr_cg_scenarios_hold_the_bit_identity_invariant() {
+        // Find one scenario per device class that runs LR-CG sharded, and
+        // hold every invariant on it — including invariant 5, which
+        // compares 1-device, N-device and N-device-minus-one runs.
+        for class in [FaultClass::DeviceLoss, FaultClass::Straggler] {
+            let sc = (0..2000usize)
+                .map(|i| scenario(0x000B_171D, i))
+                .find(|s| s.class == class && s.workload == Workload::LrCg)
+                .unwrap_or_else(|| panic!("no {} x lr_cg scenario in 2000 draws", class.name()));
+            let r = run_scenario(&sc);
+            assert!(
+                r.pass(),
+                "{} scenario violated an invariant: {r:?}",
+                class.name()
+            );
+            assert!(r.invariants.bit_identity);
+            assert!(sc.device_count >= 2);
+        }
+    }
+
+    #[test]
+    fn straggler_scenarios_converge_on_the_sharded_tier() {
+        // Stragglers only stretch modeled time; a straggler scenario must
+        // converge without ever falling off the device tier.
+        let sc = (0..2000usize)
+            .map(|i| scenario(0x57A66, i))
+            .find(|s| s.class == FaultClass::Straggler)
+            .expect("no straggler scenario in 2000 draws");
+        let r = run_scenario(&sc);
+        assert!(r.pass(), "straggler scenario failed: {r:?}");
+        assert_eq!(r.outcome, "converged");
+        assert_eq!(r.tier, "sharded");
+        assert_eq!(r.attempts, 1);
+    }
+
+    #[test]
+    fn class_filter_restricts_the_campaign_deterministically() {
+        let opts = ChaosOptions {
+            scenarios: 3,
+            only_class: Some(FaultClass::Straggler),
+            ..Default::default()
+        };
+        let a = run_campaign(&opts, |_| {});
+        assert_eq!(a.results.len(), 3);
+        assert!(a
+            .results
+            .iter()
+            .all(|r| r.scenario.class == FaultClass::Straggler));
+        // Filtered rows keep their unfiltered campaign indices, so each
+        // replays from its recorded seed like any other row.
+        let sample = &a.results[1];
+        assert_eq!(
+            Scenario::from_seed(sample.scenario.index, sample.scenario.seed),
+            sample.scenario
+        );
+        assert_eq!(a, run_campaign(&opts, |_| {}));
+    }
+
+    #[test]
+    fn report_round_trips_through_the_loader() {
+        let opts = ChaosOptions {
+            scenarios: 8,
+            ..Default::default()
+        };
+        let report = run_campaign(&opts, |_| {});
+        let back = ChaosReport::from_json(&Json::parse(&report.render()).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v1_reports_still_load_with_single_device_defaults() {
+        // A hand-written v1 row: no device_count / interconnect /
+        // device-loss / straggler / bit_identity fields anywhere.
+        let text = r#"{
+            "schema_version": 1,
+            "campaign_seed": "0x0000000c4a055eed",
+            "scenarios": 1,
+            "failures": 0,
+            "results": [{
+                "index": 0,
+                "seed": "0x00000000deadbeef",
+                "workload": "lr_cg",
+                "fault_class": "kernel",
+                "rate": 0.02,
+                "pressure_after_allocs": null,
+                "outcome": "converged",
+                "tier": "fused",
+                "error_kind": null,
+                "attempts": 2,
+                "faults": {
+                    "kernel": 1,
+                    "alloc": 0,
+                    "transfer": 0,
+                    "watchdog": 0,
+                    "corruptions": 0,
+                    "pressure_rejections": 0
+                },
+                "integrity": {"checks": 0, "violations": 0},
+                "invariants": {
+                    "no_panic": true,
+                    "typed_outcome": true,
+                    "finite_result": true,
+                    "bounded_attempts": true,
+                    "accounting": true
+                }
+            }]
+        }"#;
+        let report = ChaosReport::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(report.results.len(), 1);
+        let r = &report.results[0];
+        assert_eq!(r.scenario.device_count, 1);
+        assert_eq!(r.scenario.interconnect, "none");
+        assert_eq!(r.faults.device_losses, 0);
+        assert_eq!(r.faults.stragglers, 0);
+        assert!(r.invariants.bit_identity);
+        assert!(r.pass());
+        // Unsupported future schemas are rejected, not misread.
+        let future = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(ChaosReport::from_json(&Json::parse(&future).unwrap()).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod trace_export;
 
 pub use chaos::{
     run_campaign, run_scenario, ChaosOptions, ChaosReport, FaultClass, Scenario, ScenarioResult,
-    CHAOS_SCHEMA_VERSION,
+    Workload, CHAOS_MIN_SCHEMA_VERSION, CHAOS_SCHEMA_VERSION,
 };
 pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
 pub use hostperf::{hostperf_summary, hostperf_table, hostperf_totals, HostPerfTotals};

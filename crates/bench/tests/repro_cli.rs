@@ -1,0 +1,79 @@
+//! CLI contract tests for the `repro` binary: exit codes and the
+//! `--trace` Chrome-trace export.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_experiment_name_exits_2() {
+    let out = repro()
+        .arg("fig99")
+        .output()
+        .expect("repro binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "typo in an experiment name must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment 'fig99'"),
+        "stderr should name the bad experiment: {stderr}"
+    );
+    assert!(
+        stderr.contains("available:"),
+        "stderr should list valid names: {stderr}"
+    );
+}
+
+#[test]
+fn usage_and_flag_errors_exit_1() {
+    // No experiments at all: usage error.
+    let out = repro().output().expect("repro binary must run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Bad flag value: generic failure, not the unknown-experiment code.
+    let out = repro()
+        .args(["fig2", "--scale", "banana"])
+        .output()
+        .expect("repro binary must run");
+    assert_eq!(out.status.code(), Some(1));
+
+    // Unknown flags are generic failures too.
+    let out = repro()
+        .args(["fig2", "--frobnicate"])
+        .output()
+        .expect("repro binary must run");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn trace_flag_exports_a_chrome_trace() {
+    let out_path = std::env::temp_dir().join(format!("repro_trace_{}.json", std::process::id()));
+    let out = repro()
+        .args(["fig2", "--scale", "0.02"])
+        .args(["--trace-out", &out_path.display().to_string()])
+        .output()
+        .expect("repro binary must run");
+    assert!(
+        out.status.success(),
+        "repro --trace-out failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("trace file must exist");
+    let _ = std::fs::remove_file(&out_path);
+    assert!(
+        text.contains("\"traceEvents\""),
+        "trace file is not a Chrome trace-event document"
+    );
+    // The same spans `fusedml-bench trace` exports: simulated kernels.
+    assert!(
+        text.contains("\"kernel\""),
+        "trace should contain kernel-layer events"
+    );
+}

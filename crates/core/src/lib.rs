@@ -32,6 +32,7 @@ pub mod ell_fused;
 pub mod executor;
 pub mod pattern;
 pub mod plancache;
+pub mod sharded;
 pub mod sparse_fused;
 pub mod sparse_large;
 pub mod tuner;
@@ -43,6 +44,7 @@ pub use pattern::{PatternInstance, PatternSpec};
 pub use plancache::{
     plan_cache_enabled, set_plan_cache_enabled, Invalidation, PlanCache, PlanCacheStats,
 };
+pub use sharded::{shard_rows, try_fused_pattern_shard, ShardedExecutor};
 pub use tuner::{
     plan_dense, plan_sparse, plan_sparse_with_vs, try_plan_dense, try_plan_sparse,
     try_plan_sparse_with_vs, DensePlan, PlanError, SparsePlan,

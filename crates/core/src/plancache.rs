@@ -114,6 +114,10 @@ struct SparseKey {
     /// Equation 4 vector size — the only channel through which mean
     /// nnz/row reaches the sparse tuner.
     vs: usize,
+    /// Device-group width the plan was made for (1 = single device). A
+    /// sharded executor plans against per-shard row counts, so the same
+    /// matrix under a different shard count must not reuse the plan.
+    shards: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -121,6 +125,8 @@ struct DenseKey {
     device: u64,
     rows: usize,
     cols: usize,
+    /// Device-group width the plan was made for (1 = single device).
+    shards: usize,
 }
 
 /// Memoized sparse and dense launch plans for one device, plus traffic
@@ -139,7 +145,8 @@ impl PlanCache {
         PlanCache::default()
     }
 
-    /// Memoize `compute` under the sparse key `(device, rows, cols, vs)`.
+    /// Memoize `compute` under the sparse key `(device, rows, cols, vs)`
+    /// for a single-device executor.
     /// `enabled = false` bypasses the map but still counts the tuner run.
     pub(crate) fn sparse_plan<E>(
         &mut self,
@@ -150,11 +157,28 @@ impl PlanCache {
         vs: usize,
         compute: impl FnOnce() -> Result<SparsePlan, E>,
     ) -> Result<(SparsePlan, bool), E> {
+        self.sparse_plan_sharded(enabled, device, rows, cols, vs, 1, compute)
+    }
+
+    /// Memoize `compute` under the sparse key
+    /// `(device, rows, cols, vs, shards)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sparse_plan_sharded<E>(
+        &mut self,
+        enabled: bool,
+        device: &DeviceSpec,
+        rows: usize,
+        cols: usize,
+        vs: usize,
+        shards: usize,
+        compute: impl FnOnce() -> Result<SparsePlan, E>,
+    ) -> Result<(SparsePlan, bool), E> {
         let key = SparseKey {
             device: device.fingerprint(),
             rows,
             cols,
             vs,
+            shards,
         };
         if enabled {
             if let Some(plan) = self.sparse.get(&key) {
@@ -179,7 +203,8 @@ impl PlanCache {
         }
     }
 
-    /// Memoize `compute` under the dense key `(device, rows, cols)`.
+    /// Memoize `compute` under the dense key `(device, rows, cols)` for a
+    /// single-device executor.
     pub(crate) fn dense_plan<E>(
         &mut self,
         enabled: bool,
@@ -188,10 +213,24 @@ impl PlanCache {
         cols: usize,
         compute: impl FnOnce() -> Result<DensePlan, E>,
     ) -> Result<(DensePlan, bool), E> {
+        self.dense_plan_sharded(enabled, device, rows, cols, 1, compute)
+    }
+
+    /// Memoize `compute` under the dense key `(device, rows, cols, shards)`.
+    pub(crate) fn dense_plan_sharded<E>(
+        &mut self,
+        enabled: bool,
+        device: &DeviceSpec,
+        rows: usize,
+        cols: usize,
+        shards: usize,
+        compute: impl FnOnce() -> Result<DensePlan, E>,
+    ) -> Result<(DensePlan, bool), E> {
         let key = DenseKey {
             device: device.fingerprint(),
             rows,
             cols,
+            shards,
         };
         if enabled {
             if let Some(plan) = self.dense.get(&key) {
@@ -382,5 +421,30 @@ mod tests {
         let (_, hit) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
         assert!(!hit, "invalidation forces a replan");
         assert_eq!(cache.stats().invalidations, 2); // sparse + dense side
+    }
+
+    #[test]
+    fn shard_count_is_part_of_the_key() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        let vs = vector_size_for_mean_nnz(20.0);
+        let plan = |cache: &mut PlanCache, shards| {
+            cache.sparse_plan_sharded(true, &spec, 10_000, 512, vs, shards, || {
+                try_plan_sparse(&spec, 10_000, 512, 20.0)
+            })
+        };
+        let (_, h1) = plan(&mut cache, 1).unwrap();
+        let (_, h2) = plan(&mut cache, 2).unwrap();
+        let (_, h2b) = plan(&mut cache, 2).unwrap();
+        assert!(!h1 && !h2, "a different shard count must not share plans");
+        assert!(h2b, "same shard count hits");
+        assert_eq!(cache.len(), (2, 0));
+        // The unsharded entry point is the shards=1 key.
+        let (_, h1b) = cache
+            .sparse_plan(true, &spec, 10_000, 512, vs, || {
+                try_plan_sparse(&spec, 10_000, 512, 20.0)
+            })
+            .unwrap();
+        assert!(h1b);
     }
 }

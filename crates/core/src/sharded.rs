@@ -1,0 +1,963 @@
+//! Row-sharded multi-device execution of the fused pattern.
+//!
+//! The matrix is partitioned row-wise into contiguous shards, one per
+//! alive device of a [`DeviceGroup`]; each device runs a variant of the
+//! fused kernel over its shard and the partial `w` results are reduced in
+//! the kernel *epilogue* (modelled as one interconnect transfer per
+//! non-root device — no separate allreduce launch).
+//!
+//! ## Reproducible reduction (bit-identity across shard counts)
+//!
+//! The per-row scalar `p_r = v_r * (X[r,:] . y)` is computed on the device
+//! with the vector size `VS` fixed from the *full* matrix's mean nnz/row,
+//! so the register-level reduction order inside a row never depends on how
+//! rows are sharded. Each shard kernel stores `p_r` to a per-shard `u`
+//! buffer; the final reduction `w[c] (+)= alpha * u[r] * X[r,c]` is then
+//! applied in ascending *global* row order, which is invariant under any
+//! contiguous row partition. The result of a 1-device sharded run, an
+//! N-device run, and an N-device run that lost a device mid-solve and
+//! resharded is therefore **bit-identical**. (The per-shard scatter into a
+//! partial `w` still happens on-device so the simulated cost of the
+//! epilogue aggregation is charged faithfully; its numeric value is only
+//! used by the performance model, never by the solver.)
+//!
+//! ## Stragglers
+//!
+//! Each multi-shard operation races its shards against a modelled-time
+//! deadline (`straggler_factor` x the median shard time). A shard that
+//! misses the deadline is speculatively re-executed — a fresh launch with
+//! fresh fault draws — and the faster of the two attempts defines the
+//! step's critical path. Numerics are unaffected: the simulator's
+//! straggler fault class scales time only.
+
+use crate::pattern::PatternSpec;
+use crate::plancache::{PlanCache, PlanCacheStats};
+use crate::sparse_fused::{flush_shared, row_for_lane, try_fused_xt_p_shared, zero_shared};
+use crate::sparse_large::try_fused_xt_p_global;
+use crate::tuner::{try_plan_sparse_with_vs, SparsePlan};
+use fusedml_blas::{level1, try_csrmv, vector_size_for_mean_nnz, GpuCsr, SpmvStyle};
+use fusedml_gpu_sim::{
+    Counters, DeviceError, DeviceGroup, Gpu, GpuBuffer, LaunchConfig, LaunchStats, WarpCtx,
+    WARP_LANES,
+};
+use fusedml_matrix::CsrMatrix;
+use std::cell::{Cell, RefCell};
+
+/// Contiguous, balanced row ranges for `n` shards: the first `rows % n`
+/// shards get one extra row. Ranges may be empty when `rows < n` (the
+/// corresponding device simply idles).
+pub fn shard_rows(rows: usize, n: usize) -> Vec<(usize, usize)> {
+    assert!(n > 0, "cannot shard across zero devices");
+    let base = rows / n;
+    let extra = rows % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// One coarsening step of the shard kernel: identical to the fused
+/// pattern's row step, plus one global store of `p_r` per row (from the
+/// first lane of each vector) into the shard's `u` buffer — the value the
+/// epilogue reduction consumes.
+#[allow(clippy::too_many_arguments)]
+fn shard_row_step<S>(
+    wc: &mut WarpCtx,
+    x: &GpuCsr,
+    y: &GpuBuffer,
+    v: Option<&GpuBuffer>,
+    u: &GpuBuffer,
+    vs: usize,
+    row_of: &dyn Fn(usize) -> Option<usize>,
+    mut scatter: S,
+) where
+    S: FnMut(&mut WarpCtx, &[Option<usize>; WARP_LANES], &[u32; WARP_LANES], &[f64; WARP_LANES]),
+{
+    let start = wc.load_u32(&x.row_off, row_of);
+    let end = wc.load_u32(&x.row_off, |l| row_of(l).map(|r| r + 1));
+
+    // ---- pass 1: p[r] = X[r,:] . y, reduced in registers ----
+    let mut sum = [0.0f64; WARP_LANES];
+    let mut iter = 0usize;
+    let mut idx = [None; WARP_LANES];
+    loop {
+        let mut active = 0u64;
+        for lane in 0..WARP_LANES {
+            idx[lane] = row_of(lane).and_then(|_| {
+                let i = start[lane] as usize + (lane % vs) + iter * vs;
+                (i < end[lane] as usize).then_some(i)
+            });
+            active += idx[lane].is_some() as u64;
+        }
+        if active == 0 {
+            break;
+        }
+        let cols = wc.load_u32(&x.col_idx, |l| idx[l]);
+        let vals = wc.load_f64(&x.values, |l| idx[l]);
+        let ys = wc.load_f64_tex(y, |l| idx[l].map(|_| cols[l] as usize));
+        for lane in 0..WARP_LANES {
+            if idx[lane].is_some() {
+                sum[lane] += vals[lane] * ys[lane];
+            }
+        }
+        wc.flops(2 * active);
+        iter += 1;
+    }
+    wc.shuffle_reduce_sum(&mut sum, vs);
+
+    // ---- v[row] scaling ----
+    let p_r = if let Some(v) = v {
+        let vr = wc.load_f64_tex(v, row_of);
+        let mut p = [0.0f64; WARP_LANES];
+        for lane in 0..WARP_LANES {
+            p[lane] = sum[lane] * vr[lane];
+        }
+        wc.flops(WARP_LANES as u64 / vs as u64);
+        p
+    } else {
+        sum
+    };
+
+    // ---- the shard twist: persist p_r (one store per row) ----
+    wc.store_f64(u, |lane| {
+        row_of(lane)
+            .filter(|_| lane % vs == 0)
+            .map(|r| (r, p_r[lane]))
+    });
+
+    // ---- pass 2: scatter X[r,:]^T * p[r]; row now cache-resident ----
+    let mut iter = 0usize;
+    loop {
+        let mut active = 0u64;
+        for lane in 0..WARP_LANES {
+            idx[lane] = row_of(lane).and_then(|_| {
+                let i = start[lane] as usize + (lane % vs) + iter * vs;
+                (i < end[lane] as usize).then_some(i)
+            });
+            active += idx[lane].is_some() as u64;
+        }
+        if active == 0 {
+            break;
+        }
+        let cols = wc.load_u32(&x.col_idx, |l| idx[l]);
+        let vals = wc.load_f64(&x.values, |l| idx[l]);
+        let mut contrib = [0.0f64; WARP_LANES];
+        for lane in 0..WARP_LANES {
+            if idx[lane].is_some() {
+                contrib[lane] = vals[lane] * p_r[lane];
+            }
+        }
+        wc.flops(2 * active);
+        scatter(wc, &idx, &cols, &contrib);
+        iter += 1;
+    }
+}
+
+/// The per-shard fused pattern kernel (`fused_sparse_shard`): evaluates
+/// `p = v (.) (X y)` for the shard's rows, stores `p` to `u` (the value
+/// the fused epilogue reduction consumes), and scatters
+/// `alpha * X^T p` into the shard's partial `w` so the epilogue
+/// aggregation cost is modelled. `beta * z` is folded in at the
+/// (host-canonical) combine, never here. `w_partial` must be zeroed by
+/// the caller.
+#[allow(clippy::too_many_arguments)]
+pub fn try_fused_pattern_shard(
+    gpu: &Gpu,
+    plan: &SparsePlan,
+    x: &GpuCsr,
+    v: Option<&GpuBuffer>,
+    y: &GpuBuffer,
+    u: &GpuBuffer,
+    w_partial: &GpuBuffer,
+    alpha: f64,
+) -> Result<LaunchStats, DeviceError> {
+    assert_eq!(y.len(), x.cols, "y length mismatch");
+    assert_eq!(u.len(), x.rows, "u length mismatch");
+    assert_eq!(w_partial.len(), x.cols, "w length mismatch");
+    let (m, n) = (x.rows, x.cols);
+    let (vs, c) = (plan.vs, plan.c);
+    let nv = plan.vectors_per_block();
+    let total_vectors = plan.total_vectors();
+    let cfg = LaunchConfig::new(plan.grid, plan.bs)
+        .with_regs(plan.regs)
+        .with_shared_bytes(plan.shared_bytes);
+
+    if plan.use_shared_w {
+        gpu.try_launch("fused_sparse_shard", cfg, |blk| {
+            let sd = blk.shared_f64(n);
+            zero_shared(blk, sd, n);
+            blk.sync();
+
+            let block_id = blk.block_id();
+            blk.each_warp(|wc| {
+                let tid0 = wc.tid(0);
+                for ci in 0..c {
+                    let row_of = move |lane: usize| {
+                        row_for_lane(block_id, nv, total_vectors, vs, tid0 + lane, ci, m)
+                    };
+                    if (0..WARP_LANES).all(|l| row_of(l).is_none()) {
+                        break;
+                    }
+                    shard_row_step(wc, x, y, v, u, vs, &row_of, |wc, idx, cols, contrib| {
+                        wc.shared_atomic_add(sd, |lane| {
+                            idx[lane].map(|_| (cols[lane] as usize, contrib[lane]))
+                        });
+                    });
+                }
+            });
+
+            blk.sync();
+            flush_shared(blk, sd, w_partial, alpha, n);
+        })
+    } else {
+        gpu.try_launch("fused_sparse_shard", cfg, |blk| {
+            let block_id = blk.block_id();
+            blk.each_warp(|wc| {
+                let tid0 = wc.tid(0);
+                for ci in 0..c {
+                    let row_of = move |lane: usize| {
+                        row_for_lane(block_id, nv, total_vectors, vs, tid0 + lane, ci, m)
+                    };
+                    if (0..WARP_LANES).all(|l| row_of(l).is_none()) {
+                        break;
+                    }
+                    shard_row_step(wc, x, y, v, u, vs, &row_of, |wc, idx, cols, contrib| {
+                        wc.atomic_add_f64(w_partial, |lane| {
+                            idx[lane].map(|_| (cols[lane] as usize, alpha * contrib[lane]))
+                        });
+                    });
+                }
+            });
+        })
+    }
+}
+
+/// One device's slice of the sharded matrix plus its working buffers.
+struct Shard {
+    /// Device index within the group.
+    ordinal: usize,
+    /// Global row range `[start, end)`.
+    start: usize,
+    end: usize,
+    /// Host copy of the slice — the canonical combine walks it.
+    host: CsrMatrix,
+    /// Device copy the shard kernels run over.
+    dev: GpuCsr,
+    /// Per-row `p_r` values written by the shard kernel (length `rows`).
+    u: GpuBuffer,
+    /// Device replica of the column-dimension input vector (length n).
+    y_rep: GpuBuffer,
+    /// Device replica of the shard's slice of `v` / `u` inputs (length
+    /// `rows`).
+    v_rep: GpuBuffer,
+    /// Row-dimension output / input scratch (length `rows`).
+    p: GpuBuffer,
+    /// Shard-local partial `w` the epilogue scatter targets (length n).
+    w_partial: GpuBuffer,
+}
+
+impl Shard {
+    fn rows(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Row-sharded fused-pattern engine over the alive devices of a
+/// [`DeviceGroup`]. Operations take host slices and produce host results;
+/// the canonical epilogue reduction makes them bit-identical for any
+/// shard count (see the module docs).
+pub struct ShardedExecutor<'g> {
+    group: &'g DeviceGroup,
+    rows: usize,
+    cols: usize,
+    /// `VS` from the *full* matrix's mean nnz/row, held fixed for every
+    /// shard so sharding never changes the intra-row reduction order.
+    base_vs: usize,
+    shards: Vec<Shard>,
+    /// Every launch since the last [`ShardedExecutor::reset`] (all shards;
+    /// straggler re-executions included).
+    pub launches: Vec<LaunchStats>,
+    /// Modelled elapsed milliseconds since the last reset: per step the
+    /// *maximum* across shards (they run concurrently) plus interconnect
+    /// time — not the sum of launches.
+    wall_ms: f64,
+    straggler_factor: f64,
+    speculation: bool,
+    stragglers_detected: usize,
+    speculative_reexecs: usize,
+    plan_cache: RefCell<PlanCache>,
+    plan_cache_on: Cell<bool>,
+}
+
+impl<'g> ShardedExecutor<'g> {
+    /// Shard `x` row-wise across the group's alive devices and upload each
+    /// slice. Fails with a typed error when no device is alive or the
+    /// matrix is empty (the runtime ladder degrades instead of aborting).
+    pub fn try_new(group: &'g DeviceGroup, x: &CsrMatrix) -> Result<Self, DeviceError> {
+        let alive = group.alive_ordinals();
+        Self::try_new_on(group, x, &alive)
+    }
+
+    /// Like [`Self::try_new`] but sharding only across the given device
+    /// ordinals (already-lost ordinals are skipped) — the runtime's
+    /// single-device fallback tier pins the job to one survivor this way
+    /// while keeping the canonical sharded numerics.
+    pub fn try_new_on(
+        group: &'g DeviceGroup,
+        x: &CsrMatrix,
+        ordinals: &[usize],
+    ) -> Result<Self, DeviceError> {
+        let alive: Vec<usize> = ordinals
+            .iter()
+            .copied()
+            .filter(|&o| group.alive(o))
+            .collect();
+        if alive.is_empty() {
+            // Constructing on a fully-dead group: surface the loss of the
+            // last device so the ladder sees a device-loss, not a crash.
+            return Err(DeviceError::DeviceLost {
+                device: group.len().saturating_sub(1),
+                fault_index: 0,
+            });
+        }
+        let base_vs = vector_size_for_mean_nnz(x.mean_nnz_per_row());
+        let ranges = shard_rows(x.rows(), alive.len());
+        let mut shards = Vec::new();
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            if start == end {
+                continue; // fewer rows than devices: this device idles
+            }
+            let ordinal = alive[i];
+            let gpu = group.device(ordinal);
+            let host = x.slice_rows(start, end);
+            let rows = end - start;
+            let n = x.cols();
+            let dev = GpuCsr::try_upload(gpu, &format!("shard{ordinal}.X"), &host)?;
+            shards.push(Shard {
+                ordinal,
+                start,
+                end,
+                host,
+                dev,
+                u: gpu.try_alloc_f64(&format!("shard{ordinal}.u"), rows)?,
+                y_rep: gpu.try_alloc_f64(&format!("shard{ordinal}.y"), n)?,
+                v_rep: gpu.try_alloc_f64(&format!("shard{ordinal}.v"), rows)?,
+                p: gpu.try_alloc_f64(&format!("shard{ordinal}.p"), rows)?,
+                w_partial: gpu.try_alloc_f64(&format!("shard{ordinal}.w"), n)?,
+            });
+        }
+        Ok(ShardedExecutor {
+            group,
+            rows: x.rows(),
+            cols: x.cols(),
+            base_vs,
+            shards,
+            launches: Vec::new(),
+            wall_ms: 0.0,
+            straggler_factor: 3.0,
+            speculation: true,
+            stragglers_detected: 0,
+            speculative_reexecs: 0,
+            plan_cache: RefCell::new(PlanCache::new()),
+            plan_cache_on: Cell::new(crate::plancache::plan_cache_enabled()),
+        })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The fixed vector size every shard plans with.
+    pub fn base_vs(&self) -> usize {
+        self.base_vs
+    }
+
+    /// Number of non-empty shards (devices doing work).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global row range of each non-empty shard, ascending.
+    pub fn shard_ranges(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| (s.start, s.end)).collect()
+    }
+
+    /// Override the straggler deadline (multiple of the median shard time;
+    /// must be > 1). `speculation: false` disables re-execution, keeping
+    /// detection counters only.
+    pub fn with_straggler_policy(mut self, factor: f64, speculation: bool) -> Self {
+        assert!(factor > 1.0, "straggler deadline factor must exceed 1");
+        self.straggler_factor = factor;
+        self.speculation = speculation;
+        self
+    }
+
+    /// Shards whose first attempt missed the modelled-time deadline.
+    pub fn stragglers_detected(&self) -> usize {
+        self.stragglers_detected
+    }
+
+    /// Speculative re-executions launched for straggling shards.
+    pub fn speculative_reexecs(&self) -> usize {
+        self.speculative_reexecs
+    }
+
+    /// Modelled elapsed milliseconds since the last reset (max across
+    /// concurrent shards per step, plus interconnect transfers).
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ms
+    }
+
+    pub fn launch_count(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Hardware counters merged across every launch since the last reset.
+    pub fn counters_total(&self) -> Counters {
+        let mut total = Counters::new();
+        for l in &self.launches {
+            total.merge(&l.counters);
+        }
+        total
+    }
+
+    pub fn reset(&mut self) {
+        self.launches.clear();
+        self.wall_ms = 0.0;
+    }
+
+    /// Enable or disable plan memoization.
+    pub fn set_plan_cache(&self, enabled: bool) {
+        self.plan_cache_on.set(enabled);
+    }
+
+    /// Cumulative plan-cache traffic, independent of [`Self::reset`].
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plan_cache.borrow().stats()
+    }
+
+    /// Zero the plan-cache counters (cached plans stay valid).
+    pub fn reset_plan_stats(&self) {
+        self.plan_cache.borrow_mut().reset_stats();
+    }
+
+    /// The shard's launch plan: tuned for the shard's row count but with
+    /// the group-wide `VS`, memoized under a key that includes the shard
+    /// count so resharded groups never reuse stale plans.
+    fn shard_plan(&self, shard: &Shard) -> Result<SparsePlan, DeviceError> {
+        let spec = self.group.device(shard.ordinal).spec();
+        let (m, n, vs) = (shard.rows(), self.cols, self.base_vs);
+        let shards = self.shards.len();
+        let (plan, _cached) = self
+            .plan_cache
+            .borrow_mut()
+            .sparse_plan_sharded(self.plan_cache_on.get(), spec, m, n, vs, shards, || {
+                try_plan_sparse_with_vs(spec, m, n, vs)
+            })
+            .map_err(DeviceError::from)?;
+        Ok(plan)
+    }
+
+    /// Run `f` once per shard, apply the straggler policy, and account the
+    /// step: wall time is the max effective shard time, every launch's
+    /// stats (including failed-speculation survivors) are kept for the
+    /// counters. The first error aborts the step — launches performed
+    /// before the fault still cost simulated time.
+    fn run_shards(
+        &mut self,
+        f: impl Fn(&Shard, &Gpu, &SparsePlan) -> Result<Vec<LaunchStats>, DeviceError>,
+    ) -> Result<(), DeviceError> {
+        let mut times = Vec::with_capacity(self.shards.len());
+        let mut step_launches: Vec<LaunchStats> = Vec::new();
+        for i in 0..self.shards.len() {
+            let plan = self.shard_plan(&self.shards[i])?;
+            let shard = &self.shards[i];
+            let gpu = self.group.device(shard.ordinal);
+            match f(shard, gpu, &plan) {
+                Ok(stats) => {
+                    times.push(stats.iter().map(|s| s.sim_ms()).sum::<f64>());
+                    step_launches.extend(stats);
+                }
+                Err(e) => {
+                    self.launches.extend(step_launches);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Straggler detection against the modelled-time deadline: median
+        // of the (deterministic) shard times, scaled by the policy factor.
+        if times.len() >= 2 {
+            let mut sorted = times.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let median = sorted[sorted.len() / 2];
+            let deadline = self.straggler_factor * median;
+            for i in 0..self.shards.len() {
+                if times[i] <= deadline {
+                    continue;
+                }
+                self.stragglers_detected += 1;
+                let shard = &self.shards[i];
+                if fusedml_trace::is_enabled() {
+                    fusedml_trace::instant(
+                        "shard",
+                        "shard.straggler",
+                        "host",
+                        &[
+                            ("device", shard.ordinal.into()),
+                            ("shard_ms", times[i].into()),
+                            ("deadline_ms", deadline.into()),
+                            ("speculate", self.speculation.into()),
+                        ],
+                    );
+                }
+                if !self.speculation {
+                    continue;
+                }
+                // Speculative re-execution: fresh launch, fresh fault
+                // draws; numerics are deterministic so the faster attempt
+                // is interchangeable with the slow one.
+                let plan = self.shard_plan(shard)?;
+                let shard = &self.shards[i];
+                let gpu = self.group.device(shard.ordinal);
+                match f(shard, gpu, &plan) {
+                    Ok(stats) => {
+                        self.speculative_reexecs += 1;
+                        let retry_ms = stats.iter().map(|s| s.sim_ms()).sum::<f64>();
+                        times[i] = times[i].min(retry_ms);
+                        step_launches.extend(stats);
+                    }
+                    Err(e) => {
+                        self.launches.extend(step_launches);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        self.wall_ms += times.iter().fold(0.0f64, |a, &b| a.max(b));
+        self.launches.extend(step_launches);
+        Ok(())
+    }
+
+    /// Charge the broadcast of a column-dimension vector (n doubles) to
+    /// every non-root shard device.
+    fn charge_broadcast_cols(&mut self) {
+        for _ in 1..self.shards.len() {
+            self.wall_ms += self.group.charge_transfer((self.cols * 8) as u64);
+        }
+    }
+
+    /// Charge the fused-epilogue reduction: each non-root device ships its
+    /// partial `w` (n doubles) over the fabric; no separate kernel launch.
+    fn charge_epilogue_reduction(&mut self) {
+        for _ in 1..self.shards.len() {
+            self.wall_ms += self.group.charge_transfer((self.cols * 8) as u64);
+        }
+    }
+
+    /// Charge moving each non-root shard's row-dimension slice.
+    fn charge_row_slices(&mut self) {
+        for shard in self.shards.iter().skip(1) {
+            self.wall_ms += self.group.charge_transfer((shard.rows() * 8) as u64);
+        }
+    }
+
+    /// `w = alpha * X^T (v (.) (X y)) + beta * z` over all shards.
+    /// Host-slice API; see the module docs for the bit-identity contract.
+    pub fn try_pattern_host(
+        &mut self,
+        spec: PatternSpec,
+        v: Option<&[f64]>,
+        y: &[f64],
+        z: Option<&[f64]>,
+        w: &mut [f64],
+    ) -> Result<(), DeviceError> {
+        assert_eq!(spec.with_v, v.is_some(), "v presence mismatch");
+        assert_eq!(spec.with_z, z.is_some(), "z presence mismatch");
+        assert_eq!(y.len(), self.cols, "y length mismatch");
+        assert_eq!(w.len(), self.cols, "w length mismatch");
+        if let Some(v) = v {
+            assert_eq!(v.len(), self.rows, "v length mismatch");
+        }
+        if let Some(z) = z {
+            assert_eq!(z.len(), self.cols, "z length mismatch");
+        }
+
+        // Broadcast the inputs to every shard device.
+        for shard in &self.shards {
+            shard.y_rep.copy_from_f64(y);
+            if let Some(v) = v {
+                shard.v_rep.copy_from_f64(&v[shard.start..shard.end]);
+            }
+        }
+        self.charge_broadcast_cols();
+        if v.is_some() {
+            self.charge_row_slices();
+        }
+
+        let with_v = v.is_some();
+        let alpha = spec.alpha;
+        self.run_shards(|shard, gpu, plan| {
+            let fill = level1::try_fill(gpu, &shard.w_partial, 0.0)?;
+            let stats = try_fused_pattern_shard(
+                gpu,
+                plan,
+                &shard.dev,
+                with_v.then_some(&shard.v_rep),
+                &shard.y_rep,
+                &shard.u,
+                &shard.w_partial,
+                alpha,
+            )?;
+            Ok(vec![fill, stats])
+        })?;
+        self.charge_epilogue_reduction();
+
+        // Canonical epilogue reduction: ascending global row order, so the
+        // sum order — and therefore every bit of w — is independent of the
+        // shard layout.
+        for (c, wc) in w.iter_mut().enumerate() {
+            *wc = match z {
+                Some(z) => spec.beta * z[c],
+                None => 0.0,
+            };
+        }
+        for shard in &self.shards {
+            let u = shard.u.to_vec_f64();
+            for r in 0..shard.rows() {
+                let ur = u[r];
+                for (c, xv) in shard.host.row_entries(r) {
+                    w[c as usize] += spec.alpha * ur * xv;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `out = X * y` (length m), shard outputs concatenated row-wise —
+    /// row-local work, so trivially shard-invariant.
+    pub fn try_mv_host(&mut self, y: &[f64], out: &mut [f64]) -> Result<(), DeviceError> {
+        assert_eq!(y.len(), self.cols, "y length mismatch");
+        assert_eq!(out.len(), self.rows, "out length mismatch");
+        for shard in &self.shards {
+            shard.y_rep.copy_from_f64(y);
+        }
+        self.charge_broadcast_cols();
+
+        let vs = self.base_vs;
+        self.run_shards(|shard, gpu, _plan| {
+            Ok(vec![try_csrmv(
+                gpu,
+                &shard.dev,
+                &shard.y_rep,
+                &shard.p,
+                // VS fixed from the full matrix: a shard's own mean
+                // nnz/row may differ, and letting it drift would change
+                // the reduction order across shard counts.
+                SpmvStyle::Vector { vs },
+            )?])
+        })?;
+        self.charge_row_slices();
+
+        for shard in &self.shards {
+            out[shard.start..shard.end].copy_from_slice(&shard.p.to_vec_f64());
+        }
+        Ok(())
+    }
+
+    /// `out = alpha * X^T * u` (length n) with the canonical host-side
+    /// epilogue reduction (ascending global rows).
+    pub fn try_tmv_host(
+        &mut self,
+        alpha: f64,
+        u: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), DeviceError> {
+        assert_eq!(u.len(), self.rows, "u length mismatch");
+        assert_eq!(out.len(), self.cols, "out length mismatch");
+        for shard in &self.shards {
+            shard.v_rep.copy_from_f64(&u[shard.start..shard.end]);
+        }
+        self.charge_row_slices();
+
+        self.run_shards(|shard, gpu, plan| {
+            let fill = level1::try_fill(gpu, &shard.w_partial, 0.0)?;
+            let stats = if plan.use_shared_w {
+                try_fused_xt_p_shared(gpu, plan, alpha, &shard.dev, &shard.v_rep, &shard.w_partial)?
+            } else {
+                try_fused_xt_p_global(gpu, plan, alpha, &shard.dev, &shard.v_rep, &shard.w_partial)?
+            };
+            Ok(vec![fill, stats])
+        })?;
+        self.charge_epilogue_reduction();
+
+        out.fill(0.0);
+        for shard in &self.shards {
+            for r in 0..shard.rows() {
+                let ur = u[shard.start + r];
+                for (c, xv) in shard.host.row_entries(r) {
+                    out[c as usize] += alpha * ur * xv;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedml_gpu_sim::{DeviceSpec, FaultProfile, InterconnectSpec};
+    use fusedml_matrix::gen::{random_vector, uniform_sparse};
+    use fusedml_matrix::reference;
+
+    fn group(n: usize, profile: FaultProfile) -> DeviceGroup {
+        DeviceGroup::new(
+            DeviceSpec::gtx_titan(),
+            n,
+            InterconnectSpec::pcie_gen3_x16(),
+            &profile,
+        )
+    }
+
+    #[test]
+    fn shard_rows_balances_and_handles_edges() {
+        assert_eq!(shard_rows(10, 2), vec![(0, 5), (5, 10)]);
+        // Non-dividing: first shards get the extra rows.
+        assert_eq!(shard_rows(7, 3), vec![(0, 3), (3, 5), (5, 7)]);
+        // Fewer rows than shards: trailing shards are empty.
+        assert_eq!(shard_rows(2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+        assert_eq!(shard_rows(0, 3), vec![(0, 0), (0, 0), (0, 0)]);
+        // Every partition is contiguous and covers all rows.
+        for (rows, n) in [(1, 1), (1, 5), (97, 4), (160, 3)] {
+            let r = shard_rows(rows, n);
+            assert_eq!(r.len(), n);
+            assert_eq!(r[0].0, 0);
+            assert_eq!(r[n - 1].1, rows);
+            for pair in r.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_is_bit_identical_across_shard_counts() {
+        let x = uniform_sparse(160, 24, 0.15, 401);
+        let y = random_vector(24, 402);
+        let v = random_vector(160, 403);
+        let z = random_vector(24, 404);
+        let spec = PatternSpec::full(1.25, -0.5);
+        let run = |n: usize| {
+            let g = group(n, FaultProfile::disabled());
+            let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+            let mut w = vec![0.0; 24];
+            ex.try_pattern_host(spec, Some(&v), &y, Some(&z), &mut w)
+                .unwrap();
+            assert!(ex.wall_ms() > 0.0);
+            w
+        };
+        let w1 = run(1);
+        let w2 = run(2);
+        let w3 = run(3);
+        let bits = |w: &[f64]| w.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&w1), bits(&w2), "1 vs 2 devices");
+        assert_eq!(bits(&w1), bits(&w3), "1 vs 3 devices");
+        let expect = reference::pattern_csr(1.25, &x, Some(&v), &y, -0.5, Some(&z));
+        assert!(reference::rel_l2_error(&w1, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn mv_and_tmv_are_bit_identical_across_shard_counts() {
+        let x = uniform_sparse(90, 40, 0.12, 411);
+        let y = random_vector(40, 412);
+        let u = random_vector(90, 413);
+        let run = |n: usize| {
+            let g = group(n, FaultProfile::disabled());
+            let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+            let mut p = vec![0.0; 90];
+            let mut w = vec![0.0; 40];
+            ex.try_mv_host(&y, &mut p).unwrap();
+            ex.try_tmv_host(2.0, &u, &mut w).unwrap();
+            (p, w)
+        };
+        let (p1, w1) = run(1);
+        let (p3, w3) = run(3);
+        assert_eq!(
+            p1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            p3.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            w1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            w3.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(reference::rel_l2_error(&p1, &reference::csr_mv(&x, &y)) < 1e-12);
+        let mut expect = reference::csr_tmv(&x, &u);
+        reference::scal(2.0, &mut expect);
+        assert!(reference::rel_l2_error(&w1, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn shard_boundary_edge_cases() {
+        // Satellite coverage: rows < devices (empty shards skipped),
+        // single-row matrices, and non-dividing row counts all flow
+        // through the sharded pattern kernel bit-identically.
+        for (rows, devices) in [(3usize, 4usize), (1, 3), (7, 3), (5, 5)] {
+            let x = uniform_sparse(rows, 12, 0.5, 420 + rows as u64);
+            let y = random_vector(12, 421);
+            let g = group(devices, FaultProfile::disabled());
+            let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+            assert_eq!(ex.shard_count(), rows.min(devices));
+            let mut w = vec![0.0; 12];
+            ex.try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w)
+                .unwrap();
+
+            let g1 = group(1, FaultProfile::disabled());
+            let mut ex1 = ShardedExecutor::try_new(&g1, &x).unwrap();
+            let mut w1 = vec![0.0; 12];
+            ex1.try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w1)
+                .unwrap();
+            assert_eq!(
+                w.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                w1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{rows} rows on {devices} devices"
+            );
+            let expect = reference::pattern_csr(1.0, &x, None, &y, 0.0, None);
+            assert!(reference::rel_l2_error(&w, &expect) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_a_typed_error() {
+        let x = CsrMatrix::empty(0, 8);
+        let g = group(2, FaultProfile::disabled());
+        let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+        assert_eq!(ex.shard_count(), 0);
+        // No shards: the pattern is a pure beta*z epilogue.
+        let z = vec![3.0; 8];
+        let mut w = vec![0.0; 8];
+        ex.try_pattern_host(
+            PatternSpec::xtxy_plus_bz(0.5),
+            None,
+            &[1.0; 8],
+            Some(&z),
+            &mut w,
+        )
+        .unwrap();
+        assert_eq!(w, vec![1.5; 8]);
+    }
+
+    #[test]
+    fn device_loss_surfaces_as_device_lost() {
+        let x = uniform_sparse(64, 16, 0.2, 431);
+        let y = random_vector(16, 432);
+        let g = group(2, FaultProfile::seeded(0xDEAD).with_device_loss_rate(1.0));
+        let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+        let mut w = vec![0.0; 16];
+        let err = ex
+            .try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w)
+            .unwrap_err();
+        assert_eq!(err.kind(), "device-lost");
+        assert!(g.alive_count() < 2);
+    }
+
+    #[test]
+    fn constructing_on_a_dead_group_fails_typed() {
+        let g = group(2, FaultProfile::disabled());
+        g.mark_lost(0);
+        g.mark_lost(1);
+        let x = uniform_sparse(10, 8, 0.4, 441);
+        let err = match ShardedExecutor::try_new(&g, &x) {
+            Err(e) => e,
+            Ok(_) => panic!("construction on a dead group must fail"),
+        };
+        assert_eq!(err.kind(), "device-lost");
+    }
+
+    #[test]
+    fn resharding_after_loss_is_bit_identical() {
+        let x = uniform_sparse(120, 20, 0.15, 451);
+        let y = random_vector(20, 452);
+        let g = group(3, FaultProfile::disabled());
+
+        let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+        assert_eq!(ex.shard_count(), 3);
+        let mut w3 = vec![0.0; 20];
+        ex.try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w3)
+            .unwrap();
+
+        // Lose a device, reshard across the survivors.
+        g.mark_lost(1);
+        let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+        assert_eq!(ex.shard_count(), 2);
+        assert_eq!(ex.shard_ranges(), vec![(0, 60), (60, 120)]);
+        let mut w2 = vec![0.0; 20];
+        ex.try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w2)
+            .unwrap();
+        assert_eq!(
+            w3.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            w2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stragglers_are_detected_and_speculatively_reexecuted() {
+        let x = uniform_sparse(150, 24, 0.15, 461);
+        let y = random_vector(24, 462);
+        let clean = {
+            let g = group(3, FaultProfile::disabled());
+            let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+            let mut w = vec![0.0; 24];
+            for _ in 0..6 {
+                ex.try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w)
+                    .unwrap();
+            }
+            assert_eq!(ex.stragglers_detected(), 0);
+            w
+        };
+
+        let g = group(3, FaultProfile::seeded(0x57A6).with_straggler(0.35, 10.0));
+        let mut ex = ShardedExecutor::try_new(&g, &x).unwrap();
+        let mut w = vec![0.0; 24];
+        for _ in 0..6 {
+            ex.try_pattern_host(PatternSpec::xtxy(), None, &y, None, &mut w)
+                .unwrap();
+        }
+        assert!(ex.stragglers_detected() > 0, "seeded slowdown not detected");
+        assert!(ex.speculative_reexecs() > 0);
+        // Slow shards never change the numbers.
+        assert_eq!(
+            w.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            clean.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // Re-executions add launches beyond the clean 2-per-shard-per-step.
+        assert!(ex.launch_count() > 6 * 2 * 3);
+    }
+
+    #[test]
+    fn shard_plans_hold_vs_fixed_and_key_on_shard_count() {
+        let x = uniform_sparse(200, 32, 0.1, 471);
+        let g = group(4, FaultProfile::disabled());
+        let ex = ShardedExecutor::try_new(&g, &x).unwrap();
+        ex.set_plan_cache(true);
+        let vs = ex.base_vs();
+        for shard in &ex.shards {
+            let plan = ex.shard_plan(shard).unwrap();
+            assert_eq!(plan.vs, vs, "shard planning must not re-derive VS");
+        }
+        // Second pass hits the cache.
+        for shard in &ex.shards {
+            ex.shard_plan(shard).unwrap();
+        }
+        let stats = ex.plan_stats();
+        assert!(stats.hits >= ex.shard_count() as u64);
+    }
+}

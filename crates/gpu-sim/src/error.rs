@@ -46,6 +46,11 @@ pub enum DeviceError {
         stage: &'static str,
         fault_index: u64,
     },
+    /// The device dropped off the bus (injected device-loss fault, or an
+    /// operation issued against a device already marked lost). Sticky:
+    /// once lost, every later operation fails with this. `fault_index` is
+    /// the device-loss draw that killed the device.
+    DeviceLost { device: usize, fault_index: u64 },
 }
 
 impl DeviceError {
@@ -72,6 +77,7 @@ impl DeviceError {
             DeviceError::AllocFailed { .. } => "alloc-failed",
             DeviceError::TransferTimeout { .. } => "transfer-timeout",
             DeviceError::DataCorruption { .. } => "data-corruption",
+            DeviceError::DeviceLost { .. } => "device-lost",
         }
     }
 }
@@ -140,6 +146,16 @@ impl std::fmt::Display for DeviceError {
                      (injected bit flip, draw #{fault_index})"
                 )
             }
+            DeviceError::DeviceLost {
+                device,
+                fault_index,
+            } => {
+                write!(
+                    f,
+                    "device {device}: lost (injected draw #{fault_index}); \
+                     all further operations on it fail"
+                )
+            }
         }
     }
 }
@@ -187,6 +203,16 @@ mod tests {
         assert!(c.is_transient(), "a re-upload draws fresh: retryable");
         assert_eq!(c.kind(), "data-corruption");
         assert!(c.to_string().contains("integrity check failed at h2d"));
+        let l = DeviceError::DeviceLost {
+            device: 2,
+            fault_index: 7,
+        };
+        assert!(
+            !l.is_transient(),
+            "retrying on a lost device cannot succeed; reshard instead"
+        );
+        assert_eq!(l.kind(), "device-lost");
+        assert!(l.to_string().contains("device 2: lost"));
     }
 
     #[test]

@@ -138,6 +138,16 @@ pub struct Gpu {
     integrity_checks: AtomicU64,
     integrity_bytes: AtomicU64,
     integrity_violations: AtomicU64,
+    /// Position of this device within a [`crate::DeviceGroup`] (0 for a
+    /// standalone device).
+    ordinal: usize,
+    /// Trace track name ("device" standalone, "deviceN" in a group).
+    track: String,
+    /// Sticky device-loss flag: once set, every operation fails with
+    /// [`DeviceError::DeviceLost`] without consuming fault draws.
+    lost: AtomicBool,
+    /// The draw index that killed the device (meaningful once `lost`).
+    lost_at_draw: AtomicU64,
 }
 
 impl Gpu {
@@ -184,6 +194,55 @@ impl Gpu {
             integrity_checks: AtomicU64::new(0),
             integrity_bytes: AtomicU64::new(0),
             integrity_violations: AtomicU64::new(0),
+            ordinal: 0,
+            track: "device".to_string(),
+            lost: AtomicBool::new(false),
+            lost_at_draw: AtomicU64::new(0),
+        }
+    }
+
+    /// Place this device at position `ordinal` of a multi-device group
+    /// (builder style): its trace events land on a per-device track
+    /// (`device0`, `device1`, …) instead of the shared `device` track.
+    pub fn with_ordinal(mut self, ordinal: usize) -> Self {
+        self.ordinal = ordinal;
+        self.track = format!("device{ordinal}");
+        self
+    }
+
+    /// Position of this device within its group (0 standalone).
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
+    }
+
+    /// Trace track this device's events land on.
+    pub fn track(&self) -> &str {
+        &self.track
+    }
+
+    /// Whether this device has been lost (injected device-loss fault or
+    /// [`Gpu::mark_lost`]). Sticky for the life of the device.
+    pub fn is_lost(&self) -> bool {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Administratively kill the device: every later operation fails with
+    /// [`DeviceError::DeviceLost`]. Used by chaos tests and the device
+    /// group; injected losses set the same flag.
+    pub fn mark_lost(&self) {
+        self.lost.store(true, Ordering::Relaxed);
+    }
+
+    /// Fail fast when the device is lost, without consuming fault draws
+    /// (a dead device makes no draws — keeps sibling streams unshifted).
+    fn check_lost(&self) -> Result<(), DeviceError> {
+        if self.lost.load(Ordering::Relaxed) {
+            Err(DeviceError::DeviceLost {
+                device: self.ordinal,
+                fault_index: self.lost_at_draw.load(Ordering::Relaxed),
+            })
+        } else {
+            Ok(())
         }
     }
 
@@ -248,6 +307,7 @@ impl Gpu {
     }
 
     fn alloc(&self, name: &str, elem: Elem, len: usize) -> Result<GpuBuffer, DeviceError> {
+        self.check_lost()?;
         let bytes = len as u64 * elem.bytes();
         let in_use = self.allocated_bytes.load(Ordering::Relaxed);
         let capacity = self.spec.global_mem_bytes as u64;
@@ -256,7 +316,7 @@ impl Gpu {
                 fusedml_trace::instant(
                     "fault",
                     "alloc.injected",
-                    "device",
+                    &self.track,
                     &[("buffer", name.into()), ("requested_bytes", bytes.into())],
                 );
             }
@@ -287,7 +347,7 @@ impl Gpu {
                     } else {
                         "alloc.capacity"
                     },
-                    "device",
+                    &self.track,
                     &[
                         ("buffer", name.into()),
                         ("requested_bytes", bytes.into()),
@@ -323,7 +383,7 @@ impl Gpu {
             fusedml_trace::instant(
                 "mem",
                 outcome,
-                "device",
+                &self.track,
                 &[("buffer", name.into()), ("bytes", bytes.into())],
             );
         }
@@ -344,7 +404,7 @@ impl Gpu {
                     fusedml_trace::instant(
                         "fault",
                         "mem.corruption",
-                        "device",
+                        &self.track,
                         &[
                             ("buffer", name.into()),
                             ("stage", "pool-reuse".into()),
@@ -366,7 +426,7 @@ impl Gpu {
                         fusedml_trace::instant(
                             "fault",
                             "integrity.violation",
-                            "device",
+                            &self.track,
                             &[("buffer", name.into()), ("stage", "pool-reuse".into())],
                         );
                     }
@@ -400,7 +460,7 @@ impl Gpu {
                 fusedml_trace::instant(
                     "fault",
                     "mem.corruption",
-                    "device",
+                    &self.track,
                     &[
                         ("buffer", buf.name().into()),
                         ("stage", "h2d".into()),
@@ -422,7 +482,7 @@ impl Gpu {
                 fusedml_trace::instant(
                     "fault",
                     "integrity.violation",
-                    "device",
+                    &self.track,
                     &[("buffer", buf.name().into()), ("stage", "h2d".into())],
                 );
             }
@@ -569,6 +629,7 @@ impl Gpu {
     where
         K: Fn(&mut BlockCtx) + Sync,
     {
+        self.check_lost()?;
         if config.grid_blocks == 0 {
             return Err(DeviceError::InvalidLaunch {
                 kernel: name.to_string(),
@@ -594,12 +655,37 @@ impl Gpu {
                 fusedml_trace::instant(
                     "fault",
                     "kernel.transient",
-                    "device",
+                    &self.track,
                     &[("kernel", name.into()), ("fault_index", fault_index.into())],
                 );
             }
             return Err(DeviceError::TransientFault {
                 kernel: name.to_string(),
+                fault_index,
+            });
+        }
+
+        // Device loss is decided before the kernel runs, like transient
+        // faults: a killed device leaves memory untouched from the caller's
+        // point of view (its contents are unreachable anyway). The flag is
+        // sticky — every later operation short-circuits in `check_lost`.
+        if let Some(fault_index) = self.faults.draw_device_loss() {
+            self.lost_at_draw.store(fault_index, Ordering::Relaxed);
+            self.lost.store(true, Ordering::Relaxed);
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "device.lost",
+                    &self.track,
+                    &[
+                        ("kernel", name.into()),
+                        ("device", self.ordinal.into()),
+                        ("fault_index", fault_index.into()),
+                    ],
+                );
+            }
+            return Err(DeviceError::DeviceLost {
+                device: self.ordinal,
                 fault_index,
             });
         }
@@ -682,7 +768,27 @@ impl Gpu {
 
         let resident_blocks = (occ.blocks_per_sm * num_sms).max(1);
         let device_fill = (config.grid_blocks as f64 / resident_blocks as f64).min(1.0);
-        let time = kernel_time(&self.spec, &occ, config.ilp, device_fill, &merged);
+        let mut time = kernel_time(&self.spec, &occ, config.ilp, device_fill, &merged);
+        // A straggling launch runs slow: the modelled clock is scaled but
+        // the numerics above are untouched. Scaled *before* the watchdog
+        // check — a straggler can trip the watchdog, like a real slow
+        // kernel would.
+        if let Some(fault_index) = self.faults.draw_straggler() {
+            let slowdown = self.faults.profile().straggler_slowdown;
+            time.scale(slowdown);
+            if fusedml_trace::is_enabled() {
+                fusedml_trace::instant(
+                    "fault",
+                    "kernel.straggler",
+                    &self.track,
+                    &[
+                        ("kernel", name.into()),
+                        ("slowdown", slowdown.into()),
+                        ("fault_index", fault_index.into()),
+                    ],
+                );
+            }
+        }
         if let Some(limit_ms) = self.faults.watchdog_limit_ms() {
             if time.total_ms > limit_ms {
                 self.faults.note_watchdog_timeout();
@@ -690,7 +796,7 @@ impl Gpu {
                     fusedml_trace::instant(
                         "fault",
                         "kernel.watchdog",
-                        "device",
+                        &self.track,
                         &[
                             ("kernel", name.into()),
                             ("sim_ms", time.total_ms.into()),
@@ -709,7 +815,7 @@ impl Gpu {
             fusedml_trace::sim_span(
                 "kernel",
                 name,
-                "device",
+                &self.track,
                 time.total_ms,
                 &[
                     ("grid", config.grid_blocks.into()),

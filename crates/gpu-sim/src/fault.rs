@@ -47,6 +47,17 @@ pub struct FaultProfile {
     pub watchdog_limit_ms: Option<f64>,
     /// Mid-run memory-pressure mode (None = off).
     pub memory_pressure: Option<MemoryPressure>,
+    /// Probability that a kernel launch kills the whole device: the launch
+    /// fails with [`crate::DeviceError::DeviceLost`] and every later
+    /// operation on that device fails immediately without consuming fault
+    /// draws. Non-transient — recovery means moving the work elsewhere.
+    pub device_loss_rate: f64,
+    /// Probability that a kernel launch runs slow (a straggler): its
+    /// modelled time is multiplied by `straggler_slowdown`. Numerics are
+    /// untouched — stragglers only distort the simulated clock.
+    pub straggler_rate: f64,
+    /// Modelled-time multiplier applied to straggling launches.
+    pub straggler_slowdown: f64,
 }
 
 impl Default for FaultProfile {
@@ -59,6 +70,9 @@ impl Default for FaultProfile {
             corruption_rate: 0.0,
             watchdog_limit_ms: None,
             memory_pressure: None,
+            device_loss_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
         }
     }
 }
@@ -119,6 +133,33 @@ impl FaultProfile {
         self
     }
 
+    pub fn with_device_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.device_loss_rate = rate;
+        self
+    }
+
+    pub fn with_straggler(mut self, rate: f64, slowdown: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(slowdown >= 1.0, "straggler slowdown must be >= 1");
+        self.straggler_rate = rate;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+
+    /// Derive the profile for device `ordinal` of a multi-device group:
+    /// same rates, but an independent per-device seed, so each group member
+    /// has its own deterministic fault stream. Ordinal 0 keeps the base
+    /// seed, so a 1-device group is bit-identical to a plain device with
+    /// this profile.
+    pub fn for_device(&self, ordinal: usize) -> Self {
+        let mut p = self.clone();
+        if ordinal > 0 {
+            p.seed = mix64(self.seed ^ DEVICE_SALT ^ ordinal as u64);
+        }
+        p
+    }
+
     /// True when any fault class can fire.
     pub fn enabled(&self) -> bool {
         self.kernel_fault_rate > 0.0
@@ -127,6 +168,8 @@ impl FaultProfile {
             || self.corruption_rate > 0.0
             || self.watchdog_limit_ms.is_some()
             || self.memory_pressure.is_some()
+            || self.device_loss_rate > 0.0
+            || self.straggler_rate > 0.0
     }
 }
 
@@ -143,12 +186,20 @@ pub struct FaultCounts {
     /// Allocations rejected only because of the memory-pressure reserve
     /// (they would have fit in the unpressured device).
     pub pressure_rejections: u64,
+    /// Launches that killed their device outright.
+    pub device_losses: u64,
+    /// Launches that ran slow (modelled time scaled by the straggler
+    /// slowdown).
+    pub stragglers: u64,
 }
 
 const KERNEL_SALT: u64 = 0x6b65726e656c5f66; // "kernel_f"
 const ALLOC_SALT: u64 = 0x616c6c6f635f666c; // "alloc_fl"
 const TRANSFER_SALT: u64 = 0x7472616e73666572; // "transfer"
 const CORRUPT_SALT: u64 = 0x636f72727570746e; // "corruptn"
+const DEVICE_LOSS_SALT: u64 = 0x6465766c6f737421; // "devlost!"
+const STRAGGLER_SALT: u64 = 0x7374726167676c72; // "stragglr"
+const DEVICE_SALT: u64 = 0x6465766963655f6e; // "device_n" (per-device seeds)
 
 /// SplitMix64 finalizer: a high-quality bijective mix of the input.
 fn mix64(mut z: u64) -> u64 {
@@ -175,6 +226,8 @@ pub struct FaultInjector {
     alloc_draws: AtomicU64,
     transfer_draws: AtomicU64,
     corruption_draws: AtomicU64,
+    device_loss_draws: AtomicU64,
+    straggler_draws: AtomicU64,
     alloc_requests: AtomicU64,
     kernel_faults: AtomicU64,
     alloc_faults: AtomicU64,
@@ -182,6 +235,8 @@ pub struct FaultInjector {
     watchdog_timeouts: AtomicU64,
     corruptions: AtomicU64,
     pressure_rejections: AtomicU64,
+    device_losses: AtomicU64,
+    stragglers: AtomicU64,
 }
 
 impl FaultInjector {
@@ -192,6 +247,8 @@ impl FaultInjector {
             alloc_draws: AtomicU64::new(0),
             transfer_draws: AtomicU64::new(0),
             corruption_draws: AtomicU64::new(0),
+            device_loss_draws: AtomicU64::new(0),
+            straggler_draws: AtomicU64::new(0),
             alloc_requests: AtomicU64::new(0),
             kernel_faults: AtomicU64::new(0),
             alloc_faults: AtomicU64::new(0),
@@ -199,6 +256,8 @@ impl FaultInjector {
             watchdog_timeouts: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             pressure_rejections: AtomicU64::new(0),
+            device_losses: AtomicU64::new(0),
+            stragglers: AtomicU64::new(0),
         }
     }
 
@@ -280,6 +339,37 @@ impl FaultInjector {
         (elem, bit)
     }
 
+    /// Decide whether the next kernel launch kills the device. Returns the
+    /// draw index when it does.
+    pub fn draw_device_loss(&self) -> Option<u64> {
+        if self.profile.device_loss_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.device_loss_draws.fetch_add(1, Ordering::Relaxed);
+        if unit(self.profile.seed, DEVICE_LOSS_SALT, idx) < self.profile.device_loss_rate {
+            self.device_losses.fetch_add(1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Decide whether the next kernel launch straggles (modelled time is
+    /// scaled by the profile's slowdown). Returns the draw index when it
+    /// does.
+    pub fn draw_straggler(&self) -> Option<u64> {
+        if self.profile.straggler_rate <= 0.0 {
+            return None;
+        }
+        let idx = self.straggler_draws.fetch_add(1, Ordering::Relaxed);
+        if unit(self.profile.seed, STRAGGLER_SALT, idx) < self.profile.straggler_rate {
+            self.stragglers.fetch_add(1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
     /// Record one allocation request for the memory-pressure model. A no-op
     /// (counter untouched) when pressure is off, so a pressure-free device
     /// behaves bit-identically to one built before this class existed.
@@ -327,6 +417,8 @@ impl FaultInjector {
             watchdog_timeouts: self.watchdog_timeouts.load(Ordering::Relaxed),
             corruptions: self.corruptions.load(Ordering::Relaxed),
             pressure_rejections: self.pressure_rejections.load(Ordering::Relaxed),
+            device_losses: self.device_losses.load(Ordering::Relaxed),
+            stragglers: self.stragglers.load(Ordering::Relaxed),
         }
     }
 }
@@ -343,12 +435,16 @@ mod tests {
             assert_eq!(inj.draw_alloc_fault(), None);
             assert_eq!(inj.draw_transfer_timeout(), None);
             assert_eq!(inj.draw_corruption(), None);
+            assert_eq!(inj.draw_device_loss(), None);
+            assert_eq!(inj.draw_straggler(), None);
             inj.note_alloc_request();
         }
         assert_eq!(inj.counts(), FaultCounts::default());
         // Disabled classes consume no draw indices at all.
         assert_eq!(inj.kernel_draws.load(Ordering::Relaxed), 0);
         assert_eq!(inj.corruption_draws.load(Ordering::Relaxed), 0);
+        assert_eq!(inj.device_loss_draws.load(Ordering::Relaxed), 0);
+        assert_eq!(inj.straggler_draws.load(Ordering::Relaxed), 0);
         assert_eq!(inj.alloc_requests.load(Ordering::Relaxed), 0);
         assert_eq!(inj.reserved_bytes(1 << 30), 0);
     }
@@ -490,5 +586,63 @@ mod tests {
     #[should_panic(expected = "reserve fraction must be in [0, 1]")]
     fn rejects_bad_reserve_fraction() {
         FaultProfile::seeded(0).with_memory_pressure(1, 1.5);
+    }
+
+    #[test]
+    fn device_loss_and_straggler_are_independent_deterministic_streams() {
+        let mk = || {
+            FaultInjector::new(
+                FaultProfile::seeded(0xD06)
+                    .with_device_loss_rate(0.2)
+                    .with_straggler(0.3, 4.0),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        let sa: Vec<(Option<u64>, Option<u64>)> = (0..100)
+            .map(|_| (a.draw_device_loss(), a.draw_straggler()))
+            .collect();
+        // Interleaving straggler draws must not shift the device-loss
+        // stream (and vice versa): replay device-loss draws alone.
+        let loss_only: Vec<Option<u64>> = (0..100).map(|_| b.draw_device_loss()).collect();
+        assert_eq!(
+            sa.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            loss_only,
+            "device-loss stream shifted by straggler draws"
+        );
+        assert!(sa.iter().any(|(l, _)| l.is_some()));
+        assert!(sa.iter().any(|(_, s)| s.is_some()));
+        let counts = a.counts();
+        assert_eq!(
+            counts.device_losses,
+            sa.iter().filter(|(l, _)| l.is_some()).count() as u64
+        );
+        assert_eq!(
+            counts.stragglers,
+            sa.iter().filter(|(_, s)| s.is_some()).count() as u64
+        );
+    }
+
+    #[test]
+    fn per_device_profiles_are_distinct_but_deterministic() {
+        let base = FaultProfile::seeded(0xFEED).with_device_loss_rate(0.5);
+        assert_eq!(base.for_device(0), base, "ordinal 0 keeps the base seed");
+        let d1 = base.for_device(1);
+        let d2 = base.for_device(2);
+        assert_ne!(d1.seed, base.seed);
+        assert_ne!(d1.seed, d2.seed);
+        assert_eq!(d1, base.for_device(1), "derivation is pure");
+        assert_eq!(d1.device_loss_rate, base.device_loss_rate);
+        let a = FaultInjector::new(d1.clone());
+        let b = FaultInjector::new(d2);
+        let va: Vec<bool> = (0..64).map(|_| a.draw_device_loss().is_some()).collect();
+        let vb: Vec<bool> = (0..64).map(|_| b.draw_device_loss().is_some()).collect();
+        assert_ne!(va, vb, "sibling devices draw from independent streams");
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler slowdown must be >= 1")]
+    fn rejects_speedup_stragglers() {
+        FaultProfile::seeded(0).with_straggler(0.1, 0.5);
     }
 }

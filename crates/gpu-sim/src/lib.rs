@@ -49,6 +49,7 @@ pub mod device;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod group;
 pub mod memory;
 pub mod occupancy;
 pub mod pool;
@@ -63,8 +64,9 @@ pub use exec::{
     BlockCtx, Gpu, IntegrityStats, LaunchConfig, LaunchStats, Shared, WarpCtx, WARP_LANES,
 };
 pub use fault::{FaultCounts, FaultInjector, FaultProfile, MemoryPressure};
+pub use group::{DeviceGroup, InterconnectStats};
 pub use memory::{fnv1a_cells, Elem, GpuBuffer};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use pool::{DevicePool, PoolStats, DEFAULT_POOL_RETAIN_BYTES};
 pub use profile::profile_report;
-pub use timing::{CpuSpec, PcieSpec, TimeBreakdown, LATENCY_HIDING_KNEE};
+pub use timing::{CpuSpec, InterconnectSpec, PcieSpec, TimeBreakdown, LATENCY_HIDING_KNEE};

@@ -47,6 +47,20 @@ impl TimeBreakdown {
         (self.total_ms * clock_ghz * 1e6).round() as u64
     }
 
+    /// Scale every component by `factor` — used by the straggler fault
+    /// class, which slows a launch down uniformly without touching its
+    /// counters or numerics.
+    pub fn scale(&mut self, factor: f64) {
+        self.launch_ms *= factor;
+        self.dram_ms *= factor;
+        self.l2_ms *= factor;
+        self.compute_ms *= factor;
+        self.shared_ms *= factor;
+        self.atomic_throughput_ms *= factor;
+        self.atomic_serial_ms *= factor;
+        self.total_ms *= factor;
+    }
+
     /// Name of the dominating component (useful for diagnosing shapes).
     pub fn bottleneck(&self) -> &'static str {
         let items = [
@@ -214,6 +228,55 @@ impl PcieSpec {
     }
 }
 
+/// Device-to-device interconnect model for multi-GPU groups. Transfers are
+/// counted event-style, exactly like DRAM traffic: each transfer costs a
+/// fixed latency plus bytes over bandwidth, and the group accumulates
+/// per-link byte/time totals that feed the modeled (bit-deterministic)
+/// metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Stable profile name recorded in reports ("pcie-gen3-x16", "nvlink2").
+    pub name: String,
+    /// Effective per-direction bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-transfer latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl InterconnectSpec {
+    /// Peer-to-peer over the PCIe Gen3 x16 fabric: same achievable
+    /// bandwidth as the host link ([`PcieSpec::gen3_x16`]).
+    pub fn pcie_gen3_x16() -> Self {
+        InterconnectSpec {
+            name: "pcie-gen3-x16".to_string(),
+            bandwidth_gbps: 12.0,
+            latency_us: 10.0,
+        }
+    }
+
+    /// NVLink 2.0-class link: ~48 GB/s per direction, sub-2 µs latency.
+    pub fn nvlink2() -> Self {
+        InterconnectSpec {
+            name: "nvlink2".to_string(),
+            bandwidth_gbps: 48.0,
+            latency_us: 1.3,
+        }
+    }
+
+    /// Look a profile up by its stable name (the inverse of `name`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "pcie-gen3-x16" => Some(Self::pcie_gen3_x16()),
+            "nvlink2" => Some(Self::nvlink2()),
+            _ => None,
+        }
+    }
+
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-3 + bytes as f64 / self.bandwidth_gbps * 1e-6
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +358,33 @@ mod tests {
         let t1 = p.transfer_ms(12_000_000);
         assert!((t1 - 1.01).abs() < 1e-2);
         assert!(p.transfer_ms(24_000_000) > 1.9 * t1 - p.latency_us * 1e-3);
+    }
+
+    #[test]
+    fn interconnect_profiles_roundtrip_and_order() {
+        let pcie = InterconnectSpec::pcie_gen3_x16();
+        let nv = InterconnectSpec::nvlink2();
+        assert_eq!(InterconnectSpec::by_name(&pcie.name), Some(pcie.clone()));
+        assert_eq!(InterconnectSpec::by_name(&nv.name), Some(nv.clone()));
+        assert_eq!(InterconnectSpec::by_name("token-ring"), None);
+        // NVLink beats PCIe on both axes for any transfer size.
+        for bytes in [0u64, 1 << 10, 1 << 20, 1 << 28] {
+            assert!(nv.transfer_ms(bytes) < pcie.transfer_ms(bytes));
+        }
+        // 12 MB over 12 GB/s = 1 ms + latency.
+        assert!((pcie.transfer_ms(12_000_000) - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_breakdown_scales_uniformly() {
+        let spec = DeviceSpec::gtx_titan();
+        let mut c = Counters::new();
+        c.dram_read_bytes = 288_000_000;
+        let mut t = kernel_time(&spec, &full_occ(), 1.0, 1.0, &c);
+        let base = t;
+        t.scale(4.0);
+        assert!((t.total_ms - 4.0 * base.total_ms).abs() < 1e-12);
+        assert!((t.dram_ms - 4.0 * base.dram_ms).abs() < 1e-12);
+        assert_eq!(t.bottleneck(), base.bottleneck());
     }
 }

@@ -269,6 +269,32 @@ impl CsrMatrix {
         }
     }
 
+    /// The contiguous row range `[start, end)` as its own CSR matrix with
+    /// rebased offsets — the shard a row-partitioned multi-device layout
+    /// places on one device. The column dimension is preserved (row
+    /// sharding splits only the row space), and entries are moved
+    /// bit-exactly: no reordering, no re-rounding.
+    pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(
+            start <= end && end <= self.rows,
+            "row slice [{start}, {end}) out of bounds for {} rows",
+            self.rows
+        );
+        let base = self.row_off[start];
+        let row_off = self.row_off[start..=end]
+            .iter()
+            .map(|&o| o - base)
+            .collect();
+        let span = self.row_off[start]..self.row_off[end];
+        CsrMatrix {
+            rows: end - start,
+            cols: self.cols,
+            row_off,
+            col_idx: self.col_idx[span.clone()].to_vec(),
+            values: self.values[span].to_vec(),
+        }
+    }
+
     /// Build from COO triplets (sorted and de-duplicated by summing).
     pub fn from_coo(coo: &Coo) -> Self {
         let mut triplets: Vec<(u32, u32, f64)> = coo.triplets().to_vec();
@@ -372,6 +398,34 @@ mod tests {
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.transpose().rows(), 7);
         assert_eq!(m.mean_nnz_per_row(), 0.0);
+    }
+
+    #[test]
+    fn slice_rows_rebases_offsets_bit_exactly() {
+        let m = sample();
+        // Middle slice including the empty row.
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.row_off(), &[0, 0, 2]);
+        assert_eq!(
+            s.row_entries(1).collect::<Vec<_>>(),
+            vec![(0, 3.0), (1, 4.0)]
+        );
+        // Degenerate slices.
+        assert_eq!(m.slice_rows(0, 0).nnz(), 0);
+        assert_eq!(m.slice_rows(3, 3).rows(), 0);
+        // Full slice is the identity.
+        assert_eq!(m.slice_rows(0, 3), m);
+        // Concatenating slices covers every entry exactly once.
+        let total: usize = (0..3).map(|r| m.slice_rows(r, r + 1).nnz()).sum();
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rows_rejects_bad_range() {
+        sample().slice_rows(2, 5);
     }
 
     #[test]

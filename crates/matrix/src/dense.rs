@@ -71,6 +71,22 @@ impl DenseMatrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// The contiguous row range `[start, end)` as its own dense matrix —
+    /// the shard a row-partitioned multi-device layout places on one
+    /// device. Entries are copied bit-exactly.
+    pub fn slice_rows(&self, start: usize, end: usize) -> DenseMatrix {
+        assert!(
+            start <= end && end <= self.rows,
+            "row slice [{start}, {end}) out of bounds for {} rows",
+            self.rows
+        );
+        DenseMatrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
     /// Out-of-place transpose.
     pub fn transpose(&self) -> DenseMatrix {
         let mut t = DenseMatrix::zeros(self.cols, self.rows);

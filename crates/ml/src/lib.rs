@@ -18,6 +18,7 @@ pub mod hits;
 pub mod logreg;
 pub mod lr_cg;
 pub mod ops;
+pub mod sharded_backend;
 pub mod svm;
 
 pub use checkpoint::{CheckpointHandle, SolverCheckpoint};
@@ -30,4 +31,5 @@ pub use logreg::{
 };
 pub use lr_cg::{lr_cg, try_lr_cg, try_lr_cg_ckpt, LrCgOptions, LrCgResult};
 pub use ops::{Backend, BackendStats, BaselineBackend, CpuBackend, DeviceMatrix, FusedBackend};
+pub use sharded_backend::ShardedBackend;
 pub use svm::{svm_primal, try_svm, try_svm_ckpt, SvmOptions, SvmResult};

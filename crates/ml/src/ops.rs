@@ -45,7 +45,7 @@ pub struct BackendStats {
 }
 
 impl BackendStats {
-    fn record_instance(&mut self, inst: PatternInstance) {
+    pub(crate) fn record_instance(&mut self, inst: PatternInstance) {
         *self.pattern_counts.entry(inst.formula()).or_insert(0) += 1;
     }
 
@@ -468,7 +468,7 @@ impl<'g> Backend for FusedBackend<'g> {
 /// Element-wise `out[i] = f(x[i], y[i])` device kernel shared by the GPU
 /// backends (models the single fused element-wise kernel a real system
 /// would generate for link functions).
-fn try_device_map2(
+pub(crate) fn try_device_map2(
     gpu: &Gpu,
     x: &GpuBuffer,
     y: &GpuBuffer,

@@ -16,6 +16,7 @@ pub mod hybrid;
 pub mod memman;
 pub mod recovery;
 pub mod session;
+pub mod shard_recovery;
 pub mod streaming;
 pub mod transfer;
 
@@ -24,11 +25,13 @@ pub use hybrid::{HybridExecutor, HybridReport};
 pub use memman::{MemError, MemStats, MemoryManager};
 pub use recovery::{
     run_lr_cg_with_recovery, BackendTier, LadderError, LadderOutcome, RecoveryAction,
-    RecoveryEvent, RecoveryPolicy,
+    RecoveryEvent, RecoveryPolicy, RecoveryTier,
 };
 pub use session::{
-    run_cpu, run_device, run_device_fault_tolerant, DataSet, EndToEndReport, EngineKind,
-    FaultCountsReport, FaultTolerantReport, SessionConfig,
+    run_cpu, run_device, run_device_fault_tolerant, run_sharded_fault_tolerant, DataSet,
+    EndToEndReport, EngineKind, FaultCountsReport, FaultTolerantReport, SessionConfig,
+    ShardedSessionReport,
 };
+pub use shard_recovery::{run_lr_cg_sharded_with_recovery, ShardTier, ShardedOutcome};
 pub use streaming::{stream_pattern_sparse, try_stream_pattern_sparse, StreamError, StreamReport};
 pub use transfer::TransferModel;

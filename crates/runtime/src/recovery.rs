@@ -18,6 +18,17 @@ use fusedml_ml::{
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A rung of some degradation ladder: anything with a stable report name.
+/// The ladder bookkeeping types ([`RecoveryEvent`], [`LadderOutcome`],
+/// [`LadderError`]) are generic over the tier so the single-device ladder
+/// (`Fused -> Baseline -> Cpu`) and the multi-device shard ladder
+/// (`ShardRetry -> Reshard -> SingleDevice -> Cpu`, see
+/// [`crate::shard_recovery`]) share one event trail format.
+pub trait RecoveryTier {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
 /// Execution tier of the degradation ladder, fastest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackendTier {
@@ -49,6 +60,12 @@ impl BackendTier {
     }
 }
 
+impl RecoveryTier for BackendTier {
+    fn name(&self) -> &'static str {
+        BackendTier::name(*self)
+    }
+}
+
 /// What the policy decided after a failed attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RecoveryAction {
@@ -62,9 +79,9 @@ pub enum RecoveryAction {
 
 /// One recovery decision, recorded in order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RecoveryEvent {
+pub struct RecoveryEvent<T = BackendTier> {
     /// Tier the failed attempt ran on.
-    pub tier: BackendTier,
+    pub tier: T,
     /// 1-based attempt number within that tier.
     pub attempt: usize,
     /// Stable error class (`DeviceError::kind` / `"numerical-breakdown"`).
@@ -116,15 +133,15 @@ impl RecoveryPolicy {
 
 /// Where the ladder landed, with the full decision trail.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LadderOutcome {
+pub struct LadderOutcome<T = BackendTier> {
     /// Tier that completed the run.
-    pub tier: BackendTier,
+    pub tier: T,
     /// Total attempts across all tiers (>= 1).
     pub attempts: usize,
     /// Simulated milliseconds spent backing off before retries.
     pub retry_backoff_ms: f64,
     /// Every retry/degradation decision, in order.
-    pub events: Vec<RecoveryEvent>,
+    pub events: Vec<RecoveryEvent<T>>,
     /// Solver result of the successful attempt.
     pub result: LrCgResult,
     /// Backend stats of the successful attempt (failed attempts' partial
@@ -141,16 +158,16 @@ pub struct LadderOutcome {
 /// the full decision trail — so an abort report can show not just the
 /// final CPU-tier error but also what killed the faster tiers.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LadderError {
+pub struct LadderError<T = BackendTier> {
     /// `(tier, last error on that tier)` in attempt order; never empty.
-    pub tier_errors: Vec<(BackendTier, SolverError)>,
+    pub tier_errors: Vec<(T, SolverError)>,
     /// Total attempts across all tiers.
     pub attempts: usize,
     /// Every retry/degradation/abort decision, in order.
-    pub events: Vec<RecoveryEvent>,
+    pub events: Vec<RecoveryEvent<T>>,
 }
 
-impl LadderError {
+impl<T> LadderError<T> {
     /// The error that ended the run: the last tier's last error.
     pub fn final_error(&self) -> &SolverError {
         match self.tier_errors.last() {
@@ -172,7 +189,7 @@ impl LadderError {
     }
 }
 
-impl fmt::Display for LadderError {
+impl<T: RecoveryTier> fmt::Display for LadderError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -189,7 +206,7 @@ impl fmt::Display for LadderError {
     }
 }
 
-impl std::error::Error for LadderError {
+impl<T: RecoveryTier + fmt::Debug> std::error::Error for LadderError<T> {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(self.final_error())
     }

@@ -8,8 +8,9 @@ use crate::memman::MemoryManager;
 use crate::recovery::{
     run_lr_cg_with_recovery, BackendTier, LadderError, RecoveryEvent, RecoveryPolicy,
 };
+use crate::shard_recovery::{run_lr_cg_sharded_with_recovery, ShardTier};
 use crate::transfer::TransferModel;
-use fusedml_gpu_sim::{AggregationBreakdown, Counters, Gpu};
+use fusedml_gpu_sim::{AggregationBreakdown, Counters, DeviceGroup, Gpu};
 use fusedml_matrix::{CsrMatrix, DenseMatrix};
 use fusedml_ml::ops::TransposePolicy;
 use fusedml_ml::{lr_cg, Backend, BaselineBackend, CpuBackend, FusedBackend, LrCgOptions};
@@ -247,6 +248,14 @@ pub struct FaultCountsReport {
     pub corruptions: u64,
     /// Allocations rejected by the memory-pressure reserve.
     pub pressure_rejections: u64,
+    /// Whole-device losses (multi-device sessions; 0 on one device unless
+    /// injected). `serde(default)` keeps reports from before the
+    /// multi-device fault classes loadable.
+    #[serde(default)]
+    pub device_losses: u64,
+    /// Straggler slowdowns injected (timing-only faults).
+    #[serde(default)]
+    pub stragglers: u64,
 }
 
 /// [`EndToEndReport`] plus the recovery trail: which tier completed the
@@ -361,14 +370,167 @@ pub fn run_device_fault_tolerant(
         final_nr2: outcome.result.final_nr2,
         restarts: outcome.result.restarts,
         resumed_at: outcome.resumed_at,
-        faults: FaultCountsReport {
+        faults: FaultCountsReport::from_counts(&counts),
+    })
+}
+
+impl FaultCountsReport {
+    fn from_counts(counts: &fusedml_gpu_sim::FaultCounts) -> Self {
+        FaultCountsReport {
             kernel_faults: counts.kernel_faults,
             alloc_faults: counts.alloc_faults,
             transfer_timeouts: counts.transfer_timeouts,
             watchdog_timeouts: counts.watchdog_timeouts,
             corruptions: counts.corruptions,
             pressure_rejections: counts.pressure_rejections,
+            device_losses: counts.device_losses,
+            stragglers: counts.stragglers,
+        }
+    }
+}
+
+/// [`FaultTolerantReport`]'s multi-device sibling: the shard-ladder trail
+/// plus the group facts (device count, interconnect profile and traffic,
+/// straggler policy outcomes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedSessionReport {
+    /// Cost breakdown of the successful attempt. `kernel_ms` is modelled
+    /// wall time: max across concurrent shards per step, plus
+    /// interconnect transfers.
+    pub report: EndToEndReport,
+    /// Shard-ladder tier that completed the run.
+    pub tier: ShardTier,
+    /// Total attempts across all tiers (1 on a clean run).
+    pub attempts: usize,
+    /// Simulated milliseconds spent backing off before retries.
+    pub retry_backoff_ms: f64,
+    /// Every retry/degradation decision, in order.
+    pub events: Vec<RecoveryEvent<ShardTier>>,
+    /// Learned weights of the successful attempt.
+    pub weights: Vec<f64>,
+    /// Final squared residual norm.
+    pub final_nr2: f64,
+    /// CG restarts taken inside the successful attempt.
+    pub restarts: usize,
+    /// Iteration the successful attempt resumed from via a solver
+    /// checkpoint.
+    pub resumed_at: Option<usize>,
+    /// Devices in the group (alive or lost).
+    pub device_count: usize,
+    /// Devices holding a shard in the successful attempt (0 on CPU).
+    pub devices_used: usize,
+    /// Stable interconnect profile name ("pcie-gen3-x16", "nvlink2").
+    pub interconnect: String,
+    /// Device-to-device transfers over the whole session.
+    pub interconnect_transfers: u64,
+    /// Bytes moved across the fabric.
+    pub interconnect_bytes: u64,
+    /// Modelled interconnect milliseconds.
+    pub interconnect_ms: f64,
+    /// Shards that missed the straggler deadline.
+    pub stragglers_detected: usize,
+    /// Speculative re-executions launched for straggling shards.
+    pub speculative_reexecs: usize,
+    /// Faults injected across every device of the group (all attempts).
+    pub faults: FaultCountsReport,
+}
+
+/// Run LR-CG row-sharded across a device group under the shard recovery
+/// ladder (`ShardRetry -> Reshard -> SingleDevice -> Cpu`); see
+/// [`run_lr_cg_sharded_with_recovery`] for the ladder semantics. The
+/// matrix is charged over PCIe once (the shards upload concurrently from
+/// the same host copy), and scalar readbacks come from the root device
+/// like the single-device session.
+pub fn run_sharded_fault_tolerant(
+    group: &DeviceGroup,
+    x: &CsrMatrix,
+    labels: &[f64],
+    cfg: &SessionConfig,
+    straggler_factor: f64,
+    policy: &RecoveryPolicy,
+) -> Result<ShardedSessionReport, LadderError<ShardTier>> {
+    let mut session_span =
+        fusedml_trace::wall_span("session", "run_sharded_fault_tolerant", "host");
+    session_span.arg("rows", x.rows());
+    session_span.arg("cols", x.cols());
+    session_span.arg("iterations", cfg.iterations);
+    session_span.arg("devices", group.len());
+    session_span.arg("interconnect", group.interconnect().name.clone());
+
+    let upload_span = fusedml_trace::wall_span("session", "phase.upload", "host");
+    let mm = MemoryManager::new(
+        group.device(0).spec().global_mem_bytes as u64,
+        cfg.transfer.clone(),
+    );
+    mm.register("X", x.size_bytes(), true);
+    mm.register("labels", (labels.len() * 8) as u64, false);
+    let mut transfer_ms = mm
+        .ensure_on_device("X")
+        .unwrap_or_else(|e| panic!("matrix must fit the device: {e}"));
+    transfer_ms += mm
+        .ensure_on_device("labels")
+        .unwrap_or_else(|e| panic!("labels must fit the device: {e}"));
+    mm.pin("X");
+    drop(upload_span);
+
+    let opts = LrCgOptions {
+        eps: 0.001,
+        tolerance: 0.0, // run exactly `iterations` steps
+        max_iterations: cfg.iterations,
+    };
+
+    let solve_span = fusedml_trace::wall_span("session", "phase.solve", "host");
+    let outcome =
+        run_lr_cg_sharded_with_recovery(group, x, labels, opts, straggler_factor, policy)?;
+    drop(solve_span);
+    let ladder = outcome.ladder;
+    session_span.arg("tier", ladder.tier.name());
+    session_span.arg("attempts", ladder.attempts);
+    if let Some(it) = ladder.resumed_at {
+        session_span.arg("resumed_at", it);
+    }
+
+    let kernel_ms = ladder.stats.sim_ms;
+    let launches = ladder.stats.launches;
+    let iterations = ladder.result.iterations;
+    let (readback_ms, dispatch_ms) = if ladder.tier == ShardTier::Cpu {
+        (0.0, 0.0)
+    } else {
+        (
+            (2 * iterations + 1) as f64 * cfg.transfer.scalar_readback_ms(),
+            launches as f64 * cfg.per_launch_overhead_ms,
+        )
+    };
+
+    let ic = group.interconnect_stats();
+    Ok(ShardedSessionReport {
+        report: EndToEndReport {
+            kernel_ms,
+            transfer_ms,
+            readback_ms,
+            dispatch_ms,
+            total_ms: kernel_ms + transfer_ms + readback_ms + dispatch_ms,
+            launches,
+            iterations,
+            counters: ladder.stats.counters.clone(),
         },
+        tier: ladder.tier,
+        attempts: ladder.attempts,
+        retry_backoff_ms: ladder.retry_backoff_ms,
+        events: ladder.events,
+        weights: ladder.result.weights,
+        final_nr2: ladder.result.final_nr2,
+        restarts: ladder.result.restarts,
+        resumed_at: ladder.resumed_at,
+        device_count: group.len(),
+        devices_used: outcome.devices_used,
+        interconnect: group.interconnect().name.clone(),
+        interconnect_transfers: ic.transfers,
+        interconnect_bytes: ic.bytes,
+        interconnect_ms: ic.sim_ms,
+        stragglers_detected: outcome.stragglers_detected,
+        speculative_reexecs: outcome.speculative_reexecs,
+        faults: FaultCountsReport::from_counts(&group.fault_counts()),
     })
 }
 
@@ -548,5 +710,66 @@ mod tests {
         );
         let sum = r.kernel_ms + r.transfer_ms + r.readback_ms + r.dispatch_ms;
         assert!((r.total_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_session_reports_group_facts() {
+        use fusedml_gpu_sim::{DeviceSpec, FaultProfile, InterconnectSpec};
+
+        let x = uniform_sparse(300, 32, 0.1, 171);
+        let labels = random_vector(300, 172);
+        let cfg = SessionConfig::native(EngineKind::Fused, 8);
+        let g = DeviceGroup::new(
+            DeviceSpec::gtx_titan(),
+            3,
+            InterconnectSpec::nvlink2(),
+            &FaultProfile::disabled(),
+        );
+        let r = run_sharded_fault_tolerant(&g, &x, &labels, &cfg, 3.0, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(r.tier, ShardTier::ShardRetry);
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.device_count, 3);
+        assert_eq!(r.devices_used, 3);
+        assert_eq!(r.interconnect, "nvlink2");
+        assert!(r.interconnect_transfers > 0);
+        assert!(r.interconnect_bytes > 0);
+        assert!(r.interconnect_ms > 0.0);
+        assert_eq!(r.report.iterations, 8);
+        assert!(r.report.kernel_ms > 0.0);
+        assert!(r.report.transfer_ms > 0.0);
+        assert!(r.report.readback_ms > 0.0);
+        assert_eq!(r.weights.len(), 32);
+        let sum =
+            r.report.kernel_ms + r.report.transfer_ms + r.report.readback_ms + r.report.dispatch_ms;
+        assert!((r.report.total_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_session_weights_match_single_device() {
+        use fusedml_gpu_sim::{DeviceSpec, FaultProfile, InterconnectSpec};
+
+        let x = uniform_sparse(240, 20, 0.15, 181);
+        let labels = random_vector(240, 182);
+        let cfg = SessionConfig::native(EngineKind::Fused, 10);
+        let run = |n: usize| {
+            let g = DeviceGroup::new(
+                DeviceSpec::gtx_titan(),
+                n,
+                InterconnectSpec::pcie_gen3_x16(),
+                &FaultProfile::disabled(),
+            );
+            run_sharded_fault_tolerant(&g, &x, &labels, &cfg, 3.0, &RecoveryPolicy::default())
+                .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        // Canonical shard reduction keeps the numerics shard-count
+        // invariant, bit for bit.
+        assert_eq!(one.weights, four.weights);
+        assert_eq!(one.final_nr2.to_bits(), four.final_nr2.to_bits());
+        // Four shards move data over the fabric; one shard does not.
+        assert_eq!(one.interconnect_transfers, 0);
+        assert!(four.interconnect_transfers > 0);
     }
 }
