@@ -9,17 +9,18 @@
 //! fusedml-bench trace --quick --out trace.json   # traced LR-CG -> Chrome trace
 //! ```
 //!
-//! Exit codes: 0 = ok / no regression, 1 = regression detected,
-//! 2 = usage error or structurally incomparable reports.
+//! Exit codes (the `repro` convention from PR 6): 0 = ok / no
+//! regression, 1 = regression detected or a runtime/I-O failure,
+//! 2 = unknown subcommand, unknown flag, or other usage error.
 
-// CLI failures must go through `die` (or a worded panic), never a bare
-// unwrap/expect — the exit-code contract above depends on it.
+// CLI failures must go through `die`/`fail` (or a worded panic), never a
+// bare unwrap/expect — the exit-code contract above depends on it.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use fusedml_bench::regress::{
     chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
-    run_campaign, run_scenario, run_suite, workload_ids, BenchReport, ChaosOptions, CompareOptions,
-    FaultClass, Json, Mode, Scenario, SuiteOptions,
+    plan_drift, plan_report, run_campaign, run_scenario, run_suite, workload_ids, BenchReport,
+    ChaosOptions, CompareOptions, FaultClass, Json, Mode, Scenario, SuiteOptions,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
@@ -33,6 +34,7 @@ fn main() {
         Some("run") => cmd_run(args.collect()),
         Some("compare") => cmd_compare(args.collect()),
         Some("list") => cmd_list(args.collect()),
+        Some("plans") => cmd_plans(args.collect()),
         Some("trace") => cmd_trace(args.collect()),
         Some("hostperf") => cmd_hostperf(args.collect()),
         Some("chaos") => cmd_chaos(args.collect()),
@@ -48,6 +50,8 @@ const USAGE: &str = "usage:
                 [--modeled-tol f] [--counter-tol f] [--speedup-tol f]
                 [--wall-tol f] [--ignore-wall]
   fusedml-bench list [--quick|--full] [--scale f]
+  fusedml-bench plans [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
+                [--out PATH] [--check GOLDEN.json]
   fusedml-bench trace [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
                 [--out PATH] [--summary-out PATH]
   fusedml-bench hostperf [--from REPORT.json] [--out SUMMARY.json]
@@ -112,7 +116,7 @@ fn cmd_run(args: Vec<String>) {
     );
     let t0 = Instant::now();
     let report = run_suite(&opts, |id| eprintln!("  {id}"));
-    report.save(&out).unwrap_or_else(|e| die(&e));
+    report.save(&out).unwrap_or_else(|e| fail(&e));
     eprintln!(
         "wrote {} ({} workloads, {:.1?})",
         out,
@@ -151,8 +155,8 @@ fn cmd_compare(args: Vec<String>) {
         ));
     };
 
-    let base = BenchReport::load(base_path).unwrap_or_else(|e| die(&e));
-    let cand = BenchReport::load(cand_path).unwrap_or_else(|e| die(&e));
+    let base = BenchReport::load(base_path).unwrap_or_else(|e| fail(&e));
+    let cand = BenchReport::load(cand_path).unwrap_or_else(|e| fail(&e));
     eprintln!(
         "baseline:  {} @ {}\ncandidate: {} @ {}",
         base_path, base.git_sha, cand_path, cand.git_sha
@@ -171,6 +175,60 @@ fn cmd_list(args: Vec<String>) {
     }
     for id in workload_ids(&opts) {
         println!("{id}");
+    }
+}
+
+/// Compile the fusion plan for every DAG-executed bench workload and dump
+/// it as deterministic JSON — the CI plan-regression gate. `--check`
+/// diffs the fresh dump against a committed golden and exits 1 on drift.
+fn cmd_plans(args: Vec<String>) {
+    let (opts, rest) = parse_suite_opts(&args);
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(next_arg(&mut it, "--out")),
+            "--check" => check = Some(next_arg(&mut it, "--check")),
+            other => die(&format!("unknown flag '{other}' for plans\n{USAGE}")),
+        }
+    }
+
+    let report = plan_report(&opts).unwrap_or_else(|e| fail(&e));
+    let text = report.render();
+
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+            }
+        }
+        std::fs::write(path, &text).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &check {
+        let golden_text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read golden {path}: {e}")));
+        let golden = Json::parse(&golden_text)
+            .unwrap_or_else(|e| fail(&format!("golden {path} does not parse: {e}")));
+        let drift = plan_drift(&golden, &report);
+        if !drift.is_empty() {
+            for d in &drift {
+                eprintln!("plan drift: {d}");
+            }
+            eprintln!(
+                "{} divergence{} from {path}; if the change is intended, regenerate the \
+                 golden with `fusedml-bench plans --out {path}`",
+                drift.len(),
+                if drift.len() == 1 { "" } else { "s" }
+            );
+            std::process::exit(1);
+        }
+        eprintln!("plans match {path}");
+    }
+    if out.is_none() && check.is_none() {
+        println!("{text}");
     }
 }
 
@@ -226,23 +284,23 @@ fn cmd_trace(args: Vec<String>) {
     // The export must survive our own zero-dependency parser: a cheap
     // structural guarantee before anyone feeds the file to Perfetto.
     let back = Json::parse(&text)
-        .unwrap_or_else(|e| die(&format!("trace export does not round-trip: {e}")));
+        .unwrap_or_else(|e| fail(&format!("trace export does not round-trip: {e}")));
     if back != doc {
-        die("trace export does not round-trip: parsed tree differs");
+        fail("trace export does not round-trip: parsed tree differs");
     }
 
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+                .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
         }
     }
-    std::fs::write(&out, &text).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
 
     let summary = metrics_summary(&events, dropped);
     if let Some(path) = &summary_out {
         std::fs::write(path, summary.render())
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
     }
 
     let categories: Vec<&str> = match summary.field("by_category") {
@@ -262,7 +320,7 @@ fn cmd_trace(args: Vec<String>) {
     );
     for layer in ["kernel", "solver", "session"] {
         if !categories.contains(&layer) {
-            die(&format!("trace is missing the '{layer}' layer"));
+            fail(&format!("trace is missing the '{layer}' layer"));
         }
     }
 }
@@ -284,7 +342,7 @@ fn cmd_hostperf(args: Vec<String>) {
     }
 
     let report = match &from {
-        Some(path) => BenchReport::load(path).unwrap_or_else(|e| die(&e)),
+        Some(path) => BenchReport::load(path).unwrap_or_else(|e| fail(&e)),
         None => {
             eprintln!(
                 "running {} suite on {} (scale {}, seed {:#x})",
@@ -304,11 +362,11 @@ fn cmd_hostperf(args: Vec<String>) {
         if let Some(dir) = std::path::Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)
-                    .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
             }
         }
         std::fs::write(path, summary.render())
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
 
@@ -413,11 +471,11 @@ fn cmd_chaos(args: Vec<String>) {
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+                .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
         }
     }
     std::fs::write(&out, report.render())
-        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     eprintln!(
         "wrote {} ({} scenarios, {} failure{})",
         out,
@@ -451,7 +509,15 @@ fn next_f64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
         .unwrap_or_else(|_| die(&format!("{flag} needs a number")))
 }
 
+/// Usage error: unknown subcommand/flag, missing or malformed value.
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
+}
+
+/// Runtime failure (I/O, parse, planning): the generic failure exit,
+/// distinct from usage errors per the `repro` exit-code convention.
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
 }

@@ -102,8 +102,7 @@ fn main() {
             std::fs::create_dir_all(dir)
                 .unwrap_or_else(|e| panic!("cannot create json dir {dir}: {e}"));
             let path = format!("{dir}/{name}.json");
-            let text = serde_json::to_string_pretty(&table.to_json())
-                .unwrap_or_else(|e| panic!("table does not serialize: {e}"));
+            let text = table.to_json().render();
             std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!("  wrote {path}\n");
         }

@@ -21,6 +21,7 @@ pub mod chaos;
 pub mod compare;
 pub mod hostperf;
 pub mod json;
+pub mod plans;
 pub mod report;
 pub mod suite;
 pub mod trace_export;
@@ -32,6 +33,7 @@ pub use chaos::{
 pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
 pub use hostperf::{hostperf_summary, hostperf_table, hostperf_totals, HostPerfTotals};
 pub use json::Json;
+pub use plans::{plan_drift, plan_report, PLANS_SCHEMA_VERSION};
 pub use report::{
     BenchReport, ConfigFingerprint, HostPerf, VariantMetrics, WorkloadResult, SCHEMA_VERSION,
 };

@@ -29,8 +29,9 @@ use fusedml_matrix::gen::{
 };
 use fusedml_matrix::{reference, CsrMatrix, DenseMatrix, EllMatrix};
 use fusedml_ml::{
-    glm, hits, logreg, lr_cg, svm_primal, Backend, BackendStats, BaselineBackend, FusedBackend,
-    GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, SvmOptions,
+    glm, hits, logreg, lr_cg, pagerank, svm_primal, Backend, BackendStats, BaselineBackend,
+    DagBackend, FusedBackend, GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, PagerankOptions,
+    PagerankPlan, SvmOptions,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,14 +103,14 @@ impl SuiteOptions {
 
 /// Row-length distribution of a synthetic sparse matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Dist {
+pub(crate) enum Dist {
     Uniform,
     PowerLaw,
 }
 
 /// Which solver an algorithm-level workload drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Algo {
+pub(crate) enum Algo {
     LrCg,
     Glm,
     LogReg,
@@ -130,7 +131,7 @@ impl Algo {
 }
 
 /// One entry of the workload matrix, before any data is generated.
-enum Kind {
+pub(crate) enum Kind {
     /// One full-pattern evaluation, CSR storage.
     PatternCsr { dist: Dist },
     /// One `X^T y` evaluation (fused scan vs. cuSPARSE transposed SpMV).
@@ -144,16 +145,20 @@ enum Kind {
     AlgoCsr(Algo),
     /// A solver loop on dense input.
     AlgoDense(Algo),
+    /// PageRank power iteration on a square link matrix, defined as an
+    /// operator DAG: cost-selected fusion plan vs. the unfused
+    /// one-kernel-per-operator plan of the same DAG.
+    Pagerank,
 }
 
-struct WorkloadSpec {
-    kind: Kind,
-    rows: usize,
-    cols: usize,
+pub(crate) struct WorkloadSpec {
+    pub(crate) kind: Kind,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
     /// Fill fraction for sparse workloads (unused for dense).
-    sparsity: f64,
+    pub(crate) sparsity: f64,
     /// Solver iterations (0 for kernel-level workloads).
-    iterations: u64,
+    pub(crate) iterations: u64,
 }
 
 impl WorkloadSpec {
@@ -162,18 +167,19 @@ impl WorkloadSpec {
             Kind::PatternCsr { .. } | Kind::PatternEll | Kind::PatternDense => "pattern",
             Kind::XtY => "xty",
             Kind::AlgoCsr(a) | Kind::AlgoDense(a) => a.name(),
+            Kind::Pagerank => "pagerank",
         }
     }
 
     fn format(&self) -> &'static str {
         match &self.kind {
-            Kind::PatternCsr { .. } | Kind::XtY | Kind::AlgoCsr(_) => "csr",
+            Kind::PatternCsr { .. } | Kind::XtY | Kind::AlgoCsr(_) | Kind::Pagerank => "csr",
             Kind::PatternEll => "ell",
             Kind::PatternDense | Kind::AlgoDense(_) => "dense",
         }
     }
 
-    fn id(&self) -> String {
+    pub(crate) fn id(&self) -> String {
         let variant = match &self.kind {
             Kind::PatternCsr {
                 dist: Dist::Uniform,
@@ -195,7 +201,7 @@ impl WorkloadSpec {
 
 /// The matrix itself. Row counts are pre-`scale`; everything here must stay
 /// deterministic — ids feed the compare gate.
-fn matrix(mode: Mode, scale: f64) -> Vec<WorkloadSpec> {
+pub(crate) fn matrix(mode: Mode, scale: f64) -> Vec<WorkloadSpec> {
     let rows = |base: usize| ((base as f64 * scale).round() as usize).max(64);
     let mut specs = Vec::new();
     let (kern_m, kern_n, algo_m, algo_n, algo_iters, outer) = match mode {
@@ -261,6 +267,18 @@ fn matrix(mode: Mode, scale: f64) -> Vec<WorkloadSpec> {
         rows: rows(algo_m / 2),
         cols: 128,
         sparsity: 1.0,
+        iterations: algo_iters,
+    });
+    // PageRank needs a square link matrix, so both dims scale together.
+    let pr_n = match mode {
+        Mode::Quick => 4_000,
+        Mode::Full => 20_000,
+    };
+    specs.push(WorkloadSpec {
+        kind: Kind::Pagerank,
+        rows: rows(pr_n),
+        cols: rows(pr_n),
+        sparsity: 0.002,
         iterations: algo_iters,
     });
     specs
@@ -333,7 +351,7 @@ fn suite_gpu(opts: &SuiteOptions, pool: &DevicePool) -> Gpu {
 }
 
 /// Full pattern with every term, exercising v-scaling and the z-axpy tail.
-fn full_spec() -> PatternSpec {
+pub(crate) fn full_spec() -> PatternSpec {
     PatternSpec::full(1.5, -0.5)
 }
 
@@ -589,6 +607,9 @@ fn drive_algo<B: Backend>(
 }
 
 /// Algorithm-level workload on CSR input: `ours-end2end` vs. `cu-end2end`.
+/// LR-CG's fused variant goes through the DAG fusion compiler
+/// ([`DagBackend`]) rather than the hand-fused executor — the two produce
+/// bit-identical launches, so the gate also pins the compiler's output.
 fn run_algo_csr(
     opts: &SuiteOptions,
     pool: &DevicePool,
@@ -599,9 +620,16 @@ fn run_algo_csr(
     let fused = {
         let gpu = suite_gpu(opts, pool);
         let t0 = Instant::now();
-        let mut b = FusedBackend::new_sparse(&gpu, x);
-        drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
-        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
+        let stats = if algo == Algo::LrCg {
+            let mut b = DagBackend::new_sparse(&gpu, x);
+            drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
+            b.stats()
+        } else {
+            let mut b = FusedBackend::new_sparse(&gpu, x);
+            drive_algo(&mut b, algo, iters, opts.seed, Some(x), None);
+            b.stats()
+        };
+        variant_from_stats(&stats, wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     let baseline = {
         let gpu = suite_gpu(opts, pool);
@@ -624,9 +652,16 @@ fn run_algo_dense(
     let fused = {
         let gpu = suite_gpu(opts, pool);
         let t0 = Instant::now();
-        let mut b = FusedBackend::new_dense(&gpu, x);
-        drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
-        variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
+        let stats = if algo == Algo::LrCg {
+            let mut b = DagBackend::new_dense(&gpu, x);
+            drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
+            b.stats()
+        } else {
+            let mut b = FusedBackend::new_dense(&gpu, x);
+            drive_algo(&mut b, algo, iters, opts.seed, None, Some(x));
+            b.stats()
+        };
+        variant_from_stats(&stats, wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     let baseline = {
         let gpu = suite_gpu(opts, pool);
@@ -636,6 +671,53 @@ fn run_algo_dense(
         variant_from_stats(&b.stats(), wall_ms_since(t0), opts.device.clock_ghz, iters)
     };
     (fused, baseline)
+}
+
+/// PageRank workload: the DAG compiler's cost-selected plan vs. the
+/// unfused one-kernel-per-operator plan of the *same* DAG. Both run the
+/// identical solver loop, so the speedup isolates what fusion buys.
+fn run_pagerank(
+    opts: &SuiteOptions,
+    pool: &DevicePool,
+    iters: u64,
+    links: &CsrMatrix,
+) -> (VariantMetrics, VariantMetrics) {
+    let run = |plan: PagerankPlan| {
+        let gpu = suite_gpu(opts, pool);
+        let pool_base = gpu.pool_stats();
+        let t0 = Instant::now();
+        let res = pagerank(
+            &gpu,
+            links,
+            PagerankOptions {
+                max_iterations: iters as usize,
+                // Fixed iteration count: the gate compares modeled
+                // counters, which must not depend on a convergence race.
+                tolerance: 0.0,
+                plan,
+                ..Default::default()
+            },
+        );
+        let wall = wall_ms_since(t0);
+        let pool_delta = gpu.pool_stats().delta_since(&pool_base);
+        VariantMetrics::new(
+            res.sim_ms,
+            opts.device.clock_ghz,
+            wall,
+            res.launches as u64,
+            res.occupancy,
+            &res.counters,
+        )
+        .with_host(HostPerf {
+            plans_computed: res.plan_stats.plans_computed(),
+            plan_cache_hits: res.plan_stats.hits,
+            pool_hits: pool_delta.hits,
+            pool_misses: pool_delta.misses,
+            pool_bytes_recycled: pool_delta.bytes_recycled,
+            host_ms_per_iter: wall / iters.max(1) as f64,
+        })
+    };
+    (run(PagerankPlan::Selected), run(PagerankPlan::Unfused))
 }
 
 /// Run the whole matrix and assemble the report. `progress` receives the
@@ -683,6 +765,11 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> BenchRe
                 let x = dense_random(m, n, opts.seed);
                 let (f, b) = run_algo_dense(opts, &pool, *algo, spec.iterations, &x);
                 ((m * n) as u64, f, b)
+            }
+            Kind::Pagerank => {
+                let x = uniform_sparse(m, n, spec.sparsity, opts.seed);
+                let (f, b) = run_pagerank(opts, &pool, spec.iterations, &x);
+                (x.nnz() as u64, f, b)
             }
         };
         let speedup = if fused.modeled_ms > 0.0 {

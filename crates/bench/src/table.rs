@@ -1,10 +1,14 @@
 //! Result-table plumbing shared by every experiment: aligned text output
 //! for the terminal plus JSON serialization for EXPERIMENTS.md records.
+//!
+//! Serialization goes through the workspace's own zero-dependency
+//! [`Json`] layer, so table exports work in offline builds where
+//! third-party serializers are compile-surface stubs.
 
-use serde::Serialize;
+use crate::regress::json::Json;
 
 /// One regenerated table or figure, as rows of formatted cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Paper artifact id, e.g. "fig2" or "table4".
     pub id: String,
@@ -72,8 +76,18 @@ impl Table {
         println!("{}", self.render());
     }
 
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).unwrap_or_else(|e| panic!("table serializes: {e}"))
+    pub fn to_json(&self) -> Json {
+        let strings = |xs: &[String]| Json::Arr(xs.iter().map(|s| Json::str(s.clone())).collect());
+        Json::obj(vec![
+            ("id", Json::str(self.id.clone())),
+            ("title", Json::str(self.title.clone())),
+            ("headers", strings(&self.headers)),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+            ("notes", strings(&self.notes)),
+        ])
     }
 }
 
@@ -146,7 +160,10 @@ mod tests {
         let mut t = Table::new("fig9", "x", &["h"]);
         t.row(vec!["v".into()]);
         let j = t.to_json();
-        assert_eq!(j["id"], "fig9");
-        assert_eq!(j["rows"][0][0], "v");
+        assert_eq!(j.field_str("id").unwrap(), "fig9");
+        let rows = j.field("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[0].as_str(), Some("v"));
+        // The render must survive the workspace's own parser.
+        assert_eq!(Json::parse(&j.render()).unwrap(), j);
     }
 }

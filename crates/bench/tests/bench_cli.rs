@@ -1,0 +1,146 @@
+//! CLI contract tests for `fusedml-bench`: the exit-code convention
+//! shared with `repro` (0 = ok, 1 = regression or runtime failure,
+//! 2 = unknown subcommand/flag) and the `plans` dump/check round-trip
+//! behind the CI plan-regression gate.
+
+use std::process::Command;
+
+fn bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fusedml-bench"))
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("fusedml_bench_cli_{}_{name}", std::process::id()))
+        .display()
+        .to_string()
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = bench()
+        .arg("frobnicate")
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown subcommand must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown subcommand 'frobnicate'"),
+        "stderr should name the bad subcommand: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "stderr should show usage: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    for argv in [
+        vec!["list", "--bogus"],
+        vec!["plans", "--frobnicate"],
+        vec!["compare", "--bogus", "a.json", "b.json"],
+    ] {
+        let out = bench().args(&argv).output().expect("bench binary must run");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{argv:?} must exit 2, got {:?}",
+            out.status
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("unknown flag"),
+            "{argv:?} stderr should name the bad flag"
+        );
+    }
+}
+
+#[test]
+fn runtime_failures_exit_1_not_2() {
+    // A missing report file is an I/O failure, not a usage error.
+    let out = bench()
+        .args(["compare", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "missing input files must exit 1, got {:?}",
+        out.status
+    );
+
+    // So is a missing golden for the plan gate.
+    let out = bench()
+        .args([
+            "plans",
+            "--quick",
+            "--scale",
+            "0.02",
+            "--check",
+            "/nonexistent/golden.json",
+        ])
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn plans_gate_passes_against_its_own_dump_and_fails_on_drift() {
+    let golden = tmp("golden.json");
+    let out = bench()
+        .args(["plans", "--quick", "--scale", "0.02", "--out", &golden])
+        .output()
+        .expect("bench binary must run");
+    assert!(out.status.success(), "dump failed: {:?}", out.status);
+
+    // Same config re-checked against the dump: clean gate.
+    let out = bench()
+        .args(["plans", "--quick", "--scale", "0.02", "--check", &golden])
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(out.status.code(), Some(0), "self-check must pass");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("plans match"));
+
+    // A different seed changes the dataset (nnz), so the shapes — and
+    // therefore the plans dump — drift, and the gate must fail.
+    let out = bench()
+        .args([
+            "plans", "--quick", "--scale", "0.02", "--seed", "99", "--check", &golden,
+        ])
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(out.status.code(), Some(1), "drift must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("plan drift"),
+        "stderr should list the drifting paths: {stderr}"
+    );
+    assert!(
+        stderr.contains("regenerate the golden"),
+        "stderr should say how to accept the change: {stderr}"
+    );
+
+    std::fs::remove_file(&golden).ok();
+}
+
+#[test]
+fn plans_dump_is_byte_deterministic() {
+    let run = || {
+        let out = bench()
+            .args(["plans", "--quick", "--scale", "0.02"])
+            .output()
+            .expect("bench binary must run");
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "two dumps of one config must be byte-identical"
+    );
+}

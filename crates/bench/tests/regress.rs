@@ -146,7 +146,7 @@ fn fused_sparse_beats_baseline_on_traffic_and_time() {
 #[test]
 fn workload_ids_are_stable_and_unique() {
     let ids = workload_ids(&SuiteOptions::quick());
-    assert_eq!(ids.len(), 11);
+    assert_eq!(ids.len(), 12);
     let mut dedup = ids.clone();
     dedup.sort();
     dedup.dedup();

@@ -4,7 +4,7 @@
 //! matrix width with `TL`-way unrolled loops and explicitly named registers
 //! (Listing 2) — because indexed "register arrays" spill to local memory
 //! when the index is not a compile-time constant. The Rust analog is
-//! **monomorphization**: [`dense_fused_kernel`] is generic over
+//! **monomorphization**: [`dense_fused_kernel`](crate::dense_fused::dense_fused_kernel) is generic over
 //! `const TL: usize`, and this module provides the runtime dispatch table
 //! from a [`DensePlan`] to the 40 specialized instantiations, plus a
 //! faithful CUDA-source generator for inspection (mirroring Listing 2).

@@ -109,6 +109,12 @@ impl<'g> FusedExecutor<'g> {
         self.plan_cache_on.get()
     }
 
+    /// The shared plan cache, so sibling executors layered on top of this
+    /// one (the DAG executor) memoize into the same store.
+    pub(crate) fn plan_cache_ref(&self) -> &RefCell<PlanCache> {
+        &self.plan_cache
+    }
+
     /// Cumulative plan-cache traffic (sparse + dense), independent of
     /// [`FusedExecutor::reset`].
     pub fn plan_stats(&self) -> PlanCacheStats {

@@ -27,9 +27,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codegen;
+pub mod dag;
 pub mod dense_fused;
 pub mod ell_fused;
 pub mod executor;
+pub mod fusion;
 pub mod pattern;
 pub mod plancache;
 pub mod sharded;
@@ -38,8 +40,13 @@ pub mod sparse_large;
 pub mod tuner;
 
 pub use codegen::{generate_cuda_source, launch_dense_fused};
+pub use dag::{Dag, DagBuilder, Dim, NodeId, Op, ScalarRef};
 pub use ell_fused::{fused_pattern_ell, plan_ell, EllPlan};
 pub use executor::FusedExecutor;
+pub use fusion::{
+    select_plan, unfused_plan, DagExecutor, DagInputs, DagMatrix, DagRun, FusionPlan, GroupKind,
+    KernelGroup, MatrixShape, RejectedCandidate,
+};
 pub use pattern::{PatternInstance, PatternSpec};
 pub use plancache::{
     plan_cache_enabled, set_plan_cache_enabled, Invalidation, PlanCache, PlanCacheStats,

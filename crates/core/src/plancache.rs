@@ -24,14 +24,16 @@
 //!   plan — a cached hit is bit-identical to a fresh tuner run — while a
 //!   bucket-boundary crossing (say `mu` 32 → 33) misses and replans.
 //!
-//! Planning *errors* are never cached: [`PlanError::NoFeasibleConfig`] and
+//! Planning *errors* are never cached: [`PlanError::NoFeasibleConfig`](crate::tuner::PlanError) and
 //! empty-matrix rejections re-run the tuner on every call, so a transient
 //! mis-sized request cannot poison the cache.
 
+use crate::fusion::FusionPlan;
 use crate::tuner::{DensePlan, SparsePlan};
 use fusedml_gpu_sim::DeviceSpec;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Process-wide default for plan caching, read once per
 /// [`crate::FusedExecutor`] construction. The bench CLI flips this to A/B
@@ -129,15 +131,33 @@ struct DenseKey {
     shards: usize,
 }
 
+/// Key for a memoized DAG fusion plan: the structural DAG fingerprint
+/// plus the matrix statistics the cost model consumes. `nnz` enters the
+/// key directly (not VS-bucketed) because candidate costs scale with the
+/// exact nonzero count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct DagKey {
+    device: u64,
+    dag: u64,
+    rows: usize,
+    cols: usize,
+    nnz: u64,
+    dense: bool,
+}
+
 /// Memoized sparse and dense launch plans for one device, plus traffic
 /// counters. Owned by [`crate::FusedExecutor`]; the executor consults it
-/// before every tuner run.
+/// before every tuner run. The `dag` side memoizes whole fusion plans
+/// (candidate enumeration + cost-based selection) keyed by DAG
+/// fingerprint — the PR-4 key extended to operator graphs.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     sparse: BTreeMap<SparseKey, SparsePlan>,
     dense: BTreeMap<DenseKey, DensePlan>,
+    dag: BTreeMap<DagKey, Arc<FusionPlan>>,
     sparse_stats: PlanCacheStats,
     dense_stats: PlanCacheStats,
+    dag_stats: PlanCacheStats,
 }
 
 impl PlanCache {
@@ -255,12 +275,61 @@ impl PlanCache {
         }
     }
 
+    /// Memoize a whole DAG fusion plan under
+    /// `(device, dag fingerprint, rows, cols, nnz, dense)`. Errors are
+    /// never cached, matching the sparse/dense sides.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn dag_plan<E>(
+        &mut self,
+        enabled: bool,
+        device: &DeviceSpec,
+        dag_fingerprint: u64,
+        rows: usize,
+        cols: usize,
+        nnz: u64,
+        dense: bool,
+        compute: impl FnOnce() -> Result<FusionPlan, E>,
+    ) -> Result<(Arc<FusionPlan>, bool), E> {
+        let key = DagKey {
+            device: device.fingerprint(),
+            dag: dag_fingerprint,
+            rows,
+            cols,
+            nnz,
+            dense,
+        };
+        if enabled {
+            if let Some(plan) = self.dag.get(&key) {
+                self.dag_stats.hits += 1;
+                return Ok((Arc::clone(plan), true));
+            }
+        }
+        match compute() {
+            Ok(plan) => {
+                let plan = Arc::new(plan);
+                if enabled {
+                    self.dag.insert(key, Arc::clone(&plan));
+                    self.dag_stats.misses += 1;
+                } else {
+                    self.dag_stats.uncached += 1;
+                }
+                Ok((plan, false))
+            }
+            Err(e) => {
+                self.dag_stats.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
     /// Drop every cached plan, recording the typed reason.
     pub fn invalidate(&mut self, reason: Invalidation) {
         self.sparse.clear();
         self.dense.clear();
+        self.dag.clear();
         self.sparse_stats.invalidations += 1;
         self.dense_stats.invalidations += 1;
+        self.dag_stats.invalidations += 1;
         if fusedml_trace::is_enabled() {
             fusedml_trace::instant(
                 "plan",
@@ -276,14 +345,20 @@ impl PlanCache {
         (self.sparse.len(), self.dense.len())
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.sparse.is_empty() && self.dense.is_empty()
+    /// Cached DAG fusion plans.
+    pub fn dag_len(&self) -> usize {
+        self.dag.len()
     }
 
-    /// Sparse and dense counters merged.
+    pub fn is_empty(&self) -> bool {
+        self.sparse.is_empty() && self.dense.is_empty() && self.dag.is_empty()
+    }
+
+    /// Sparse, dense and DAG counters merged.
     pub fn stats(&self) -> PlanCacheStats {
         let mut s = self.sparse_stats;
         s.merge(&self.dense_stats);
+        s.merge(&self.dag_stats);
         s
     }
 
@@ -295,9 +370,14 @@ impl PlanCache {
         self.dense_stats
     }
 
+    pub fn dag_stats(&self) -> PlanCacheStats {
+        self.dag_stats
+    }
+
     pub fn reset_stats(&mut self) {
         self.sparse_stats = PlanCacheStats::default();
         self.dense_stats = PlanCacheStats::default();
+        self.dag_stats = PlanCacheStats::default();
     }
 }
 
@@ -420,7 +500,7 @@ mod tests {
         assert!(cache.is_empty());
         let (_, hit) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
         assert!(!hit, "invalidation forces a replan");
-        assert_eq!(cache.stats().invalidations, 2); // sparse + dense side
+        assert_eq!(cache.stats().invalidations, 3); // sparse + dense + dag side
     }
 
     #[test]

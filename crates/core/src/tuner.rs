@@ -249,7 +249,7 @@ pub fn manual_sparse_plan(
     bs: usize,
     c: usize,
 ) -> Option<SparsePlan> {
-    if !bs.is_multiple_of(vs) || bs > spec.max_threads_per_block || c == 0 {
+    if bs % vs != 0 || bs > spec.max_threads_per_block || c == 0 {
         return None;
     }
     let use_shared_w = fits_in_shared(spec, n, bs, vs);

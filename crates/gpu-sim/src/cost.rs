@@ -1,0 +1,381 @@
+//! Analytical cost evaluation for fused operator chains.
+//!
+//! The fusion compiler in `fusedml-core` enumerates candidate plans that
+//! collapse chains of linear-algebra operators into single kernels. Each
+//! candidate must be priced *before* anything executes, so this module
+//! synthesizes the hardware counters one (possibly fused) kernel would
+//! produce — DRAM traffic, atomics, launches — and feeds them through the
+//! exact same [`kernel_time`] roofline model the simulator uses for real
+//! launches. The estimate is an analytical stand-in, not a cycle-accurate
+//! replay: it exists to *rank* candidates, and the ranking inputs are the
+//! very quantities fusion changes (intermediate materialization bytes and
+//! per-kernel launch overhead, cf. the paper's §3 fusion argument).
+//!
+//! A chain `[a, b, c]` means: one kernel evaluates `c(b(a(input)))` with
+//! the intermediate results of `a` and `b` held in registers or shared
+//! memory. Side operands (the matrix, element-wise partners) still stream
+//! from DRAM; only the producer→consumer edge inside the chain is free.
+//! A single-op chain `[a]` prices the unfused execution of `a`.
+
+use crate::counters::Counters;
+use crate::device::DeviceSpec;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::timing::{kernel_time, TimeBreakdown};
+
+/// Register footprint charged for chains containing a matrix operator
+/// (the §4.3 sparse fused kernel uses 43 registers per thread).
+const MATRIX_CHAIN_REGS: u32 = 43;
+/// Register footprint for pure element-wise chains (level-1 class).
+const EW_CHAIN_REGS: u32 = 20;
+/// Block size every estimate assumes; matches the level-1 kernels. The
+/// real launch may tune a different shape — the estimate only ranks.
+const EST_BLOCK: usize = 256;
+
+/// One operator inside a (possibly fused) kernel chain, described by the
+/// shape quantities that determine its memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainOp {
+    /// `p = X y` on CSR storage: streams the matrix, gathers `y`.
+    SpMv { rows: usize, cols: usize, nnz: u64 },
+    /// `p = X y` on row-major dense storage.
+    DenseMv { rows: usize, cols: usize },
+    /// `w = X^T u` on CSR storage: row-parallel scatter with atomic
+    /// aggregation into `w` (the §3.1 hierarchy's global tier).
+    SpTmv { rows: usize, cols: usize, nnz: u64 },
+    /// `w = X^T u` on dense storage.
+    DenseTmv { rows: usize, cols: usize },
+    /// Element-wise map over `len` elements reading `side_inputs` extra
+    /// vectors and spending `flops_per_elem` FLOPs per element (covers
+    /// scale / axpy / element-wise multiply and fused chains thereof).
+    Map {
+        len: usize,
+        side_inputs: u32,
+        flops_per_elem: u32,
+    },
+    /// Dot product: reads one side vector, reduces hierarchically, one
+    /// global atomic per block.
+    Dot { len: usize },
+}
+
+impl ChainOp {
+    /// Elements of the operator's primary (chain) input.
+    pub fn primary_in_len(&self) -> usize {
+        match *self {
+            ChainOp::SpMv { cols, .. } | ChainOp::DenseMv { cols, .. } => cols,
+            ChainOp::SpTmv { rows, .. } | ChainOp::DenseTmv { rows, .. } => rows,
+            ChainOp::Map { len, .. } | ChainOp::Dot { len } => len,
+        }
+    }
+
+    /// Elements of the operator's output.
+    pub fn out_len(&self) -> usize {
+        match *self {
+            ChainOp::SpMv { rows, .. } | ChainOp::DenseMv { rows, .. } => rows,
+            ChainOp::SpTmv { cols, .. } | ChainOp::DenseTmv { cols, .. } => cols,
+            ChainOp::Map { len, .. } => len,
+            ChainOp::Dot { .. } => 1,
+        }
+    }
+
+    /// Bytes streamed from DRAM regardless of fusion: matrix storage and
+    /// side vectors (everything but the chain edge).
+    fn side_read_bytes(&self) -> u64 {
+        match *self {
+            // CSR: 8B value + 4B column index per nnz, plus rows+1 offsets.
+            ChainOp::SpMv { rows, nnz, .. } | ChainOp::SpTmv { rows, nnz, .. } => {
+                nnz * 12 + (rows as u64 + 1) * 4
+            }
+            ChainOp::DenseMv { rows, cols } | ChainOp::DenseTmv { rows, cols } => {
+                rows as u64 * cols as u64 * 8
+            }
+            ChainOp::Map {
+                len, side_inputs, ..
+            } => len as u64 * 8 * side_inputs as u64,
+            ChainOp::Dot { len } => len as u64 * 8,
+        }
+    }
+
+    /// Double-precision FLOPs the operator performs.
+    fn flops(&self) -> u64 {
+        match *self {
+            ChainOp::SpMv { nnz, .. } | ChainOp::SpTmv { nnz, .. } => 2 * nnz,
+            ChainOp::DenseMv { rows, cols } | ChainOp::DenseTmv { rows, cols } => {
+                2 * rows as u64 * cols as u64
+            }
+            ChainOp::Map {
+                len,
+                flops_per_elem,
+                ..
+            } => len as u64 * flops_per_elem as u64,
+            ChainOp::Dot { len } => 2 * len as u64,
+        }
+    }
+
+    /// Parallel work items the operator offers the grid.
+    fn work(&self) -> usize {
+        match *self {
+            ChainOp::SpMv { rows, .. }
+            | ChainOp::DenseMv { rows, .. }
+            | ChainOp::SpTmv { rows, .. }
+            | ChainOp::DenseTmv { rows, .. } => rows,
+            ChainOp::Map { len, .. } | ChainOp::Dot { len } => len,
+        }
+    }
+
+    fn is_matrix(&self) -> bool {
+        !matches!(self, ChainOp::Map { .. } | ChainOp::Dot { .. })
+    }
+}
+
+/// Priced estimate for one (possibly fused) kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEstimate {
+    /// Roofline timing from [`kernel_time`] over the synthetic counters.
+    pub time: TimeBreakdown,
+    /// The synthetic counters themselves (DRAM bytes, atomics, launches).
+    pub counters: Counters,
+    /// Occupancy of the assumed launch shape.
+    pub occupancy: Occupancy,
+    /// Fraction of resident-block capacity the grid fills.
+    pub device_fill: f64,
+    /// Intermediate bytes fusion kept out of DRAM (the chain edges).
+    pub saved_intermediate_bytes: u64,
+}
+
+impl KernelEstimate {
+    /// Modeled milliseconds for this kernel (including launch overhead).
+    pub fn modeled_ms(&self) -> f64 {
+        self.time.total_ms
+    }
+}
+
+/// Price one kernel that evaluates `ops` as a fused chain (`ops.len() == 1`
+/// prices the unfused operator). Returns `None` when the assumed launch
+/// footprint cannot run on `spec` (register-starved devices), mirroring
+/// the tuner's no-feasible-config outcome.
+///
+/// Counter synthesis:
+/// * the first op reads its primary input from DRAM; every op streams its
+///   side operands (matrix, element-wise partners) from DRAM;
+/// * chain edges between fused ops cost nothing — that is fusion's win;
+/// * the last op writes its output to DRAM;
+/// * transpose-MV ops add the zero-fill launch and the atomic aggregation
+///   traffic of the scatter strategy; dot adds one atomic per block.
+pub fn estimate_fused_kernel(spec: &DeviceSpec, ops: &[ChainOp]) -> Option<KernelEstimate> {
+    if ops.is_empty() {
+        return None;
+    }
+    let regs = if ops.iter().any(ChainOp::is_matrix) {
+        MATRIX_CHAIN_REGS
+    } else {
+        EW_CHAIN_REGS
+    };
+    let occ = occupancy(spec, EST_BLOCK, regs, 0)?;
+
+    let work = ops.iter().map(ChainOp::work).max().unwrap_or(1).max(1);
+    let capacity = occ.blocks_per_sm * spec.num_sms;
+    let grid = work.div_ceil(EST_BLOCK).clamp(1, capacity.max(1) * 4);
+    let device_fill = (grid as f64 / capacity.max(1) as f64).min(1.0);
+
+    let mut c = Counters::new();
+    c.kernel_launches = 1;
+    let mut saved = 0u64;
+    // A fused chain containing both product stages (`X y` then `X^T u`)
+    // streams the matrix once and reuses each row for both products —
+    // the §3 temporal-locality win. Charge the matrix bytes a single
+    // time in that case and credit the difference as saved traffic.
+    let matrix_bytes: Vec<u64> = ops
+        .iter()
+        .filter(|op| op.is_matrix())
+        .map(ChainOp::side_read_bytes)
+        .collect();
+    let dup_matrix_bytes =
+        if matrix_bytes.len() >= 2 && matrix_bytes.windows(2).all(|w| w[0] == w[1]) {
+            matrix_bytes[0] * (matrix_bytes.len() as u64 - 1)
+        } else {
+            0
+        };
+    for (i, op) in ops.iter().enumerate() {
+        c.dram_read_bytes += op.side_read_bytes();
+        if i == 0 {
+            c.dram_read_bytes += op.primary_in_len() as u64 * 8;
+        } else {
+            // The chain edge: unfused execution would write then re-read
+            // this intermediate. Credit both directions as saved traffic.
+            saved += op.primary_in_len() as u64 * 16;
+        }
+        c.flops += op.flops();
+        match *op {
+            ChainOp::SpTmv { cols, nnz, .. } => {
+                // Scatter aggregation: each resident block flushes its
+                // partial output columns through global f64 atomics, and
+                // the destination must be zero-filled first (one extra
+                // launch writing the full output).
+                c.global_atomics += (grid as u64 * cols as u64).min(nnz.max(cols as u64));
+                c.kernel_launches += 1;
+                c.dram_write_bytes += cols as u64 * 8;
+            }
+            ChainOp::DenseTmv { cols, .. } => {
+                c.global_atomics += grid as u64 * cols as u64;
+                c.kernel_launches += 1;
+                c.dram_write_bytes += cols as u64 * 8;
+            }
+            ChainOp::Dot { .. } => {
+                // Hierarchical reduction: shuffles in registers, one
+                // shared slot per block, one global atomic per block.
+                c.shuffle_instructions += grid as u64 * (EST_BLOCK / 32) as u64;
+                c.shared_atomics += grid as u64 * (EST_BLOCK / 32) as u64;
+                c.global_atomics += grid as u64;
+            }
+            _ => {}
+        }
+    }
+    c.dram_read_bytes -= dup_matrix_bytes;
+    saved += dup_matrix_bytes;
+    let last = ops[ops.len() - 1];
+    c.dram_write_bytes += last.out_len() as u64 * 8;
+
+    let time = kernel_time(spec, &occ, 1.0, device_fill, &c);
+    Some(KernelEstimate {
+        time,
+        counters: c,
+        occupancy: occ,
+        device_fill,
+        saved_intermediate_bytes: saved,
+    })
+}
+
+/// Sum of per-group modeled milliseconds for a whole plan, where each
+/// element of `groups` is one fused kernel chain. `None` if any group
+/// cannot launch.
+pub fn estimate_plan_ms(spec: &DeviceSpec, groups: &[Vec<ChainOp>]) -> Option<f64> {
+    let mut total = 0.0;
+    for g in groups {
+        total += estimate_fused_kernel(spec, g)?.modeled_ms();
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn titan() -> DeviceSpec {
+        DeviceSpec::gtx_titan()
+    }
+
+    fn map(len: usize, sides: u32) -> ChainOp {
+        ChainOp::Map {
+            len,
+            side_inputs: sides,
+            flops_per_elem: 1,
+        }
+    }
+
+    #[test]
+    fn fused_map_chain_beats_unfused_singles() {
+        let spec = titan();
+        let n = 1_000_000;
+        let chain = [map(n, 1), map(n, 0), map(n, 1)];
+        let fused = estimate_fused_kernel(&spec, &chain).unwrap();
+        let unfused: f64 = chain
+            .iter()
+            .map(|op| estimate_fused_kernel(&spec, &[*op]).unwrap().modeled_ms())
+            .sum();
+        assert!(
+            fused.modeled_ms() < unfused,
+            "fused {} must beat unfused {}",
+            fused.modeled_ms(),
+            unfused
+        );
+        // The win is exactly launches + intermediate round-trips.
+        assert_eq!(fused.counters.kernel_launches, 1);
+        assert_eq!(fused.saved_intermediate_bytes, 2 * n as u64 * 16);
+    }
+
+    #[test]
+    fn sparse_tmv_charges_fill_and_atomics() {
+        let spec = titan();
+        let est = estimate_fused_kernel(
+            &spec,
+            &[ChainOp::SpTmv {
+                rows: 10_000,
+                cols: 512,
+                nnz: 200_000,
+            }],
+        )
+        .unwrap();
+        assert_eq!(est.counters.kernel_launches, 2, "tmv + zero-fill");
+        assert!(est.counters.global_atomics > 0);
+        // Fill write + final write.
+        assert_eq!(est.counters.dram_write_bytes, 2 * 512 * 8);
+    }
+
+    #[test]
+    fn eq1_style_chain_saves_row_vector_roundtrips() {
+        let spec = titan();
+        let (rows, cols, nnz) = (20_000, 1024, 400_000u64);
+        let chain = [
+            ChainOp::SpMv { rows, cols, nnz },
+            map(rows, 1), // v ⊙ ·
+            ChainOp::SpTmv { rows, cols, nnz },
+            map(cols, 1), // + beta z
+        ];
+        let fused = estimate_fused_kernel(&spec, &chain).unwrap();
+        let unfused: f64 = chain
+            .iter()
+            .map(|op| estimate_fused_kernel(&spec, &[*op]).unwrap().modeled_ms())
+            .sum();
+        assert!(fused.modeled_ms() < unfused);
+        // Saved: two row-dim edges + one col-dim edge (16B per element),
+        // plus one of the two matrix streams (fused kernels reuse each
+        // CSR row for both product stages).
+        let matrix_bytes = nnz * 12 + (rows as u64 + 1) * 4;
+        assert_eq!(
+            fused.saved_intermediate_bytes,
+            (2 * rows as u64 + cols as u64) * 16 + matrix_bytes
+        );
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let spec = titan();
+        let chain = [
+            ChainOp::SpMv {
+                rows: 5_000,
+                cols: 300,
+                nnz: 60_000,
+            },
+            map(5_000, 0),
+        ];
+        let a = estimate_fused_kernel(&spec, &chain).unwrap();
+        let b = estimate_fused_kernel(&spec, &chain).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.modeled_ms().to_bits(), b.modeled_ms().to_bits());
+    }
+
+    #[test]
+    fn empty_chain_and_starved_device_yield_none() {
+        assert!(estimate_fused_kernel(&titan(), &[]).is_none());
+        let starved = DeviceSpec {
+            registers_per_sm: 64,
+            ..titan()
+        };
+        assert!(estimate_fused_kernel(&starved, &[map(100, 0)]).is_none());
+    }
+
+    #[test]
+    fn plan_sum_matches_group_estimates() {
+        let spec = titan();
+        let groups = vec![
+            vec![map(1000, 1), map(1000, 0)],
+            vec![ChainOp::Dot { len: 1000 }],
+        ];
+        let total = estimate_plan_ms(&spec, &groups).unwrap();
+        let by_hand: f64 = groups
+            .iter()
+            .map(|g| estimate_fused_kernel(&spec, g).unwrap().modeled_ms())
+            .sum();
+        assert_eq!(total.to_bits(), by_hand.to_bits());
+    }
+}

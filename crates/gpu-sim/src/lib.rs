@@ -44,6 +44,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cache;
+pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod profile;
 pub mod shared;
 pub mod timing;
 
+pub use cost::{estimate_fused_kernel, estimate_plan_ms, ChainOp, KernelEstimate};
 pub use counters::{AggregationBreakdown, Counters};
 pub use device::DeviceSpec;
 pub use error::DeviceError;

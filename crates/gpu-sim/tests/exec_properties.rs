@@ -2,6 +2,10 @@
 //! behaviour, reduction correctness and occupancy monotonicity under
 //! random inputs.
 
+// Needs the real `proptest` crate: gated off in offline builds, where
+// `proptest` resolves to a macro-less stub (see the workspace Cargo.toml).
+#![cfg(feature = "proptest-tests")]
+
 use fusedml_gpu_sim::{occupancy, DeviceSpec, Gpu, LaunchConfig, WARP_LANES};
 use proptest::prelude::*;
 

@@ -1,6 +1,10 @@
 //! Property tests on the sparse-format invariants: CSR/CSC/COO round
 //! trips, transpose involution, and generator guarantees.
 
+// Needs the real `proptest` crate: gated off in offline builds, where
+// `proptest` resolves to a macro-less stub (see the workspace Cargo.toml).
+#![cfg(feature = "proptest-tests")]
+
 use fusedml_matrix::gen::{powerlaw_sparse, uniform_sparse};
 use fusedml_matrix::{Coo, CsrMatrix, SparseStats};
 use proptest::prelude::*;

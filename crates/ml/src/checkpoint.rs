@@ -132,7 +132,7 @@ impl CheckpointHandle {
 
     /// True when a snapshot should be taken after iteration `iteration`.
     pub fn due(&self, iteration: usize) -> bool {
-        self.every > 0 && iteration > 0 && iteration.is_multiple_of(self.every)
+        self.every > 0 && iteration > 0 && iteration % self.every == 0
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Option<SolverCheckpoint>> {

@@ -3,7 +3,7 @@
 //! The ML algorithms the paper's Table 1 surveys — linear regression
 //! conjugate gradient (Listing 1), trust-region logistic regression,
 //! primal L2-SVM, GLM via IRLS, and HITS — written once against a
-//! [`Backend`](ops::Backend) trait and runnable on the fused-kernel,
+//! [`Backend`] trait and runnable on the fused-kernel,
 //! operator-baseline and CPU engines with identical numerics and full
 //! time/launch/pattern instrumentation.
 
@@ -12,16 +12,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod checkpoint;
+pub mod dag_backend;
 pub mod error;
 pub mod glm;
 pub mod hits;
 pub mod logreg;
 pub mod lr_cg;
 pub mod ops;
+pub mod pagerank;
 pub mod sharded_backend;
 pub mod svm;
 
 pub use checkpoint::{CheckpointHandle, SolverCheckpoint};
+pub use dag_backend::DagBackend;
 pub use error::SolverError;
 pub use glm::{glm, try_glm, try_glm_ckpt, Family, GlmOptions, GlmResult};
 pub use hits::{hits, try_hits, try_hits_ckpt, HitsOptions, HitsResult};
@@ -31,5 +34,6 @@ pub use logreg::{
 };
 pub use lr_cg::{lr_cg, try_lr_cg, try_lr_cg_ckpt, LrCgOptions, LrCgResult};
 pub use ops::{Backend, BackendStats, BaselineBackend, CpuBackend, DeviceMatrix, FusedBackend};
+pub use pagerank::{pagerank, try_pagerank, PagerankOptions, PagerankPlan, PagerankResult};
 pub use sharded_backend::ShardedBackend;
 pub use svm::{svm_primal, try_svm, try_svm_ckpt, SvmOptions, SvmResult};

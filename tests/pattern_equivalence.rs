@@ -4,6 +4,10 @@
 //! reference, across random shapes, densities, scalars and operand
 //! combinations.
 
+// Needs the real `proptest` crate: gated off in offline builds, where
+// `proptest` resolves to a macro-less stub (see the workspace Cargo.toml).
+#![cfg(feature = "proptest-tests")]
+
 use fusedml::prelude::*;
 use fusedml_core::tuner::manual_sparse_plan;
 use fusedml_core::{plan_dense, sparse_fused, sparse_large};

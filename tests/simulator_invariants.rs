@@ -1,6 +1,10 @@
 //! Cross-crate invariants of the GPU simulator itself: counter sanity,
 //! determinism, and the relationships the timing model depends on.
 
+// Needs the real `proptest` crate: gated off in offline builds, where
+// `proptest` resolves to a macro-less stub (see the workspace Cargo.toml).
+#![cfg(feature = "proptest-tests")]
+
 use fusedml::prelude::*;
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
 use proptest::prelude::*;
