@@ -19,8 +19,9 @@
 
 use fusedml_bench::regress::{
     chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
-    plan_drift, plan_report, run_campaign, run_scenario, run_suite, workload_ids, BenchReport,
-    ChaosOptions, CompareOptions, FaultClass, Json, Mode, Scenario, SuiteOptions,
+    plan_drift, plan_report, run_campaign, run_cpu_bench, run_scenario, run_suite, workload_ids,
+    BenchReport, ChaosOptions, CompareOptions, CpuBenchOptions, FaultClass, Json, Mode, Scenario,
+    SuiteOptions,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
@@ -38,6 +39,7 @@ fn main() {
         Some("trace") => cmd_trace(args.collect()),
         Some("hostperf") => cmd_hostperf(args.collect()),
         Some("chaos") => cmd_chaos(args.collect()),
+        Some("cpu") => cmd_cpu(args.collect()),
         Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
         None => die(USAGE),
     }
@@ -57,7 +59,9 @@ const USAGE: &str = "usage:
   fusedml-bench hostperf [--from REPORT.json] [--out SUMMARY.json]
                 [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
   fusedml-bench chaos [--scenarios N] [--seed u64] [--out PATH] [--class NAME]
-  fusedml-bench chaos replay --seed u64";
+  fusedml-bench chaos replay --seed u64
+  fusedml-bench cpu [--quick|--full] [--scale f] [--seed u64] [--repeats N]
+                [--threads LIST] [--out PATH]";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
 fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
@@ -486,6 +490,105 @@ fn cmd_chaos(args: Vec<String>) {
     if !report.passed() {
         std::process::exit(1);
     }
+}
+
+/// The measured CPU benchmark: real wall-clock fused-vs-unfused through
+/// the `KernelExecutor` backends (scalar / AVX2 / multithreaded fused),
+/// with the analytical roofline's predicted-vs-measured ratio per kernel.
+/// Numerical equivalence between executors is verified before timing and
+/// exits 1 on violation; wall-clock numbers themselves are never gated.
+fn cmd_cpu(args: Vec<String>) {
+    let (suite, rest) = parse_suite_opts(&args);
+    let mut opts = CpuBenchOptions {
+        mode: suite.mode,
+        scale: suite.scale,
+        seed: suite.seed,
+        ..CpuBenchOptions::default()
+    };
+    let mut out = "CPU_fusion.json".to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = next_arg(&mut it, "--out"),
+            "--repeats" => {
+                opts.repeats = next_arg(&mut it, "--repeats")
+                    .parse()
+                    .unwrap_or_else(|_| die("--repeats needs an unsigned integer"));
+            }
+            "--threads" => {
+                opts.threads = next_arg(&mut it, "--threads")
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die("--threads needs a comma-separated list"))
+                    })
+                    .collect();
+            }
+            other => die(&format!("unknown flag '{other}' for cpu\n{USAGE}")),
+        }
+    }
+    if opts.repeats == 0 {
+        die("--repeats must be >= 1");
+    }
+
+    eprintln!(
+        "measured cpu bench: {} mode, scale {}, seed {:#x}, {} repeats",
+        opts.mode.as_str(),
+        opts.scale,
+        opts.seed,
+        opts.repeats
+    );
+    let report = run_cpu_bench(&opts).unwrap_or_else(|e| fail(&e));
+
+    if let Ok(host) = report.field("host") {
+        eprintln!(
+            "host: active executor '{}', avx2 detected: {}, forced scalar: {}",
+            host.field_str("active_executor").unwrap_or("?"),
+            host.get("avx2_detected")
+                .is_some_and(|v| *v == Json::Bool(true)),
+            host.get("forced_scalar")
+                .is_some_and(|v| *v == Json::Bool(true)),
+        );
+    }
+    for wl in report
+        .field("workloads")
+        .ok()
+        .and_then(|w| w.as_arr())
+        .unwrap_or(&[])
+    {
+        let id = wl.field_str("id").unwrap_or("?");
+        let unfused_ms = wl
+            .field("unfused")
+            .and_then(|u| u.field_f64("measured_ms"))
+            .unwrap_or(f64::NAN);
+        eprintln!("  {id:<28} unfused {unfused_ms:>9.3} ms");
+        for leg in wl
+            .field("fused")
+            .ok()
+            .and_then(|l| l.as_arr())
+            .unwrap_or(&[])
+        {
+            eprintln!(
+                "    fused {:<10} x{:<2} {:>9.3} ms  speedup {:>5.2}x  pred/meas {:>5.2}",
+                leg.field_str("executor").unwrap_or("?"),
+                leg.field_u64("threads").unwrap_or(0),
+                leg.field_f64("measured_ms").unwrap_or(f64::NAN),
+                leg.field_f64("speedup_vs_unfused").unwrap_or(f64::NAN),
+                leg.field_f64("predicted_over_measured").unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(&out, report.render())
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    eprintln!("wrote {out}");
 }
 
 /// Seeds print as hex in reports; accept both hex and decimal back.

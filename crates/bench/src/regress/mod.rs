@@ -9,8 +9,10 @@
 //!   [`fusedml_trace`] event stream (`fusedml-bench trace`);
 //! * [`chaos::run_campaign`] — the deterministic fault-injection sweep
 //!   behind `fusedml-bench chaos` / `chaos replay`;
+//! * [`cpu::run_cpu_bench`] — the *measured* (real wall-clock) CPU
+//!   fused-vs-unfused benchmark behind `fusedml-bench cpu`;
 //! * the `fusedml-bench` binary — `run` / `compare` / `list` / `trace` /
-//!   `chaos` CLI.
+//!   `chaos` / `cpu` CLI.
 //!
 //! The JSON layer is hand-rolled ([`json`]) so the subsystem has zero
 //! dependencies beyond the workspace: reports must round-trip in every
@@ -19,6 +21,7 @@
 
 pub mod chaos;
 pub mod compare;
+pub mod cpu;
 pub mod hostperf;
 pub mod json;
 pub mod plans;
@@ -31,6 +34,7 @@ pub use chaos::{
     Workload, CHAOS_MIN_SCHEMA_VERSION, CHAOS_SCHEMA_VERSION,
 };
 pub use compare::{compare, CompareOptions, Comparison, Finding, Severity};
+pub use cpu::{run_cpu_bench, CpuBenchOptions, CPU_SCHEMA_VERSION, SIMD_REL_L2_TOL};
 pub use hostperf::{hostperf_summary, hostperf_table, hostperf_totals, HostPerfTotals};
 pub use json::Json;
 pub use plans::{plan_drift, plan_report, PLANS_SCHEMA_VERSION};

@@ -129,6 +129,117 @@ fn plans_gate_passes_against_its_own_dump_and_fails_on_drift() {
 }
 
 #[test]
+fn cpu_bench_writes_schema_versioned_report() {
+    let out_path = tmp("cpu.json");
+    let out = bench()
+        .args([
+            "cpu",
+            "--quick",
+            "--scale",
+            "0.02",
+            "--repeats",
+            "1",
+            "--threads",
+            "1,2",
+            "--out",
+            &out_path,
+        ])
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "cpu bench must pass its equivalence gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("active executor"),
+        "stderr should report the dispatched executor: {stderr}"
+    );
+    assert!(
+        stderr.contains("unfused") && stderr.contains("fused"),
+        "stderr should show the fused-vs-unfused table: {stderr}"
+    );
+
+    let text = std::fs::read_to_string(&out_path).expect("report must be written");
+    let report = fusedml_bench::regress::Json::parse(&text).expect("report must parse");
+    assert_eq!(
+        report.field_u64("schema_version").unwrap(),
+        fusedml_bench::regress::CPU_SCHEMA_VERSION
+    );
+    assert_eq!(report.field_str("kind").unwrap(), "cpu-bench");
+    assert_eq!(
+        report.field("workloads").unwrap().as_arr().unwrap().len(),
+        2,
+        "one sparse and one dense workload"
+    );
+
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn cpu_bench_forced_scalar_reports_scalar_only() {
+    let out_path = tmp("cpu_scalar.json");
+    let out = bench()
+        .args([
+            "cpu",
+            "--quick",
+            "--scale",
+            "0.02",
+            "--repeats",
+            "1",
+            "--threads",
+            "1",
+            "--out",
+            &out_path,
+        ])
+        .env("FUSEDML_FORCE_SCALAR", "1")
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "forced-scalar cpu bench must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&out_path).expect("report must be written");
+    let report = fusedml_bench::regress::Json::parse(&text).expect("report must parse");
+    let host = report.field("host").unwrap();
+    assert_eq!(host.field_str("active_executor").unwrap(), "scalar");
+    assert_eq!(
+        host.field("forced_scalar").unwrap(),
+        &fusedml_bench::regress::Json::Bool(true)
+    );
+    for wl in report.field("workloads").unwrap().as_arr().unwrap() {
+        for leg in wl.field("fused").unwrap().as_arr().unwrap() {
+            assert!(
+                leg.field_str("executor").unwrap().starts_with("scalar"),
+                "forced-scalar run must not time SIMD legs"
+            );
+        }
+    }
+
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn cpu_bench_zero_repeats_is_a_usage_error() {
+    let out = bench()
+        .args(["cpu", "--repeats", "0"])
+        .output()
+        .expect("bench binary must run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "zero repeats is a usage error, got {:?}",
+        out.status
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--repeats"));
+}
+
+#[test]
 fn plans_dump_is_byte_deterministic() {
     let run = || {
         let out = bench()

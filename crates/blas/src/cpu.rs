@@ -9,6 +9,7 @@
 use fusedml_gpu_sim::CpuSpec;
 use fusedml_matrix::reference;
 use fusedml_matrix::{CsrMatrix, DenseMatrix};
+use std::fmt;
 use std::time::Instant;
 
 /// Analytical CPU timing for the sparse operators of the pattern.
@@ -112,6 +113,38 @@ impl CpuEngine {
         t
     }
 
+    /// The full sparse pattern as ONE fused pass: the matrix streams
+    /// through once, the per-row intermediate `v_i * (x_i · y)` stays in
+    /// registers, and only the `cols`-length accumulator is written back
+    /// — the CPU analog of the paper's fused kernel. Compare against
+    /// [`Self::pattern_sparse_ms`] for the modeled fusion win.
+    pub fn pattern_sparse_fused_ms(
+        &mut self,
+        x_rows: usize,
+        x_cols: usize,
+        nnz: usize,
+        with_v: bool,
+        with_z: bool,
+        alpha_scaling: bool,
+    ) -> f64 {
+        let mut bytes = (nnz * (8 + 4) + (x_rows + 1) * 4 + x_cols * 8) as u64;
+        // Each nonzero participates in the row dot AND the scatter.
+        let mut flops = 4 * nnz as u64;
+        if with_v {
+            bytes += (x_rows * 8) as u64;
+            flops += x_rows as u64;
+        }
+        if alpha_scaling {
+            bytes += (2 * x_cols * 8) as u64;
+            flops += x_cols as u64;
+        }
+        if with_z {
+            bytes += (3 * x_cols * 8) as u64;
+            flops += 2 * x_cols as u64;
+        }
+        self.charge(bytes, flops, true)
+    }
+
     /// The full dense pattern, operator by operator.
     pub fn pattern_dense_ms(
         &mut self,
@@ -134,26 +167,89 @@ impl CpuEngine {
         }
         t
     }
+
+    /// The full dense pattern as ONE fused pass: the matrix streams once
+    /// (row dot + row axpy back-to-back), instead of the two full scans
+    /// the operator-by-operator [`Self::pattern_dense_ms`] pays.
+    pub fn pattern_dense_fused_ms(
+        &mut self,
+        x_rows: usize,
+        x_cols: usize,
+        with_v: bool,
+        with_z: bool,
+        alpha_scaling: bool,
+    ) -> f64 {
+        let mut bytes = (x_rows * x_cols * 8 + x_cols * 16) as u64;
+        let mut flops = 4 * (x_rows * x_cols) as u64;
+        if with_v {
+            bytes += (x_rows * 8) as u64;
+            flops += x_rows as u64;
+        }
+        if alpha_scaling {
+            bytes += (2 * x_cols * 8) as u64;
+            flops += x_cols as u64;
+        }
+        if with_z {
+            bytes += (3 * x_cols * 8) as u64;
+            flops += 2 * x_cols as u64;
+        }
+        self.charge(bytes, flops, false)
+    }
 }
+
+/// A wall-clock measurement could not be taken as requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureError {
+    /// `repeats == 0` would time nothing at all; earlier code silently
+    /// rewrote it to 1, reporting a repeat count the caller never asked
+    /// for.
+    ZeroRepeats,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::ZeroRepeats => {
+                write!(f, "measurement requires at least one timed repeat")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
 
 /// Wall-clock measured single-threaded execution of the pattern's
 /// components — what the paper's Table 2 profiles on SystemML's CPU
-/// backend. Returns `(pattern_ms, blas1_ms)` for one LR-CG-style iteration.
-pub fn measure_lrcg_iteration_sparse(x: &CsrMatrix, repeats: usize) -> (f64, f64) {
+/// backend. Returns `(pattern_ms, blas1_ms)` for one LR-CG-style
+/// iteration: the **minimum** over `repeats` timed iterations, taken
+/// after one untimed warm-up iteration, with every buffer preallocated
+/// outside the timed windows so no allocator or cold-cache noise
+/// contaminates the numbers.
+pub fn measure_lrcg_iteration_sparse(
+    x: &CsrMatrix,
+    repeats: usize,
+) -> Result<(f64, f64), MeasureError> {
+    if repeats == 0 {
+        return Err(MeasureError::ZeroRepeats);
+    }
+    let m = x.rows();
     let n = x.cols();
-    // Work buffers live outside the timed regions: BLAS-1 kernels do not
-    // allocate.
+    // Every buffer — including the mat-vec outputs — lives outside the
+    // timed regions; the timed kernels are the allocation-free `_into`
+    // reference forms.
+    let mut p = vec![0.0; m];
+    let mut q = vec![0.0; n];
     let mut w = vec![0.0; n];
     let mut r = vec![0.0; n];
     let mut pdir = vec![0.1; n];
-    let mut pattern_ms = 0.0;
-    let mut blas1_ms = 0.0;
-    for _ in 0..repeats.max(1) {
+    let mut pattern_ms = f64::INFINITY;
+    let mut blas1_ms = f64::INFINITY;
+    for rep in 0..=repeats {
         // Pattern part of one Listing-1 iteration: q = X^T (X p).
         let t0 = Instant::now();
-        let p = reference::csr_mv(x, &pdir);
-        let q = reference::csr_tmv(x, &p);
-        pattern_ms += t0.elapsed().as_secs_f64() * 1e3;
+        reference::csr_mv_into(x, &pdir, &mut p);
+        reference::csr_tmv_into(x, &p, &mut q);
+        let dt_pattern = t0.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(&q);
 
         // BLAS-1 part: dot, 3 axpy, nrm2, scal over n-vectors (lines
@@ -167,25 +263,41 @@ pub fn measure_lrcg_iteration_sparse(x: &CsrMatrix, repeats: usize) -> (f64, f64
         let beta = nr2 / (nr2 + 1.0);
         reference::scal(beta, &mut pdir);
         reference::axpy(-1.0, &r, &mut pdir);
-        blas1_ms += t1.elapsed().as_secs_f64() * 1e3;
+        let dt_blas1 = t1.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box((&w, &pdir));
+
+        // rep 0 is the untimed warm-up.
+        if rep > 0 {
+            pattern_ms = pattern_ms.min(dt_pattern);
+            blas1_ms = blas1_ms.min(dt_blas1);
+        }
     }
-    (pattern_ms, blas1_ms)
+    Ok((pattern_ms, blas1_ms))
 }
 
-/// Dense counterpart of [`measure_lrcg_iteration_sparse`].
-pub fn measure_lrcg_iteration_dense(x: &DenseMatrix, repeats: usize) -> (f64, f64) {
+/// Dense counterpart of [`measure_lrcg_iteration_sparse`] — same
+/// methodology: preallocated buffers, untimed warm-up, min-over-repeats.
+pub fn measure_lrcg_iteration_dense(
+    x: &DenseMatrix,
+    repeats: usize,
+) -> Result<(f64, f64), MeasureError> {
+    if repeats == 0 {
+        return Err(MeasureError::ZeroRepeats);
+    }
+    let m = x.rows();
     let n = x.cols();
+    let mut p = vec![0.0; m];
+    let mut q = vec![0.0; n];
     let mut w = vec![0.0; n];
     let mut r = vec![0.0; n];
     let mut pdir = vec![0.1; n];
-    let mut pattern_ms = 0.0;
-    let mut blas1_ms = 0.0;
-    for _ in 0..repeats.max(1) {
+    let mut pattern_ms = f64::INFINITY;
+    let mut blas1_ms = f64::INFINITY;
+    for rep in 0..=repeats {
         let t0 = Instant::now();
-        let p = reference::dense_mv(x, &pdir);
-        let q = reference::dense_tmv(x, &p);
-        pattern_ms += t0.elapsed().as_secs_f64() * 1e3;
+        reference::dense_mv_into(x, &pdir, &mut p);
+        reference::dense_tmv_into(x, &p, &mut q);
+        let dt_pattern = t0.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(&q);
 
         let t1 = Instant::now();
@@ -197,10 +309,15 @@ pub fn measure_lrcg_iteration_dense(x: &DenseMatrix, repeats: usize) -> (f64, f6
         let beta = nr2 / (nr2 + 1.0);
         reference::scal(beta, &mut pdir);
         reference::axpy(-1.0, &r, &mut pdir);
-        blas1_ms += t1.elapsed().as_secs_f64() * 1e3;
+        let dt_blas1 = t1.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box((&w, &pdir));
+
+        if rep > 0 {
+            pattern_ms = pattern_ms.min(dt_pattern);
+            blas1_ms = blas1_ms.min(dt_blas1);
+        }
     }
-    (pattern_ms, blas1_ms)
+    Ok((pattern_ms, blas1_ms))
 }
 
 #[cfg(test)]
@@ -237,15 +354,41 @@ mod tests {
     }
 
     #[test]
+    fn fused_sparse_pattern_models_cheaper_than_unfused() {
+        let mut a = CpuEngine::mkl_8threads();
+        let unfused = a.pattern_sparse_ms(100_000, 1000, 2_000_000, true, true, true);
+        let mut b = CpuEngine::mkl_8threads();
+        let fused = b.pattern_sparse_fused_ms(100_000, 1000, 2_000_000, true, true, true);
+        assert!(
+            fused < unfused,
+            "fused {fused} should beat unfused {unfused}"
+        );
+    }
+
+    #[test]
     fn measured_breakdown_pattern_dominates() {
         // Table 2's claim: the pattern accounts for the overwhelming share
         // of single-threaded compute time.
         let x = uniform_sparse(4000, 400, 0.05, 3);
-        let (pattern, blas1) = measure_lrcg_iteration_sparse(&x, 3);
+        let (pattern, blas1) =
+            measure_lrcg_iteration_sparse(&x, 3).expect("repeats > 0 always measures");
         assert!(pattern > 0.0 && blas1 >= 0.0);
         assert!(
             pattern / (pattern + blas1) > 0.5,
             "pattern {pattern} vs blas1 {blas1}"
+        );
+    }
+
+    #[test]
+    fn zero_repeats_is_a_typed_error_not_a_silent_rewrite() {
+        let x = uniform_sparse(16, 8, 0.5, 4);
+        assert_eq!(
+            measure_lrcg_iteration_sparse(&x, 0),
+            Err(MeasureError::ZeroRepeats)
+        );
+        assert_eq!(
+            measure_lrcg_iteration_dense(&x.to_dense(), 0),
+            Err(MeasureError::ZeroRepeats)
         );
     }
 }

@@ -1,0 +1,18 @@
+//! The portable reference executor: every kernel runs through the
+//! [`KernelExecutor`] trait's default methods, which reproduce
+//! `fusedml_matrix::reference` bit for bit. This is the implementation
+//! `FUSEDML_FORCE_SCALAR=1` pins dispatch to, and the ground truth the
+//! SIMD executors are compared against.
+
+use super::KernelExecutor;
+
+/// Scalar (non-SIMD) kernel executor. Zero-sized; share the canonical
+/// instance via [`super::scalar_executor`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarExecutor;
+
+impl KernelExecutor for ScalarExecutor {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+}

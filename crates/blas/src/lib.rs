@@ -9,6 +9,11 @@
 //! one kernel launch per primitive operator, intermediates materialized in
 //! global memory, and the transposed products either scattering through
 //! global atomics or paying for an explicit `csr2csc`.
+//!
+//! The exception is [`exec`]: real host-CPU kernels (scalar, AVX2, and a
+//! multithreaded fused pattern kernel) behind the runtime-dispatched
+//! [`KernelExecutor`] trait, which the `fusedml-bench cpu` subcommand
+//! measures in wall-clock to validate the analytical [`CpuEngine`].
 
 // Lane-indexed loops over parallel arrays are the natural idiom for
 // warp-level kernel code; iterator zips would obscure the SIMT shape.
@@ -20,11 +25,14 @@ pub mod csrmv_t;
 pub mod dev;
 pub mod ellmv;
 pub mod engine;
+pub mod exec;
 pub mod gemv;
 pub mod level1;
 pub mod transpose;
 
-pub use cpu::CpuEngine;
+pub use cpu::{
+    measure_lrcg_iteration_dense, measure_lrcg_iteration_sparse, CpuEngine, MeasureError,
+};
 pub use csrmv::{csrmv, try_csrmv, vector_size_for_mean_nnz, SpmvStyle};
 pub use csrmv_t::{
     csrmv_t_atomic, csrmv_t_pretransposed, csrmv_t_scatter, try_csrmv_t_atomic,
@@ -33,5 +41,12 @@ pub use csrmv_t::{
 pub use dev::{GpuCsr, GpuDense};
 pub use ellmv::{ellmv, hybmv, try_ellmv, try_hybmv, GpuEll, GpuHyb};
 pub use engine::{BaselineEngine, Flavor};
+#[cfg(target_arch = "x86_64")]
+pub use exec::Avx2Executor;
+pub use exec::{
+    active_executor, available_executors, avx2_executor, executor_named, fused_pattern_csr,
+    fused_pattern_dense, fused_xtxp_csr, scalar_executor, scalar_forced, KernelExecutor, MtFused,
+    MtWorkspace, ScalarExecutor, CANONICAL_BLOCKS,
+};
 pub use gemv::{gemv, gemv_t, gemv_t_direct, try_gemv, try_gemv_t, try_gemv_t_direct};
 pub use transpose::{csr2csc_device, total_sim_ms, try_csr2csc_device};

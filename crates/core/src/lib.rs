@@ -27,6 +27,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codegen;
+pub mod cpu_exec;
 pub mod dag;
 pub mod dense_fused;
 pub mod ell_fused;
@@ -40,6 +41,7 @@ pub mod sparse_large;
 pub mod tuner;
 
 pub use codegen::{generate_cuda_source, launch_dense_fused};
+pub use cpu_exec::CpuFusedPattern;
 pub use dag::{Dag, DagBuilder, Dim, NodeId, Op, ScalarRef};
 pub use ell_fused::{fused_pattern_ell, plan_ell, EllPlan};
 pub use executor::FusedExecutor;

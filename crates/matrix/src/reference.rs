@@ -7,16 +7,36 @@ use crate::dense::DenseMatrix;
 
 /// `X * y` for CSR.
 pub fn csr_mv(x: &CsrMatrix, y: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; x.rows()];
+    csr_mv_into(x, y, &mut out);
+    out
+}
+
+/// `X * y` for CSR into a caller-provided buffer of length `rows` —
+/// allocation-free, so wall-clock measurements can keep every output
+/// buffer outside the timed region. Bit-identical to [`csr_mv`].
+pub fn csr_mv_into(x: &CsrMatrix, y: &[f64], out: &mut [f64]) {
     assert_eq!(y.len(), x.cols(), "dimension mismatch in X*y");
-    (0..x.rows())
-        .map(|r| x.row_entries(r).map(|(c, v)| v * y[c as usize]).sum())
-        .collect()
+    assert_eq!(out.len(), x.rows(), "output length mismatch in X*y");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = x.row_entries(r).map(|(c, v)| v * y[c as usize]).sum();
+    }
 }
 
 /// `X^T * p` for CSR (row-wise scatter).
 pub fn csr_tmv(x: &CsrMatrix, p: &[f64]) -> Vec<f64> {
-    assert_eq!(p.len(), x.rows(), "dimension mismatch in X^T*p");
     let mut w = vec![0.0; x.cols()];
+    csr_tmv_into(x, p, &mut w);
+    w
+}
+
+/// `X^T * p` for CSR into a caller-provided buffer of length `cols`
+/// (overwritten, not accumulated into). Allocation-free; bit-identical
+/// to [`csr_tmv`].
+pub fn csr_tmv_into(x: &CsrMatrix, p: &[f64], w: &mut [f64]) {
+    assert_eq!(p.len(), x.rows(), "dimension mismatch in X^T*p");
+    assert_eq!(w.len(), x.cols(), "output length mismatch in X^T*p");
+    w.fill(0.0);
     for (r, &pr) in p.iter().enumerate() {
         if pr != 0.0 {
             for (c, v) in x.row_entries(r) {
@@ -24,27 +44,44 @@ pub fn csr_tmv(x: &CsrMatrix, p: &[f64]) -> Vec<f64> {
             }
         }
     }
-    w
 }
 
 /// `X * y` for dense row-major.
 pub fn dense_mv(x: &DenseMatrix, y: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; x.rows()];
+    dense_mv_into(x, y, &mut out);
+    out
+}
+
+/// `X * y` for dense row-major into a caller-provided buffer of length
+/// `rows`. Allocation-free; bit-identical to [`dense_mv`].
+pub fn dense_mv_into(x: &DenseMatrix, y: &[f64], out: &mut [f64]) {
     assert_eq!(y.len(), x.cols(), "dimension mismatch in X*y");
-    (0..x.rows())
-        .map(|r| x.row(r).iter().zip(y).map(|(a, b)| a * b).sum())
-        .collect()
+    assert_eq!(out.len(), x.rows(), "output length mismatch in X*y");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = x.row(r).iter().zip(y).map(|(a, b)| a * b).sum();
+    }
 }
 
 /// `X^T * p` for dense row-major.
 pub fn dense_tmv(x: &DenseMatrix, p: &[f64]) -> Vec<f64> {
-    assert_eq!(p.len(), x.rows(), "dimension mismatch in X^T*p");
     let mut w = vec![0.0; x.cols()];
+    dense_tmv_into(x, p, &mut w);
+    w
+}
+
+/// `X^T * p` for dense row-major into a caller-provided buffer of length
+/// `cols` (overwritten, not accumulated into). Allocation-free;
+/// bit-identical to [`dense_tmv`].
+pub fn dense_tmv_into(x: &DenseMatrix, p: &[f64], w: &mut [f64]) {
+    assert_eq!(p.len(), x.rows(), "dimension mismatch in X^T*p");
+    assert_eq!(w.len(), x.cols(), "output length mismatch in X^T*p");
+    w.fill(0.0);
     for (r, &pr) in p.iter().enumerate() {
         for (c, wv) in w.iter_mut().enumerate() {
             *wv += x.get(r, c) * pr;
         }
     }
-    w
 }
 
 /// The full generic pattern of Equation 1:
@@ -201,6 +238,47 @@ mod tests {
         let mut x = vec![2.0, -4.0];
         scal(0.5, &mut x);
         assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms_bit_for_bit() {
+        let xs = uniform_sparse(35, 22, 0.2, 11);
+        let xd = xs.to_dense();
+        let y = random_vector(22, 12);
+        let p = random_vector(35, 13);
+
+        let mut mv = vec![f64::NAN; 35];
+        csr_mv_into(&xs, &y, &mut mv);
+        assert_bits_eq(&mv, &csr_mv(&xs, &y));
+
+        // Stale garbage in the output buffer must not leak through: the
+        // _into forms overwrite, they do not accumulate.
+        let mut tmv = vec![f64::NAN; 22];
+        csr_tmv_into(&xs, &p, &mut tmv);
+        assert_bits_eq(&tmv, &csr_tmv(&xs, &p));
+
+        let mut dmv = vec![f64::NAN; 35];
+        dense_mv_into(&xd, &y, &mut dmv);
+        assert_bits_eq(&dmv, &dense_mv(&xd, &y));
+
+        let mut dtmv = vec![f64::NAN; 22];
+        dense_tmv_into(&xd, &p, &mut dtmv);
+        assert_bits_eq(&dtmv, &dense_tmv(&xd, &p));
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn into_variants_check_output_length() {
+        let x = uniform_sparse(4, 3, 0.5, 1);
+        let mut out = vec![0.0; 3];
+        csr_mv_into(&x, &[1.0, 2.0, 3.0], &mut out);
     }
 
     #[test]

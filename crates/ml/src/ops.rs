@@ -15,7 +15,7 @@
 //! is how the Table 1 experiment regenerates the paper's matrix.
 
 use fusedml_blas::{level1, BaselineEngine, CpuEngine, Flavor, GpuCsr, GpuDense, SpmvStyle};
-use fusedml_core::{FusedExecutor, PatternInstance, PatternSpec, PlanCacheStats};
+use fusedml_core::{CpuFusedPattern, FusedExecutor, PatternInstance, PatternSpec, PlanCacheStats};
 use fusedml_gpu_sim::{AggregationBreakdown, Counters, DeviceError, Gpu, GpuBuffer, PoolStats};
 use fusedml_matrix::{reference, CsrMatrix, DenseMatrix};
 use std::collections::BTreeMap;
@@ -803,10 +803,17 @@ pub enum HostMatrix {
 }
 
 /// Reference CPU execution with an analytical MKL-style clock.
+///
+/// By default pattern evaluations run the two-scan operator-by-operator
+/// reference path. [`Self::with_fused_execution`] opts the backend into
+/// the real fused CPU kernels (`fusedml_core::CpuFusedPattern`: SIMD
+/// dispatch + deterministic multithreading), which is how the runtime's
+/// recovery ladder can run its Cpu tier fused.
 pub struct CpuBackend {
     matrix: HostMatrix,
     clock: CpuEngine,
     stats: BackendStats,
+    fused: Option<CpuFusedPattern>,
 }
 
 impl CpuBackend {
@@ -815,6 +822,7 @@ impl CpuBackend {
             matrix: HostMatrix::Sparse(x),
             clock: CpuEngine::mkl_8threads(),
             stats: BackendStats::default(),
+            fused: None,
         }
     }
 
@@ -823,7 +831,23 @@ impl CpuBackend {
             matrix: HostMatrix::Dense(x),
             clock: CpuEngine::mkl_8threads(),
             stats: BackendStats::default(),
+            fused: None,
         }
+    }
+
+    /// Run pattern evaluations through the fused single-pass CPU kernels
+    /// with `threads` worker threads (runtime-dispatched executor; results
+    /// are deterministic across thread counts). The analytical clock
+    /// charges the one-pass fused roofline instead of the two-scan one.
+    pub fn with_fused_execution(mut self, threads: usize) -> Self {
+        self.fused = Some(CpuFusedPattern::new(threads));
+        self
+    }
+
+    /// Name of the fused executor in use ("scalar", "avx2"), `None` when
+    /// the backend runs the unfused reference path.
+    pub fn fused_executor_name(&self) -> Option<&'static str> {
+        self.fused.map(|f| f.executor_name())
     }
 
     fn absorb(&mut self) {
@@ -869,6 +893,50 @@ impl Backend for CpuBackend {
         z: Option<&Vec<f64>>,
         w: &mut Vec<f64>,
     ) -> Result<(), DeviceError> {
+        if let Some(fused) = self.fused {
+            match &self.matrix {
+                HostMatrix::Sparse(x) => {
+                    self.clock.pattern_sparse_fused_ms(
+                        x.rows(),
+                        x.cols(),
+                        x.nnz(),
+                        spec.with_v,
+                        spec.with_z,
+                        spec.alpha != 1.0,
+                    );
+                    w.resize(x.cols(), 0.0);
+                    fused.pattern_csr(
+                        spec,
+                        x,
+                        v.map(|v| v.as_slice()),
+                        y,
+                        z.map(|z| z.as_slice()),
+                        w,
+                    );
+                }
+                HostMatrix::Dense(x) => {
+                    self.clock.pattern_dense_fused_ms(
+                        x.rows(),
+                        x.cols(),
+                        spec.with_v,
+                        spec.with_z,
+                        spec.alpha != 1.0,
+                    );
+                    w.resize(x.cols(), 0.0);
+                    fused.pattern_dense(
+                        spec,
+                        x,
+                        v.map(|v| v.as_slice()),
+                        y,
+                        z.map(|z| z.as_slice()),
+                        w,
+                    );
+                }
+            }
+            self.absorb();
+            self.stats.record_instance(spec.instance());
+            return Ok(());
+        }
         *w = match &self.matrix {
             HostMatrix::Sparse(x) => {
                 self.clock.pattern_sparse_ms(
@@ -1058,6 +1126,50 @@ mod tests {
         assert_eq!(fused.stats().pattern_counts[spec.instance().formula()], 1);
         assert!(fused.stats().sim_ms > 0.0);
         assert!(cpu.stats().sim_ms > 0.0);
+    }
+
+    #[test]
+    fn fused_cpu_backend_matches_reference_and_models_cheaper() {
+        let x = uniform_sparse(200, 90, 0.1, 95);
+        let y = random_vector(90, 6);
+        let v = random_vector(200, 7);
+        let spec = PatternSpec::xtvxy();
+
+        let mut plain = CpuBackend::new_sparse(x.clone());
+        assert!(plain.fused_executor_name().is_none());
+        let yv = plain.from_host("y", &y);
+        let vv = plain.from_host("v", &v);
+        let mut wp = plain.zeros("w", 90);
+        plain.pattern(spec, Some(&vv), &yv, None, &mut wp);
+
+        let mut fused = CpuBackend::new_sparse(x).with_fused_execution(4);
+        assert!(fused.fused_executor_name().is_some());
+        let yv = fused.from_host("y", &y);
+        let vv = fused.from_host("v", &v);
+        let mut wf = fused.zeros("w", 90);
+        fused.pattern(spec, Some(&vv), &yv, None, &mut wf);
+
+        assert!(reference::rel_l2_error(&wf, &wp) < 1e-12);
+        // The analytical clock charges the one-pass roofline: strictly
+        // cheaper than the two-scan reference path.
+        assert!(fused.stats().sim_ms < plain.stats().sim_ms);
+    }
+
+    #[test]
+    fn fused_cpu_backend_runs_lr_cg_to_the_same_answer() {
+        let x = uniform_sparse(120, 40, 0.15, 96);
+        let labels = random_vector(120, 8);
+        let opts = crate::LrCgOptions {
+            eps: 0.001,
+            tolerance: 0.0,
+            max_iterations: 8,
+        };
+        let mut plain = CpuBackend::new_sparse(x.clone());
+        let a = crate::lr_cg(&mut plain, &labels, opts);
+        let mut fused = CpuBackend::new_sparse(x).with_fused_execution(2);
+        let b = crate::lr_cg(&mut fused, &labels, opts);
+        assert_eq!(a.iterations, b.iterations);
+        assert!(reference::rel_l2_error(&b.weights, &a.weights) < 1e-9);
     }
 
     #[test]

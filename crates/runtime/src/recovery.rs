@@ -110,6 +110,12 @@ pub struct RecoveryPolicy {
     /// iteration 0. `0` (the default) disables checkpointing and keeps
     /// every attempt bit-identical to the pre-checkpoint behaviour.
     pub checkpoint_every: usize,
+    /// Worker threads for the Cpu tier's fused single-pass pattern
+    /// kernels (SIMD-dispatched, deterministic across thread counts).
+    /// `0` (the default) keeps the Cpu tier on the unfused reference
+    /// path, bit-identical to earlier releases.
+    #[serde(default)]
+    pub cpu_fused_threads: usize,
 }
 
 impl Default for RecoveryPolicy {
@@ -120,6 +126,7 @@ impl Default for RecoveryPolicy {
             backoff_multiplier: 2.0,
             allow_degradation: true,
             checkpoint_every: 0,
+            cpu_fused_threads: 0,
         }
     }
 }
@@ -212,6 +219,7 @@ impl<T: RecoveryTier + fmt::Debug> std::error::Error for LadderError<T> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn attempt_tier(
     gpu: &Gpu,
     tier: BackendTier,
@@ -219,8 +227,16 @@ fn attempt_tier(
     labels: &[f64],
     opts: LrCgOptions,
     transpose_policy: TransposePolicy,
+    cpu_fused_threads: usize,
     ckpt: Option<&CheckpointHandle>,
 ) -> Result<(LrCgResult, BackendStats), SolverError> {
+    let cpu_backend = |b: CpuBackend| {
+        if cpu_fused_threads > 0 {
+            b.with_fused_execution(cpu_fused_threads)
+        } else {
+            b
+        }
+    };
     match (tier, data) {
         (BackendTier::Fused, DataSet::Sparse(x)) => {
             let mut b = FusedBackend::try_new_sparse(gpu, x)?;
@@ -244,12 +260,12 @@ fn attempt_tier(
             Ok((r, b.stats()))
         }
         (BackendTier::Cpu, DataSet::Sparse(x)) => {
-            let mut b = CpuBackend::new_sparse(x.clone());
+            let mut b = cpu_backend(CpuBackend::new_sparse(x.clone()));
             let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
         (BackendTier::Cpu, DataSet::Dense(x)) => {
-            let mut b = CpuBackend::new_dense(x.clone());
+            let mut b = cpu_backend(CpuBackend::new_dense(x.clone()));
             let r = try_lr_cg_ckpt(&mut b, labels, opts, ckpt)?;
             Ok((r, b.stats()))
         }
@@ -315,6 +331,7 @@ pub fn run_lr_cg_with_recovery(
                 labels,
                 opts,
                 transpose_policy,
+                policy.cpu_fused_threads,
                 ckpt.as_ref(),
             ) {
                 Ok((result, stats)) => {

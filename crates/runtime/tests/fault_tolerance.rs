@@ -121,6 +121,30 @@ fn saturated_faults_degrade_to_cpu_and_match_reference() {
 }
 
 #[test]
+fn cpu_tier_can_run_the_fused_kernels() {
+    // Same saturated-fault scenario, but the policy opts the Cpu rung
+    // into the fused single-pass SIMD/multithreaded kernels. The ladder
+    // must land on Cpu and still match the unfused reference.
+    let g = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1).with_fault_profile(
+        FaultProfile::seeded(7)
+            .with_kernel_fault_rate(1.0)
+            .with_alloc_fault_rate(1.0),
+    );
+    let (data, labels) = problem(303);
+    let cfg = SessionConfig::native(EngineKind::Fused, 10);
+    let policy = RecoveryPolicy {
+        cpu_fused_threads: 2,
+        ..Default::default()
+    };
+    let r = run_device_fault_tolerant(&g, &data, &labels, &cfg, &policy)
+        .expect("fused cpu tier cannot fault");
+    assert_eq!(r.tier, BackendTier::Cpu);
+    let reference = cpu_reference(&data, &labels, 10);
+    let err = fusedml_matrix::reference::rel_l2_error(&r.weights, &reference);
+    assert!(err < 1e-6, "fused cpu tier off by {err}");
+}
+
+#[test]
 fn same_seed_yields_identical_reports() {
     // The injector is a pure function of (seed, class, draw index), so
     // two sessions over the same data with the same profile must agree
