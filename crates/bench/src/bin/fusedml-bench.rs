@@ -7,6 +7,7 @@
 //! fusedml-bench compare a.json b.json --ignore-wall --modeled-tol 0.05
 //! fusedml-bench list --quick                     # workload ids, no run
 //! fusedml-bench trace --quick --out trace.json   # traced LR-CG -> Chrome trace
+//! fusedml-bench stream --quick --check results/baselines/STREAM_fusion.json
 //! ```
 //!
 //! Exit codes (the `repro` convention from PR 6): 0 = ok / no
@@ -19,14 +20,17 @@
 
 use fusedml_bench::regress::{
     chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
-    plan_drift, plan_report, run_campaign, run_cpu_bench, run_scenario, run_suite, workload_ids,
-    BenchReport, ChaosOptions, CompareOptions, CpuBenchOptions, FaultClass, Json, Mode, Scenario,
-    SuiteOptions,
+    plan_drift, plan_report, run_campaign, run_cpu_bench, run_scenario, run_suite,
+    stream_invariants, stream_regressions, stream_report, workload_ids, BenchReport, ChaosOptions,
+    CompareOptions, CpuBenchOptions, FaultClass, Json, Mode, Scenario, StreamGateOptions,
+    SuiteOptions, STREAM_DEFAULT_PASSES,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
 use fusedml_matrix::gen::{random_vector, uniform_sparse};
 use fusedml_matrix::reference;
-use fusedml_runtime::{run_device, DataSet, EngineKind, SessionConfig};
+use fusedml_runtime::{
+    run_device, DataSet, EngineKind, SessionConfig, SparseStreamer, StreamConfig, TransferModel,
+};
 use std::time::Instant;
 
 fn main() {
@@ -40,6 +44,7 @@ fn main() {
         Some("hostperf") => cmd_hostperf(args.collect()),
         Some("chaos") => cmd_chaos(args.collect()),
         Some("cpu") => cmd_cpu(args.collect()),
+        Some("stream") => cmd_stream(args.collect()),
         Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
         None => die(USAGE),
     }
@@ -61,7 +66,10 @@ const USAGE: &str = "usage:
   fusedml-bench chaos [--scenarios N] [--seed u64] [--out PATH] [--class NAME]
   fusedml-bench chaos replay --seed u64
   fusedml-bench cpu [--quick|--full] [--scale f] [--seed u64] [--repeats N]
-                [--threads LIST] [--out PATH]";
+                [--threads LIST] [--out PATH]
+  fusedml-bench stream [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
+                [--passes N] [--out PATH] [--check BASELINE.json]
+                [--wall-tol f] [--counter-tol f]";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
 fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
@@ -269,9 +277,25 @@ fn cmd_trace(args: Vec<String>) {
     let x = uniform_sparse(rows, cols, 0.01, opts.seed);
     let w_true = random_vector(cols, opts.seed + 10);
     let labels = reference::csr_mv(&x, &w_true);
-    let data = DataSet::Sparse(x);
 
     fusedml_trace::enable();
+    // A short streamed segment on its own device: its flow events link
+    // each chunk's host-side iteration arrow through the PCIe transfer
+    // to the kernel span, and the smoke check below requires them.
+    {
+        let stream_gpu = Gpu::new(opts.device.clone());
+        let cfg = StreamConfig::fixed(rows.div_ceil(4), 2).with_residency(x.size_bytes());
+        let mut s = SparseStreamer::try_new(&stream_gpu, &x, TransferModel::native(), cfg)
+            .unwrap_or_else(|e| fail(&format!("streamed trace segment: {e}")));
+        let y = random_vector(cols, opts.seed + 20);
+        for _ in 0..2 {
+            let mut w = vec![0.0; cols];
+            s.try_pattern_host(fusedml_core::PatternSpec::xtxy(), None, &y, None, &mut w)
+                .unwrap_or_else(|e| fail(&format!("streamed trace segment: {e}")));
+        }
+        s.release();
+    }
+    let data = DataSet::Sparse(x);
     let gpu = Gpu::new(opts.device.clone());
     let report = run_device(
         &gpu,
@@ -322,11 +346,21 @@ fn cmd_trace(args: Vec<String>) {
         "session totals: kernel {:.3} ms, transfer {:.3} ms, {} launches",
         report.kernel_ms, report.transfer_ms, report.launches
     );
-    for layer in ["kernel", "solver", "session"] {
+    for layer in ["kernel", "solver", "session", "stream"] {
         if !categories.contains(&layer) {
             fail(&format!("trace is missing the '{layer}' layer"));
         }
     }
+    // The streamed segment must contribute linkable flow events
+    // (iteration -> chunk transfer -> kernel); an export with none would
+    // silently drop the cross-layer arrows in Perfetto.
+    let flows = summary
+        .field_u64("flows")
+        .unwrap_or_else(|e| fail(&format!("trace summary: {e}")));
+    if flows == 0 {
+        fail("trace has no flow events linking iterations to transfers and kernels");
+    }
+    eprintln!("flow events: {flows}");
 }
 
 /// Render the host-overhead view: plan-cache and buffer-pool traffic plus
@@ -589,6 +623,118 @@ fn cmd_cpu(args: Vec<String>) {
     std::fs::write(&out, report.render())
         .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     eprintln!("wrote {out}");
+}
+
+/// The copy-engine streaming ladder: per workload, run the multi-pass
+/// chunked pattern job at depth 1 (serial), depth 2 (the legacy double
+/// buffer), depth 3 over two queues with full residency, and the
+/// cost-model-searched configuration; write the schema-versioned report
+/// and gate it. The model-level invariants (depth 1 == serial model;
+/// pipelined residency strictly below double-buffer on wall AND H2D
+/// bytes) are enforced on every run, baseline or not; `--check` also
+/// diffs against a committed baseline with noise-aware tolerances.
+fn cmd_stream(args: Vec<String>) {
+    let (opts, rest) = parse_suite_opts(&args);
+    let mut passes = STREAM_DEFAULT_PASSES;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut gate = StreamGateOptions::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--passes" => {
+                passes = next_arg(&mut it, "--passes")
+                    .parse()
+                    .unwrap_or_else(|_| die("--passes needs an unsigned integer"));
+            }
+            "--out" => out = Some(next_arg(&mut it, "--out")),
+            "--check" => check = Some(next_arg(&mut it, "--check")),
+            "--wall-tol" => gate.wall_tol = next_f64(&mut it, "--wall-tol"),
+            "--counter-tol" => gate.counter_tol = next_f64(&mut it, "--counter-tol"),
+            other => die(&format!("unknown flag '{other}' for stream\n{USAGE}")),
+        }
+    }
+    if passes < 2 {
+        die("--passes must be >= 2 (one cold pass, at least one warm)");
+    }
+
+    eprintln!(
+        "stream bench: {} mode on {} (scale {}, seed {:#x}, {} passes)",
+        opts.mode.as_str(),
+        opts.device.name,
+        opts.scale,
+        opts.seed,
+        passes
+    );
+    let report = stream_report(&opts, passes).unwrap_or_else(|e| fail(&e));
+    for wl in report
+        .field("workloads")
+        .ok()
+        .and_then(|w| w.as_arr())
+        .unwrap_or(&[])
+    {
+        eprintln!("  {}", wl.field_str("id").unwrap_or("?"));
+        for leg in wl
+            .field("legs")
+            .ok()
+            .and_then(|l| l.as_arr())
+            .unwrap_or(&[])
+        {
+            eprintln!(
+                "    {:<18} depth {} x{}q  wall {:>9.3} ms  h2d {:>11} B  hit rate {:>5.2}  bubble {:>8.3} ms",
+                leg.field_str("name").unwrap_or("?"),
+                leg.field_u64("depth").unwrap_or(0),
+                leg.field_u64("queues").unwrap_or(0),
+                leg.field_f64("modeled_wall_ms").unwrap_or(f64::NAN),
+                leg.field_u64("h2d_bytes").unwrap_or(0),
+                leg.field_f64("residency_hit_rate").unwrap_or(f64::NAN),
+                leg.field_f64("bubble_ms").unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    let violations = stream_invariants(&report);
+    for v in &violations {
+        eprintln!("stream invariant violated: {v}");
+    }
+
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+            }
+        }
+        std::fs::write(path, report.render())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+    if let Some(path) = &check {
+        let baseline_text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}")));
+        let baseline = Json::parse(&baseline_text)
+            .unwrap_or_else(|e| fail(&format!("baseline {path} does not parse: {e}")));
+        let regressions = stream_regressions(&baseline, &report, &gate);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("stream regression: {r}");
+            }
+            eprintln!(
+                "{} regression{} against {path}; if the change is intended, regenerate the \
+                 baseline with `fusedml-bench stream --out {path}`",
+                regressions.len(),
+                if regressions.len() == 1 { "" } else { "s" }
+            );
+            std::process::exit(1);
+        }
+        eprintln!("stream metrics within tolerance of {path}");
+    }
+    if out.is_none() && check.is_none() {
+        println!("{}", report.render());
+    }
 }
 
 /// Seeds print as hex in reports; accept both hex and decimal back.

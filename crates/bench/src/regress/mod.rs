@@ -11,8 +11,10 @@
 //!   behind `fusedml-bench chaos` / `chaos replay`;
 //! * [`cpu::run_cpu_bench`] — the *measured* (real wall-clock) CPU
 //!   fused-vs-unfused benchmark behind `fusedml-bench cpu`;
+//! * [`stream::stream_report`] — the copy-engine streaming ladder behind
+//!   `fusedml-bench stream`, with its own invariants and baseline gate;
 //! * the `fusedml-bench` binary — `run` / `compare` / `list` / `trace` /
-//!   `chaos` / `cpu` CLI.
+//!   `chaos` / `cpu` / `stream` CLI.
 //!
 //! The JSON layer is hand-rolled ([`json`]) so the subsystem has zero
 //! dependencies beyond the workspace: reports must round-trip in every
@@ -26,6 +28,7 @@ pub mod hostperf;
 pub mod json;
 pub mod plans;
 pub mod report;
+pub mod stream;
 pub mod suite;
 pub mod trace_export;
 
@@ -40,6 +43,10 @@ pub use json::Json;
 pub use plans::{plan_drift, plan_report, PLANS_SCHEMA_VERSION};
 pub use report::{
     BenchReport, ConfigFingerprint, HostPerf, VariantMetrics, WorkloadResult, SCHEMA_VERSION,
+};
+pub use stream::{
+    stream_invariants, stream_regressions, stream_report, StreamGateOptions, STREAM_DEFAULT_PASSES,
+    STREAM_SCHEMA_VERSION,
 };
 pub use suite::{run_suite, workload_ids, Mode, SuiteOptions};
 pub use trace_export::{chrome_trace, metrics_summary, DEVICE_PID, HOST_PID};

@@ -106,6 +106,20 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                 fields.push(("ph", Json::str("i")));
                 fields.push(("s", Json::str("t"))); // thread-scoped marker
             }
+            EventKind::FlowStart => {
+                fields.push(("ph", Json::str("s")));
+                fields.push(("id", Json::u64(ev.flow_id)));
+            }
+            EventKind::FlowStep => {
+                fields.push(("ph", Json::str("t")));
+                fields.push(("id", Json::u64(ev.flow_id)));
+            }
+            EventKind::FlowEnd => {
+                fields.push(("ph", Json::str("f")));
+                fields.push(("id", Json::u64(ev.flow_id)));
+                // Bind to the enclosing slice, not the next one.
+                fields.push(("bp", Json::str("e")));
+            }
         }
         out.push(Json::obj(fields));
     }
@@ -125,11 +139,13 @@ pub fn metrics_summary(events: &[TraceEvent], dropped: u64) -> Json {
     let mut wall_span_ms_by_category: BTreeMap<String, f64> = BTreeMap::new();
     let mut spans = 0u64;
     let mut instants = 0u64;
+    let mut flows = 0u64;
     for ev in events {
         *by_category.entry(ev.cat.clone()).or_insert(0) += 1;
         match ev.kind {
             EventKind::Span => spans += 1,
             EventKind::Instant => instants += 1,
+            EventKind::FlowStart | EventKind::FlowStep | EventKind::FlowEnd => flows += 1,
         }
         if ev.kind == EventKind::Span {
             match ev.clock {
@@ -148,6 +164,7 @@ pub fn metrics_summary(events: &[TraceEvent], dropped: u64) -> Json {
         ("events", Json::u64(events.len() as u64)),
         ("spans", Json::u64(spans)),
         ("instants", Json::u64(instants)),
+        ("flows", Json::u64(flows)),
         ("dropped", Json::u64(dropped)),
         (
             "by_category",
@@ -194,6 +211,7 @@ mod tests {
                 kind: EventKind::Span,
                 ts_us: 0.0,
                 dur_us: 1500.0,
+                flow_id: 0,
                 args: vec![
                     ("grid".to_string(), ArgValue::U64(28)),
                     ("occupancy".to_string(), ArgValue::F64(0.75)),
@@ -207,6 +225,7 @@ mod tests {
                 kind: EventKind::Span,
                 ts_us: 0.0,
                 dur_us: 250.0,
+                flow_id: 0,
                 args: vec![("block".to_string(), ArgValue::Str("X".to_string()))],
             },
             TraceEvent {
@@ -217,6 +236,7 @@ mod tests {
                 kind: EventKind::Span,
                 ts_us: 10.0,
                 dur_us: 90.0,
+                flow_id: 0,
                 args: vec![("iter".to_string(), ArgValue::U64(0))],
             },
             TraceEvent {
@@ -227,6 +247,7 @@ mod tests {
                 kind: EventKind::Instant,
                 ts_us: 42.0,
                 dur_us: 0.0,
+                flow_id: 0,
                 args: vec![("transient".to_string(), ArgValue::Bool(true))],
             },
         ]
@@ -283,6 +304,51 @@ mod tests {
         assert!(thread_names.contains(&"device"));
         assert!(thread_names.contains(&"pcie"));
         assert!(thread_names.contains(&"host"));
+    }
+
+    #[test]
+    fn flow_events_render_chrome_flow_phases() {
+        let flow = |kind, clock, track: &str, ts| TraceEvent {
+            cat: "stream".to_string(),
+            name: "iter.flow".to_string(),
+            track: track.to_string(),
+            clock,
+            kind,
+            ts_us: ts,
+            dur_us: 0.0,
+            flow_id: 42,
+            args: vec![],
+        };
+        let mut events = sample_events();
+        events.push(flow(EventKind::FlowStart, ClockDomain::Wall, "host", 15.0));
+        events.push(flow(EventKind::FlowStep, ClockDomain::Sim, "pcie", 0.0));
+        events.push(flow(EventKind::FlowEnd, ClockDomain::Sim, "device", 0.0));
+        let doc = chrome_trace(&events);
+        let evs = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        let phase = |ph: &str| {
+            evs.iter()
+                .find(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .unwrap_or_else(|| panic!("no '{ph}' event"))
+        };
+        let s = phase("s");
+        assert_eq!(s.field_u64("id").unwrap(), 42);
+        assert_eq!(s.field_u64("pid").unwrap(), HOST_PID);
+        let t = phase("t");
+        assert_eq!(t.field_u64("id").unwrap(), 42);
+        assert_eq!(t.field_u64("pid").unwrap(), DEVICE_PID);
+        let f = phase("f");
+        assert_eq!(f.field_u64("id").unwrap(), 42);
+        assert_eq!(f.field_str("bp").unwrap(), "e");
+        assert!(s.get("dur").is_none(), "flow events carry no duration");
+
+        let summary = metrics_summary(&events, 0);
+        assert_eq!(summary.field_u64("flows").unwrap(), 3);
+        // Flows never contribute span time.
+        assert!(summary
+            .field("wall_span_ms_by_category")
+            .unwrap()
+            .get("stream")
+            .is_none());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use fusion::{
 };
 pub use pattern::{PatternInstance, PatternSpec};
 pub use plancache::{
-    plan_cache_enabled, set_plan_cache_enabled, Invalidation, PlanCache, PlanCacheStats,
+    plan_cache_enabled, set_plan_cache_enabled, Invalidation, PlanCache, PlanCacheStats, StreamPlan,
 };
 pub use sharded::{shard_rows, try_fused_pattern_shard, ShardedExecutor};
 pub use tuner::{

@@ -131,6 +131,40 @@ struct DenseKey {
     shards: usize,
 }
 
+/// A memoized streaming configuration: the chunk size and pipeline depth
+/// the out-of-core cost search selected for one matrix on one device,
+/// plus the modeled wall time of one streamed pattern evaluation under
+/// that configuration. The search itself lives in `fusedml-runtime`
+/// (it prices PCIe transfers); this cache gives it the PR-4 property —
+/// a 500-iteration streamed CG solve searches once, not 500 times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamPlan {
+    /// Rows per streamed chunk.
+    pub rows_per_chunk: usize,
+    /// Pipeline depth (staging buffers in flight).
+    pub depth: usize,
+    /// Modeled wall milliseconds of one full streamed pass under the
+    /// selected configuration (cold residency).
+    pub modeled_ms: f64,
+}
+
+/// Key for a memoized streaming configuration. Unlike the launch-plan
+/// keys, `nnz` enters directly (transfer cost scales with the exact byte
+/// count, not a bucket) alongside the VS bucket the per-chunk kernel
+/// plans hinge on; the copy-engine queue count and the residency budget
+/// are part of the key because both change the pipeline schedule the
+/// search prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct StreamKey {
+    device: u64,
+    rows: usize,
+    cols: usize,
+    nnz: u64,
+    vs: usize,
+    queues: usize,
+    resident_bytes_cap: u64,
+}
+
 /// Key for a memoized DAG fusion plan: the structural DAG fingerprint
 /// plus the matrix statistics the cost model consumes. `nnz` enters the
 /// key directly (not VS-bucketed) because candidate costs scale with the
@@ -155,9 +189,11 @@ pub struct PlanCache {
     sparse: BTreeMap<SparseKey, SparsePlan>,
     dense: BTreeMap<DenseKey, DensePlan>,
     dag: BTreeMap<DagKey, Arc<FusionPlan>>,
+    stream: BTreeMap<StreamKey, StreamPlan>,
     sparse_stats: PlanCacheStats,
     dense_stats: PlanCacheStats,
     dag_stats: PlanCacheStats,
+    stream_stats: PlanCacheStats,
 }
 
 impl PlanCache {
@@ -168,7 +204,11 @@ impl PlanCache {
     /// Memoize `compute` under the sparse key `(device, rows, cols, vs)`
     /// for a single-device executor.
     /// `enabled = false` bypasses the map but still counts the tuner run.
-    pub(crate) fn sparse_plan<E>(
+    /// `pub` (not `pub(crate)`) because the streaming layer in
+    /// `fusedml-runtime` memoizes its per-chunk launch plans here: all
+    /// equal-shaped chunks share one entry, so a streamed pass plans once
+    /// per distinct chunk shape (body + remainder), not once per chunk.
+    pub fn sparse_plan<E>(
         &mut self,
         enabled: bool,
         device: &DeviceSpec,
@@ -322,14 +362,69 @@ impl PlanCache {
         }
     }
 
+    /// Memoize a streaming configuration under
+    /// `(device, rows, cols, nnz, vs, queues, resident_bytes_cap)`.
+    /// This is the PR-4 streaming-key extension: the out-of-core cost
+    /// search in `fusedml-runtime` runs once per (matrix, device,
+    /// copy-engine, budget) tuple and every later solver iteration reuses
+    /// the result. Errors are never cached, matching the other sides.
+    /// `pub` (not `pub(crate)`) because the search lives downstream in
+    /// the runtime crate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_plan<E>(
+        &mut self,
+        enabled: bool,
+        device: &DeviceSpec,
+        rows: usize,
+        cols: usize,
+        nnz: u64,
+        vs: usize,
+        queues: usize,
+        resident_bytes_cap: u64,
+        compute: impl FnOnce() -> Result<StreamPlan, E>,
+    ) -> Result<(StreamPlan, bool), E> {
+        let key = StreamKey {
+            device: device.fingerprint(),
+            rows,
+            cols,
+            nnz,
+            vs,
+            queues,
+            resident_bytes_cap,
+        };
+        if enabled {
+            if let Some(plan) = self.stream.get(&key) {
+                self.stream_stats.hits += 1;
+                return Ok((*plan, true));
+            }
+        }
+        match compute() {
+            Ok(plan) => {
+                if enabled {
+                    self.stream.insert(key, plan);
+                    self.stream_stats.misses += 1;
+                } else {
+                    self.stream_stats.uncached += 1;
+                }
+                Ok((plan, false))
+            }
+            Err(e) => {
+                self.stream_stats.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
     /// Drop every cached plan, recording the typed reason.
     pub fn invalidate(&mut self, reason: Invalidation) {
         self.sparse.clear();
         self.dense.clear();
         self.dag.clear();
+        self.stream.clear();
         self.sparse_stats.invalidations += 1;
         self.dense_stats.invalidations += 1;
         self.dag_stats.invalidations += 1;
+        self.stream_stats.invalidations += 1;
         if fusedml_trace::is_enabled() {
             fusedml_trace::instant(
                 "plan",
@@ -350,15 +445,24 @@ impl PlanCache {
         self.dag.len()
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.sparse.is_empty() && self.dense.is_empty() && self.dag.is_empty()
+    /// Cached streaming configurations.
+    pub fn stream_len(&self) -> usize {
+        self.stream.len()
     }
 
-    /// Sparse, dense and DAG counters merged.
+    pub fn is_empty(&self) -> bool {
+        self.sparse.is_empty()
+            && self.dense.is_empty()
+            && self.dag.is_empty()
+            && self.stream.is_empty()
+    }
+
+    /// Sparse, dense, DAG and streaming counters merged.
     pub fn stats(&self) -> PlanCacheStats {
         let mut s = self.sparse_stats;
         s.merge(&self.dense_stats);
         s.merge(&self.dag_stats);
+        s.merge(&self.stream_stats);
         s
     }
 
@@ -374,10 +478,15 @@ impl PlanCache {
         self.dag_stats
     }
 
+    pub fn stream_stats(&self) -> PlanCacheStats {
+        self.stream_stats
+    }
+
     pub fn reset_stats(&mut self) {
         self.sparse_stats = PlanCacheStats::default();
         self.dense_stats = PlanCacheStats::default();
         self.dag_stats = PlanCacheStats::default();
+        self.stream_stats = PlanCacheStats::default();
     }
 }
 
@@ -500,7 +609,64 @@ mod tests {
         assert!(cache.is_empty());
         let (_, hit) = plan_sparse_via_cache(&mut cache, &spec, 10_000, 512, 20.0).unwrap();
         assert!(!hit, "invalidation forces a replan");
-        assert_eq!(cache.stats().invalidations, 3); // sparse + dense + dag side
+        // sparse + dense + dag + stream sides each record the flush.
+        assert_eq!(cache.stats().invalidations, 4);
+    }
+
+    #[test]
+    fn stream_key_isolates_device_shape_queues_and_budget() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        let mk = |rows_per_chunk| StreamPlan {
+            rows_per_chunk,
+            depth: 3,
+            modeled_ms: 1.0,
+        };
+        let plan = |cache: &mut PlanCache, queues: usize, cap: u64| {
+            cache.stream_plan::<()>(true, &spec, 10_000, 512, 200_000, 16, queues, cap, || {
+                Ok(mk(1024))
+            })
+        };
+        let (_, h1) = plan(&mut cache, 1, 0).unwrap();
+        let (_, h1b) = plan(&mut cache, 1, 0).unwrap();
+        assert!(!h1 && h1b, "second identical request hits");
+        let (_, hq) = plan(&mut cache, 2, 0).unwrap();
+        let (_, hb) = plan(&mut cache, 1, 1 << 20).unwrap();
+        assert!(!hq, "queue count is part of the key");
+        assert!(!hb, "residency budget is part of the key");
+        let (_, hk20) = cache
+            .stream_plan::<()>(
+                true,
+                &DeviceSpec::tesla_k20(),
+                10_000,
+                512,
+                200_000,
+                16,
+                1,
+                0,
+                || Ok(mk(512)),
+            )
+            .unwrap();
+        assert!(!hk20, "device fingerprint is part of the key");
+        assert_eq!(cache.stream_len(), 4);
+        let s = cache.stream_stats();
+        assert_eq!((s.hits, s.misses), (1, 4));
+        assert_eq!(s.plans_computed(), 4);
+    }
+
+    #[test]
+    fn stream_plan_errors_are_not_cached() {
+        let mut cache = PlanCache::new();
+        let spec = titan();
+        for _ in 0..2 {
+            let res: Result<(StreamPlan, bool), &str> =
+                cache.stream_plan(true, &spec, 100, 10, 1000, 4, 1, 0, || {
+                    Err("no feasible chunk")
+                });
+            assert!(res.is_err());
+        }
+        assert_eq!(cache.stream_len(), 0, "errors must never enter the cache");
+        assert_eq!(cache.stream_stats().errors, 2);
     }
 
     #[test]

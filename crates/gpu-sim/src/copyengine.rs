@@ -1,0 +1,400 @@
+//! Multi-queue host→device copy-engine model.
+//!
+//! Real GPUs expose dedicated copy engines (CUDA streams bound to DMA
+//! queues) that move data concurrently with compute; `cudaMemcpyAsync` on
+//! N streams shares the PCIe link between in-flight transfers. This
+//! module models that resource the same way [`crate::group::DeviceGroup`]
+//! models the interconnect: every transfer adds a latency + bandwidth
+//! cost to atomic event counters (transfer count, bytes, busy time per
+//! queue), so streamed runs are bit-deterministic on the same axes as
+//! kernel launches and DRAM traffic.
+//!
+//! Two pieces:
+//!
+//! * [`CopyEngine`] — the accounting object. N independent H2D queues
+//!   with a *static* per-queue bandwidth share (`link / queues`): a lone
+//!   transfer only gets its queue's share, but all queues together
+//!   saturate the link and per-transfer latency is amortized across
+//!   queues. With `queues == 1` a transfer costs exactly
+//!   [`PcieSpec::transfer_ms`], so the single-queue engine reproduces the
+//!   flat transfer model bit-for-bit.
+//! * [`pipeline_wall`] — a pure, deterministic event-driven schedule for
+//!   a depth-`d` streaming pipeline: transfer of chunk `i` may not start
+//!   before the kernel using staging buffer `i mod d` has drained
+//!   (`d = 1` degenerates to fully serial transfer→compute→transfer…),
+//!   queues serialize their own transfers (round-robin assignment), and
+//!   kernels serialize on the compute engine. The schedule reports the
+//!   modeled wall time and the compute-engine idle ("pipeline bubble")
+//!   time. Being a pure function of the per-chunk costs, the same
+//!   routine prices candidate (chunk size, depth) configurations inside
+//!   the streaming cost search without touching engine counters.
+
+use crate::timing::PcieSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Static description of a copy engine: how many DMA queues and what link
+/// they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyEngineSpec {
+    /// Independent H2D queues (≥ 1). Each gets a static
+    /// `bandwidth / queues` share of the link.
+    pub queues: usize,
+    /// The shared link.
+    pub pcie: PcieSpec,
+}
+
+impl CopyEngineSpec {
+    /// An engine with `queues` DMA queues over `pcie`.
+    pub fn new(queues: usize, pcie: PcieSpec) -> Self {
+        assert!(queues >= 1, "a copy engine needs at least one queue");
+        CopyEngineSpec { queues, pcie }
+    }
+
+    /// The classic single-queue engine: one transfer at a time at full
+    /// link bandwidth (bit-identical to [`PcieSpec::transfer_ms`]).
+    pub fn single(pcie: PcieSpec) -> Self {
+        CopyEngineSpec::new(1, pcie)
+    }
+
+    /// Milliseconds for one transfer of `bytes` on one queue at its
+    /// static bandwidth share.
+    pub fn h2d_ms(&self, bytes: u64) -> f64 {
+        self.pcie.latency_us * 1e-3
+            + bytes as f64 / (self.pcie.bandwidth_gbps / self.queues as f64) * 1e-6
+    }
+}
+
+/// Cumulative copy-engine traffic (all queues).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyEngineStats {
+    /// Number of H2D transfers issued.
+    pub transfers: u64,
+    /// Total bytes moved host → device.
+    pub bytes: u64,
+    /// Modeled milliseconds of queue busy time, summed over queues.
+    pub sim_ms: f64,
+    /// Per-queue busy milliseconds (occupancy accounting).
+    pub queue_busy_ms: Vec<f64>,
+}
+
+/// The copy-engine accounting object. Counters follow the
+/// [`crate::group::DeviceGroup`] idiom: integer-nanosecond atomics, so the
+/// latency + bytes/bandwidth model stays exact under concurrent charging.
+#[derive(Debug)]
+pub struct CopyEngine {
+    spec: CopyEngineSpec,
+    transfers: AtomicU64,
+    bytes: AtomicU64,
+    /// Busy time summed over queues, in nanoseconds.
+    sim_ns: AtomicU64,
+    /// Per-queue busy nanoseconds.
+    queue_busy_ns: Vec<AtomicU64>,
+}
+
+impl CopyEngine {
+    pub fn new(spec: CopyEngineSpec) -> Self {
+        let queue_busy_ns = (0..spec.queues).map(|_| AtomicU64::new(0)).collect();
+        CopyEngine {
+            spec,
+            transfers: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            sim_ns: AtomicU64::new(0),
+            queue_busy_ns,
+        }
+    }
+
+    /// The engine's static description.
+    pub fn spec(&self) -> &CopyEngineSpec {
+        &self.spec
+    }
+
+    /// Charge one H2D transfer of `bytes` to `queue` (callers assign
+    /// queues round-robin in issue order so the accounting is
+    /// deterministic). Returns the modeled transfer milliseconds.
+    pub fn charge_h2d(&self, queue: usize, bytes: u64) -> f64 {
+        let ms = self.spec.h2d_ms(bytes);
+        let ns = (ms * 1e6).round() as u64;
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        self.queue_busy_ns[queue % self.spec.queues].fetch_add(ns, Ordering::Relaxed);
+        ms
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> CopyEngineStats {
+        CopyEngineStats {
+            transfers: self.transfers.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            sim_ms: self.sim_ns.load(Ordering::Relaxed) as f64 * 1e-6,
+            queue_busy_ms: self
+                .queue_busy_ns
+                .iter()
+                .map(|q| q.load(Ordering::Relaxed) as f64 * 1e-6)
+                .collect(),
+        }
+    }
+}
+
+/// Per-chunk costs feeding the pipeline schedule. A residency hit is a
+/// chunk with `transfer_ms == 0.0`: it occupies neither a queue slot nor
+/// a staging buffer (it is already device-resident) and its kernel is
+/// ready to run as soon as the compute engine frees up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkCost {
+    /// H2D time for the chunk's payload at its queue's bandwidth share;
+    /// `0.0` marks a device-resident chunk (no transfer).
+    pub transfer_ms: f64,
+    /// Fused-kernel time for the chunk.
+    pub kernel_ms: f64,
+}
+
+/// Result of a pipeline schedule: modeled wall time and compute-engine
+/// idle time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineModel {
+    /// End of the last chunk kernel (callers add epilogue work on top).
+    pub wall_ms: f64,
+    /// Compute-engine idle before and between kernels — the pipeline
+    /// fill plus every stall where a kernel waited on its transfer.
+    pub bubble_ms: f64,
+}
+
+/// Deterministic event-driven schedule for a depth-`depth` streaming
+/// pipeline over `queues` copy queues.
+///
+/// Constraints modeled:
+/// * **staging buffers** — at most `depth` streamed chunks may be in
+///   flight; transfer `i` waits for the kernel that last used its buffer
+///   (the `depth`-th most recent streamed chunk) to finish. `depth == 1`
+///   is today's serial model: transfer and compute never overlap.
+/// * **queues** — streamed transfers are assigned round-robin in issue
+///   order; each queue serializes its own transfers. `lead_in_ms`
+///   (the y/z vector upload) occupies queue 0 from time zero.
+/// * **compute** — kernels serialize in chunk order; kernel `i` starts at
+///   `max(transfer_end(i), kernel_end(i-1))`.
+///
+/// Relaxing the buffer constraint can only move starts earlier, so the
+/// modeled wall is non-increasing in `depth` for fixed costs and queue
+/// count — the monotonicity the property tests pin down.
+pub fn pipeline_wall(
+    depth: usize,
+    queues: usize,
+    lead_in_ms: f64,
+    chunks: &[ChunkCost],
+) -> PipelineModel {
+    assert!(depth >= 1, "pipeline depth must be positive");
+    assert!(queues >= 1, "pipeline needs at least one copy queue");
+    let mut queue_free = vec![0.0f64; queues];
+    queue_free[0] = lead_in_ms;
+    // Kernel-end times of streamed (non-resident) chunks, oldest first;
+    // capped at `depth` entries — the staging-buffer ring.
+    let mut staged_ends: std::collections::VecDeque<f64> =
+        std::collections::VecDeque::with_capacity(depth);
+    let mut prev_kernel_end = 0.0f64;
+    let mut bubble = 0.0f64;
+    let mut next_queue = 0usize;
+
+    for c in chunks {
+        let ready = if c.transfer_ms > 0.0 {
+            let q = next_queue % queues;
+            next_queue += 1;
+            let buffer_free = if staged_ends.len() == depth {
+                staged_ends.pop_front().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let start = queue_free[q].max(buffer_free);
+            let end = start + c.transfer_ms;
+            queue_free[q] = end;
+            end
+        } else {
+            // Residency hit: the chunk never leaves the device.
+            0.0
+        };
+        let k_start = ready.max(prev_kernel_end);
+        bubble += k_start - prev_kernel_end;
+        prev_kernel_end = k_start + c.kernel_ms;
+        if c.transfer_ms > 0.0 {
+            staged_ends.push_back(prev_kernel_end);
+        }
+    }
+    PipelineModel {
+        wall_ms: prev_kernel_end,
+        bubble_ms: bubble,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcie() -> PcieSpec {
+        PcieSpec::gen3_x16()
+    }
+
+    #[test]
+    fn single_queue_matches_flat_transfer_model() {
+        let spec = CopyEngineSpec::single(pcie());
+        for bytes in [8u64, 4096, 1 << 20, 123_456_789] {
+            assert_eq!(
+                spec.h2d_ms(bytes).to_bits(),
+                pcie().transfer_ms(bytes).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn per_queue_share_splits_bandwidth_but_keeps_latency() {
+        let one = CopyEngineSpec::single(pcie());
+        let four = CopyEngineSpec::new(4, pcie());
+        let bytes = 1 << 24;
+        let lat = pcie().latency_us * 1e-3;
+        let t1 = one.h2d_ms(bytes) - lat;
+        let t4 = four.h2d_ms(bytes) - lat;
+        assert!((t4 / t1 - 4.0).abs() < 1e-9, "quarter bandwidth per queue");
+    }
+
+    #[test]
+    fn engine_counts_transfers_bytes_and_queue_busy_time() {
+        let eng = CopyEngine::new(CopyEngineSpec::new(2, pcie()));
+        let a = eng.charge_h2d(0, 1000);
+        let b = eng.charge_h2d(1, 3000);
+        let c = eng.charge_h2d(2, 500); // wraps to queue 0
+        let s = eng.stats();
+        assert_eq!(s.transfers, 3);
+        assert_eq!(s.bytes, 4500);
+        assert!((s.sim_ms - (a + b + c)).abs() < 1e-6);
+        assert_eq!(s.queue_busy_ms.len(), 2);
+        assert!((s.queue_busy_ms[0] - (a + c)).abs() < 1e-6);
+        assert!((s.queue_busy_ms[1] - b).abs() < 1e-6);
+    }
+
+    fn costs() -> Vec<ChunkCost> {
+        // Heterogeneous chunks: transfer-bound, compute-bound, balanced.
+        vec![
+            ChunkCost {
+                transfer_ms: 2.0,
+                kernel_ms: 1.0,
+            },
+            ChunkCost {
+                transfer_ms: 1.0,
+                kernel_ms: 3.0,
+            },
+            ChunkCost {
+                transfer_ms: 2.5,
+                kernel_ms: 2.5,
+            },
+            ChunkCost {
+                transfer_ms: 0.5,
+                kernel_ms: 1.5,
+            },
+            ChunkCost {
+                transfer_ms: 3.0,
+                kernel_ms: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn depth_one_is_the_serial_model() {
+        let lead = 0.75;
+        let chunks = costs();
+        let m = pipeline_wall(1, 1, lead, &chunks);
+        let serial: f64 = lead
+            + chunks
+                .iter()
+                .map(|c| c.transfer_ms + c.kernel_ms)
+                .sum::<f64>();
+        assert!(
+            (m.wall_ms - serial).abs() < 1e-12,
+            "{} vs {serial}",
+            m.wall_ms
+        );
+        // Every transfer is a bubble in the serial schedule.
+        let stalls: f64 = lead + chunks.iter().map(|c| c.transfer_ms).sum::<f64>();
+        assert!((m.bubble_ms - stalls).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_is_non_increasing_in_depth() {
+        let chunks = costs();
+        for queues in [1, 2, 3] {
+            let mut prev = f64::INFINITY;
+            for depth in 1..=6 {
+                let m = pipeline_wall(depth, queues, 0.4, &chunks);
+                assert!(
+                    m.wall_ms <= prev + 1e-12,
+                    "queues={queues} depth={depth}: {} > {prev}",
+                    m.wall_ms
+                );
+                assert!(m.bubble_ms >= 0.0);
+                prev = m.wall_ms;
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffering_overlaps_transfer_and_compute() {
+        let chunks = costs();
+        let serial = pipeline_wall(1, 1, 0.0, &chunks).wall_ms;
+        let overlapped = pipeline_wall(2, 1, 0.0, &chunks).wall_ms;
+        assert!(overlapped < serial, "{overlapped} vs {serial}");
+        // Bounded below by the busier engine.
+        let t: f64 = chunks.iter().map(|c| c.transfer_ms).sum();
+        let k: f64 = chunks.iter().map(|c| c.kernel_ms).sum();
+        assert!(overlapped >= t.max(k) - 1e-12);
+    }
+
+    #[test]
+    fn resident_chunks_skip_queue_and_buffer_constraints() {
+        let resident: Vec<ChunkCost> = costs()
+            .into_iter()
+            .map(|c| ChunkCost {
+                transfer_ms: 0.0,
+                ..c
+            })
+            .collect();
+        let m = pipeline_wall(2, 1, 0.0, &resident);
+        let k: f64 = resident.iter().map(|c| c.kernel_ms).sum();
+        assert!((m.wall_ms - k).abs() < 1e-12);
+        assert_eq!(m.bubble_ms, 0.0, "no transfers, no stalls");
+    }
+
+    #[test]
+    fn deeper_pipeline_rides_out_a_slow_transfer() {
+        // One pathologically slow transfer in the middle: depth 2 stalls
+        // on it, depth 4 prefetches past it while earlier kernels run.
+        let chunks = vec![
+            ChunkCost {
+                transfer_ms: 1.0,
+                kernel_ms: 4.0,
+            },
+            ChunkCost {
+                transfer_ms: 1.0,
+                kernel_ms: 4.0,
+            },
+            ChunkCost {
+                transfer_ms: 9.0,
+                kernel_ms: 1.0,
+            },
+            ChunkCost {
+                transfer_ms: 1.0,
+                kernel_ms: 4.0,
+            },
+            ChunkCost {
+                transfer_ms: 1.0,
+                kernel_ms: 4.0,
+            },
+        ];
+        let d2 = pipeline_wall(2, 1, 0.0, &chunks);
+        let d4 = pipeline_wall(4, 1, 0.0, &chunks);
+        assert!(
+            d4.wall_ms < d2.wall_ms - 1e-9,
+            "depth 4 {} must beat depth 2 {}",
+            d4.wall_ms,
+            d2.wall_ms
+        );
+        assert!(d4.bubble_ms < d2.bubble_ms);
+    }
+}

@@ -44,6 +44,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cache;
+pub mod copyengine;
 pub mod cost;
 pub mod counters;
 pub mod device;
@@ -58,6 +59,9 @@ pub mod profile;
 pub mod shared;
 pub mod timing;
 
+pub use copyengine::{
+    pipeline_wall, ChunkCost, CopyEngine, CopyEngineSpec, CopyEngineStats, PipelineModel,
+};
 pub use cost::{estimate_fused_kernel, estimate_plan_ms, ChainOp, KernelEstimate};
 pub use counters::{AggregationBreakdown, Counters};
 pub use device::DeviceSpec;

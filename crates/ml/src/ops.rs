@@ -467,8 +467,10 @@ impl<'g> Backend for FusedBackend<'g> {
 
 /// Element-wise `out[i] = f(x[i], y[i])` device kernel shared by the GPU
 /// backends (models the single fused element-wise kernel a real system
-/// would generate for link functions).
-pub(crate) fn try_device_map2(
+/// would generate for link functions). `pub` so out-of-crate backends —
+/// the runtime's streamed backend — reuse the same kernel instead of
+/// forking it.
+pub fn try_device_map2(
     gpu: &Gpu,
     x: &GpuBuffer,
     y: &GpuBuffer,

@@ -17,6 +17,7 @@ pub mod memman;
 pub mod recovery;
 pub mod session;
 pub mod shard_recovery;
+pub mod streamed_backend;
 pub mod streaming;
 pub mod transfer;
 
@@ -33,5 +34,9 @@ pub use session::{
     ShardedSessionReport,
 };
 pub use shard_recovery::{run_lr_cg_sharded_with_recovery, ShardTier, ShardedOutcome};
-pub use streaming::{stream_pattern_sparse, try_stream_pattern_sparse, StreamError, StreamReport};
+pub use streamed_backend::StreamedBackend;
+pub use streaming::{
+    choose_stream_plan, stream_pattern_sparse, try_stream_pattern_sparse, SparseStreamer,
+    StreamConfig, StreamError, StreamReport,
+};
 pub use transfer::TransferModel;

@@ -50,11 +50,22 @@ pub enum ClockDomain {
     Sim,
 }
 
-/// Span (has a duration) or instant (a point marker).
+/// Span (has a duration), instant (a point marker), or a flow edge
+/// (Chrome `s`/`t`/`f` arrows linking causally-related spans across
+/// tracks — a solver iteration to the chunk transfers and kernels it
+/// triggered). Flow events carry the shared arrow id in
+/// [`TraceEvent::flow_id`] and bind to the span enclosing their
+/// timestamp on their track.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     Span,
     Instant,
+    /// Start of a flow arrow (`"ph": "s"`).
+    FlowStart,
+    /// Intermediate hop of a flow arrow (`"ph": "t"`).
+    FlowStep,
+    /// End of a flow arrow (`"ph": "f"`).
+    FlowEnd,
 }
 
 /// A typed event argument value (rendered into the Chrome `args` object).
@@ -121,6 +132,9 @@ pub struct TraceEvent {
     pub ts_us: f64,
     /// Duration in microseconds; 0 for instants.
     pub dur_us: f64,
+    /// Arrow id shared by the flow events of one causal chain; 0 for
+    /// spans and instants.
+    pub flow_id: u64,
     pub args: Vec<(String, ArgValue)>,
 }
 
@@ -220,11 +234,69 @@ pub fn instant(cat: &str, name: &str, track: &str, args: &[(&str, ArgValue)]) {
         kind: EventKind::Instant,
         ts_us: wall_now_us(),
         dur_us: 0.0,
+        flow_id: 0,
         args: args
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect(),
     });
+}
+
+/// Record the start of a flow arrow on a wall-clock track at the current
+/// wall time — call it from inside the span (e.g. a solver iteration)
+/// the arrow should originate from; Chrome binds the `s` event to the
+/// span enclosing its timestamp.
+pub fn wall_flow_start(cat: &str, name: &str, track: &str, id: u64) {
+    if !is_enabled() {
+        return;
+    }
+    push(TraceEvent {
+        cat: cat.to_string(),
+        name: name.to_string(),
+        track: track.to_string(),
+        clock: ClockDomain::Wall,
+        kind: EventKind::FlowStart,
+        ts_us: wall_now_us(),
+        dur_us: 0.0,
+        flow_id: id,
+        args: Vec::new(),
+    });
+}
+
+/// Record a flow hop (`FlowStep`) or terminus (`FlowEnd`) on a
+/// simulated-time track at the track's *current cursor* — i.e. at the
+/// start of the next [`sim_span`] recorded on that track. Call it
+/// immediately before the span the arrow should attach to.
+fn sim_flow(cat: &str, name: &str, track: &str, id: u64, kind: EventKind) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_us = {
+        let mut s = state().lock().unwrap_or_else(|e| e.into_inner());
+        *s.sim_cursor_us.entry(track.to_string()).or_insert(0.0)
+    };
+    push(TraceEvent {
+        cat: cat.to_string(),
+        name: name.to_string(),
+        track: track.to_string(),
+        clock: ClockDomain::Sim,
+        kind,
+        ts_us,
+        dur_us: 0.0,
+        flow_id: id,
+        args: Vec::new(),
+    });
+}
+
+/// Flow hop on a simulated track (binds to the next [`sim_span`] there).
+pub fn sim_flow_step(cat: &str, name: &str, track: &str, id: u64) {
+    sim_flow(cat, name, track, id, EventKind::FlowStep);
+}
+
+/// Flow terminus on a simulated track (binds to the next [`sim_span`]
+/// there).
+pub fn sim_flow_end(cat: &str, name: &str, track: &str, id: u64) {
+    sim_flow(cat, name, track, id, EventKind::FlowEnd);
 }
 
 /// Record a simulated-time span of `dur_ms` on `track`. The span starts
@@ -251,6 +323,7 @@ pub fn sim_span(cat: &str, name: &str, track: &str, dur_ms: f64, args: &[(&str, 
         kind: EventKind::Span,
         ts_us,
         dur_us,
+        flow_id: 0,
         args: args
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
@@ -306,6 +379,7 @@ impl Drop for SpanGuard {
             kind: EventKind::Span,
             ts_us: self.start_us,
             dur_us: (end_us - self.start_us).max(0.0),
+            flow_id: 0,
             args: std::mem::take(&mut self.args),
         });
     }
@@ -390,6 +464,44 @@ mod tests {
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].name, "b");
         assert_eq!(ev[0].ts_us, 0.0); // cursor was reset
+    }
+
+    #[test]
+    fn flows_bind_to_span_starts_without_advancing_cursors() {
+        let _g = lock_collector();
+        enable();
+        wall_flow_start("stream", "iter.flow", "host", 7);
+        sim_flow_step("stream", "iter.flow", "pcie", 7);
+        sim_span("stream", "chunk.h2d", "pcie", 2.0, &[]);
+        sim_flow_end("stream", "iter.flow", "device", 7);
+        sim_span("kernel", "fused_sparse_shard", "device", 1.0, &[]);
+        disable();
+        let ev = take();
+        assert_eq!(ev.len(), 5);
+        assert_eq!(ev[0].kind, EventKind::FlowStart);
+        assert_eq!(ev[0].clock, ClockDomain::Wall);
+        assert_eq!(ev[0].flow_id, 7);
+        // The pcie flow step sits exactly at the h2d span's start and did
+        // not advance the cursor.
+        assert_eq!(ev[1].kind, EventKind::FlowStep);
+        assert_eq!(ev[1].ts_us, ev[2].ts_us);
+        assert_eq!(ev[2].kind, EventKind::Span);
+        assert_eq!(ev[2].ts_us, 0.0);
+        // Same on the device track.
+        assert_eq!(ev[3].kind, EventKind::FlowEnd);
+        assert_eq!(ev[3].ts_us, ev[4].ts_us);
+        assert_eq!(ev[4].flow_id, 0, "spans carry no flow id");
+    }
+
+    #[test]
+    fn disabled_flows_record_nothing() {
+        let _g = lock_collector();
+        enable();
+        disable();
+        wall_flow_start("stream", "f", "host", 1);
+        sim_flow_step("stream", "f", "pcie", 1);
+        sim_flow_end("stream", "f", "device", 1);
+        assert!(take().is_empty());
     }
 
     #[test]
