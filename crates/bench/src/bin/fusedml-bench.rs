@@ -8,6 +8,8 @@
 //! fusedml-bench list --quick                     # workload ids, no run
 //! fusedml-bench trace --quick --out trace.json   # traced LR-CG -> Chrome trace
 //! fusedml-bench stream --quick --check results/baselines/STREAM_fusion.json
+//! fusedml-bench serve --out SERVE_fusion.json
+//! fusedml-bench serve --check results/baselines/SERVE_fusion.json
 //! ```
 //!
 //! Exit codes (the `repro` convention from PR 6): 0 = ok / no
@@ -21,8 +23,9 @@
 use fusedml_bench::regress::{
     chrome_trace, compare, hostperf_summary, hostperf_table, hostperf_totals, metrics_summary,
     plan_drift, plan_report, run_campaign, run_cpu_bench, run_scenario, run_suite,
-    stream_invariants, stream_regressions, stream_report, workload_ids, BenchReport, ChaosOptions,
-    CompareOptions, CpuBenchOptions, FaultClass, Json, Mode, Scenario, StreamGateOptions,
+    serve_bench_report, serve_invariants, serve_regressions, stream_invariants, stream_regressions,
+    stream_report, workload_ids, BenchReport, ChaosOptions, CompareOptions, CpuBenchOptions,
+    FaultClass, Json, Mode, Scenario, ServeBenchOptions, ServeGateOptions, StreamGateOptions,
     SuiteOptions, STREAM_DEFAULT_PASSES,
 };
 use fusedml_gpu_sim::{DeviceSpec, Gpu};
@@ -45,6 +48,7 @@ fn main() {
         Some("chaos") => cmd_chaos(args.collect()),
         Some("cpu") => cmd_cpu(args.collect()),
         Some("stream") => cmd_stream(args.collect()),
+        Some("serve") => cmd_serve(args.collect()),
         Some(other) => die(&format!("unknown subcommand '{other}'\n{USAGE}")),
         None => die(USAGE),
     }
@@ -69,7 +73,10 @@ const USAGE: &str = "usage:
                 [--threads LIST] [--out PATH]
   fusedml-bench stream [--quick|--full] [--scale f] [--seed u64] [--device titan|k20]
                 [--passes N] [--out PATH] [--check BASELINE.json]
-                [--wall-tol f] [--counter-tol f]";
+                [--wall-tol f] [--counter-tol f]
+  fusedml-bench serve [--tenants N] [--requests N] [--slots N] [--seed u64]
+                [--device titan|k20] [--out PATH] [--check BASELINE.json]
+                [--latency-tol f] [--throughput-tol f]";
 
 /// Parse the suite-shaping flags shared by `run` and `list`.
 fn parse_suite_opts(args: &[String]) -> (SuiteOptions, Vec<String>) {
@@ -731,6 +738,146 @@ fn cmd_stream(args: Vec<String>) {
             std::process::exit(1);
         }
         eprintln!("stream metrics within tolerance of {path}");
+    }
+    if out.is_none() && check.is_none() {
+        println!("{}", report.render());
+    }
+}
+
+/// The multi-tenant serving bench: run the seeded tenant grid and mixed
+/// arrival process through the runtime's serving layer, write the
+/// schema-versioned `SERVE_fusion.json` and gate it. The structural
+/// invariants (request accounting, no ladder exhaustion, latency
+/// monotonicity, fault containment) are enforced on every run, baseline
+/// or not; `--check` also diffs against a committed baseline with
+/// noise-aware tolerances on latency and throughput and exact gates on
+/// the deterministic shed/reject counters.
+fn cmd_serve(args: Vec<String>) {
+    let mut opts = ServeBenchOptions::default();
+    let mut gate = ServeGateOptions::default();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tenants" => {
+                opts.tenants = next_arg(&mut it, "--tenants")
+                    .parse()
+                    .unwrap_or_else(|_| die("--tenants needs an unsigned integer"));
+            }
+            "--requests" => {
+                opts.requests = next_arg(&mut it, "--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("--requests needs an unsigned integer"));
+            }
+            "--slots" => {
+                opts.slots = next_arg(&mut it, "--slots")
+                    .parse()
+                    .unwrap_or_else(|_| die("--slots needs an unsigned integer"));
+            }
+            "--seed" => opts.seed = parse_seed(&next_arg(&mut it, "--seed")),
+            "--device" => {
+                opts.device = match next_arg(&mut it, "--device").as_str() {
+                    "titan" => DeviceSpec::gtx_titan().into(),
+                    "k20" => DeviceSpec::tesla_k20().into(),
+                    other => die(&format!("--device must be 'titan' or 'k20', got '{other}'")),
+                };
+            }
+            "--out" => out = Some(next_arg(&mut it, "--out")),
+            "--check" => check = Some(next_arg(&mut it, "--check")),
+            "--latency-tol" => gate.latency_tol = next_f64(&mut it, "--latency-tol"),
+            "--throughput-tol" => gate.throughput_tol = next_f64(&mut it, "--throughput-tol"),
+            other => die(&format!("unknown flag '{other}' for serve\n{USAGE}")),
+        }
+    }
+    if opts.tenants < 3 {
+        die("--tenants must be >= 3 (the grid needs its chaotic, bursty and metered tenants)");
+    }
+    if opts.requests == 0 || opts.slots == 0 {
+        die("--requests and --slots must be >= 1");
+    }
+
+    eprintln!(
+        "serve bench: {} tenants x {} requests on {} slots ({}, seed {:#x})",
+        opts.tenants, opts.requests, opts.slots, opts.device.name, opts.seed
+    );
+    let report = serve_bench_report(&opts).unwrap_or_else(|e| fail(&e));
+    if let Ok(totals) = report.field("totals") {
+        eprintln!(
+            "  completed {} / {}  rejected {}+{}  shed {}  recoveries {}  deadline misses {}",
+            totals.field_u64("completed").unwrap_or(0),
+            totals.field_u64("submitted").unwrap_or(0),
+            totals.field_u64("rejected_queue").unwrap_or(0),
+            totals.field_u64("rejected_quota").unwrap_or(0),
+            totals.field_u64("shed").unwrap_or(0),
+            totals.field_u64("recoveries").unwrap_or(0),
+            totals.field_u64("deadline_misses").unwrap_or(0),
+        );
+    }
+    if let Ok(lat) = report.field("latency_ms") {
+        eprintln!(
+            "  latency p50 {:>8.3} ms  p99 {:>8.3} ms  p999 {:>8.3} ms  throughput {:>8.1} req/s",
+            lat.field_f64("p50").unwrap_or(f64::NAN),
+            lat.field_f64("p99").unwrap_or(f64::NAN),
+            lat.field_f64("p999").unwrap_or(f64::NAN),
+            report.field_f64("throughput_rps").unwrap_or(f64::NAN),
+        );
+    }
+    for t in report
+        .field("tenants")
+        .ok()
+        .and_then(|t| t.as_arr())
+        .unwrap_or(&[])
+    {
+        eprintln!(
+            "  {:<10} completed {:>3}/{:<3}  recoveries {:>2}  faults {:>3}  max depth {}",
+            t.field_str("name").unwrap_or("?"),
+            t.field_u64("completed").unwrap_or(0),
+            t.field_u64("submitted").unwrap_or(0),
+            t.field_u64("recoveries").unwrap_or(0),
+            t.field_u64("faults_injected").unwrap_or(0),
+            t.field_u64("max_queue_depth").unwrap_or(0),
+        );
+    }
+
+    let violations = serve_invariants(&report);
+    for v in &violations {
+        eprintln!("serve invariant violated: {v}");
+    }
+
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+            }
+        }
+        std::fs::write(path, report.render())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+    if let Some(path) = &check {
+        let baseline_text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}")));
+        let baseline = Json::parse(&baseline_text)
+            .unwrap_or_else(|e| fail(&format!("baseline {path} does not parse: {e}")));
+        let regressions = serve_regressions(&baseline, &report, &gate);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("serve regression: {r}");
+            }
+            eprintln!(
+                "{} regression{} against {path}; if the change is intended, regenerate the \
+                 baseline with `fusedml-bench serve --out {path}`",
+                regressions.len(),
+                if regressions.len() == 1 { "" } else { "s" }
+            );
+            std::process::exit(1);
+        }
+        eprintln!("serve metrics within tolerance of {path}");
     }
     if out.is_none() && check.is_none() {
         println!("{}", report.render());

@@ -21,11 +21,18 @@
 //!    run, an unfaulted N-device run, and an N-device run that lost one
 //!    device (resharded onto the survivors).
 //!
+//! 6. **tenant isolation holds** — serving scenarios (a multi-tenant
+//!    [`fn@fusedml_runtime::serve`] grid with the fault profile pinned to
+//!    one seed-derived tenant) require the faulted tenant to recover and
+//!    every co-tenant's outcomes to stay bit-identical to a fault-free
+//!    run of the same grid: no error, no deadline miss, no latency shift
+//!    caused by someone else's faults.
+//!
 //! Every scenario is a pure function of its 64-bit seed: the workload,
-//! fault class, rates, device count, interconnect and dataset are all
-//! derived from it, and the report contains no wall-clock times — so
-//! `chaos replay --seed <s>` reproduces any scenario from a report
-//! bit-identically.
+//! fault class, rates, device count, tenant count, interconnect and
+//! dataset are all derived from it, and the report contains no
+//! wall-clock times — so `chaos replay --seed <s>` reproduces any
+//! scenario from a report bit-identically.
 
 use super::json::Json;
 use fusedml_gpu_sim::{DeviceGroup, DeviceSpec, FaultCounts, FaultProfile, Gpu, InterconnectSpec};
@@ -35,16 +42,24 @@ use fusedml_ml::{
     try_glm, try_hits, try_logreg, try_lr_cg, try_svm, Backend, CpuBackend, FusedBackend,
     GlmOptions, HitsOptions, LogRegOptions, LrCgOptions, ShardedBackend, SolverError, SvmOptions,
 };
+use fusedml_runtime::{
+    clean_run, serve, RequestStatus, ServeConfig, ServeRequest, ServeTier, TenantSpec,
+    WorkloadClass,
+};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Version of the chaos-report JSON layout. v2 added the multi-device
 /// axis: `device_count` / `interconnect` per scenario, the device-loss
-/// and straggler fault counts, and the `bit_identity` invariant.
-pub const CHAOS_SCHEMA_VERSION: u64 = 2;
+/// and straggler fault counts, and the `bit_identity` invariant. v3
+/// added the serving axis: a `tenants` count per scenario and the
+/// `tenant_isolation` invariant.
+pub const CHAOS_SCHEMA_VERSION: u64 = 3;
 
-/// Oldest report layout [`ChaosReport::from_json`] still accepts. v1
-/// reports load with the multi-device fields at their single-device
-/// defaults (one device, no interconnect, `bit_identity` vacuously true).
+/// Oldest report layout [`ChaosReport::from_json`] still accepts. v1/v2
+/// reports load with the missing fields at their single-session
+/// defaults (one device, no interconnect, zero tenants, `bit_identity`
+/// and `tenant_isolation` vacuously true).
 pub const CHAOS_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Device attempts (fresh backend each) before falling back to the CPU.
@@ -178,6 +193,10 @@ pub struct Scenario {
     /// Interconnect profile name for multi-device scenarios; `"none"`
     /// on one device.
     pub interconnect: &'static str,
+    /// Serving-grid tenant count: 0 runs the classic single-session
+    /// ladder; `>= 2` runs the workload through the multi-tenant serving
+    /// layer with the fault profile pinned to one seed-derived tenant.
+    pub tenants: usize,
 }
 
 /// Fault-probability tiers: occasional, common, heavy, certain.
@@ -238,6 +257,14 @@ impl Scenario {
         } else {
             (1, "none")
         };
+        // One single-device scenario in four serves its workload through
+        // the multi-tenant grid (2..=4 tenants) instead of the classic
+        // single-session ladder.
+        let tenants = if !class.multi_device() && mix64(seed ^ 0x5E11) % 4 == 0 {
+            2 + (mix64(seed ^ 0x7E4A) % 3) as usize
+        } else {
+            0
+        };
         Scenario {
             index,
             seed,
@@ -248,6 +275,7 @@ impl Scenario {
             data_seed: mix64(seed ^ 0xE5),
             device_count,
             interconnect,
+            tenants,
         }
     }
 
@@ -285,6 +313,18 @@ impl Scenario {
     /// fail-stop classes leave it off, matching production defaults.
     fn integrity(&self) -> bool {
         matches!(self.class, FaultClass::Corruption | FaultClass::Mixed)
+    }
+
+    /// The serving-layer workload class of a serving scenario (the
+    /// logistic solver serves on its trust-region implementation).
+    fn serve_class(&self) -> WorkloadClass {
+        match self.workload {
+            Workload::LrCg => WorkloadClass::LrCg,
+            Workload::Glm => WorkloadClass::Glm,
+            Workload::LogReg => WorkloadClass::Tron,
+            Workload::Svm => WorkloadClass::Svm,
+            Workload::Hits => WorkloadClass::Hits,
+        }
     }
 }
 
@@ -381,10 +421,18 @@ pub struct InvariantChecks {
     pub finite_result: bool,
     pub bounded_attempts: bool,
     pub accounting: bool,
-    /// Multi-device LR-CG only (vacuously true elsewhere): the modeled
-    /// result is bit-identical across a 1-device run, an N-device run,
-    /// and an N-device run that lost one device, all unfaulted.
+    /// Multi-device LR-CG scenarios: the modeled result is bit-identical
+    /// across a 1-device run, an N-device run, and an N-device run that
+    /// lost one device, all unfaulted. Serving scenarios: every completion
+    /// that stayed on its admitted tier is bit-identical to the fault-free
+    /// single-session [`clean_run`] of that tier. Vacuously true elsewhere.
     pub bit_identity: bool,
+    /// Serving scenarios only (vacuously true elsewhere): the faulted
+    /// tenant recovered (no `Failed` outcome) and every co-tenant's
+    /// outcomes — status, timing bits, weight bits — are identical to a
+    /// fault-free run of the same grid, with zero faults leaking into
+    /// co-tenant attempts.
+    pub tenant_isolation: bool,
 }
 
 impl InvariantChecks {
@@ -395,6 +443,7 @@ impl InvariantChecks {
             && self.bounded_attempts
             && self.accounting
             && self.bit_identity
+            && self.tenant_isolation
     }
 
     fn failed() -> InvariantChecks {
@@ -405,6 +454,7 @@ impl InvariantChecks {
             bounded_attempts: false,
             accounting: false,
             bit_identity: false,
+            tenant_isolation: false,
         }
     }
 
@@ -416,6 +466,7 @@ impl InvariantChecks {
             ("bounded_attempts", Json::Bool(self.bounded_attempts)),
             ("accounting", Json::Bool(self.accounting)),
             ("bit_identity", Json::Bool(self.bit_identity)),
+            ("tenant_isolation", Json::Bool(self.tenant_isolation)),
         ])
     }
 
@@ -436,6 +487,12 @@ impl InvariantChecks {
             bit_identity: match j.get("bit_identity") {
                 Some(Json::Bool(b)) => *b,
                 Some(_) => return Err("field 'bit_identity' is not a bool".to_string()),
+                None => true,
+            },
+            // v1/v2 reports predate serving scenarios.
+            tenant_isolation: match j.get("tenant_isolation") {
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("field 'tenant_isolation' is not a bool".to_string()),
                 None => true,
             },
         })
@@ -480,6 +537,7 @@ impl ScenarioResult {
             ),
             ("device_count", Json::u64(sc.device_count as u64)),
             ("interconnect", Json::str(sc.interconnect)),
+            ("tenants", Json::u64(sc.tenants as u64)),
             ("outcome", Json::str(self.outcome)),
             ("tier", Json::str(self.tier)),
             (
@@ -539,6 +597,10 @@ impl ScenarioResult {
                 Some(v) => interconnect_static(v.as_str().ok_or("interconnect is not a string")?)?,
                 None => "none",
             },
+            tenants: match j.get("tenants") {
+                Some(v) => v.as_u64().ok_or("tenants is not a number")? as usize,
+                None => 0, // v1/v2 report: no serving axis yet
+            },
         };
         let outcome = match j.field_str("outcome")? {
             "converged" => "converged",
@@ -549,6 +611,7 @@ impl ScenarioResult {
         let tier = match j.field_str("tier")? {
             "fused" => "fused",
             "sharded" => "sharded",
+            "serve" => "serve",
             "cpu" => "cpu",
             "none" => "none",
             other => return Err(format!("unknown tier '{other}'")),
@@ -602,6 +665,9 @@ fn parse_hex_u64(s: &str) -> Result<u64, String> {
 fn run_scenario_inner(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
     if sc.device_count > 1 {
         return run_scenario_sharded(sc, data);
+    }
+    if sc.tenants >= 2 {
+        return run_scenario_serving(sc);
     }
     let gpu = Gpu::with_host_threads(DeviceSpec::gtx_titan(), 1)
         .with_fault_profile(sc.profile())
@@ -685,7 +751,8 @@ fn run_scenario_inner(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
             finite_result,
             bounded_attempts: attempts <= MAX_DEVICE_ATTEMPTS + 1,
             accounting: capacity_ok && gating_ok && detection_ok,
-            bit_identity: true, // single-device: nothing to compare
+            bit_identity: true,     // single-device: nothing to compare
+            tenant_isolation: true, // single-session: no co-tenants
         },
     }
 }
@@ -790,6 +857,199 @@ fn run_scenario_sharded(sc: &Scenario, data: &ScenarioData) -> ScenarioResult {
             bounded_attempts: attempts <= MAX_DEVICE_ATTEMPTS + 1,
             accounting: capacity_ok && gating_ok && detection_ok,
             bit_identity,
+            tenant_isolation: true, // single-session: no co-tenants
+        },
+    }
+}
+
+/// The serving tier: run the scenario's workload through a multi-tenant
+/// [`serve`] grid with the fault profile pinned to one seed-derived
+/// tenant, then re-run the identical grid fault-free and hold invariant
+/// 6 — the faulted tenant recovers (every request completes; the ladder
+/// may degrade it, never `Failed`) and each co-tenant's outcomes are
+/// bit-identical between the two runs: same status, same timing bits,
+/// same weight bits, zero faults drawn in their own attempts.
+fn run_scenario_serving(sc: &Scenario) -> ScenarioResult {
+    let class = sc.serve_class();
+    let faulted = (mix64(sc.seed ^ 0x7E11) % sc.tenants as u64) as usize;
+    let cfg = ServeConfig::default();
+    // Roomy queues and an unbounded quota: admission pressure is the
+    // bench suite's concern; this scenario isolates fault blast radius.
+    let grid = |faults_on: bool| -> Vec<TenantSpec> {
+        (0..sc.tenants)
+            .map(|i| {
+                let spec = TenantSpec::new(format!("tenant-{i}"), 8, u64::MAX);
+                if faults_on && i == faulted {
+                    spec.with_faults(sc.profile())
+                } else {
+                    spec
+                }
+            })
+            .collect()
+    };
+    // Two staggered requests per tenant so the grid contends for the
+    // shared slots; deadlines are generous enough that only a fault
+    // blast radius could miss one.
+    let requests: Vec<ServeRequest> = (0..sc.tenants * 2)
+        .map(|r| {
+            let arrival = r as f64 * 3.0;
+            ServeRequest::new(r % sc.tenants, class, arrival).with_deadline(arrival + 20_000.0)
+        })
+        .collect();
+
+    let pair = serve(&grid(true), &requests, &cfg)
+        .and_then(|f| serve(&grid(false), &requests, &cfg).map(|c| (f, c)));
+    let (faulted_run, reference_run) = match pair {
+        Ok(pair) => pair,
+        Err(e) => {
+            // A config refusal means the grid never ran: the abort is
+            // typed, but every serving invariant went unverified.
+            return ScenarioResult {
+                scenario: *sc,
+                outcome: "typed-abort",
+                tier: "serve",
+                error_kind: Some(e.kind().to_string()),
+                attempts: 0,
+                faults: FaultCounts::default(),
+                integrity_checks: 0,
+                integrity_violations: 0,
+                invariants: InvariantChecks::failed(),
+            };
+        }
+    };
+
+    let mut faults = FaultCounts::default();
+    let mut attempts = 0usize;
+    let mut finite_result = true;
+    for o in &faulted_run.outcomes {
+        faults.kernel_faults += o.faults.kernel_faults;
+        faults.alloc_faults += o.faults.alloc_faults;
+        faults.transfer_timeouts += o.faults.transfer_timeouts;
+        faults.watchdog_timeouts += o.faults.watchdog_timeouts;
+        faults.corruptions += o.faults.corruptions;
+        faults.pressure_rejections += o.faults.pressure_rejections;
+        faults.device_losses += o.faults.device_losses;
+        faults.stragglers += o.faults.stragglers;
+        if let RequestStatus::Completed { attempts: a, .. } = o.status {
+            attempts = attempts.max(a);
+            finite_result =
+                finite_result && !o.weights.is_empty() && o.weights.iter().all(|x| x.is_finite());
+        }
+    }
+
+    // Same class gating as the single-device ladder: only the scenario's
+    // own knob may draw, and serving profiles never lose devices,
+    // straggle, or trip the watchdog.
+    let kernel_on = matches!(sc.class, FaultClass::KernelFaults | FaultClass::Mixed);
+    let alloc_on = matches!(sc.class, FaultClass::AllocFaults | FaultClass::Mixed);
+    let transfer_on = matches!(sc.class, FaultClass::TransferTimeouts | FaultClass::Mixed);
+    let corruption_on = matches!(sc.class, FaultClass::Corruption | FaultClass::Mixed);
+    let pressure_on = matches!(sc.class, FaultClass::MemoryPressure);
+    let gating_ok = (kernel_on || faults.kernel_faults == 0)
+        && (alloc_on || faults.alloc_faults == 0)
+        && (transfer_on || faults.transfer_timeouts == 0)
+        && (corruption_on || faults.corruptions == 0)
+        && (pressure_on || faults.pressure_rejections == 0)
+        && faults.watchdog_timeouts == 0
+        && faults.device_losses == 0
+        && faults.stragglers == 0;
+
+    // Invariant 6: the faulted tenant recovers everything it submitted,
+    // and each co-tenant observes bit-for-bit the run it would have had
+    // without the noisy neighbour.
+    let recovered = faulted_run.tenants[faulted].completed
+        == faulted_run.tenants[faulted].submitted
+        && faulted_run.tenants[faulted].failed == 0;
+    let co_clean = faulted_run
+        .tenants
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != faulted)
+        .all(|(_, t)| t.faults_injected == 0 && t.failed == 0);
+    let co_identical = faulted_run
+        .outcomes
+        .iter()
+        .zip(&reference_run.outcomes)
+        .filter(|(o, _)| o.tenant != faulted)
+        .all(|(a, b)| {
+            a.status == b.status
+                && a.start_ms.to_bits() == b.start_ms.to_bits()
+                && a.completion_ms.to_bits() == b.completion_ms.to_bits()
+                && a.latency_ms.to_bits() == b.latency_ms.to_bits()
+                && a.weights.len() == b.weights.len()
+                && a.weights
+                    .iter()
+                    .zip(&b.weights)
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+    let tenant_isolation = recovered && co_clean && co_identical;
+
+    // Invariant 5, serving form: a completion that stayed on its admitted
+    // tier is bit-identical to the fault-free single-session [`clean_run`]
+    // of that tier. Cross-tier resumes splice two trajectories through a
+    // checkpoint and are excluded by design.
+    let mut references: HashMap<ServeTier, Option<Vec<u64>>> = HashMap::new();
+    let mut bit_identity = true;
+    for o in &faulted_run.outcomes {
+        let RequestStatus::Completed {
+            tier,
+            admitted_tier,
+            ..
+        } = o.status
+        else {
+            continue;
+        };
+        if tier != admitted_tier {
+            continue;
+        }
+        let reference = references.entry(tier).or_insert_with(|| {
+            clean_run(class, tier, &cfg)
+                .ok()
+                .map(|r| r.weights.iter().map(|x| x.to_bits()).collect())
+        });
+        bit_identity = bit_identity
+            && reference.as_ref().is_some_and(|bits| {
+                o.weights.len() == bits.len()
+                    && o.weights
+                        .iter()
+                        .zip(bits.iter())
+                        .all(|(x, b)| x.to_bits() == *b)
+            });
+    }
+
+    // With roomy queues, no quota and 20 s of deadline slack, nothing
+    // may be refused: every submitted request must complete.
+    let all_completed = faulted_run.completed() == requests.len();
+    let attempt_bound = (cfg.policy.max_retries + 1) * 3; // 3 tiers
+
+    ScenarioResult {
+        scenario: *sc,
+        outcome: if all_completed {
+            "converged"
+        } else {
+            "typed-abort"
+        },
+        tier: "serve",
+        error_kind: faulted_run.outcomes.iter().find_map(|o| match &o.status {
+            RequestStatus::Rejected { error }
+            | RequestStatus::Shed { error }
+            | RequestStatus::Failed { error } => Some(error.kind().to_string()),
+            RequestStatus::Completed { .. } => None,
+        }),
+        attempts,
+        faults,
+        // Integrity stats live inside the serving layer's per-attempt
+        // devices; detected corruptions surface in `faults.corruptions`.
+        integrity_checks: 0,
+        integrity_violations: 0,
+        invariants: InvariantChecks {
+            no_panic: true,
+            typed_outcome: true,
+            finite_result,
+            bounded_attempts: attempts <= attempt_bound,
+            accounting: gating_ok && all_completed,
+            bit_identity,
+            tenant_isolation,
         },
     }
 }
@@ -1035,6 +1295,7 @@ mod tests {
     fn device_classes_draw_a_device_axis_and_the_rest_do_not() {
         let scs: Vec<Scenario> = (0..400).map(|i| scenario(0xDE7_1CE, i)).collect();
         let mut saw_multi = false;
+        let mut saw_serving = false;
         for sc in &scs {
             if sc.class.multi_device() {
                 saw_multi = true;
@@ -1048,12 +1309,51 @@ mod tests {
                     "unknown interconnect {}",
                     sc.interconnect
                 );
+                assert_eq!(sc.tenants, 0, "multi-device scenarios never serve");
             } else {
                 assert_eq!(sc.device_count, 1);
                 assert_eq!(sc.interconnect, "none");
+                if sc.tenants > 0 {
+                    saw_serving = true;
+                    assert!(
+                        (2..=4).contains(&sc.tenants),
+                        "serving scenario drew {} tenants",
+                        sc.tenants
+                    );
+                }
             }
         }
         assert!(saw_multi, "no multi-device class drawn in 400 scenarios");
+        assert!(saw_serving, "no serving scenario drawn in 400 scenarios");
+        assert!(
+            scs.iter()
+                .any(|s| !s.class.multi_device() && s.tenants == 0),
+            "every single-device scenario went serving"
+        );
+    }
+
+    #[test]
+    fn serving_scenarios_hold_tenant_isolation_under_fire() {
+        // Find a serving scenario whose faults actually fire, and hold
+        // every invariant on it — including invariant 6, which re-runs
+        // the grid fault-free and compares co-tenants bit for bit.
+        let mut fired = false;
+        for i in 0..2000usize {
+            let sc = scenario(0x7E4A47, i);
+            if sc.tenants < 2 || sc.rate < 0.2 {
+                continue;
+            }
+            let r = run_scenario(&sc);
+            assert_eq!(r.tier, "serve");
+            assert!(r.pass(), "serving scenario {i} failed: {r:?}");
+            assert!(r.invariants.tenant_isolation);
+            if r.faults != FaultCounts::default() {
+                fired = true;
+                assert_eq!(r.outcome, "converged");
+                break;
+            }
+        }
+        assert!(fired, "no serving scenario drew a fault in 2000 draws");
     }
 
     #[test]
@@ -1169,13 +1469,66 @@ mod tests {
         let r = &report.results[0];
         assert_eq!(r.scenario.device_count, 1);
         assert_eq!(r.scenario.interconnect, "none");
+        assert_eq!(r.scenario.tenants, 0);
         assert_eq!(r.faults.device_losses, 0);
         assert_eq!(r.faults.stragglers, 0);
         assert!(r.invariants.bit_identity);
+        assert!(r.invariants.tenant_isolation);
         assert!(r.pass());
         // Unsupported future schemas are rejected, not misread.
         let future = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
         assert!(ChaosReport::from_json(&Json::parse(&future).unwrap()).is_err());
+    }
+
+    #[test]
+    fn v2_reports_still_load_with_zero_tenant_defaults() {
+        // A hand-written v2 row: the multi-device axis is present but the
+        // serving axis (tenants / tenant_isolation) does not exist yet.
+        let text = r#"{
+            "schema_version": 2,
+            "campaign_seed": "0x0000000c4a055eed",
+            "scenarios": 1,
+            "failures": 0,
+            "results": [{
+                "index": 0,
+                "seed": "0x00000000deadbeef",
+                "workload": "lr_cg",
+                "fault_class": "device-loss",
+                "rate": 0.02,
+                "pressure_after_allocs": null,
+                "device_count": 3,
+                "interconnect": "pcie-gen3-x16",
+                "outcome": "converged",
+                "tier": "sharded",
+                "error_kind": null,
+                "attempts": 2,
+                "faults": {
+                    "kernel": 0,
+                    "alloc": 0,
+                    "transfer": 0,
+                    "watchdog": 0,
+                    "corruptions": 0,
+                    "pressure_rejections": 0,
+                    "device_losses": 1,
+                    "stragglers": 0
+                },
+                "integrity": {"checks": 0, "violations": 0},
+                "invariants": {
+                    "no_panic": true,
+                    "typed_outcome": true,
+                    "finite_result": true,
+                    "bounded_attempts": true,
+                    "accounting": true,
+                    "bit_identity": true
+                }
+            }]
+        }"#;
+        let report = ChaosReport::from_json(&Json::parse(text).unwrap()).unwrap();
+        let r = &report.results[0];
+        assert_eq!(r.scenario.tenants, 0);
+        assert_eq!(r.scenario.device_count, 3);
+        assert!(r.invariants.tenant_isolation, "v2 default must be vacuous");
+        assert!(r.pass());
     }
 
     #[test]
@@ -1185,7 +1538,9 @@ mod tests {
         let mut fired = false;
         for i in 0..400usize {
             let sc = scenario(0xDEFEC7, i);
-            if sc.class != FaultClass::Corruption {
+            // The exact-detection count is a single-session property; the
+            // serving tier keeps its integrity stats device-internal.
+            if sc.class != FaultClass::Corruption || sc.tenants > 0 {
                 continue;
             }
             let r = run_scenario(&sc);

@@ -13,8 +13,11 @@
 //!   fused-vs-unfused benchmark behind `fusedml-bench cpu`;
 //! * [`stream::stream_report`] — the copy-engine streaming ladder behind
 //!   `fusedml-bench stream`, with its own invariants and baseline gate;
+//! * [`serve::serve_bench_report`] — the multi-tenant serving load
+//!   generator behind `fusedml-bench serve`, with its own invariants
+//!   and baseline gate;
 //! * the `fusedml-bench` binary — `run` / `compare` / `list` / `trace` /
-//!   `chaos` / `cpu` / `stream` CLI.
+//!   `chaos` / `cpu` / `stream` / `serve` CLI.
 //!
 //! The JSON layer is hand-rolled ([`json`]) so the subsystem has zero
 //! dependencies beyond the workspace: reports must round-trip in every
@@ -28,6 +31,7 @@ pub mod hostperf;
 pub mod json;
 pub mod plans;
 pub mod report;
+pub mod serve;
 pub mod stream;
 pub mod suite;
 pub mod trace_export;
@@ -43,6 +47,10 @@ pub use json::Json;
 pub use plans::{plan_drift, plan_report, PLANS_SCHEMA_VERSION};
 pub use report::{
     BenchReport, ConfigFingerprint, HostPerf, VariantMetrics, WorkloadResult, SCHEMA_VERSION,
+};
+pub use serve::{
+    serve_bench_report, serve_invariants, serve_regressions, ServeBenchOptions, ServeGateOptions,
+    SERVE_SCHEMA_VERSION,
 };
 pub use stream::{
     stream_invariants, stream_regressions, stream_report, StreamGateOptions, STREAM_DEFAULT_PASSES,

@@ -70,7 +70,7 @@ impl CacheModel {
         // Miss: replace LRU way.
         let lru = (0..self.ways)
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways >= 1");
+            .unwrap_or_else(|| unreachable!("cache has >= 1 way"));
         self.tags[base + lru] = line;
         self.stamps[base + lru] = self.clock;
         self.misses += 1;

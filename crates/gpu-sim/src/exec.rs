@@ -261,6 +261,7 @@ impl Gpu {
     /// device's own bump allocator.
     pub fn with_shared_pool(mut self, pool: &DevicePool) -> Self {
         self.pool = Arc::clone(pool.inner());
+        self.pool.note_attach();
         self
     }
 
@@ -744,7 +745,12 @@ impl Gpu {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Re-raise the worker's panic payload on the host
+                    // thread instead of wrapping it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
 
@@ -762,7 +768,11 @@ impl Gpu {
         // Interleave back: SM i lives at per_worker_sms[i % workers][i / workers].
         let mut iters: Vec<_> = per_worker_sms.into_iter().map(|v| v.into_iter()).collect();
         for i in 0..num_sms {
-            sms.push(iters[i % workers].next().expect("SM count mismatch"));
+            sms.push(
+                iters[i % workers]
+                    .next()
+                    .unwrap_or_else(|| unreachable!("worker {} returned too few SMs", i % workers)),
+            );
         }
         results.clear();
 

@@ -42,6 +42,9 @@
 // Lane-indexed loops over multiple parallel arrays are the natural idiom
 // for warp-level kernel code; iterator zips would obscure the SIMT shape.
 #![allow(clippy::needless_range_loop)]
+// Simulator/kernels code surfaces failures as typed errors or explicit
+// panics with context; bare unwrap/expect is reserved for tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod copyengine;

@@ -98,7 +98,7 @@ pub fn occupancy(
     ]
     .into_iter()
     .min_by_key(|&(b, _)| b)
-    .expect("non-empty");
+    .unwrap_or_else(|| unreachable!("limiter candidates are non-empty"));
 
     if blocks == 0 {
         // Fits in no SM concurrently => cannot launch (e.g. shared memory

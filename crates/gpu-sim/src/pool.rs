@@ -48,6 +48,19 @@ pub struct PoolStats {
     pub reclaimed: u64,
     /// Host bytes currently parked in the free lists.
     pub retained_bytes: u64,
+    /// Devices attached via [`crate::Gpu::with_shared_pool`] over the
+    /// pool's life (0 for a device-private pool) — how many sessions
+    /// contended for this pool.
+    #[serde(default)]
+    pub attached_devices: u64,
+    /// Block bytes currently checked out by live buffers (bucket
+    /// capacities, not logical lengths).
+    #[serde(default)]
+    pub outstanding_bytes: u64,
+    /// High-water mark of `outstanding_bytes`: peak allocation pressure
+    /// across every session sharing the pool.
+    #[serde(default)]
+    pub peak_outstanding_bytes: u64,
 }
 
 impl PoolStats {
@@ -63,8 +76,8 @@ impl PoolStats {
 
     /// Counter deltas relative to an earlier snapshot, attributing a
     /// window of pool traffic (e.g. one solver run) on a shared device.
-    /// `retained_bytes` is a gauge, not a counter, so the current value is
-    /// kept as-is.
+    /// `retained_bytes`, `outstanding_bytes` and `peak_outstanding_bytes`
+    /// are gauges, not counters, so the current values are kept as-is.
     pub fn delta_since(&self, base: &PoolStats) -> PoolStats {
         PoolStats {
             hits: self.hits.saturating_sub(base.hits),
@@ -72,6 +85,9 @@ impl PoolStats {
             bytes_recycled: self.bytes_recycled.saturating_sub(base.bytes_recycled),
             reclaimed: self.reclaimed.saturating_sub(base.reclaimed),
             retained_bytes: self.retained_bytes,
+            attached_devices: self.attached_devices.saturating_sub(base.attached_devices),
+            outstanding_bytes: self.outstanding_bytes,
+            peak_outstanding_bytes: self.peak_outstanding_bytes,
         }
     }
 }
@@ -127,6 +143,9 @@ pub(crate) struct BufferPool {
     reclaimed: AtomicU64,
     retained_cells: AtomicU64,
     retain_cap_cells: AtomicU64,
+    attached_devices: AtomicU64,
+    outstanding_cells: AtomicU64,
+    peak_outstanding_cells: AtomicU64,
 }
 
 /// Bucket (block capacity in cells) that serves requests for `len` cells.
@@ -144,13 +163,37 @@ impl BufferPool {
             reclaimed: AtomicU64::new(0),
             retained_cells: AtomicU64::new(0),
             retain_cap_cells: AtomicU64::new(DEFAULT_POOL_RETAIN_BYTES / 8),
+            attached_devices: AtomicU64::new(0),
+            outstanding_cells: AtomicU64::new(0),
+            peak_outstanding_cells: AtomicU64::new(0),
         }
+    }
+
+    /// Record one more device/session sharing this pool (contention
+    /// accounting for the serving layer).
+    pub(crate) fn note_attach(&self) {
+        self.attached_devices.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Track blocks checked out by live buffers. `capacity` is the bucket
+    /// capacity in cells — symmetric with [`BufferPool::reclaim`], which
+    /// sees the same capacity when the buffer comes back.
+    pub(crate) fn note_checkout(&self, capacity: usize) {
+        let now = self
+            .outstanding_cells
+            .fetch_add(capacity as u64, Ordering::Relaxed)
+            + capacity as u64;
+        self.peak_outstanding_cells
+            .fetch_max(now, Ordering::Relaxed);
     }
 
     /// Pull a block with capacity >= `len` cells out of `len`'s bucket, or
     /// record a miss. The caller zeroes the logical prefix (zero-on-reuse).
     pub(crate) fn acquire(&self, len: usize) -> Option<Box<[AtomicU64]>> {
         let bucket = bucket_for(len);
+        // Hit or miss, a `bucket`-capacity block is about to be checked
+        // out by a live buffer (misses allocate exactly `bucket` cells).
+        self.note_checkout(bucket);
         let block = {
             let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
             buckets.get_mut(&bucket).and_then(Vec::pop)
@@ -178,6 +221,13 @@ impl BufferPool {
         if cap == 0 {
             return;
         }
+        // The block is no longer checked out, whether it parks in a
+        // bucket or drops past the retention cap.
+        let _ = self
+            .outstanding_cells
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(cap as u64))
+            });
         // Blocks we allocate always have power-of-two capacity; round a
         // foreign capacity down so the bucket never over-promises.
         let bucket = if cap.is_power_of_two() {
@@ -206,6 +256,9 @@ impl BufferPool {
             bytes_recycled: self.bytes_recycled.load(Ordering::Relaxed),
             reclaimed: self.reclaimed.load(Ordering::Relaxed),
             retained_bytes: self.retained_cells.load(Ordering::Relaxed) * 8,
+            attached_devices: self.attached_devices.load(Ordering::Relaxed),
+            outstanding_bytes: self.outstanding_cells.load(Ordering::Relaxed) * 8,
+            peak_outstanding_bytes: self.peak_outstanding_cells.load(Ordering::Relaxed) * 8,
         }
     }
 }
@@ -251,6 +304,32 @@ mod tests {
         assert_eq!(s.retained_bytes, 128 * 8);
         assert!(pool.acquire(128).is_some());
         assert!(pool.acquire(128).is_none());
+    }
+
+    #[test]
+    fn contention_gauges_track_checkouts_and_peak() {
+        let pool = BufferPool::new();
+        // Two concurrent checkouts (both misses), then both come back.
+        pool.acquire(100); // bucket 128
+        pool.acquire(60); // bucket 64
+        let s = pool.stats();
+        assert_eq!(s.outstanding_bytes, (128 + 64) * 8);
+        assert_eq!(s.peak_outstanding_bytes, (128 + 64) * 8);
+        pool.reclaim(block(128));
+        pool.reclaim(block(64));
+        let s = pool.stats();
+        assert_eq!(s.outstanding_bytes, 0, "reclaim drains the gauge");
+        assert_eq!(
+            s.peak_outstanding_bytes,
+            (128 + 64) * 8,
+            "peak is a high-water mark"
+        );
+        // A later hit counts as a fresh checkout.
+        pool.acquire(128);
+        assert_eq!(pool.stats().outstanding_bytes, 128 * 8);
+        pool.note_attach();
+        pool.note_attach();
+        assert_eq!(pool.stats().attached_devices, 2);
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub enum SolverCheckpoint {
         delta: f64,
         authorities: Vec<f64>,
     },
+    /// PageRank power-iteration state (the backend-generic entry point,
+    /// [`try_pagerank_backend_ckpt`](crate::pagerank::try_pagerank_backend_ckpt)).
+    Pagerank {
+        iteration: usize,
+        delta: f64,
+        ranks: Vec<f64>,
+    },
 }
 
 impl SolverCheckpoint {
@@ -81,6 +88,7 @@ impl SolverCheckpoint {
             SolverCheckpoint::Tron { outer, .. } => *outer,
             SolverCheckpoint::Svm { outer, .. } => *outer,
             SolverCheckpoint::Hits { iteration, .. } => *iteration,
+            SolverCheckpoint::Pagerank { iteration, .. } => *iteration,
         }
     }
 
@@ -93,6 +101,7 @@ impl SolverCheckpoint {
             SolverCheckpoint::Tron { .. } => "logreg_tron",
             SolverCheckpoint::Svm { .. } => "svm",
             SolverCheckpoint::Hits { .. } => "hits",
+            SolverCheckpoint::Pagerank { .. } => "pagerank",
         }
     }
 }
@@ -108,6 +117,8 @@ pub struct CheckpointHandle {
     slot: Arc<Mutex<Option<SolverCheckpoint>>>,
     saves: Arc<AtomicU64>,
     last_resume: Arc<AtomicU64>,
+    /// Every resume iteration in order, across retries and tier degrades.
+    resume_trail: Arc<Mutex<Vec<usize>>>,
 }
 
 /// Sentinel for "never resumed" in the packed `last_resume` cell.
@@ -122,6 +133,7 @@ impl CheckpointHandle {
             slot: Arc::new(Mutex::new(None)),
             saves: Arc::new(AtomicU64::new(0)),
             last_resume: Arc::new(AtomicU64::new(NO_RESUME)),
+            resume_trail: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -166,6 +178,21 @@ impl CheckpointHandle {
     /// the iteration it resumed at for reporting.
     pub fn note_resume(&self, iteration: usize) {
         self.last_resume.store(iteration as u64, Ordering::Relaxed);
+        self.resume_trail
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(iteration);
+    }
+
+    /// Every resume iteration recorded through this handle (and its
+    /// clones), in resume order. Snapshots only ever advance, so across a
+    /// degrade+resume ladder this trail must be monotone non-decreasing —
+    /// a property the serving tests assert.
+    pub fn resumes(&self) -> Vec<usize> {
+        self.resume_trail
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// The iteration of the most recent resume, if any solver run resumed

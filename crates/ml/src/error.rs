@@ -28,12 +28,11 @@ pub enum SolverError {
 }
 
 impl SolverError {
-    /// Breakdown helper used by the solver guards.
-    pub(crate) fn breakdown(
-        solver: &'static str,
-        iteration: usize,
-        detail: impl Into<String>,
-    ) -> Self {
+    /// Breakdown constructor used by the solver guards, public so
+    /// runtime layers wrapping solvers (e.g. the serving scheduler's
+    /// streamed degrade tier) can surface their own deterministic
+    /// failures on the same typed surface instead of panicking.
+    pub fn breakdown(solver: &'static str, iteration: usize, detail: impl Into<String>) -> Self {
         SolverError::NumericalBreakdown {
             solver,
             iteration,

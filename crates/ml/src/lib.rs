@@ -36,6 +36,9 @@ pub use lr_cg::{lr_cg, try_lr_cg, try_lr_cg_ckpt, LrCgOptions, LrCgResult};
 pub use ops::{
     try_device_map2, Backend, BackendStats, BaselineBackend, CpuBackend, DeviceMatrix, FusedBackend,
 };
-pub use pagerank::{pagerank, try_pagerank, PagerankOptions, PagerankPlan, PagerankResult};
+pub use pagerank::{
+    inv_out_degrees, pagerank, try_pagerank, try_pagerank_backend, try_pagerank_backend_ckpt,
+    PagerankOptions, PagerankPlan, PagerankPowerResult, PagerankResult,
+};
 pub use sharded_backend::ShardedBackend;
 pub use svm::{svm_primal, try_svm, try_svm_ckpt, SvmOptions, SvmResult};

@@ -19,7 +19,9 @@
 //! leaves the system instead of being redistributed, the simplest of the
 //! standard variants and adequate for a kernel-fusion benchmark.
 
+use crate::checkpoint::{CheckpointHandle, SolverCheckpoint};
 use crate::error::SolverError;
+use crate::ops::Backend;
 use fusedml_blas::{level1, GpuCsr};
 use fusedml_core::{unfused_plan, Dag, DagExecutor, DagInputs, DagMatrix, FusionPlan};
 use fusedml_gpu_sim::{Counters, Gpu};
@@ -213,9 +215,152 @@ pub fn try_pagerank(
     })
 }
 
+/// Result of the backend-generic power iteration
+/// ([`try_pagerank_backend`]): just the solver state, no plan/counter
+/// introspection — cost accounting comes from the backend's own stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagerankPowerResult {
+    /// Final rank vector (length n).
+    pub ranks: Vec<f64>,
+    pub iterations: usize,
+    /// Final L2 change between successive rank vectors.
+    pub delta: f64,
+}
+
+/// Reciprocal out-degrees of `links` (0 for dangling pages), the
+/// host-side graph property [`try_pagerank_backend`] takes as input.
+pub fn inv_out_degrees(links: &CsrMatrix) -> Vec<f64> {
+    (0..links.rows())
+        .map(|r| {
+            let deg: f64 = links.row_entries(r).map(|(_, v)| v).sum();
+            if deg > 0.0 {
+                1.0 / deg
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// [`try_pagerank_backend_ckpt`] without checkpointing.
+pub fn try_pagerank_backend<B: Backend>(
+    backend: &mut B,
+    inv_deg: &[f64],
+    opts: PagerankOptions,
+) -> Result<PagerankPowerResult, SolverError> {
+    try_pagerank_backend_ckpt(backend, inv_deg, opts, None)
+}
+
+/// PageRank power iteration written against the [`Backend`] trait, so the
+/// same solve runs on the fused, baseline, streamed and CPU engines — the
+/// entry point the multi-tenant serving ladder degrades through. One
+/// iteration is `r' = d * L^T (r ⊙ inv_deg) + teleport * ones`, the same
+/// dangling-page variant as [`try_pagerank`] (`opts.plan` is ignored: plan
+/// selection belongs to the DAG path).
+///
+/// With `ckpt` the normalized rank vector is snapshotted every
+/// `ckpt.every()` iterations and a later run resumes the power iteration
+/// from that vector bit-identically — the rank vector is the entire
+/// iteration state.
+pub fn try_pagerank_backend_ckpt<B: Backend>(
+    backend: &mut B,
+    inv_deg: &[f64],
+    opts: PagerankOptions,
+    ckpt: Option<&CheckpointHandle>,
+) -> Result<PagerankPowerResult, SolverError> {
+    const SOLVER: &str = "pagerank";
+    let n = backend.cols();
+    if backend.rows() != n {
+        return Err(SolverError::breakdown(
+            SOLVER,
+            0,
+            format!("link matrix must be square, got {}x{n}", backend.rows()),
+        ));
+    }
+    if inv_deg.len() != n {
+        return Err(SolverError::breakdown(
+            SOLVER,
+            0,
+            format!("inv_deg has {} entries for {n} pages", inv_deg.len()),
+        ));
+    }
+    let d = opts.damping;
+    let teleport = (1.0 - d) / n.max(1) as f64;
+
+    let resume = ckpt.and_then(|h| h.latest()).and_then(|c| match c {
+        SolverCheckpoint::Pagerank {
+            iteration,
+            delta,
+            ranks,
+        } if ranks.len() == n && delta.is_finite() => Some((iteration, delta, ranks)),
+        _ => None,
+    });
+    let (mut r, mut iters, mut delta) = match resume {
+        Some((iteration, delta, ranks)) => {
+            let r = backend.try_from_host("pagerank.r", &ranks)?;
+            if let Some(h) = ckpt {
+                h.note_resume(iteration);
+            }
+            (r, iteration, delta)
+        }
+        None => (
+            backend.try_from_host("pagerank.r", &vec![1.0 / n.max(1) as f64; n])?,
+            0,
+            f64::INFINITY,
+        ),
+    };
+    let inv = backend.try_from_host("pagerank.inv_deg", inv_deg)?;
+    let ones = backend.try_from_host("pagerank.ones", &vec![1.0; n])?;
+    let mut u = backend.try_zeros("pagerank.u", n)?;
+    let mut r_next = backend.try_zeros("pagerank.r_next", n)?;
+    let mut delta_buf = backend.try_zeros("pagerank.delta", n)?;
+
+    while iters < opts.max_iterations && delta > opts.tolerance {
+        let mut span = fusedml_trace::wall_span("solver", "pagerank.iter", "host");
+        span.arg("iter", iters);
+        // u = r ⊙ inv_deg; r' = d * L^T u + teleport * ones.
+        backend.try_ewmul(&r, &inv, &mut u)?;
+        backend.try_tmv(d, &u, &mut r_next)?;
+        backend.try_axpy(teleport, &ones, &mut r_next)?;
+
+        // delta = ||r' - r||
+        backend.try_copy(&r_next, &mut delta_buf)?;
+        backend.try_axpy(-1.0, &r, &mut delta_buf)?;
+        delta = backend.try_nrm2_sq(&delta_buf)?.sqrt();
+        if !delta.is_finite() {
+            return Err(SolverError::breakdown(
+                SOLVER,
+                iters,
+                format!("rank delta is {delta}"),
+            ));
+        }
+        span.arg("delta", delta);
+
+        backend.try_copy(&r_next, &mut r)?;
+        iters += 1;
+
+        if let Some(h) = ckpt {
+            if h.due(iters) {
+                h.save(SolverCheckpoint::Pagerank {
+                    iteration: iters,
+                    delta,
+                    ranks: backend.to_host(&r),
+                });
+            }
+        }
+    }
+
+    Ok(PagerankPowerResult {
+        ranks: backend.to_host(&r),
+        iterations: iters,
+        delta,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::CpuBackend;
     use fusedml_gpu_sim::DeviceSpec;
     use fusedml_matrix::{reference, Coo};
 
@@ -357,6 +502,70 @@ mod tests {
         );
         // The pinned plan never touches the cache.
         assert_eq!(unfused.plan_stats.misses + unfused.plan_stats.hits, 0);
+    }
+
+    #[test]
+    fn backend_power_iteration_matches_dag_solver_and_host_reference() {
+        let links = ring_with_hub(64);
+        let opts = PagerankOptions {
+            max_iterations: 40,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let mut cpu = CpuBackend::new_sparse(links.clone());
+        let res = try_pagerank_backend(&mut cpu, &inv_out_degrees(&links), opts).unwrap();
+        let (expect, host_iters) = host_pagerank(&links, opts);
+        assert_eq!(res.iterations, host_iters);
+        assert!(reference::rel_l2_error(&res.ranks, &expect) < 1e-9);
+        // The fused device backend agrees with the CPU backend.
+        let g = gpu();
+        let mut fused = crate::ops::FusedBackend::new_sparse(&g, &links);
+        let dev = try_pagerank_backend(&mut fused, &inv_out_degrees(&links), opts).unwrap();
+        assert_eq!(dev.iterations, res.iterations);
+        assert!(reference::rel_l2_error(&dev.ranks, &res.ranks) < 1e-9);
+    }
+
+    #[test]
+    fn backend_checkpoint_resume_is_bit_identical() {
+        use crate::checkpoint::CheckpointHandle;
+        let links = ring_with_hub(48);
+        let opts = PagerankOptions {
+            max_iterations: 8,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let inv = inv_out_degrees(&links);
+        let mut full_b = CpuBackend::new_sparse(links.clone());
+        let full = try_pagerank_backend(&mut full_b, &inv, opts).unwrap();
+
+        let h = CheckpointHandle::new(4);
+        let mut first = CpuBackend::new_sparse(links.clone());
+        let partial = try_pagerank_backend_ckpt(
+            &mut first,
+            &inv,
+            PagerankOptions {
+                max_iterations: 4,
+                ..opts
+            },
+            Some(&h),
+        )
+        .unwrap();
+        assert_eq!(partial.iterations, 4);
+        let mut second = CpuBackend::new_sparse(links);
+        let resumed = try_pagerank_backend_ckpt(&mut second, &inv, opts, Some(&h)).unwrap();
+        assert_eq!(h.last_resume(), Some(4));
+        assert_eq!(h.resumes(), vec![4]);
+        assert_eq!(resumed.iterations, full.iterations);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&resumed.ranks), bits(&full.ranks));
+    }
+
+    #[test]
+    fn backend_rejects_non_square_graphs_with_a_typed_error() {
+        let mut cpu = CpuBackend::new_sparse(fusedml_matrix::gen::uniform_sparse(8, 4, 0.5, 1));
+        let err = try_pagerank_backend(&mut cpu, &[0.0; 4], PagerankOptions::default())
+            .expect_err("rectangular link matrix must be rejected");
+        assert_eq!(err.kind(), "numerical-breakdown");
     }
 
     #[test]

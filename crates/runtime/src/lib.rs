@@ -15,6 +15,7 @@ pub mod costmodel;
 pub mod hybrid;
 pub mod memman;
 pub mod recovery;
+pub mod serve;
 pub mod session;
 pub mod shard_recovery;
 pub mod streamed_backend;
@@ -27,6 +28,10 @@ pub use memman::{MemError, MemStats, MemoryManager};
 pub use recovery::{
     run_lr_cg_with_recovery, BackendTier, LadderError, LadderOutcome, RecoveryAction,
     RecoveryEvent, RecoveryPolicy, RecoveryTier,
+};
+pub use serve::{
+    clean_run, serve, CleanRun, RequestOutcome, RequestStatus, ServeConfig, ServeError,
+    ServeReport, ServeRequest, ServeTier, TenantSpec, TenantSummary, WorkloadClass,
 };
 pub use session::{
     run_cpu, run_device, run_device_fault_tolerant, run_sharded_fault_tolerant, DataSet,

@@ -375,7 +375,8 @@ pub fn run_device_fault_tolerant(
 }
 
 impl FaultCountsReport {
-    fn from_counts(counts: &fusedml_gpu_sim::FaultCounts) -> Self {
+    /// Copy the injector tally into the serializable report form.
+    pub fn from_counts(counts: &fusedml_gpu_sim::FaultCounts) -> Self {
         FaultCountsReport {
             kernel_faults: counts.kernel_faults,
             alloc_faults: counts.alloc_faults,
@@ -386,6 +387,32 @@ impl FaultCountsReport {
             device_losses: counts.device_losses,
             stragglers: counts.stragglers,
         }
+    }
+
+    /// Accumulate an injector tally into this report — the serving layer
+    /// sums faults across a request's retry attempts, each of which runs
+    /// on its own (replacement) device.
+    pub fn merge_counts(&mut self, counts: &fusedml_gpu_sim::FaultCounts) {
+        self.kernel_faults += counts.kernel_faults;
+        self.alloc_faults += counts.alloc_faults;
+        self.transfer_timeouts += counts.transfer_timeouts;
+        self.watchdog_timeouts += counts.watchdog_timeouts;
+        self.corruptions += counts.corruptions;
+        self.pressure_rejections += counts.pressure_rejections;
+        self.device_losses += counts.device_losses;
+        self.stragglers += counts.stragglers;
+    }
+
+    /// Total injected faults across every class.
+    pub fn total(&self) -> u64 {
+        self.kernel_faults
+            + self.alloc_faults
+            + self.transfer_timeouts
+            + self.watchdog_timeouts
+            + self.corruptions
+            + self.pressure_rejections
+            + self.device_losses
+            + self.stragglers
     }
 }
 

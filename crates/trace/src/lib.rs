@@ -34,6 +34,10 @@
 //! assert_eq!(events.len(), 2);
 //! ```
 
+// The collector must never take down the traced process; lock recovery
+// and fallbacks are explicit, so bare unwrap/expect stays test-only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
